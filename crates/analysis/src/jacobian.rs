@@ -1,0 +1,63 @@
+//! Numerical Jacobians of vector fields by central finite differences.
+
+use bbr_linalg::Matrix;
+
+/// Jacobian of `f` at `x0` via central differences with relative step
+/// `h` (absolute floor 1e-8).
+pub fn numeric_jacobian<F>(f: F, x0: &[f64], h: f64) -> Matrix
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    let n = x0.len();
+    let mut jac = Matrix::zeros(n, n);
+    let mut plus = vec![0.0; n];
+    let mut minus = vec![0.0; n];
+    let mut xp = x0.to_vec();
+    let mut xm = x0.to_vec();
+    for j in 0..n {
+        let step = (h * x0[j].abs()).max(1e-8);
+        xp[j] = x0[j] + step;
+        xm[j] = x0[j] - step;
+        f(&xp, &mut plus);
+        f(&xm, &mut minus);
+        for i in 0..n {
+            jac[(i, j)] = (plus[i] - minus[i]) / (2.0 * step);
+        }
+        xp[j] = x0[j];
+        xm[j] = x0[j];
+    }
+    jac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_field_recovers_matrix() {
+        // f(x) = A·x with A = [[1, 2], [3, 4]].
+        let f = |x: &[f64], dx: &mut [f64]| {
+            dx[0] = x[0] + 2.0 * x[1];
+            dx[1] = 3.0 * x[0] + 4.0 * x[1];
+        };
+        let j = numeric_jacobian(f, &[0.7, -0.3], 1e-5);
+        assert!((j[(0, 0)] - 1.0).abs() < 1e-6);
+        assert!((j[(0, 1)] - 2.0).abs() < 1e-6);
+        assert!((j[(1, 0)] - 3.0).abs() < 1e-6);
+        assert!((j[(1, 1)] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nonlinear_field_at_point() {
+        // f(x) = [x0², x0·x1] → J = [[2x0, 0], [x1, x0]].
+        let f = |x: &[f64], dx: &mut [f64]| {
+            dx[0] = x[0] * x[0];
+            dx[1] = x[0] * x[1];
+        };
+        let j = numeric_jacobian(f, &[2.0, 3.0], 1e-6);
+        assert!((j[(0, 0)] - 4.0).abs() < 1e-5);
+        assert!(j[(0, 1)].abs() < 1e-5);
+        assert!((j[(1, 0)] - 3.0).abs() < 1e-5);
+        assert!((j[(1, 1)] - 2.0).abs() < 1e-5);
+    }
+}

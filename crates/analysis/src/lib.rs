@@ -1,0 +1,19 @@
+//! Theoretical stability analysis of BBRv1 and BBRv2 (paper §5 and
+//! Appendix D): reduced fluid models, their equilibria (Theorems 1, 3,
+//! 4), and asymptotic stability via the indirect Lyapunov method
+//! (Theorems 2, 3, 5) — analytic Jacobians cross-checked against
+//! numerical differentiation and the QR eigensolver, plus convergence
+//! simulations of the reduced dynamics.
+
+pub mod jacobian;
+pub mod ode;
+pub mod reduced_v1;
+pub mod reduced_v2;
+pub mod theorems;
+
+pub use jacobian::numeric_jacobian;
+pub use ode::rk4_integrate;
+pub use theorems::{
+    theorem1_equilibrium, theorem2_stability, theorem3_shallow, theorem4_equilibrium,
+    theorem5_stability, TheoremReport,
+};

@@ -1,0 +1,122 @@
+//! Classic fixed-step RK4 integration for the reduced (delay-free)
+//! models of §5.
+
+/// Integrate `ẋ = f(x)` from `x0` over `t_end` seconds with step `dt`,
+/// returning the final state.
+pub fn rk4_integrate<F>(f: F, x0: &[f64], t_end: f64, dt: f64) -> Vec<f64>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    let mut x = x0.to_vec();
+    let n = x.len();
+    let steps = (t_end / dt).round() as usize;
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    for _ in 0..steps {
+        f(&x, &mut k1);
+        for i in 0..n {
+            tmp[i] = x[i] + 0.5 * dt * k1[i];
+        }
+        f(&tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = x[i] + 0.5 * dt * k2[i];
+        }
+        f(&tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = x[i] + dt * k3[i];
+        }
+        f(&tmp, &mut k4);
+        for i in 0..n {
+            x[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+    x
+}
+
+/// Integrate and record the trajectory every `record_every` steps.
+pub fn rk4_trajectory<F>(
+    f: F,
+    x0: &[f64],
+    t_end: f64,
+    dt: f64,
+    record_every: usize,
+) -> Vec<(f64, Vec<f64>)>
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    let mut x = x0.to_vec();
+    let n = x.len();
+    let steps = (t_end / dt).round() as usize;
+    let mut out = Vec::new();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    for s in 0..steps {
+        if s % record_every.max(1) == 0 {
+            out.push((s as f64 * dt, x.clone()));
+        }
+        f(&x, &mut k1);
+        for i in 0..n {
+            tmp[i] = x[i] + 0.5 * dt * k1[i];
+        }
+        f(&tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = x[i] + 0.5 * dt * k2[i];
+        }
+        f(&tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = x[i] + dt * k3[i];
+        }
+        f(&tmp, &mut k4);
+        for i in 0..n {
+            x[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+    out.push((t_end, x));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_decay_matches_closed_form() {
+        let f = |x: &[f64], dx: &mut [f64]| {
+            dx[0] = -2.0 * x[0];
+        };
+        let x = rk4_integrate(f, &[1.0], 1.0, 1e-3);
+        assert!((x[0] - (-2.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_oscillator_preserves_energy() {
+        let f = |x: &[f64], dx: &mut [f64]| {
+            dx[0] = x[1];
+            dx[1] = -x[0];
+        };
+        // t_end divisible by dt so the endpoint is exact.
+        let x = rk4_integrate(f, &[1.0, 0.0], 6.0, 1e-3);
+        assert!((x[0] - 6.0f64.cos()).abs() < 1e-9, "x0 = {}", x[0]);
+        assert!((x[1] + 6.0f64.sin()).abs() < 1e-9, "x1 = {}", x[1]);
+    }
+
+    #[test]
+    fn trajectory_records_samples() {
+        let f = |x: &[f64], dx: &mut [f64]| {
+            dx[0] = -x[0];
+        };
+        let traj = rk4_trajectory(f, &[1.0], 1.0, 0.01, 10);
+        assert!(traj.len() >= 10);
+        assert!((traj.last().unwrap().0 - 1.0).abs() < 1e-12);
+        // Monotone decay.
+        for w in traj.windows(2) {
+            assert!(w[1].1[0] <= w[0].1[0] + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Reduced BBRv1 fluid model (paper §5.1): N senders share one
+//! bottleneck; state = bandwidth estimates {x_btl_i} plus the bottleneck
+//! queue q. ProbeRTT is dropped (`τ_min = d`), the max measurement
+//! follows Eq. (33), and the BtlBw update is the continuous assimilation
+//! `ẋ_btl = x_max − x_btl` (Eq. (34)).
+
+/// Parameters of the reduced single-bottleneck scenario: equal
+/// propagation delay `d` (s), capacity `c` (Mbit/s), N senders.
+#[derive(Debug, Clone, Copy)]
+pub struct ReducedParams {
+    pub n: usize,
+    pub c: f64,
+    pub d: f64,
+}
+
+impl ReducedParams {
+    pub fn new(n: usize, c: f64, d: f64) -> Self {
+        assert!(n >= 1 && c > 0.0 && d > 0.0);
+        Self { n, c, d }
+    }
+
+    /// Congestion-window factor `Δ(q) = 2d/(d + q/C)` (cf. Eq. (33) with
+    /// equal delays and a queue only at the bottleneck).
+    pub fn delta(&self, q: f64) -> f64 {
+        2.0 * self.d / (self.d + q / self.c)
+    }
+
+    /// Equilibrium queue of Theorem 1 (deep buffers): `q* = d·C`.
+    pub fn eq_queue_deep(&self) -> f64 {
+        self.d * self.c
+    }
+
+    /// Theorem 3 equilibrium rate in shallow buffers: `5C/(4N+1)`.
+    pub fn eq_rate_shallow(&self) -> f64 {
+        5.0 * self.c / (4.0 * self.n as f64 + 1.0)
+    }
+}
+
+/// Full reduced vector field: state `[x_btl_1, …, x_btl_N, q]`.
+///
+/// `ẋ_btl_i = x_max_i − x_btl_i` with `x_max_i` from Eq. (33);
+/// `q̇ = Σ min(1, Δ)·x_btl_i − C` (Eq. (45)), clamped at `q = 0`.
+pub fn field_deep(p: &ReducedParams, state: &[f64], out: &mut [f64]) {
+    let n = p.n;
+    debug_assert_eq!(state.len(), n + 1);
+    let q = state[n].max(0.0);
+    let delta = p.delta(q);
+    let probe = delta.min(5.0 / 4.0);
+    let cruise = delta.min(1.0);
+    let total_cruise: f64 = state[..n].iter().map(|x| cruise * x).sum();
+    for i in 0..n {
+        let x = state[i];
+        let x_max = if q > 1e-12 {
+            // Share of capacity while probing against cruising others.
+            let denom = probe * x + (total_cruise - cruise * x);
+            probe * x * p.c / denom.max(1e-12)
+        } else {
+            probe * x
+        };
+        out[i] = x_max - x;
+    }
+    let dq = total_cruise - p.c;
+    out[n] = if q <= 0.0 { dq.max(0.0) } else { dq };
+}
+
+/// Shallow-buffer reduced field (Theorem 3 regime): the queue is pinned
+/// full, the window never binds (`Δ ≥ 5/4`), and every probing sender
+/// measures its share at the lossy bottleneck. State `[x_btl_1 … x_btl_N]`.
+pub fn field_shallow(p: &ReducedParams, state: &[f64], out: &mut [f64]) {
+    let n = p.n;
+    debug_assert_eq!(state.len(), n);
+    let total: f64 = state.iter().sum();
+    for i in 0..n {
+        let x = state[i];
+        let denom = 1.25 * x + (total - x);
+        out[i] = 1.25 * x * p.c / denom.max(1e-12) - x;
+    }
+}
+
+/// Aggregate 2-state dynamics of the deep-buffer regime used in the
+/// Theorem 2 proof (Appendix D.2): state `[y, q]` with
+/// `ẏ` per Eq. (46) and `q̇ = y − C`.
+pub fn field_aggregate(p: &ReducedParams, state: &[f64], out: &mut [f64]) {
+    let y = state[0];
+    let q = state[1].max(0.0);
+    let tau = p.d + q / p.c;
+    out[0] = -y * y / (p.c * tau) + (1.0 / tau - 1.0) * y + p.delta(q) * p.c;
+    out[1] = y - p.c;
+}
+
+/// Analytic Jacobian of the aggregate dynamics at the equilibrium
+/// `(y, q) = (C, d·C)` (paper Eq. (48)).
+pub fn aggregate_jacobian_at_eq(p: &ReducedParams) -> bbr_linalg::Matrix {
+    let d = p.d;
+    bbr_linalg::Matrix::from_rows(&[vec![-1.0 / (2.0 * d) - 1.0, -1.0 / (2.0 * d)], vec![1.0, 0.0]])
+}
+
+/// Analytic maximum eigenvalue of the aggregate Jacobian (paper
+/// Eq. (49)): −1 for `d ≤ 1/2`, else `−1/(2d)`.
+pub fn aggregate_max_eig(p: &ReducedParams) -> f64 {
+    if p.d <= 0.5 {
+        -1.0
+    } else {
+        -1.0 / (2.0 * p.d)
+    }
+}
+
+/// Analytic Jacobian entries of the shallow-buffer field at the fair
+/// equilibrium (paper Eqs. (52)–(53)): `J_ii = −5/(4N+1)`,
+/// `J_ij = −4/(4N+1)`.
+pub fn shallow_jacobian_entries(p: &ReducedParams) -> (f64, f64) {
+    let n = p.n as f64;
+    (-5.0 / (4.0 * n + 1.0), -4.0 / (4.0 * n + 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobian::numeric_jacobian;
+    use crate::ode::rk4_integrate;
+    use bbr_linalg::eigen::max_real_part;
+
+    #[test]
+    fn deep_equilibrium_is_stationary() {
+        // Theorem 1: q* = d·C and Σ x_btl = C (Δ = 1) is an equilibrium —
+        // including asymmetric rate splits.
+        let p = ReducedParams::new(3, 100.0, 0.02);
+        for split in [[30.0, 30.0, 40.0], [10.0, 20.0, 70.0]] {
+            let mut state = split.to_vec();
+            state.push(p.eq_queue_deep());
+            let mut out = vec![0.0; 4];
+            field_deep(&p, &state, &mut out);
+            for (i, v) in out.iter().enumerate() {
+                assert!(v.abs() < 1e-9, "component {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn deep_aggregate_converges_to_theorem1_point() {
+        let p = ReducedParams::new(5, 100.0, 0.02);
+        // Start over-estimating with an over-full queue (window-limited).
+        let x0 = [1.3 * p.c, 1.8 * p.d * p.c];
+        let f = |s: &[f64], o: &mut [f64]| field_aggregate(&p, s, o);
+        let end = rk4_integrate(f, &x0, 50.0, 1e-3);
+        assert!((end[0] - p.c).abs() < 0.01 * p.c, "y → {}", end[0]);
+        assert!(
+            (end[1] - p.eq_queue_deep()).abs() < 0.01 * p.eq_queue_deep(),
+            "q → {}",
+            end[1]
+        );
+    }
+
+    #[test]
+    fn aggregate_jacobian_matches_numeric() {
+        for d in [0.01, 0.05, 0.3, 0.8] {
+            let p = ReducedParams::new(4, 50.0, d);
+            let f = |s: &[f64], o: &mut [f64]| field_aggregate(&p, s, o);
+            let num = numeric_jacobian(f, &[p.c, p.eq_queue_deep()], 1e-6);
+            let ana = aggregate_jacobian_at_eq(&p);
+            let err = (&num - &ana).max_abs();
+            assert!(err < 1e-3, "d={d}: |num − analytic| = {err}");
+        }
+    }
+
+    #[test]
+    fn theorem2_eigenvalue_formula() {
+        for d in [0.02, 0.1, 0.5, 0.7, 2.0] {
+            let p = ReducedParams::new(2, 100.0, d);
+            let j = aggregate_jacobian_at_eq(&p);
+            let max = max_real_part(&j).unwrap();
+            let expect = aggregate_max_eig(&p);
+            assert!(
+                (max - expect).abs() < 1e-8,
+                "d={d}: max Re λ = {max}, formula {expect}"
+            );
+            assert!(max < 0.0, "asymptotic stability requires Re λ < 0");
+        }
+    }
+
+    #[test]
+    fn shallow_equilibrium_and_stability() {
+        let p = ReducedParams::new(10, 100.0, 0.02);
+        let xeq = p.eq_rate_shallow();
+        // Stationarity at the fair point.
+        let state = vec![xeq; 10];
+        let mut out = vec![0.0; 10];
+        field_shallow(&p, &state, &mut out);
+        for v in &out {
+            assert!(v.abs() < 1e-9);
+        }
+        // Aggregate rate exceeds capacity except for N = 1 (Theorem 3's
+        // consequence: consistent overload → up to 20 % loss).
+        assert!(10.0 * xeq > p.c);
+        // Numeric Jacobian eigenvalues match the analytic entries.
+        let f = |s: &[f64], o: &mut [f64]| field_shallow(&p, s, o);
+        let j = numeric_jacobian(f, &state, 1e-6);
+        let (jii, jij) = shallow_jacobian_entries(&p);
+        assert!((j[(0, 0)] - jii).abs() < 1e-5, "J_ii = {}", j[(0, 0)]);
+        assert!((j[(0, 1)] - jij).abs() < 1e-5, "J_ij = {}", j[(0, 1)]);
+        let max = max_real_part(&j).unwrap();
+        assert!(max < 0.0, "max Re λ = {max}");
+    }
+
+    #[test]
+    fn shallow_converges_to_fairness_from_unfair_start() {
+        let p = ReducedParams::new(4, 100.0, 0.02);
+        let f = |s: &[f64], o: &mut [f64]| field_shallow(&p, s, o);
+        // The slow mode decays at λ = −1/(4N+1), so give it ~10 time
+        // constants.
+        let end = rk4_integrate(f, &[80.0, 10.0, 5.0, 5.0], 200.0, 5e-3);
+        let xeq = p.eq_rate_shallow();
+        for x in &end {
+            assert!((x - xeq).abs() < 0.01 * xeq, "x → {x}, want {xeq}");
+        }
+    }
+
+    #[test]
+    fn n1_shallow_rate_is_capacity() {
+        let p = ReducedParams::new(1, 100.0, 0.02);
+        assert!((p.eq_rate_shallow() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_field_unfair_equilibria_admitted() {
+        // Theorem 1 allows arbitrarily unfair splits — verify the field
+        // does NOT pull toward fairness in the deep regime (in contrast
+        // to the shallow regime).
+        let p = ReducedParams::new(2, 100.0, 0.02);
+        let mut state = vec![80.0, 20.0, p.eq_queue_deep()];
+        let f = |s: &[f64], o: &mut [f64]| field_deep(&p, s, o);
+        let end = rk4_integrate(f, &state, 20.0, 1e-3);
+        state.truncate(2);
+        assert!(
+            (end[0] - 80.0).abs() < 1.0 && (end[1] - 20.0).abs() < 1.0,
+            "unfair split must persist: {end:?}"
+        );
+    }
+}

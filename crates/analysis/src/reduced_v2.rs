@@ -1,0 +1,171 @@
+//! Reduced BBRv2 fluid model (paper §5.2): state = sending rates
+//! `{x_i}` plus the bottleneck queue `q`, with the dynamics of
+//! Eqs. (59)–(60). Buffers are assumed large enough to exclude loss; the
+//! background traffic cruises at `min(1, δ)·x_btl` and probing pulses
+//! reach `5/4·min(1, δ)·x_btl` (Eqs. (36)–(38)).
+
+use crate::reduced_v1::ReducedParams;
+
+/// `δ(q) = d/(d + q/C)` (Eq. (36) with a queue only at the bottleneck).
+pub fn delta_v2(p: &ReducedParams, q: f64) -> f64 {
+    p.d / (p.d + q / p.c)
+}
+
+/// Theorem 4 equilibrium: `δ* = (4N+1)/(5N)`, i.e.
+/// `q* = (N−1)/(4N+1)·d·C`, with perfectly fair rates `x_i = C/N`.
+pub fn eq_queue(p: &ReducedParams) -> f64 {
+    let n = p.n as f64;
+    (n - 1.0) / (4.0 * n + 1.0) * p.d * p.c
+}
+
+/// Equilibrium sending rate `C/N`.
+pub fn eq_rate(p: &ReducedParams) -> f64 {
+    p.c / p.n as f64
+}
+
+/// The reduced BBRv2 vector field (Eqs. (59)–(60)); state
+/// `[x_1, …, x_N, q]`.
+pub fn field(p: &ReducedParams, state: &[f64], out: &mut [f64]) {
+    let n = p.n;
+    debug_assert_eq!(state.len(), n + 1);
+    let q = state[n].max(0.0);
+    let tau = p.d + q / p.c;
+    let delta = delta_v2(p, q);
+    let total: f64 = state[..n].iter().sum();
+    for i in 0..n {
+        let x = state[i];
+        let others = total - x;
+        let gain = (p.c - total) / (p.c * tau) + 1.25 * delta * p.c / (1.25 * x + others).max(1e-12)
+            - 1.0;
+        out[i] = gain * x;
+    }
+    let dq = total - p.c;
+    out[n] = if q <= 0.0 { dq.max(0.0) } else { dq };
+}
+
+/// Analytic Jacobian entries at the Theorem 4 equilibrium (paper
+/// Eqs. (65)–(67)): diagonal `J_ii`, off-diagonal `J_ij`, queue column
+/// `J_iq`; the queue row is `∂q̇/∂x_i = 1`, `∂q̇/∂q = 0`.
+pub fn analytic_jacobian_entries(p: &ReducedParams) -> (f64, f64, f64) {
+    let n = p.n as f64;
+    let common = (4.0 * n + 1.0) / (5.0 * n * n * p.d);
+    let j_ii = -common - 5.0 / (4.0 * n + 1.0);
+    let j_ij = -common - 4.0 / (4.0 * n + 1.0);
+    let j_iq = -common;
+    (j_ii, j_ij, j_iq)
+}
+
+/// The eigenvalue `λ = J_ii − J_ij = −1/(4N+1)` (first solution family in
+/// the Theorem 5 proof).
+pub fn lambda_difference(p: &ReducedParams) -> f64 {
+    -1.0 / (4.0 * p.n as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobian::numeric_jacobian;
+    use crate::ode::rk4_integrate;
+    use bbr_linalg::eigen::max_real_part;
+
+    #[test]
+    fn equilibrium_is_stationary() {
+        for n in [2, 5, 10] {
+            let p = ReducedParams::new(n, 100.0, 0.02);
+            let mut state = vec![eq_rate(&p); n];
+            state.push(eq_queue(&p));
+            let mut out = vec![0.0; n + 1];
+            field(&p, &state, &mut out);
+            for (i, v) in out.iter().enumerate() {
+                assert!(v.abs() < 1e-9, "n={n}, component {i}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_queue_formula() {
+        let p = ReducedParams::new(10, 100.0, 0.02);
+        // (N−1)/(4N+1)·d·C = 9/41·2 Mbit.
+        assert!((eq_queue(&p) - 9.0 / 41.0 * 2.0).abs() < 1e-12);
+        // δ* = (4N+1)/(5N).
+        let delta = delta_v2(&p, eq_queue(&p));
+        assert!((delta - 41.0 / 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_reduction_vs_bbrv1_is_at_least_75_percent() {
+        // §5.2: BBRv2's equilibrium queue (N−1)/(4N+1)·d·C vs BBRv1's
+        // d·C — a ≥75 % reduction (as N → ∞ the ratio → 1/4).
+        for n in [2usize, 10, 100, 100_000] {
+            let p = ReducedParams::new(n, 100.0, 0.02);
+            let ratio = eq_queue(&p) / p.eq_queue_deep();
+            assert!(ratio <= 0.25, "n={n}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn jacobian_rate_entries_match_paper() {
+        let p = ReducedParams::new(5, 100.0, 0.02);
+        let n = p.n;
+        let mut state = vec![eq_rate(&p); n];
+        state.push(eq_queue(&p));
+        let f = |s: &[f64], o: &mut [f64]| field(&p, s, o);
+        let j = numeric_jacobian(f, &state, 1e-7);
+        let (jii, jij, _) = analytic_jacobian_entries(&p);
+        assert!(
+            (j[(0, 0)] - jii).abs() < 1e-4,
+            "J_ii numeric {} vs analytic {jii}",
+            j[(0, 0)]
+        );
+        assert!(
+            (j[(0, 1)] - jij).abs() < 1e-4,
+            "J_ij numeric {} vs analytic {jij}",
+            j[(0, 1)]
+        );
+        // Queue row: ∂q̇/∂x_i = 1, ∂q̇/∂q = 0.
+        assert!((j[(n, 0)] - 1.0).abs() < 1e-6);
+        assert!(j[(n, n)].abs() < 1e-6);
+        // λ = J_ii − J_ij = −1/(4N+1).
+        assert!((j[(0, 0)] - j[(0, 1)] - lambda_difference(&p)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn theorem5_spectrum_is_stable() {
+        for n in [2, 5, 10] {
+            for d in [0.01, 0.05, 0.3] {
+                let p = ReducedParams::new(n, 100.0, d);
+                let mut state = vec![eq_rate(&p); n];
+                state.push(eq_queue(&p));
+                let f = |s: &[f64], o: &mut [f64]| field(&p, s, o);
+                let j = numeric_jacobian(f, &state, 1e-7);
+                let max = max_real_part(&j).unwrap();
+                assert!(max < 0.0, "n={n}, d={d}: max Re λ = {max}");
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_fair_equilibrium() {
+        let p = ReducedParams::new(4, 100.0, 0.02);
+        // Unfair, over-loaded start.
+        let state0 = vec![50.0, 30.0, 20.0, 10.0, 0.5 * p.d * p.c];
+        let f = |s: &[f64], o: &mut [f64]| field(&p, s, o);
+        let end = rk4_integrate(f, &state0, 80.0, 1e-3);
+        let xeq = eq_rate(&p);
+        for (i, x) in end.iter().take(4).enumerate() {
+            assert!((x - xeq).abs() < 0.02 * xeq, "x_{i} → {x}, want {xeq}");
+        }
+        assert!((end[4] - eq_queue(&p)).abs() < 0.05 * eq_queue(&p));
+    }
+
+    #[test]
+    fn contrast_with_bbrv1_fairness() {
+        // BBRv2's reduced dynamics pull toward fairness even in the
+        // no-loss (deep-buffer) regime, unlike BBRv1 (Theorem 1 allows
+        // unfair equilibria; Theorem 4's equilibrium is fair).
+        let p = ReducedParams::new(2, 100.0, 0.02);
+        let f = |s: &[f64], o: &mut [f64]| field(&p, s, o);
+        let end = rk4_integrate(f, &[80.0, 20.0, eq_queue(&p)], 80.0, 1e-3);
+        assert!((end[0] - end[1]).abs() < 1.0, "rates must equalize: {end:?}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Executable checks of the paper's Theorems 1–5, packaged for the
+//! experiment harness and the integration tests.
+
+use crate::jacobian::numeric_jacobian;
+use crate::ode::rk4_integrate;
+use crate::reduced_v1::{
+    aggregate_max_eig, field_aggregate, field_deep, field_shallow, ReducedParams,
+};
+use crate::reduced_v2;
+use bbr_linalg::eigen::max_real_part;
+
+/// Result of one theorem check.
+#[derive(Debug, Clone)]
+pub struct TheoremReport {
+    pub name: &'static str,
+    /// Human-readable statement of what was verified.
+    pub statement: String,
+    /// Largest residual / error observed.
+    pub residual: f64,
+    /// Stability margin max Re λ (NaN when not applicable).
+    pub max_re_lambda: f64,
+    pub holds: bool,
+}
+
+/// Theorem 1: N BBRv1 senders are in equilibrium iff the queuing delay
+/// equals the propagation delay (`q* = d·C` at a single bottleneck),
+/// with *any* rate split summing to C. Verifies stationarity of the
+/// reduced field at several (fair and unfair) splits and
+/// non-stationarity away from `q*`.
+pub fn theorem1_equilibrium(n: usize, c: f64, d: f64) -> TheoremReport {
+    let p = ReducedParams::new(n, c, d);
+    let q_eq = p.eq_queue_deep();
+    let mut residual = 0.0f64;
+    let mut out = vec![0.0; n + 1];
+    // Several splits of C across senders, from fair to extreme.
+    for k in 0..3 {
+        let mut state: Vec<f64> = (0..n).map(|i| 1.0 + k as f64 * i as f64).collect();
+        let total: f64 = state.iter().sum();
+        for x in &mut state {
+            *x *= c / total;
+        }
+        state.push(q_eq);
+        field_deep(&p, &state, &mut out);
+        for v in &out {
+            residual = residual.max(v.abs());
+        }
+    }
+    // Away from q*, the field must move.
+    let mut state = vec![c / n as f64; n];
+    state.push(0.5 * q_eq);
+    field_deep(&p, &state, &mut out);
+    let moves = out.iter().any(|v| v.abs() > 1e-6);
+    TheoremReport {
+        name: "Theorem 1",
+        statement: format!(
+            "BBRv1 deep-buffer equilibria: q* = d·C = {q_eq:.3} Mbit, any split with Σx = C"
+        ),
+        residual,
+        max_re_lambda: f64::NAN,
+        holds: residual < 1e-8 && moves,
+    }
+}
+
+/// Theorem 2: the Theorem 1 equilibrium is asymptotically stable.
+/// Checks the analytic eigenvalue formula (Eq. (49)) against the QR
+/// eigensolver on the numeric Jacobian, and convergence of the aggregate
+/// dynamics from a perturbed start.
+pub fn theorem2_stability(n: usize, c: f64, d: f64) -> TheoremReport {
+    let p = ReducedParams::new(n, c, d);
+    let f = |s: &[f64], o: &mut [f64]| field_aggregate(&p, s, o);
+    let jac = numeric_jacobian(f, &[c, p.eq_queue_deep()], 1e-6);
+    let max_re = max_real_part(&jac).unwrap_or(f64::NAN);
+    let formula = aggregate_max_eig(&p);
+    let end = rk4_integrate(f, &[1.4 * c, 1.9 * d * c], 60.0, 1e-3);
+    let conv = (end[0] - c).abs() < 0.01 * c && (end[1] - d * c).abs() < 0.02 * d * c;
+    TheoremReport {
+        name: "Theorem 2",
+        statement: format!(
+            "BBRv1 deep-buffer stability: max Re λ = {max_re:.4} (formula {formula:.4}), \
+             convergence to (C, dC) from +40 % rate / +90 % queue"
+        ),
+        residual: (max_re - formula).abs(),
+        max_re_lambda: max_re,
+        holds: max_re < 0.0 && (max_re - formula).abs() < 1e-2 && conv,
+    }
+}
+
+/// Theorem 3: in shallow buffers the unique equilibrium is perfectly
+/// fair at `x* = 5C/(4N+1)` and asymptotically stable; the aggregate
+/// rate exceeds C, implying persistent loss up to 20 %.
+pub fn theorem3_shallow(n: usize, c: f64, d: f64) -> TheoremReport {
+    let p = ReducedParams::new(n, c, d);
+    let xeq = p.eq_rate_shallow();
+    let state = vec![xeq; n];
+    let mut out = vec![0.0; n];
+    field_shallow(&p, &state, &mut out);
+    let residual = out.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+    let f = |s: &[f64], o: &mut [f64]| field_shallow(&p, s, o);
+    let jac = numeric_jacobian(f, &state, 1e-6);
+    let max_re = max_real_part(&jac).unwrap_or(f64::NAN);
+    // Convergence from an unfair start; the slow mode decays at
+    // λ = −1/(4N+1), so integrate ~12 time constants.
+    let mut start = vec![0.1 * c; n];
+    start[0] = c;
+    let t_end = 12.0 * (4.0 * n as f64 + 1.0);
+    let end = rk4_integrate(f, &start, t_end, 5e-3);
+    let conv = end.iter().all(|x| (x - xeq).abs() < 0.02 * xeq);
+    let overload = n as f64 * xeq / c;
+    TheoremReport {
+        name: "Theorem 3",
+        statement: format!(
+            "BBRv1 shallow-buffer equilibrium x* = 5C/(4N+1) = {xeq:.2} Mbit/s \
+             (aggregate {overload:.3}×C), fair and stable (max Re λ = {max_re:.4})"
+        ),
+        residual,
+        max_re_lambda: max_re,
+        holds: residual < 1e-8 && max_re < 0.0 && conv,
+    }
+}
+
+/// Theorem 4: BBRv2's fair equilibrium has queue
+/// `q* = (N−1)/(4N+1)·d·C`.
+pub fn theorem4_equilibrium(n: usize, c: f64, d: f64) -> TheoremReport {
+    let p = ReducedParams::new(n, c, d);
+    let q_eq = reduced_v2::eq_queue(&p);
+    let mut state = vec![reduced_v2::eq_rate(&p); n];
+    state.push(q_eq);
+    let mut out = vec![0.0; n + 1];
+    reduced_v2::field(&p, &state, &mut out);
+    let residual = out.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+    let reduction = 1.0 - q_eq / p.eq_queue_deep();
+    TheoremReport {
+        name: "Theorem 4",
+        statement: format!(
+            "BBRv2 fair equilibrium: q* = (N−1)/(4N+1)·d·C = {q_eq:.4} Mbit \
+             ({:.0} % below BBRv1's d·C)",
+            100.0 * reduction
+        ),
+        residual,
+        max_re_lambda: f64::NAN,
+        holds: residual < 1e-8 && reduction >= 0.75,
+    }
+}
+
+/// Theorem 5: the Theorem 4 equilibrium is asymptotically stable;
+/// verifies the analytic Jacobian entries (Eqs. (65)–(67)), the negative
+/// spectrum, and convergence from an unfair start.
+pub fn theorem5_stability(n: usize, c: f64, d: f64) -> TheoremReport {
+    let p = ReducedParams::new(n, c, d);
+    let mut state = vec![reduced_v2::eq_rate(&p); n];
+    state.push(reduced_v2::eq_queue(&p));
+    let f = |s: &[f64], o: &mut [f64]| reduced_v2::field(&p, s, o);
+    let jac = numeric_jacobian(f, &state, 1e-7);
+    let (jii, jij, jiq) = reduced_v2::analytic_jacobian_entries(&p);
+    let residual = (jac[(0, 0)] - jii)
+        .abs()
+        .max((jac[(0, 1)] - jij).abs())
+        .max((jac[(0, n)] - jiq).abs());
+    let max_re = max_real_part(&jac).unwrap_or(f64::NAN);
+    // Convergence from an unfair overloaded start.
+    let mut start: Vec<f64> = (0..n).map(|i| c * (i + 1) as f64 / (n * n) as f64 * 2.0).collect();
+    let total: f64 = start.iter().sum();
+    for x in &mut start {
+        *x *= 1.2 * c / total;
+    }
+    start.push(0.1 * p.d * p.c);
+    let t_end = 12.0 * (4.0 * n as f64 + 1.0);
+    let end = rk4_integrate(f, &start, t_end, 5e-3);
+    let xeq = reduced_v2::eq_rate(&p);
+    let conv = end[..n].iter().all(|x| (x - xeq).abs() < 0.03 * xeq);
+    TheoremReport {
+        name: "Theorem 5",
+        statement: format!(
+            "BBRv2 stability: max Re λ = {max_re:.4}, analytic Jacobian residual {residual:.2e}, \
+             convergence to fair share from unfair start"
+        ),
+        residual,
+        max_re_lambda: max_re,
+        holds: max_re < 0.0 && residual < 1e-3 && conv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_theorems_hold_default_setting() {
+        // The paper's validation setting: C = 100 Mbit/s, d = 35 ms RTT.
+        for report in [
+            theorem1_equilibrium(10, 100.0, 0.035),
+            theorem2_stability(10, 100.0, 0.035),
+            theorem3_shallow(10, 100.0, 0.035),
+            theorem4_equilibrium(10, 100.0, 0.035),
+            theorem5_stability(10, 100.0, 0.035),
+        ] {
+            assert!(report.holds, "{}: {}", report.name, report.statement);
+        }
+    }
+
+    #[test]
+    fn theorems_hold_across_parameters() {
+        for n in [2, 5] {
+            for d in [0.01, 0.1] {
+                assert!(theorem2_stability(n, 50.0, d).holds, "thm2 n={n} d={d}");
+                assert!(theorem3_shallow(n, 50.0, d).holds, "thm3 n={n} d={d}");
+                assert!(theorem5_stability(n, 50.0, d).holds, "thm5 n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem3_loss_limit() {
+        // Aggregate overload → loss → 20 % as N → ∞: 1 − C/(N·x*) with
+        // x* = 5C/(4N+1) gives loss = 1 − (4N+1)/(5N) → 1/5.
+        let p = ReducedParams::new(100_000, 100.0, 0.02);
+        let loss = 1.0 - 100.0 / (p.n as f64 * p.eq_rate_shallow());
+        assert!((loss - 0.2).abs() < 1e-4, "loss → {loss}");
+    }
+}

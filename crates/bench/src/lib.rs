@@ -1,0 +1,5 @@
+//! Benchmark harness crate. The actual benches live in `benches/`:
+//!
+//! * `solver` — microbenchmarks of the fluid stepper, the packet
+//!   simulator, the eigensolver, and RK4 on the reduced models.
+//! * `figures` — one bench per paper figure (fast-mode regeneration).

@@ -1,0 +1,140 @@
+//! Machinery shared by the BBRv1 and BBRv2 fluid models (paper §3.2):
+//! the RTprop filter (Eq. (9)) and the ProbeRTT mode/timer system
+//! (Eqs. (11)–(13)).
+
+use crate::config::ModelConfig;
+
+/// The RTprop estimate `τ_min` and the ProbeRTT state machine.
+///
+/// `τ_min` assimilates downward toward observed RTT samples (Eq. (9)).
+/// The ProbeRTT timer `t_prt` grows at rate 1, is reset whenever a
+/// smaller RTT than the current estimate is observed, and toggles the
+/// mode variable `m_prt` on timeout (Eqs. (11)–(13)): after
+/// `probe_rtt_interval` (10 s) without a new minimum the flow enters
+/// ProbeRTT for `probe_rtt_duration` (200 ms).
+#[derive(Debug, Clone)]
+pub struct ProbeRtt {
+    /// RTprop estimate `τ_min_i` (s).
+    pub tau_min: f64,
+    /// Mode variable `m_prt` ∈ {0, 1}.
+    pub active: bool,
+    /// Timer `t_prt` (s).
+    pub timer: f64,
+}
+
+impl ProbeRtt {
+    /// Start with a known RTprop estimate (queues start empty, so the
+    /// first RTT sample equals the propagation delay).
+    pub fn new(initial_tau_min: f64) -> Self {
+        Self {
+            tau_min: initial_tau_min,
+            active: false,
+            timer: 0.0,
+        }
+    }
+
+    /// Current timer period `T_prt` (Eq. (12)).
+    pub fn period(&self, cfg: &ModelConfig) -> f64 {
+        if self.active {
+            cfg.probe_rtt_duration
+        } else {
+            cfg.probe_rtt_interval
+        }
+    }
+
+    /// Advance by `dt` given the RTT sample `tau_fb` arriving now.
+    /// Returns `true` if the ProbeRTT mode was toggled in this step.
+    pub fn step(&mut self, dt: f64, tau_fb: f64, cfg: &ModelConfig) -> bool {
+        // Eq. (9): τ̇_min = −Γ(τ_min − τ(t − d_p)); downward only.
+        let gap = self.tau_min - tau_fb;
+        if gap > 0.0 {
+            self.tau_min -= dt * cfg.rtt_filter_gain * gap;
+            if !self.active {
+                // A smaller RTT was observed: the ProbeRTT timer restarts
+                // (second reset term of Eq. (13)).
+                self.timer = 0.0;
+            }
+        }
+        self.timer += dt;
+        if self.timer >= self.period(cfg) {
+            self.active = !self.active;
+            self.timer = 0.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ModelConfig {
+        ModelConfig::coarse()
+    }
+
+    #[test]
+    fn tau_min_tracks_downward_only() {
+        let cfg = cfg();
+        let mut prt = ProbeRtt::new(0.05);
+        // Larger samples leave the estimate untouched.
+        prt.step(cfg.dt, 0.08, &cfg);
+        assert_eq!(prt.tau_min, 0.05);
+        // Smaller samples pull it down.
+        for _ in 0..200_000 {
+            prt.step(cfg.dt, 0.03, &cfg);
+        }
+        assert!(prt.tau_min < 0.031, "tau_min = {}", prt.tau_min);
+        assert!(prt.tau_min >= 0.03 - 1e-9);
+    }
+
+    #[test]
+    fn enters_probe_rtt_after_interval() {
+        let cfg = cfg();
+        let mut prt = ProbeRtt::new(0.04);
+        let mut toggles = 0;
+        // 10.1 s: entry at the 10 s mark, exit would only come at 10.2 s.
+        let steps = (10.1 / cfg.dt) as usize;
+        for _ in 0..steps {
+            // Constant RTT equal to the estimate: no resets.
+            if prt.step(cfg.dt, 0.04, &cfg) {
+                toggles += 1;
+            }
+        }
+        assert_eq!(toggles, 1, "should have entered ProbeRTT exactly once");
+        assert!(prt.active);
+    }
+
+    #[test]
+    fn exits_probe_rtt_after_duration() {
+        let cfg = cfg();
+        let mut prt = ProbeRtt::new(0.04);
+        prt.active = true;
+        prt.timer = 0.0;
+        let steps = (0.25 / cfg.dt) as usize;
+        let mut toggled = false;
+        for _ in 0..steps {
+            toggled |= prt.step(cfg.dt, 0.04, &cfg);
+        }
+        assert!(toggled);
+        assert!(!prt.active);
+    }
+
+    #[test]
+    fn new_minimum_defers_probe_rtt() {
+        let cfg = cfg();
+        let mut prt = ProbeRtt::new(0.04);
+        // Run 9 s with flat RTT, then observe a smaller RTT, then 9 s more:
+        // the timer restart must prevent ProbeRTT entry at the 10 s mark.
+        let steps9 = (9.0 / cfg.dt) as usize;
+        for _ in 0..steps9 {
+            assert!(!prt.step(cfg.dt, 0.04, &cfg));
+        }
+        prt.step(cfg.dt, 0.035, &cfg);
+        for _ in 0..steps9 {
+            assert!(!prt.step(cfg.dt, prt.tau_min + 0.001, &cfg));
+        }
+        assert!(!prt.active);
+    }
+}

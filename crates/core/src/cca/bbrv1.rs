@@ -1,0 +1,358 @@
+//! BBRv1 fluid model (paper §3.3).
+//!
+//! ProbeBW proceeds in periods of 8 phases of duration `τ_min` each
+//! (`T_pbw = 8·τ_min`). The pacing rate is `x_btl` except in the phase
+//! `φ_i` (pulse up to `5/4·x_btl`, Eq. (22)) and the following phase
+//! (drain at `3/4·x_btl`). The bottleneck-bandwidth estimate `x_btl` is
+//! updated at the period end to the maximum delivery rate `x_max`
+//! recorded within the period (Eqs. (18), (20)). The sending rate is the
+//! minimum of the pacing rate and the congestion-window rate
+//! `w_pbw/τ = 2·x_btl·τ_min/τ` (Eqs. (14), (15), (23)); in ProbeRTT the
+//! inflight is limited to 4 segments.
+//!
+//! Randomized phase selection is replaced by the deterministic
+//! `φ_i = i mod 6` (paper §3.3), preserving desynchronization.
+
+use crate::cca::bbr_common::ProbeRtt;
+use crate::cca::startup::{StartupState, STARTUP_GAIN};
+use crate::cca::{AgentInputs, CcaKind, FluidCca, ScenarioHint};
+use crate::config::{ModelConfig, ResetMode};
+use crate::math::{pulse, relu_smooth, sigmoid};
+
+/// BBRv1 fluid state.
+#[derive(Debug, Clone)]
+pub struct BbrV1 {
+    /// RTprop filter and ProbeRTT state machine.
+    pub probe_rtt: ProbeRtt,
+    /// Time within the current ProbeBW period, `t_pbw` (s).
+    pub t_pbw: f64,
+    /// Bottleneck-bandwidth estimate `x_btl` (Mbit/s).
+    pub x_btl: f64,
+    /// Maximum delivery rate recorded in the current period (Mbit/s).
+    pub x_max: f64,
+    /// Inflight volume `v_i` (Mbit), Eq. (19).
+    pub v: f64,
+    /// Probing phase `φ_i ∈ {0, …, 6}` (deterministic, `i mod 6`).
+    pub phase: usize,
+    /// Start-up state machine (extension; inactive unless
+    /// `ModelConfig::model_startup`).
+    pub startup: StartupState,
+}
+
+impl BbrV1 {
+    /// Initial conditions: `x_btl` at the fair share, RTprop known
+    /// (queues start empty so the first sample is the propagation delay).
+    pub fn new(hint: &ScenarioHint, cfg: &ModelConfig) -> Self {
+        // With start-up modelling the flow begins from a minimal
+        // estimate (10 segments per RTT) instead of mid-flight.
+        let x0 = if cfg.model_startup {
+            10.0 * cfg.mss / hint.prop_rtt
+        } else {
+            hint.fair_share()
+        };
+        Self {
+            probe_rtt: ProbeRtt::new(hint.prop_rtt),
+            t_pbw: 0.0,
+            x_btl: x0,
+            x_max: 0.0,
+            v: x0 * hint.prop_rtt,
+            phase: hint.agent_index % 6,
+            startup: StartupState::new(cfg),
+        }
+    }
+
+    /// Override the initial bandwidth estimate (Mbit/s).
+    pub fn with_x_btl(mut self, x_btl: f64) -> Self {
+        assert!(x_btl > 0.0);
+        self.x_btl = x_btl;
+        self.v = x_btl * self.probe_rtt.tau_min;
+        self
+    }
+
+    /// Estimated bandwidth-delay product `w̄ = x_btl·τ_min` (Mbit).
+    pub fn bdp_estimate(&self) -> f64 {
+        self.x_btl * self.probe_rtt.tau_min
+    }
+
+    /// ProbeBW period duration `T_pbw = 8·τ_min`.
+    pub fn period(&self) -> f64 {
+        8.0 * self.probe_rtt.tau_min
+    }
+
+    /// Pacing rate `x_pcg` from the phase pulses, Eqs. (21)–(22).
+    pub fn pacing_rate(&self, cfg: &ModelConfig) -> f64 {
+        let tm = self.probe_rtt.tau_min;
+        let up = pulse(
+            cfg.k_time,
+            self.t_pbw,
+            self.phase as f64 * tm,
+            (self.phase + 1) as f64 * tm,
+        );
+        let down = pulse(
+            cfg.k_time,
+            self.t_pbw,
+            (self.phase + 1) as f64 * tm,
+            (self.phase + 2) as f64 * tm,
+        );
+        self.x_btl * (1.0 + 0.25 * up - 0.25 * down)
+    }
+
+    /// Minimum rate floor: one segment per RTprop.
+    fn min_rate(&self, cfg: &ModelConfig) -> f64 {
+        cfg.mss / self.probe_rtt.tau_min.max(1e-6)
+    }
+}
+
+impl FluidCca for BbrV1 {
+    fn rate(&self, tau: f64, cfg: &ModelConfig) -> f64 {
+        let tau = tau.max(1e-6);
+        if self.probe_rtt.active {
+            // Eq. (14) with w_prt = 4 segments (Eq. (23)).
+            4.0 * cfg.mss / tau
+        } else if self.startup.active() {
+            // Startup/Drain: pace at the phase gain, window 2.885·BDP.
+            let w = STARTUP_GAIN * 2.0 * self.bdp_estimate();
+            (w / tau)
+                .min(self.startup.gain() * self.x_btl)
+                .max(self.min_rate(cfg))
+        } else {
+            // Eq. (15): min of window rate and pacing rate.
+            let w_pbw = 2.0 * self.bdp_estimate();
+            (w_pbw / tau).min(self.pacing_rate(cfg)).max(self.min_rate(cfg))
+        }
+    }
+
+    fn step(&mut self, inp: &AgentInputs, cfg: &ModelConfig) {
+        // RTprop filter + ProbeRTT state machine.
+        let toggled = self.probe_rtt.step(inp.dt, inp.tau_fb, cfg);
+        if toggled && !self.probe_rtt.active {
+            // Re-entering ProbeBW: restart the probing period.
+            self.t_pbw = 0.0;
+            self.x_max = 0.0;
+        }
+
+        // Inflight dynamics, Eq. (19), extended with a loss debit: lost
+        // traffic leaves the flight without ever being delivered, which
+        // Eq. (19) as printed does not capture (without the debit, the
+        // start-up overshoot leaves phantom inflight forever and the
+        // drain phase can never complete).
+        let lost_rate = inp.loss_fb * inp.x_fb;
+        self.v = (self.v + inp.dt * (inp.x_cur - inp.x_dlv - lost_rate)).max(0.0);
+
+        if self.probe_rtt.active {
+            // ProbeBW machinery is frozen while draining for RTprop.
+            return;
+        }
+
+        if self.startup.active() {
+            // Start-up adopts the running max delivery rate immediately.
+            self.x_max = self.x_max.max(inp.x_dlv);
+            if self.x_max > self.x_btl {
+                self.x_btl = self.x_max;
+            }
+            let w_bar = self.bdp_estimate();
+            // BBRv1's start-up is loss-insensitive: exit on plateau only.
+            let done = self.startup.step(
+                inp.dt,
+                self.x_btl,
+                self.probe_rtt.tau_min,
+                self.v,
+                w_bar,
+                false,
+            );
+            if done && !self.startup.active() {
+                // Entering ProbeBW: fresh probing period.
+                self.t_pbw = 0.0;
+                self.x_max = 0.0;
+            }
+            return;
+        }
+
+        let measurement = if cfg.max_filter_on_send_rate {
+            inp.x_cur
+        } else {
+            inp.x_dlv
+        };
+        let period = self.period();
+        match cfg.reset_mode {
+            ResetMode::Discrete => {
+                // Max filter: running max within the period (large-gain
+                // limit of Eq. (18)).
+                self.x_max = self.x_max.max(measurement);
+                self.t_pbw += inp.dt;
+                if self.t_pbw >= period {
+                    // Eq. (20): adopt the period's maximum delivery rate.
+                    if self.x_max > 0.0 {
+                        self.x_btl = self.x_max.max(self.min_rate(cfg));
+                    }
+                    self.t_pbw = 0.0;
+                    self.x_max = measurement;
+                }
+            }
+            ResetMode::Smooth { gain } => {
+                // Literal Eqs. (18) and (20) with a common gain. The gain
+                // multiplies both the Γ max-tracking and the reset terms:
+                // with gain 1 (the printed equations) the filter moves only
+                // a few percent per probing phase, which cannot reproduce
+                // the paper's own Fig. 2; Discrete mode is the gain → ∞
+                // limit.
+                let d_max = gain * relu_smooth(cfg.k_rate, measurement - self.x_max)
+                    - gain * sigmoid(cfg.k_time, 0.01 - self.t_pbw) * self.x_max;
+                self.x_max = (self.x_max + inp.dt * d_max).max(0.0);
+                let d_btl = gain
+                    * sigmoid(cfg.k_time, self.t_pbw - period + 0.01)
+                    * (self.x_max - self.x_btl);
+                self.x_btl = (self.x_btl + inp.dt * d_btl).max(self.min_rate(cfg));
+                self.t_pbw += inp.dt;
+                if self.t_pbw >= period {
+                    self.t_pbw = 0.0;
+                }
+            }
+        }
+    }
+
+    fn kind(&self) -> CcaKind {
+        CcaKind::BbrV1
+    }
+
+    fn cwnd(&self) -> f64 {
+        2.0 * self.bdp_estimate()
+    }
+
+    fn telemetry(&self, out: &mut Vec<(&'static str, f64)>) {
+        out.push(("x_btl", self.x_btl));
+        out.push(("x_max", self.x_max));
+        out.push(("w_bdp_est", self.bdp_estimate()));
+        out.push(("v", self.v));
+        out.push(("tau_min", self.probe_rtt.tau_min));
+        out.push(("m_prt", self.probe_rtt.active as u8 as f64));
+        out.push(("m_stu", self.startup.active() as u8 as f64));
+        out.push(("t_pbw", self.t_pbw));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hint() -> ScenarioHint {
+        ScenarioHint {
+            capacity: 100.0,
+            prop_rtt: 0.04,
+            n_agents: 1,
+            buffer: 4.0,
+            agent_index: 0,
+        }
+    }
+
+    fn inputs(x_dlv: f64, dt: f64, tau: f64) -> AgentInputs {
+        AgentInputs {
+            t: 0.0,
+            dt,
+            tau,
+            tau_fb: tau,
+            loss_fb: 0.0,
+            x_dlv,
+            x_fb: x_dlv,
+            x_cur: x_dlv,
+            prop_rtt: 0.04,
+        }
+    }
+
+    #[test]
+    fn pacing_follows_phase_pattern() {
+        let cfg = ModelConfig::default();
+        let mut b = BbrV1::new(&hint(), &cfg);
+        let tm = b.probe_rtt.tau_min;
+        // Phase 0 (agent 0): pulse up.
+        b.t_pbw = 0.5 * tm;
+        assert!((b.pacing_rate(&cfg) - 1.25 * b.x_btl).abs() < 0.01 * b.x_btl);
+        // Phase 1: drain.
+        b.t_pbw = 1.5 * tm;
+        assert!((b.pacing_rate(&cfg) - 0.75 * b.x_btl).abs() < 0.01 * b.x_btl);
+        // Phase 3: cruise.
+        b.t_pbw = 3.5 * tm;
+        assert!((b.pacing_rate(&cfg) - b.x_btl).abs() < 0.01 * b.x_btl);
+    }
+
+    #[test]
+    fn phase_depends_on_agent_index() {
+        let cfg = ModelConfig::default();
+        let mut h = hint();
+        h.agent_index = 3;
+        let b = BbrV1::new(&h, &cfg);
+        assert_eq!(b.phase, 3);
+        h.agent_index = 8;
+        let b = BbrV1::new(&h, &cfg);
+        assert_eq!(b.phase, 2);
+    }
+
+    #[test]
+    fn period_end_adopts_max_delivery_rate() {
+        let cfg = ModelConfig::coarse();
+        let mut b = BbrV1::new(&hint(), &cfg).with_x_btl(50.0);
+        let steps = (b.period() / cfg.dt) as usize + 2;
+        for _ in 0..steps {
+            b.step(&inputs(80.0, cfg.dt, 0.04), &cfg);
+        }
+        assert!((b.x_btl - 80.0).abs() < 1e-6, "x_btl = {}", b.x_btl);
+    }
+
+    #[test]
+    fn smooth_mode_also_converges() {
+        let cfg = ModelConfig {
+            reset_mode: ResetMode::Smooth { gain: 500.0 },
+            ..ModelConfig::coarse()
+        };
+        let mut b = BbrV1::new(&hint(), &cfg).with_x_btl(50.0);
+        // Several periods of steady higher delivery rate.
+        let steps = (5.0 * b.period() / cfg.dt) as usize;
+        for _ in 0..steps {
+            b.step(&inputs(80.0, cfg.dt, 0.04), &cfg);
+        }
+        assert!(b.x_btl > 70.0, "x_btl = {}", b.x_btl);
+    }
+
+    #[test]
+    fn probe_rtt_restricts_to_four_segments() {
+        let cfg = ModelConfig::default();
+        let mut b = BbrV1::new(&hint(), &cfg);
+        b.probe_rtt.active = true;
+        let x = b.rate(0.04, &cfg);
+        assert!((x - 4.0 * cfg.mss / 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_limit_binds_at_high_rtt() {
+        let cfg = ModelConfig::default();
+        let b = BbrV1::new(&hint(), &cfg).with_x_btl(100.0);
+        // With τ = 2·τ_min the window rate is exactly x_btl; beyond that
+        // the window is the binding constraint.
+        let deep_tau = 4.0 * 0.04;
+        let x = b.rate(deep_tau, &cfg);
+        let w_rate = 2.0 * 100.0 * 0.04 / deep_tau;
+        assert!((x - w_rate).abs() < 1e-9);
+        assert!(x < b.pacing_rate(&cfg));
+    }
+
+    #[test]
+    fn inflight_integrates_rate_minus_delivery() {
+        let cfg = ModelConfig::coarse();
+        let mut b = BbrV1::new(&hint(), &cfg);
+        let v0 = b.v;
+        let mut inp = inputs(50.0, cfg.dt, 0.04);
+        inp.x_cur = 100.0;
+        for _ in 0..100 {
+            b.step(&inp, &cfg);
+        }
+        let expect = v0 + 100.0 * cfg.dt * (100.0 - 50.0);
+        assert!((b.v - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_never_below_floor() {
+        let cfg = ModelConfig::default();
+        let b = BbrV1::new(&hint(), &cfg).with_x_btl(0.1);
+        assert!(b.rate(10.0, &cfg) >= cfg.mss / 0.04 * 0.999);
+    }
+}

@@ -1,0 +1,207 @@
+//! TCP CUBIC fluid model (paper Appendix B.2, Eqs. (40)–(41), after
+//! Vardoyan et al.).
+//!
+//! Two instrumental variables are integrated: `s_i`, the time since the
+//! last loss, and `w_max_i`, the window at that moment. The window
+//! follows the CUBIC growth function
+//! `w = c·(s − K)³ + w_max` with `K = ((1−β)·w_max/c)^{1/3}`.
+//!
+//! Note on constants: the paper's Eq. (41) puts `b = 0.7` directly inside
+//! the cube root, which makes the post-loss window `0.3·w_max`; RFC 8312
+//! prescribes `0.7·w_max` (β_cubic = 0.7 is the *retained* fraction). We
+//! default to RFC semantics; `ModelConfig::cubic_literal_b` restores the
+//! paper's literal formula.
+
+use crate::cca::{AgentInputs, CcaKind, FluidCca, ScenarioHint};
+use crate::config::ModelConfig;
+
+/// Standardized CUBIC aggressiveness constant (segments/s³), RFC 8312.
+pub const CUBIC_C: f64 = 0.4;
+/// Standardized CUBIC multiplicative-decrease constant, RFC 8312.
+pub const CUBIC_BETA: f64 = 0.7;
+
+/// CUBIC fluid state.
+#[derive(Debug, Clone)]
+pub struct Cubic {
+    /// Time since last loss `s_i` (s).
+    pub s: f64,
+    /// Window at the moment of the last loss `w_max_i` (segments).
+    pub w_max: f64,
+}
+
+impl Cubic {
+    /// Default initial conditions: as if a loss just occurred at a window
+    /// of 0.8 path-BDP (mid-ramp, skipping slow start which the fluid
+    /// model does not capture).
+    pub fn new(hint: &ScenarioHint, cfg: &ModelConfig) -> Self {
+        let bdp_pkts = (hint.bdp() / cfg.mss).max(10.0);
+        Self {
+            s: 0.0,
+            w_max: 0.8 * bdp_pkts / hint.n_agents.max(1) as f64,
+        }
+    }
+
+    /// Explicit initial conditions.
+    pub fn with_state(s: f64, w_max: f64) -> Self {
+        assert!(s >= 0.0 && w_max >= 1.0);
+        Self { s, w_max }
+    }
+
+    /// The inflection-point offset `K` of the growth function (s).
+    fn k_offset(&self, cfg: &ModelConfig) -> f64 {
+        let shrink = if cfg.cubic_literal_b {
+            CUBIC_BETA // paper-literal: b = 0.7 inside the root
+        } else {
+            1.0 - CUBIC_BETA // RFC 8312: (1 − β) = 0.3
+        };
+        (self.w_max * shrink / CUBIC_C).cbrt()
+    }
+
+    /// Current window (segments) from the CUBIC growth function, Eq. (41).
+    pub fn window(&self, cfg: &ModelConfig) -> f64 {
+        let k = self.k_offset(cfg);
+        let d = self.s - k;
+        (CUBIC_C * d * d * d + self.w_max).max(1.0)
+    }
+}
+
+impl FluidCca for Cubic {
+    fn rate(&self, tau: f64, cfg: &ModelConfig) -> f64 {
+        self.window(cfg) * cfg.mss / tau.max(1e-6)
+    }
+
+    fn step(&mut self, inp: &AgentInputs, cfg: &ModelConfig) {
+        let x_pkts = inp.x_fb / cfg.mss;
+        let p = inp.loss_fb.clamp(0.0, 1.0);
+        // Loss-event rate seen by this flow (per second).
+        let loss_rate = x_pkts * p;
+        let w = self.window(cfg);
+        // Eq. (40a): s grows with time, collapses to 0 on loss.
+        let ds = 1.0 - self.s * loss_rate;
+        // Eq. (40b): w_max assimilates to the current window on loss.
+        let dw_max = (w - self.w_max) * loss_rate;
+        self.s = (self.s + inp.dt * ds).max(0.0);
+        self.w_max = (self.w_max + inp.dt * dw_max).max(1.0);
+    }
+
+    fn kind(&self) -> CcaKind {
+        CcaKind::Cubic
+    }
+
+    fn cwnd(&self) -> f64 {
+        // Window in Mbit, using the standard config segment size.
+        self.window(&ModelConfig::default()) * crate::MSS_MBIT
+    }
+
+    fn telemetry(&self, out: &mut Vec<(&'static str, f64)>) {
+        out.push(("s", self.s));
+        out.push(("w_max_pkts", self.w_max));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(x_fb: f64, loss: f64, dt: f64) -> AgentInputs {
+        AgentInputs {
+            t: 0.0,
+            dt,
+            tau: 0.04,
+            tau_fb: 0.04,
+            loss_fb: loss,
+            x_dlv: x_fb,
+            x_fb,
+            x_cur: x_fb,
+            prop_rtt: 0.04,
+        }
+    }
+
+    #[test]
+    fn post_loss_window_is_beta_wmax_rfc() {
+        let cfg = ModelConfig::default();
+        let c = Cubic::with_state(0.0, 1000.0);
+        let w0 = c.window(&cfg);
+        assert!(
+            (w0 - CUBIC_BETA * 1000.0).abs() < 1.0,
+            "w(0+) = {w0}, want ≈ 700"
+        );
+    }
+
+    #[test]
+    fn post_loss_window_literal_variant() {
+        let cfg = ModelConfig {
+            cubic_literal_b: true,
+            ..Default::default()
+        };
+        let c = Cubic::with_state(0.0, 1000.0);
+        let w0 = c.window(&cfg);
+        assert!((w0 - 300.0).abs() < 1.0, "w(0+) = {w0}, want ≈ 300");
+    }
+
+    #[test]
+    fn window_returns_to_wmax_at_k() {
+        let cfg = ModelConfig::default();
+        let mut c = Cubic::with_state(0.0, 1000.0);
+        c.s = c.k_offset(&cfg);
+        assert!((c.window(&cfg) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concave_then_convex_growth() {
+        let cfg = ModelConfig::default();
+        let mut c = Cubic::with_state(0.0, 1000.0);
+        let k = c.k_offset(&cfg);
+        // Window grows monotonically in s.
+        let mut prev = 0.0;
+        for i in 0..100 {
+            c.s = 2.0 * k * i as f64 / 100.0;
+            let w = c.window(&cfg);
+            assert!(w >= prev);
+            prev = w;
+        }
+        // Beyond K the window exceeds w_max.
+        c.s = 1.5 * k;
+        assert!(c.window(&cfg) > 1000.0);
+    }
+
+    #[test]
+    fn s_grows_without_loss_and_collapses_with_loss() {
+        let cfg = ModelConfig::coarse();
+        let mut c = Cubic::with_state(5.0, 500.0);
+        c.step(&inputs(50.0, 0.0, cfg.dt), &cfg);
+        assert!(c.s > 5.0);
+        // Heavy loss: s is driven toward 0.
+        for _ in 0..((1.0 / cfg.dt) as usize) {
+            c.step(&inputs(50.0, 0.3, cfg.dt), &cfg);
+        }
+        assert!(c.s < 0.01, "s = {}", c.s);
+    }
+
+    #[test]
+    fn wmax_assimilates_to_window_under_loss() {
+        let cfg = ModelConfig::coarse();
+        let mut c = Cubic::with_state(20.0, 100.0);
+        let w_before = c.window(&cfg);
+        assert!(w_before > c.w_max);
+        // A brief loss burst: w_max jumps toward the pre-loss window and
+        // s collapses toward 0.
+        for _ in 0..3 {
+            c.step(&inputs(80.0, 0.05, cfg.dt), &cfg);
+        }
+        assert!(c.w_max > 100.0, "w_max = {}", c.w_max);
+        assert!(c.s < 20.0);
+    }
+
+    #[test]
+    fn sustained_heavy_loss_collapses_the_window() {
+        // Under persistent 20 % loss the window decays toward the floor
+        // (CUBIC starves — the regime behind the paper's Insight 2).
+        let cfg = ModelConfig::coarse();
+        let mut c = Cubic::with_state(20.0, 1000.0);
+        for _ in 0..((2.0 / cfg.dt) as usize) {
+            c.step(&inputs(80.0, 0.2, cfg.dt), &cfg);
+        }
+        assert!(c.window(&cfg) < 50.0, "w = {}", c.window(&cfg));
+    }
+}

@@ -1,0 +1,186 @@
+//! Congestion-control fluid models (paper §3 and Appendix B).
+//!
+//! Each model is a state machine advanced once per integration step with
+//! the delayed network feedback assembled by the simulator. The sending
+//! rate `x_i(t)` is a pure function of the current state and the current
+//! path RTT.
+
+mod bbr_common;
+pub mod bbrv1;
+pub mod bbrv2;
+pub mod cubic;
+pub mod reno;
+pub mod startup;
+
+pub use bbr_common::ProbeRtt;
+pub use startup::{StartupPhase, StartupState};
+pub use bbrv1::BbrV1;
+pub use bbrv2::{BbrV2, WhiInit};
+pub use cubic::Cubic;
+pub use reno::Reno;
+
+use crate::config::ModelConfig;
+
+/// Which congestion-control algorithm a flow runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcaKind {
+    Reno,
+    Cubic,
+    BbrV1,
+    BbrV2,
+}
+
+impl CcaKind {
+    /// Short display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CcaKind::Reno => "RENO",
+            CcaKind::Cubic => "CUBIC",
+            CcaKind::BbrV1 => "BBRv1",
+            CcaKind::BbrV2 => "BBRv2",
+        }
+    }
+
+    /// Whether the CCA backs off in response to packet loss (all but
+    /// BBRv1; used by tests and by the experiment harness).
+    pub fn loss_sensitive(&self) -> bool {
+        !matches!(self, CcaKind::BbrV1)
+    }
+}
+
+impl std::fmt::Display for CcaKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static facts about the scenario a flow is placed in, used to choose
+/// initial conditions (the paper notes that fluid models "have to be
+/// evaluated under a variety of initial conditions", Insight 9).
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioHint {
+    /// Bottleneck capacity on this agent's path (Mbit/s).
+    pub capacity: f64,
+    /// Propagation RTT of this agent's path (s).
+    pub prop_rtt: f64,
+    /// Number of agents sharing the bottleneck.
+    pub n_agents: usize,
+    /// Bottleneck buffer size (Mbit).
+    pub buffer: f64,
+    /// This agent's index (used for deterministic desynchronization,
+    /// Eqs. (22)/(24)).
+    pub agent_index: usize,
+}
+
+impl ScenarioHint {
+    /// Path bandwidth-delay product (Mbit).
+    pub fn bdp(&self) -> f64 {
+        self.capacity * self.prop_rtt
+    }
+
+    /// Fair share of the bottleneck (Mbit/s).
+    pub fn fair_share(&self) -> f64 {
+        self.capacity / self.n_agents.max(1) as f64
+    }
+}
+
+/// Per-step network feedback handed to a CCA model.
+#[derive(Debug, Clone, Copy)]
+pub struct AgentInputs {
+    /// Current time (s).
+    pub t: f64,
+    /// Integration step (s).
+    pub dt: f64,
+    /// Current path RTT `τ_i(t)` including queuing delay, Eq. (3).
+    pub tau: f64,
+    /// Delayed RTT sample `τ_i(t − d^p_i)` arriving at the sender now.
+    pub tau_fb: f64,
+    /// Delayed path loss probability `p_{π_i}(t − d^p_i)`, Eq. (7).
+    pub loss_fb: f64,
+    /// Delivery-rate estimate per Eq. (17).
+    pub x_dlv: f64,
+    /// The agent's own delayed sending rate `x_i(t − d^p_i)`.
+    pub x_fb: f64,
+    /// The agent's current sending rate `x_i(t)` (as computed from the
+    /// pre-step state; used for the inflight integration, Eq. (19)).
+    pub x_cur: f64,
+    /// Propagation RTT of the path (s).
+    pub prop_rtt: f64,
+}
+
+/// A congestion-control fluid model.
+pub trait FluidCca: Send {
+    /// The sending rate `x_i(t)` implied by the current state and the
+    /// current path RTT `tau`.
+    fn rate(&self, tau: f64, cfg: &ModelConfig) -> f64;
+
+    /// Advance the internal state by one step `dt` using the delayed
+    /// feedback in `inp`.
+    fn step(&mut self, inp: &AgentInputs, cfg: &ModelConfig);
+
+    /// Which algorithm this is.
+    fn kind(&self) -> CcaKind;
+
+    /// The currently effective congestion-window size in Mbit (for
+    /// window-based CCAs: `w_i`; for BBR: the active inflight limit).
+    fn cwnd(&self) -> f64;
+
+    /// Model-internal variables for trace plots (name → value), e.g. the
+    /// series of the paper's Fig. 2.
+    fn telemetry(&self, out: &mut Vec<(&'static str, f64)>);
+}
+
+/// Construct a boxed fluid model of the given kind with default initial
+/// conditions derived from the scenario hint.
+pub fn build(kind: CcaKind, hint: &ScenarioHint, cfg: &ModelConfig) -> Box<dyn FluidCca> {
+    match kind {
+        CcaKind::Reno => Box::new(Reno::new(hint, cfg)),
+        CcaKind::Cubic => Box::new(Cubic::new(hint, cfg)),
+        CcaKind::BbrV1 => Box::new(BbrV1::new(hint, cfg)),
+        CcaKind::BbrV2 => Box::new(BbrV2::new(hint, cfg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_names_and_sensitivity() {
+        assert_eq!(CcaKind::Reno.name(), "RENO");
+        assert!(CcaKind::Reno.loss_sensitive());
+        assert!(CcaKind::Cubic.loss_sensitive());
+        assert!(CcaKind::BbrV2.loss_sensitive());
+        assert!(!CcaKind::BbrV1.loss_sensitive());
+    }
+
+    #[test]
+    fn hint_derivations() {
+        let h = ScenarioHint {
+            capacity: 100.0,
+            prop_rtt: 0.04,
+            n_agents: 10,
+            buffer: 4.0,
+            agent_index: 3,
+        };
+        assert!((h.bdp() - 4.0).abs() < 1e-12);
+        assert!((h.fair_share() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_all_kinds() {
+        let h = ScenarioHint {
+            capacity: 100.0,
+            prop_rtt: 0.04,
+            n_agents: 2,
+            buffer: 4.0,
+            agent_index: 0,
+        };
+        let cfg = ModelConfig::default();
+        for kind in [CcaKind::Reno, CcaKind::Cubic, CcaKind::BbrV1, CcaKind::BbrV2] {
+            let m = build(kind, &h, &cfg);
+            assert_eq!(m.kind(), kind);
+            assert!(m.rate(0.04, &cfg) > 0.0, "{kind} must start sending");
+        }
+    }
+}

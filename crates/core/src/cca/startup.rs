@@ -1,0 +1,175 @@
+//! Startup/Drain phase shared by the BBR fluid models (an extension —
+//! the paper's models "neglect the start-up phase", Insight 9).
+//!
+//! Mirrors the reference implementations: pace at gain 2/ln 2 ≈ 2.885
+//! until the bandwidth estimate stops growing by ≥ 25 % for three
+//! consecutive round trips (or, when the caller requests it, loss
+//! exceeds the 2 % threshold), then drain at the inverse gain until the
+//! inflight falls to the estimated BDP.
+
+use crate::config::ModelConfig;
+
+/// Startup pacing/cwnd gain 2/ln 2.
+pub const STARTUP_GAIN: f64 = 2.885;
+
+/// Phase of the start-up state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartupPhase {
+    /// Exponential growth at gain 2/ln 2.
+    Startup,
+    /// Draining the start-up overshoot at gain 1/(2/ln 2).
+    Drain,
+    /// Start-up complete (or not modelled): steady-state ProbeBW.
+    Done,
+}
+
+/// Start-up bookkeeping for a BBR fluid agent.
+#[derive(Debug, Clone)]
+pub struct StartupState {
+    pub phase: StartupPhase,
+    /// Largest bandwidth estimate seen at a round edge (Mbit/s).
+    full_bw: f64,
+    /// Rounds without ≥ 25 % growth.
+    plateau_rounds: u8,
+    /// Time into the current round (s).
+    round_timer: f64,
+    /// Whether the exit was triggered by excessive loss (BBRv2 then
+    /// materializes `inflight_hi` from the observed inflight).
+    pub exited_on_loss: bool,
+}
+
+impl StartupState {
+    /// `enabled` per `ModelConfig::model_startup`.
+    pub fn new(cfg: &ModelConfig) -> Self {
+        Self {
+            phase: if cfg.model_startup {
+                StartupPhase::Startup
+            } else {
+                StartupPhase::Done
+            },
+            full_bw: 0.0,
+            plateau_rounds: 0,
+            round_timer: 0.0,
+            exited_on_loss: false,
+        }
+    }
+
+    /// Whether the agent is still in Startup or Drain.
+    pub fn active(&self) -> bool {
+        self.phase != StartupPhase::Done
+    }
+
+    /// Pacing-gain multiplier for the current phase (1 when done).
+    pub fn gain(&self) -> f64 {
+        match self.phase {
+            StartupPhase::Startup => STARTUP_GAIN,
+            StartupPhase::Drain => 1.0 / STARTUP_GAIN,
+            StartupPhase::Done => 1.0,
+        }
+    }
+
+    /// Advance by `dt`. `x_btl` is the current bandwidth estimate,
+    /// `tau_min` the RTprop estimate, `v` the inflight, `w_bar` the
+    /// estimated BDP, and `excess_loss` whether path loss exceeds the
+    /// threshold. Returns `true` in the step where Startup→Drain or
+    /// Drain→Done transitions fire.
+    pub fn step(
+        &mut self,
+        dt: f64,
+        x_btl: f64,
+        tau_min: f64,
+        v: f64,
+        w_bar: f64,
+        excess_loss: bool,
+    ) -> bool {
+        match self.phase {
+            StartupPhase::Done => false,
+            StartupPhase::Startup => {
+                if excess_loss {
+                    self.phase = StartupPhase::Drain;
+                    self.exited_on_loss = true;
+                    return true;
+                }
+                self.round_timer += dt;
+                if self.round_timer >= tau_min {
+                    self.round_timer = 0.0;
+                    if x_btl > 1.25 * self.full_bw {
+                        self.full_bw = x_btl;
+                        self.plateau_rounds = 0;
+                    } else {
+                        self.plateau_rounds += 1;
+                        if self.plateau_rounds >= 3 {
+                            self.phase = StartupPhase::Drain;
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+            StartupPhase::Drain => {
+                if v <= w_bar {
+                    self.phase = StartupPhase::Done;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enabled_cfg() -> ModelConfig {
+        ModelConfig {
+            model_startup: true,
+            ..ModelConfig::coarse()
+        }
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let s = StartupState::new(&ModelConfig::default());
+        assert!(!s.active());
+        assert_eq!(s.gain(), 1.0);
+    }
+
+    #[test]
+    fn plateau_exits_to_drain_then_done() {
+        let cfg = enabled_cfg();
+        let mut s = StartupState::new(&cfg);
+        assert_eq!(s.gain(), STARTUP_GAIN);
+        let tau = 0.03;
+        // Growing estimate: stays in Startup.
+        let mut x = 10.0;
+        for _ in 0..5 {
+            for _ in 0..((tau / cfg.dt) as usize + 1) {
+                s.step(cfg.dt, x, tau, 0.1, 1.0, false);
+            }
+            x *= 1.5;
+            assert_eq!(s.phase, StartupPhase::Startup);
+        }
+        // Flat estimate: one round may still register growth relative to
+        // the last recorded full_bw, then 3 plateau rounds → Drain.
+        for _ in 0..(5 * ((tau / cfg.dt) as usize + 1)) {
+            s.step(cfg.dt, x, tau, 5.0, 1.0, false);
+        }
+        assert_eq!(s.phase, StartupPhase::Drain);
+        assert!(s.gain() < 1.0);
+        assert!(!s.exited_on_loss);
+        // Inflight drains below the BDP → Done.
+        assert!(s.step(cfg.dt, x, tau, 0.9, 1.0, false));
+        assert_eq!(s.phase, StartupPhase::Done);
+    }
+
+    #[test]
+    fn loss_exit_is_flagged() {
+        let cfg = enabled_cfg();
+        let mut s = StartupState::new(&cfg);
+        assert!(s.step(cfg.dt, 10.0, 0.03, 2.0, 1.0, true));
+        assert_eq!(s.phase, StartupPhase::Drain);
+        assert!(s.exited_on_loss);
+    }
+}

@@ -1,0 +1,186 @@
+//! Numerical configuration of the fluid models.
+
+/// How the reset/assimilation terms of the BBR models are realized.
+///
+/// The paper writes resets and max-filters as unit-gain relaxation terms
+/// (e.g. Eqs. (18), (20)); operationally they are resets and running
+/// maxima ("Eq. (11) represents an update rule for simulations rather
+/// than a differential equation", §3.2). `Discrete` implements the
+/// large-gain limit (exact resets/assignments at the period edges), which
+/// reproduces the paper's own Fig. 2 traces; `Smooth` keeps the sigmoid
+/// relaxation with a configurable gain for ablation studies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResetMode {
+    /// Hard resets / assignments at phase boundaries (default).
+    Discrete,
+    /// Sigmoid-gated relaxation with the given gain (1/s).
+    Smooth { gain: f64 },
+}
+
+/// Numerical and modelling parameters shared by all fluid simulations.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Integration step of the method of steps, in seconds. The paper
+    /// uses 10 µs; the default here matches it.
+    pub dt: f64,
+    /// Sigmoid sharpness `K` of Eq. (5) for time-valued arguments
+    /// (seconds). Transition width ≈ 1/k.
+    pub k_time: f64,
+    /// Sigmoid sharpness for rate-valued arguments (Mbit/s).
+    pub k_rate: f64,
+    /// Sigmoid sharpness for volume-valued arguments (Mbit).
+    pub k_vol: f64,
+    /// Sigmoid sharpness for probability-valued arguments.
+    pub k_prob: f64,
+    /// Drop-tail queue-fill exponent `L` of Eq. (4) (`L ≫ 1`).
+    pub drop_exp_l: f64,
+    /// Loss gate ε: loss-triggered reactions fire on `p > ε` rather than
+    /// on `σ(p)` (which would be ½ at p = 0); see DESIGN.md.
+    pub loss_gate_eps: f64,
+    /// Segment size in Mbit (BBRv1's ProbeRTT window is 4 segments).
+    pub mss: f64,
+    /// ProbeRTT entry interval (10 s in both BBR versions).
+    pub probe_rtt_interval: f64,
+    /// ProbeRTT duration (200 ms in both BBR versions).
+    pub probe_rtt_duration: f64,
+    /// Excess-loss threshold that stops BBRv2's up-probing (2 %).
+    pub bbr2_loss_thresh: f64,
+    /// BBRv2 multiplicative decrease β applied to `inflight_hi/lo` (0.3
+    /// decrease, i.e. ×0.7 retained).
+    pub bbr2_beta: f64,
+    /// BBRv2 headroom: the drain target is `min(w̄, 0.85·w_hi)`.
+    pub bbr2_headroom: f64,
+    /// How resets / filter updates are realized (see [`ResetMode`]).
+    pub reset_mode: ResetMode,
+    /// Track the max filter on the sending rate (the literal Eq. (18))
+    /// instead of the delivery rate (the text's definition; default).
+    pub max_filter_on_send_rate: bool,
+    /// Gain of the τ_min downward assimilation, Eq. (9) (paper: 1).
+    pub rtt_filter_gain: f64,
+    /// Use the paper's literal CUBIC constant (`b = 0.7` inside the cube
+    /// root, yielding w(0⁺) = 0.3·w_max) instead of RFC 8312 semantics
+    /// (default: false ⇒ RFC semantics, w(0⁺) = 0.7·w_max).
+    pub cubic_literal_b: bool,
+    /// Exponent cap for BBRv2's `2^{t/τ_min}` up-probe growth term.
+    pub bbr2_growth_exp_cap: f64,
+    /// Model the Startup/Drain phase (an extension: the paper's models
+    /// "neglect the start-up phase", Insight 9). When enabled, BBR
+    /// agents begin with a small bandwidth estimate, pace at 2/ln 2
+    /// until the bandwidth estimate plateaus (or, for BBRv2, loss
+    /// exceeds the threshold — which materializes `inflight_hi`), then
+    /// drain to the estimated BDP before entering ProbeBW.
+    pub model_startup: bool,
+    /// BBRv2 `inflight_lo` semantics. `false` (default, the paper's
+    /// Eq. (30)): an unset bound assimilates to the drain target w⁻.
+    /// `true` (the reference implementation): unset means +∞ — the bound
+    /// only materializes when loss occurs in cruising, so in loss-free
+    /// deep buffers BBRv2 falls back on the loose 2-BDP window
+    /// (the paper's Insight 5 mechanism).
+    pub bbr2_wlo_unset: bool,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self {
+            dt: 1e-5,
+            k_time: 5e4,   // ~20 µs transition width
+            k_rate: 50.0,  // ~0.02 Mbit/s width
+            k_vol: 5e3,    // ~0.2 kbit width
+            k_prob: 5e3,   // ~2e-4 width
+            drop_exp_l: 20.0,
+            loss_gate_eps: 1e-3,
+            mss: crate::MSS_MBIT,
+            probe_rtt_interval: 10.0,
+            probe_rtt_duration: 0.2,
+            bbr2_loss_thresh: 0.02,
+            bbr2_beta: 0.3,
+            bbr2_headroom: 0.85,
+            reset_mode: ResetMode::Discrete,
+            max_filter_on_send_rate: false,
+            rtt_filter_gain: 1.0,
+            cubic_literal_b: false,
+            bbr2_growth_exp_cap: 24.0,
+            model_startup: false,
+            bbr2_wlo_unset: false,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A coarser configuration for fast tests: 100 µs step.
+    pub fn coarse() -> Self {
+        Self {
+            dt: 1e-4,
+            k_time: 5e3,
+            ..Self::default()
+        }
+    }
+
+    /// Validate that the configuration is numerically sane.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.dt > 0.0 && self.dt < 0.1) {
+            return Err(format!("step size dt={} out of range (0, 0.1)", self.dt));
+        }
+        if self.drop_exp_l < 1.0 {
+            return Err("drop_exp_l must be ≥ 1".into());
+        }
+        if self.mss <= 0.0 {
+            return Err("mss must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.bbr2_beta) {
+            return Err("bbr2_beta must be in [0, 1)".into());
+        }
+        if !(0.0..=1.0).contains(&self.bbr2_headroom) {
+            return Err("bbr2_headroom must be in [0, 1]".into());
+        }
+        if let ResetMode::Smooth { gain } = self.reset_mode {
+            if gain <= 0.0 {
+                return Err("smooth reset gain must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        ModelConfig::default().validate().unwrap();
+        ModelConfig::coarse().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_dt() {
+        let cfg = ModelConfig {
+            dt: 0.0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = ModelConfig {
+            dt: 1.0,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_beta() {
+        let cfg = ModelConfig {
+            bbr2_beta: 1.5,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_smooth_gain() {
+        let cfg = ModelConfig {
+            reset_mode: ResetMode::Smooth { gain: -1.0 },
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

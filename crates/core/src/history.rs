@@ -1,0 +1,142 @@
+//! Fixed-step ring-buffer histories for the delayed terms of the delay
+//! differential equations (method of steps, cf. Erneux §1.1.2).
+//!
+//! Every state variable that appears with a delayed argument in the model
+//! (sending rates in Eq. (1), loss probabilities in Eq. (7), queue sizes
+//! and arrival rates in Eq. (17), RTTs in Eq. (9)) is sampled once per
+//! integration step into a [`History`]; delayed lookups interpolate
+//! linearly between the two neighbouring samples.
+
+/// Ring buffer holding the last `capacity` samples of a scalar signal
+/// sampled every `dt` seconds.
+#[derive(Debug, Clone)]
+pub struct History {
+    dt: f64,
+    buf: Vec<f64>,
+    /// Index of the most recent sample.
+    head: usize,
+}
+
+impl History {
+    /// Create a history able to answer lookups up to `max_delay` seconds
+    /// into the past, pre-filled with `initial` (the DDE history function
+    /// on `t < 0`).
+    pub fn new(max_delay: f64, dt: f64, initial: f64) -> Self {
+        assert!(dt > 0.0, "dt must be positive");
+        assert!(max_delay >= 0.0, "max_delay must be non-negative");
+        let capacity = (max_delay / dt).ceil() as usize + 2;
+        Self {
+            dt,
+            buf: vec![initial; capacity],
+            head: 0,
+        }
+    }
+
+    /// Number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Record the current value of the signal; must be called exactly once
+    /// per integration step.
+    pub fn push(&mut self, value: f64) {
+        self.head = (self.head + 1) % self.buf.len();
+        self.buf[self.head] = value;
+    }
+
+    /// The most recently pushed sample.
+    pub fn latest(&self) -> f64 {
+        self.buf[self.head]
+    }
+
+    /// Value `delay` seconds in the past, linearly interpolated. Lookups
+    /// beyond the retained window are clamped to the oldest sample.
+    pub fn at_delay(&self, delay: f64) -> f64 {
+        debug_assert!(delay >= 0.0, "delay must be non-negative");
+        let steps = delay / self.dt;
+        let lo = steps.floor() as usize;
+        let frac = steps - steps.floor();
+        let max_back = self.buf.len() - 1;
+        if lo >= max_back {
+            return self.sample_back(max_back);
+        }
+        let a = self.sample_back(lo);
+        let b = self.sample_back((lo + 1).min(max_back));
+        a * (1.0 - frac) + b * frac
+    }
+
+    /// Sample `n` steps back (0 = latest).
+    fn sample_back(&self, n: usize) -> f64 {
+        let len = self.buf.len();
+        let idx = (self.head + len - (n % len)) % len;
+        self.buf[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_initial_before_any_push() {
+        let h = History::new(0.1, 0.01, 7.0);
+        assert_eq!(h.at_delay(0.0), 7.0);
+        assert_eq!(h.at_delay(0.05), 7.0);
+        assert_eq!(h.latest(), 7.0);
+    }
+
+    #[test]
+    fn latest_tracks_pushes() {
+        let mut h = History::new(0.1, 0.01, 0.0);
+        h.push(1.0);
+        h.push(2.0);
+        assert_eq!(h.latest(), 2.0);
+    }
+
+    #[test]
+    fn exact_delay_lookup() {
+        let mut h = History::new(1.0, 0.1, 0.0);
+        // Push ramp 1, 2, ..., 10 at t = 0.1, ..., 1.0.
+        for i in 1..=10 {
+            h.push(i as f64);
+        }
+        assert_eq!(h.at_delay(0.0), 10.0);
+        assert_eq!(h.at_delay(0.1), 9.0);
+        assert_eq!(h.at_delay(0.5), 5.0);
+    }
+
+    #[test]
+    fn interpolates_between_samples() {
+        let mut h = History::new(1.0, 0.1, 0.0);
+        for i in 1..=10 {
+            h.push(i as f64);
+        }
+        let v = h.at_delay(0.15);
+        assert!((v - 8.5).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn clamps_to_oldest() {
+        let mut h = History::new(0.3, 0.1, 42.0);
+        h.push(1.0);
+        // Far beyond the window: returns the oldest retained sample.
+        let v = h.at_delay(100.0);
+        assert_eq!(v, 42.0);
+    }
+
+    #[test]
+    fn ring_wraps_correctly() {
+        let mut h = History::new(0.2, 0.1, 0.0);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        assert_eq!(h.latest(), 99.0);
+        assert_eq!(h.at_delay(0.1), 98.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_dt() {
+        History::new(0.1, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Smooth primitives used by the fluid models: the sharp sigmoid of
+//! Eq. (5), the smooth ReLU Γ of Eq. (10), and the probing pulse of
+//! Eq. (21).
+
+/// Sharp sigmoid `σ(v) = 1 / (1 + e^{-K·v})` (paper Eq. (5)).
+///
+/// `k` controls the sharpness of the transition at `v = 0`; the paper
+/// prescribes `K ≫ 1` so that σ approximates a step function.
+#[inline]
+pub fn sigmoid(k: f64, v: f64) -> f64 {
+    let a = k * v;
+    // Guard against exp overflow far from the transition.
+    if a > 40.0 {
+        1.0
+    } else if a < -40.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-a).exp())
+    }
+}
+
+/// Smooth approximation of `max(0, v)`: `Γ(v) = v·σ(v)` (paper Eq. (10)).
+#[inline]
+pub fn relu_smooth(k: f64, v: f64) -> f64 {
+    v * sigmoid(k, v)
+}
+
+/// Rectangular probing pulse: ≈ 1 on the interval `(a, b)`, ≈ 0 outside
+/// (the building block of the paper's Eq. (21) phase pulse Φ).
+#[inline]
+pub fn pulse(k: f64, t: f64, a: f64, b: f64) -> f64 {
+    sigmoid(k, t - a) * sigmoid(k, b - t)
+}
+
+/// Clamp into `[0, 1]`.
+#[inline]
+pub fn clamp01(v: f64) -> f64 {
+    v.clamp(0.0, 1.0)
+}
+
+/// Jain's fairness index over a slice of non-negative values.
+///
+/// Returns 1.0 for an empty or all-zero input (the degenerate case is
+/// conventionally treated as fair).
+pub fn jain(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sum_sq: f64 = values.iter().map(|v| v * v).sum();
+    if sum_sq <= f64::EPSILON {
+        return 1.0;
+    }
+    sum * sum / (n as f64 * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_limits() {
+        assert!(sigmoid(500.0, 1.0) > 0.999999);
+        assert!(sigmoid(500.0, -1.0) < 1e-6);
+        assert!((sigmoid(500.0, 0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone() {
+        let mut prev = 0.0;
+        for i in -100..=100 {
+            let v = i as f64 / 100.0;
+            let s = sigmoid(50.0, v);
+            assert!(s >= prev, "sigmoid must be monotone");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn relu_smooth_approximates_relu() {
+        assert!((relu_smooth(500.0, 2.0) - 2.0).abs() < 1e-6);
+        assert!(relu_smooth(500.0, -2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pulse_is_one_inside_zero_outside() {
+        let k = 2000.0;
+        assert!(pulse(k, 0.5, 0.0, 1.0) > 0.999);
+        assert!(pulse(k, -0.5, 0.0, 1.0) < 1e-3);
+        assert!(pulse(k, 1.5, 0.0, 1.0) < 1e-3);
+    }
+
+    #[test]
+    fn jain_basics() {
+        assert!((jain(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // One flow hogging everything among N flows gives 1/N.
+        assert!((jain(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        assert_eq!(jain(&[]), 1.0);
+        assert_eq!(jain(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn jain_scale_invariant() {
+        let a = jain(&[1.0, 2.0, 3.0]);
+        let b = jain(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+}

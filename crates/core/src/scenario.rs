@@ -1,0 +1,188 @@
+//! High-level scenario builder for the paper's dumbbell experiments
+//! (§4.1.3, Fig. 3): N senders with heterogeneous RTTs share one
+//! bottleneck link; buffers are sized in BDP of the bottleneck.
+
+use crate::cca::{build, CcaKind, FluidCca, ScenarioHint};
+use crate::config::ModelConfig;
+use crate::sim::Simulator;
+use crate::topology::{dumbbell, Network, QdiscKind};
+
+/// Declarative description of a dumbbell experiment.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Number of senders.
+    pub n: usize,
+    /// Bottleneck capacity (Mbit/s).
+    pub capacity: f64,
+    /// Bottleneck propagation delay (s).
+    pub bottleneck_delay: f64,
+    /// Buffer size in multiples of the (mean-RTT) BDP.
+    pub buffer_bdp: f64,
+    /// Queuing discipline at the bottleneck.
+    pub qdisc: QdiscKind,
+    /// One-way access delay per sender (s).
+    pub access: Vec<f64>,
+    /// Model configuration.
+    pub cfg: ModelConfig,
+}
+
+impl Scenario {
+    /// The paper's default: evenly spread access delays so that total
+    /// propagation RTTs span 30–40 ms (§4.3) around a 10 ms bottleneck.
+    pub fn dumbbell(
+        n: usize,
+        capacity: f64,
+        bottleneck_delay: f64,
+        buffer_bdp: f64,
+        qdisc: QdiscKind,
+    ) -> Self {
+        let mut s = Self {
+            n,
+            capacity,
+            bottleneck_delay,
+            buffer_bdp,
+            qdisc,
+            access: Vec::new(),
+            cfg: ModelConfig::default(),
+        };
+        s = s.rtt_range(3.0 * 2.0 * bottleneck_delay / 2.0, 4.0 * 2.0 * bottleneck_delay / 2.0);
+        s
+    }
+
+    /// Spread the senders' total propagation RTTs evenly over
+    /// `[rtt_lo, rtt_hi]` (the paper draws them randomly from this range;
+    /// an even deterministic spread keeps the model reproducible while
+    /// preserving the heterogeneity).
+    pub fn rtt_range(mut self, rtt_lo: f64, rtt_hi: f64) -> Self {
+        assert!(rtt_hi >= rtt_lo);
+        self.access = (0..self.n)
+            .map(|i| {
+                let frac = if self.n > 1 {
+                    i as f64 / (self.n - 1) as f64
+                } else {
+                    0.5
+                };
+                let rtt = rtt_lo + frac * (rtt_hi - rtt_lo);
+                // Total RTT = 2·(access + bottleneck_delay).
+                (rtt / 2.0 - self.bottleneck_delay).max(0.0)
+            })
+            .collect();
+        self
+    }
+
+    /// Set explicit one-way access delays (s), one per sender.
+    pub fn access_delays(mut self, access: Vec<f64>) -> Self {
+        assert_eq!(access.len(), self.n);
+        self.access = access;
+        self
+    }
+
+    /// Replace the model configuration.
+    pub fn config(mut self, cfg: ModelConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The network this scenario describes.
+    pub fn network(&self) -> Network {
+        dumbbell(
+            self.n,
+            self.capacity,
+            self.bottleneck_delay,
+            self.buffer_bdp,
+            self.qdisc,
+            &self.access,
+        )
+    }
+
+    /// Scenario hint for agent `i` (used for initial conditions).
+    pub fn hint(&self, i: usize) -> ScenarioHint {
+        let net = self.network();
+        ScenarioHint {
+            capacity: self.capacity,
+            prop_rtt: net.prop_rtt(i),
+            n_agents: self.n,
+            buffer: net.links[0].buffer,
+            agent_index: i,
+        }
+    }
+
+    /// Build a simulator assigning CCAs round-robin from `kinds` (the
+    /// paper's heterogeneous settings use N/2 senders per CCA, which the
+    /// alternating assignment reproduces for two kinds).
+    pub fn build(&self, kinds: &[CcaKind]) -> Result<Simulator, String> {
+        if kinds.is_empty() {
+            return Err("no CCA kinds given".into());
+        }
+        self.build_with(|i, hint, cfg| build(kinds[i % kinds.len()], hint, cfg))
+    }
+
+    /// Build a simulator with a custom per-agent model factory.
+    pub fn build_with<F>(&self, mut factory: F) -> Result<Simulator, String>
+    where
+        F: FnMut(usize, &ScenarioHint, &ModelConfig) -> Box<dyn FluidCca>,
+    {
+        let net = self.network();
+        let agents: Vec<Box<dyn FluidCca>> = (0..self.n)
+            .map(|i| {
+                let hint = ScenarioHint {
+                    capacity: self.capacity,
+                    prop_rtt: net.prop_rtt(i),
+                    n_agents: self.n,
+                    buffer: net.links[0].buffer,
+                    agent_index: i,
+                };
+                factory(i, &hint, &self.cfg)
+            })
+            .collect();
+        Simulator::new(net, self.cfg.clone(), agents)
+    }
+
+    /// The CCA kind assigned to agent `i` under [`Self::build`].
+    pub fn kind_of(&self, kinds: &[CcaKind], i: usize) -> CcaKind {
+        kinds[i % kinds.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_range_spreads_evenly() {
+        let s = Scenario::dumbbell(10, 100.0, 0.010, 1.0, QdiscKind::DropTail)
+            .rtt_range(0.030, 0.040);
+        let net = s.network();
+        assert!((net.prop_rtt(0) - 0.030).abs() < 1e-9);
+        assert!((net.prop_rtt(9) - 0.040).abs() < 1e-9);
+        // Monotone spread.
+        for i in 1..10 {
+            assert!(net.prop_rtt(i) > net.prop_rtt(i - 1));
+        }
+    }
+
+    #[test]
+    fn build_assigns_kinds_round_robin() {
+        let s = Scenario::dumbbell(4, 100.0, 0.010, 1.0, QdiscKind::DropTail)
+            .config(ModelConfig::coarse());
+        let sim = s.build(&[CcaKind::BbrV1, CcaKind::Reno]).unwrap();
+        assert_eq!(sim.agents()[0].kind(), CcaKind::BbrV1);
+        assert_eq!(sim.agents()[1].kind(), CcaKind::Reno);
+        assert_eq!(sim.agents()[2].kind(), CcaKind::BbrV1);
+        assert_eq!(sim.agents()[3].kind(), CcaKind::Reno);
+    }
+
+    #[test]
+    fn empty_kinds_rejected() {
+        let s = Scenario::dumbbell(2, 100.0, 0.010, 1.0, QdiscKind::DropTail);
+        assert!(s.build(&[]).is_err());
+    }
+
+    #[test]
+    fn single_sender_uses_midpoint_rtt() {
+        let s = Scenario::dumbbell(1, 100.0, 0.010, 1.0, QdiscKind::DropTail)
+            .rtt_range(0.030, 0.040);
+        let net = s.network();
+        assert!((net.prop_rtt(0) - 0.035).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Time-series recording for trace plots (paper Figs. 1, 2, 4, 5, 11, 12).
+
+use std::collections::BTreeMap;
+
+/// Per-agent recorded series.
+#[derive(Debug, Clone, Default)]
+pub struct AgentTrace {
+    /// Sending rate `x_i(t)` (Mbit/s).
+    pub x: Vec<f64>,
+    /// Path RTT `τ_i(t)` (s).
+    pub tau: Vec<f64>,
+    /// Effective congestion window (Mbit).
+    pub cwnd: Vec<f64>,
+    /// Path loss probability seen by the agent.
+    pub loss: Vec<f64>,
+    /// Delivery-rate estimate (Mbit/s).
+    pub x_dlv: Vec<f64>,
+    /// Model-internal telemetry series (e.g. `x_btl`, `w_hi`).
+    pub extra: BTreeMap<&'static str, Vec<f64>>,
+}
+
+/// Per-link recorded series.
+#[derive(Debug, Clone, Default)]
+pub struct LinkTrace {
+    /// Queue length (Mbit).
+    pub q: Vec<f64>,
+    /// Loss probability.
+    pub p: Vec<f64>,
+    /// Arrival rate (Mbit/s).
+    pub y: Vec<f64>,
+}
+
+/// A recorded simulation trace, sampled every `stride` integration steps.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Sample times (s).
+    pub t: Vec<f64>,
+    pub agents: Vec<AgentTrace>,
+    pub links: Vec<LinkTrace>,
+}
+
+impl Trace {
+    pub fn new(n_agents: usize, n_links: usize) -> Self {
+        Self {
+            t: Vec::new(),
+            agents: vec![AgentTrace::default(); n_agents],
+            links: vec![LinkTrace::default(); n_links],
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Maximum of an agent's rate series (Mbit/s), useful in tests.
+    pub fn max_rate(&self, agent: usize) -> f64 {
+        self.agents[agent].x.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Time-average of an agent's rate series.
+    pub fn mean_rate(&self, agent: usize) -> f64 {
+        let xs = &self.agents[agent].x;
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    }
+
+    /// Render the trace as CSV with one row per sample: time, per-agent
+    /// (`x`, `tau`, `cwnd`, `loss`), per-link (`q`, `p`, `y`).
+    pub fn to_csv(&self) -> String {
+        let mut header = vec!["t".to_string()];
+        for i in 0..self.agents.len() {
+            for f in ["x", "tau", "cwnd", "loss"] {
+                header.push(format!("a{i}_{f}"));
+            }
+            for name in self.agents[i].extra.keys() {
+                header.push(format!("a{i}_{name}"));
+            }
+        }
+        for l in 0..self.links.len() {
+            for f in ["q", "p", "y"] {
+                header.push(format!("l{l}_{f}"));
+            }
+        }
+        let mut out = header.join(",");
+        out.push('\n');
+        for k in 0..self.t.len() {
+            let mut row = vec![format!("{:.6}", self.t[k])];
+            for a in &self.agents {
+                row.push(format!("{:.6}", a.x[k]));
+                row.push(format!("{:.6}", a.tau[k]));
+                row.push(format!("{:.6}", a.cwnd[k]));
+                row.push(format!("{:.6}", a.loss[k]));
+                for series in a.extra.values() {
+                    row.push(format!("{:.6}", series[k]));
+                }
+            }
+            for l in &self.links {
+                row.push(format!("{:.6}", l.q[k]));
+                row.push(format!("{:.6}", l.p[k]));
+                row.push(format!("{:.6}", l.y[k]));
+            }
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::new(1, 1);
+        for k in 0..5 {
+            tr.t.push(k as f64 * 0.1);
+            tr.agents[0].x.push(10.0 + k as f64);
+            tr.agents[0].tau.push(0.04);
+            tr.agents[0].cwnd.push(1.0);
+            tr.agents[0].loss.push(0.0);
+            tr.agents[0].x_dlv.push(10.0);
+            tr.links[0].q.push(0.1);
+            tr.links[0].p.push(0.0);
+            tr.links[0].y.push(10.0 + k as f64);
+        }
+        tr
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let tr = sample_trace();
+        assert_eq!(tr.len(), 5);
+        assert!(!tr.is_empty());
+        assert_eq!(tr.max_rate(0), 14.0);
+        assert!((tr.mean_rate(0) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let tr = sample_trace();
+        let csv = tr.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].starts_with("t,a0_x,a0_tau,a0_cwnd,a0_loss"));
+        assert!(lines[0].contains("l0_q"));
+        // Every row has as many fields as the header.
+        let n_cols = lines[0].split(',').count();
+        for l in &lines[1..] {
+            assert_eq!(l.split(',').count(), n_cols);
+        }
+    }
+
+    #[test]
+    fn empty_trace() {
+        let tr = Trace::new(2, 1);
+        assert!(tr.is_empty());
+        assert_eq!(tr.mean_rate(0), 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The aggregate validation sweep behind Figs. 6–10 (and the short-RTT
+//! replicas, Figs. 13–17): every CCA combo × buffer sizes 1–7 BDP ×
+//! {drop-tail, RED}, evaluated on both the fluid model and the packet
+//! simulator, yielding Jain fairness, loss, buffer occupancy,
+//! utilization, and jitter.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use bbr_fluid_core::prelude::*;
+use bbr_packetsim::dumbbell::{run_dumbbell_avg, DumbbellSpec};
+use bbr_packetsim::engine::SimConfig;
+use bbr_packetsim::qdisc::QdiscKind as PktQdisc;
+
+use crate::scenarios::{to_packet_kind, CampaignParams, Combo, COMBOS};
+use crate::Effort;
+
+/// The five §4.3 metrics of one simulation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellMetrics {
+    pub jain: f64,
+    pub loss_percent: f64,
+    pub occupancy_percent: f64,
+    pub utilization_percent: f64,
+    pub jitter_ms: f64,
+}
+
+impl CellMetrics {
+    pub fn get(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::Jain => self.jain,
+            Metric::Loss => self.loss_percent,
+            Metric::Occupancy => self.occupancy_percent,
+            Metric::Utilization => self.utilization_percent,
+            Metric::Jitter => self.jitter_ms,
+        }
+    }
+}
+
+/// Which of the five aggregate metrics a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    Jain,
+    Loss,
+    Occupancy,
+    Utilization,
+    Jitter,
+}
+
+impl Metric {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::Jain => "Jain fairness",
+            Metric::Loss => "Loss [%]",
+            Metric::Occupancy => "Buffer occupancy [%]",
+            Metric::Utilization => "Utilization [%]",
+            Metric::Jitter => "Jitter [ms]",
+        }
+    }
+}
+
+/// Results of a full sweep under one queuing discipline.
+#[derive(Debug, Clone)]
+pub struct SweepTable {
+    pub buffers: Vec<f64>,
+    /// `cells[combo_index][buffer_index] = (model, experiment)`.
+    pub cells: Vec<Vec<(CellMetrics, CellMetrics)>>,
+}
+
+/// Run the fluid model for one cell.
+pub fn model_cell(
+    p: &CampaignParams,
+    combo: &Combo,
+    buffer_bdp: f64,
+    qdisc: QdiscKind,
+    effort: Effort,
+) -> CellMetrics {
+    let cfg = if effort.is_fast() {
+        ModelConfig::coarse()
+    } else {
+        ModelConfig {
+            dt: 2e-5,
+            ..ModelConfig::default()
+        }
+    };
+    let scenario = Scenario::dumbbell(p.n, p.capacity, p.bottleneck_delay, buffer_bdp, qdisc)
+        .rtt_range(p.rtt_lo, p.rtt_hi)
+        .config(cfg);
+    let mut sim = scenario
+        .build(combo.kinds)
+        .expect("scenario construction cannot fail");
+    let report = sim.run(p.duration);
+    let m = report.metrics;
+    CellMetrics {
+        jain: m.jain,
+        loss_percent: m.loss_percent,
+        occupancy_percent: m.occupancy_percent,
+        utilization_percent: m.utilization_percent,
+        jitter_ms: m.jitter_ms,
+    }
+}
+
+/// Run the packet-level experiment for one cell.
+pub fn experiment_cell(
+    p: &CampaignParams,
+    combo: &Combo,
+    buffer_bdp: f64,
+    qdisc: QdiscKind,
+) -> CellMetrics {
+    let pkt_qdisc = match qdisc {
+        QdiscKind::DropTail => PktQdisc::DropTail,
+        QdiscKind::Red => PktQdisc::Red,
+    };
+    let kinds: Vec<_> = combo.kinds.iter().map(|k| to_packet_kind(*k)).collect();
+    let spec = DumbbellSpec::new(p.n, p.capacity, p.bottleneck_delay, buffer_bdp, pkt_qdisc)
+        .rtt_range(p.rtt_lo, p.rtt_hi)
+        .ccas(kinds);
+    let cfg = SimConfig {
+        duration: p.warmup + p.duration,
+        warmup: p.warmup,
+        seed: 42,
+        ..Default::default()
+    };
+    let r = run_dumbbell_avg(&spec, &cfg, p.runs);
+    CellMetrics {
+        jain: r.jain,
+        loss_percent: r.loss_percent,
+        occupancy_percent: r.occupancy_percent,
+        utilization_percent: r.utilization_percent,
+        jitter_ms: r.jitter_ms,
+    }
+}
+
+/// Buffer sizes of the sweep (1–7 BDP; reduced in fast mode).
+pub fn buffer_sizes(effort: Effort) -> Vec<f64> {
+    if effort.is_fast() {
+        vec![1.0, 4.0]
+    } else {
+        (1..=7).map(|b| b as f64).collect()
+    }
+}
+
+/// Run (or fetch from the in-process cache) the full sweep.
+pub fn sweep(p: &CampaignParams, qdisc: QdiscKind, effort: Effort) -> Arc<SweepTable> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<SweepTable>>>> = OnceLock::new();
+    let key = format!(
+        "{}-{}-{:?}-{:?}",
+        p.n, p.bottleneck_delay, qdisc, effort
+    );
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().unwrap().get(&key) {
+        return hit.clone();
+    }
+    let buffers = buffer_sizes(effort);
+    let combos: Vec<&Combo> = if effort.is_fast() {
+        vec![&COMBOS[0], &COMBOS[3], &COMBOS[4]]
+    } else {
+        COMBOS.iter().collect()
+    };
+    let cells = combos
+        .iter()
+        .map(|combo| {
+            buffers
+                .iter()
+                .map(|b| {
+                    (
+                        model_cell(p, combo, *b, qdisc, effort),
+                        experiment_cell(p, combo, *b, qdisc),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let table = Arc::new(SweepTable {
+        buffers,
+        cells,
+    });
+    cache.lock().unwrap().insert(key, table.clone());
+    table
+}
+
+/// The combo labels actually included at the given effort.
+pub fn combo_labels(effort: Effort) -> Vec<&'static str> {
+    if effort.is_fast() {
+        vec![COMBOS[0].label, COMBOS[3].label, COMBOS[4].label]
+    } else {
+        COMBOS.iter().map(|c| c.label).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_cells_produce_sane_metrics() {
+        let p = CampaignParams::default_rtt().fast();
+        let m = model_cell(&p, &COMBOS[0], 2.0, QdiscKind::DropTail, Effort::Fast);
+        assert!(m.jain > 0.0 && m.jain <= 1.0);
+        assert!((0.0..=100.0).contains(&m.loss_percent));
+        assert!((0.0..=100.0).contains(&m.occupancy_percent));
+        assert!(m.utilization_percent > 10.0);
+        let e = experiment_cell(&p, &COMBOS[0], 2.0, QdiscKind::DropTail);
+        assert!(e.jain > 0.0 && e.jain <= 1.0);
+        assert!(e.utilization_percent > 10.0);
+    }
+
+    #[test]
+    fn buffer_sizes_presets() {
+        assert_eq!(buffer_sizes(Effort::Full).len(), 7);
+        assert_eq!(buffer_sizes(Effort::Fast).len(), 2);
+    }
+}

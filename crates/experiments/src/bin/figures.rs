@@ -1,0 +1,74 @@
+//! CLI entry point regenerating the paper's figures.
+//!
+//! ```text
+//! figures <id>... [--fast] [--out DIR]
+//! figures all [--fast]
+//! figures list
+//! ```
+//!
+//! Reports print to stdout; CSV series are written to `--out`
+//! (default `results/`).
+
+use std::path::PathBuf;
+
+use bbr_experiments::figures::{all_ids, run_figure};
+use bbr_experiments::Effort;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: figures <id>...|all|list [--fast] [--out DIR]");
+        std::process::exit(2);
+    }
+    let fast = args.iter().any(|a| a == "--fast");
+    let effort = if fast { Effort::Fast } else { Effort::Full };
+    let out_dir: PathBuf = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    // Drop the --out argument value.
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        if let Some(v) = args.get(i + 1) {
+            ids.retain(|x| x != v);
+        }
+    }
+    if ids.iter().any(|i| i == "list") {
+        for id in all_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = all_ids().iter().map(|s| s.to_string()).collect();
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
+    let mut failed = false;
+    for id in &ids {
+        match run_figure(id, effort) {
+            Some(out) => {
+                println!("{}", out.report);
+                for (name, csv) in &out.csv {
+                    let path = out_dir.join(name);
+                    std::fs::write(&path, csv).expect("cannot write CSV");
+                    eprintln!("wrote {}", path.display());
+                }
+            }
+            None => {
+                eprintln!("unknown figure id: {id} (try `figures list`)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

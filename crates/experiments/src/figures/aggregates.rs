@@ -1,0 +1,153 @@
+//! Aggregate-validation figures: Figs. 6–10 (default RTTs 30–40 ms) and
+//! Figs. 13–17 (short RTTs 10–20 ms, Appendix C). Each figure is one
+//! metric over the full sweep (7 CCA combos × buffers 1–7 BDP ×
+//! {drop-tail, RED}), model vs experiment.
+
+use bbr_fluid_core::topology::QdiscKind;
+
+use crate::aggregate::{combo_labels, sweep, Metric};
+use crate::figures::FigureOutput;
+use crate::scenarios::CampaignParams;
+use crate::table;
+use crate::Effort;
+
+/// The ten aggregate figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFigure {
+    Fig6,
+    Fig7,
+    Fig8,
+    Fig9,
+    Fig10,
+    Fig13,
+    Fig14,
+    Fig15,
+    Fig16,
+    Fig17,
+}
+
+impl AggFigure {
+    pub fn metric(&self) -> Metric {
+        match self {
+            AggFigure::Fig6 | AggFigure::Fig13 => Metric::Jain,
+            AggFigure::Fig7 | AggFigure::Fig14 => Metric::Loss,
+            AggFigure::Fig8 | AggFigure::Fig15 => Metric::Occupancy,
+            AggFigure::Fig9 | AggFigure::Fig16 => Metric::Utilization,
+            AggFigure::Fig10 | AggFigure::Fig17 => Metric::Jitter,
+        }
+    }
+
+    pub fn short_rtt(&self) -> bool {
+        matches!(
+            self,
+            AggFigure::Fig13 | AggFigure::Fig14 | AggFigure::Fig15 | AggFigure::Fig16 | AggFigure::Fig17
+        )
+    }
+
+    pub fn id(&self) -> &'static str {
+        match self {
+            AggFigure::Fig6 => "fig06",
+            AggFigure::Fig7 => "fig07",
+            AggFigure::Fig8 => "fig08",
+            AggFigure::Fig9 => "fig09",
+            AggFigure::Fig10 => "fig10",
+            AggFigure::Fig13 => "fig13",
+            AggFigure::Fig14 => "fig14",
+            AggFigure::Fig15 => "fig15",
+            AggFigure::Fig16 => "fig16",
+            AggFigure::Fig17 => "fig17",
+        }
+    }
+
+    pub fn title(&self) -> &'static str {
+        match self {
+            AggFigure::Fig6 => "Fig. 6 — Fairness validation",
+            AggFigure::Fig7 => "Fig. 7 — Loss validation",
+            AggFigure::Fig8 => "Fig. 8 — Queuing validation",
+            AggFigure::Fig9 => "Fig. 9 — Utilization validation",
+            AggFigure::Fig10 => "Fig. 10 — Jitter validation",
+            AggFigure::Fig13 => "Fig. 13 — Fairness validation (short RTT)",
+            AggFigure::Fig14 => "Fig. 14 — Loss validation (short RTT)",
+            AggFigure::Fig15 => "Fig. 15 — Queuing validation (short RTT)",
+            AggFigure::Fig16 => "Fig. 16 — Utilization validation (short RTT)",
+            AggFigure::Fig17 => "Fig. 17 — Jitter validation (short RTT)",
+        }
+    }
+}
+
+/// Generate one aggregate figure.
+pub fn figure(fig: AggFigure, effort: Effort) -> FigureOutput {
+    let params = if fig.short_rtt() {
+        CampaignParams::short_rtt()
+    } else {
+        CampaignParams::default_rtt()
+    };
+    let params = if effort.is_fast() {
+        params.fast()
+    } else {
+        params
+    };
+    let metric = fig.metric();
+    let labels = combo_labels(effort);
+
+    let mut report = String::new();
+    let mut csv = Vec::new();
+    for (qdisc, qlabel) in [(QdiscKind::DropTail, "drop-tail"), (QdiscKind::Red, "RED")] {
+        let sw = sweep(&params, qdisc, effort);
+        let mut header: Vec<String> = vec!["buffer[BDP]".into()];
+        for l in &labels {
+            header.push(format!("m {l}"));
+        }
+        for l in &labels {
+            header.push(format!("e {l}"));
+        }
+        let mut rows = Vec::new();
+        for (bi, b) in sw.buffers.iter().enumerate() {
+            let mut row = vec![table::f1(*b)];
+            for ci in 0..labels.len() {
+                row.push(table::f3(sw.cells[ci][bi].0.get(metric)));
+            }
+            for ci in 0..labels.len() {
+                row.push(table::f3(sw.cells[ci][bi].1.get(metric)));
+            }
+            rows.push(row);
+        }
+        report.push_str(&table::render(
+            &format!(
+                "{} — {} — {} (m = model, e = experiment)",
+                fig.title(),
+                metric.label(),
+                qlabel
+            ),
+            &header,
+            &rows,
+        ));
+        report.push('\n');
+        csv.push((
+            format!("{}_{}.csv", fig.id(), qlabel.replace('-', "")),
+            table::to_csv(&header, &rows),
+        ));
+    }
+    FigureOutput {
+        id: fig.id(),
+        title: fig.title(),
+        report,
+        csv,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_mapping_matches_paper() {
+        assert_eq!(AggFigure::Fig6.metric(), Metric::Jain);
+        assert_eq!(AggFigure::Fig7.metric(), Metric::Loss);
+        assert_eq!(AggFigure::Fig8.metric(), Metric::Occupancy);
+        assert_eq!(AggFigure::Fig9.metric(), Metric::Utilization);
+        assert_eq!(AggFigure::Fig10.metric(), Metric::Jitter);
+        assert!(AggFigure::Fig15.short_rtt());
+        assert!(!AggFigure::Fig8.short_rtt());
+    }
+}

@@ -1,0 +1,429 @@
+//! Experiments beyond the paper's figures: the Insight-5
+//! initial-condition sweep, the multi-bottleneck (parking-lot) scenario
+//! the paper names as future work, and ablations of the fluid-model
+//! knobs.
+
+use bbr_fluid_core::cca::{build, BbrV2, CcaKind, FluidCca, ScenarioHint, WhiInit};
+use bbr_fluid_core::config::{ModelConfig, ResetMode};
+use bbr_fluid_core::prelude::*;
+use bbr_fluid_core::topology::{LinkId, LinkSpec, Network, PathSpec};
+use bbr_packetsim::engine::SimConfig as PktSimConfig;
+use bbr_packetsim::parking_lot::{run_parking_lot, ParkingLotSpec};
+use bbr_packetsim::qdisc::QdiscKind as PktQdisc;
+
+use crate::figures::FigureOutput;
+use crate::table;
+use crate::Effort;
+
+/// Insight 5: BBRv2's buffer occupancy in deep drop-tail buffers depends
+/// on the start-up `inflight_hi` estimate. Sweeps the buffer size under
+/// three initial conditions for `w_hi`.
+pub fn insight5(effort: Effort) -> FigureOutput {
+    let (n, duration, cfg) = if effort.is_fast() {
+        (
+            4,
+            1.5,
+            ModelConfig {
+                // Reference-implementation inflight_lo semantics: the
+                // short-term bound stays unset until loss occurs, so the
+                // loose 2-BDP fallback of Insight 5 can actually bind.
+                bbr2_wlo_unset: true,
+                ..ModelConfig::coarse()
+            },
+        )
+    } else {
+        (
+            10,
+            5.0,
+            ModelConfig {
+                dt: 2e-5,
+                bbr2_wlo_unset: true,
+                ..ModelConfig::default()
+            },
+        )
+    };
+    let buffers: Vec<f64> = if effort.is_fast() {
+        vec![1.0, 5.0]
+    } else {
+        (1..=7).map(|b| b as f64).collect()
+    };
+    let inits: [(&str, WhiInit); 3] = [
+        ("tight (1.25 w̄)", WhiInit::Tight { factor: 1.25 }),
+        ("buffer-dependent", WhiInit::BufferDependent),
+        ("unset (∞)", WhiInit::Unset),
+    ];
+    let header: Vec<String> = std::iter::once("buffer[BDP]".to_string())
+        .chain(inits.iter().map(|(l, _)| format!("occ% {l}")))
+        .collect();
+    let mut rows = Vec::new();
+    for b in &buffers {
+        let mut row = vec![table::f1(*b)];
+        for (_, init) in &inits {
+            let scenario = Scenario::dumbbell(n, 100.0, 0.010, *b, QdiscKind::DropTail)
+                .rtt_range(0.030, 0.040)
+                .config(cfg.clone());
+            let init = *init;
+            let mut sim = scenario
+                .build_with(|_i, hint, cfg| {
+                    Box::new(BbrV2::with_whi_init(hint, cfg, init)) as Box<dyn FluidCca>
+                })
+                .unwrap();
+            let m = sim.run(duration).metrics;
+            row.push(table::f1(m.occupancy_percent));
+        }
+        rows.push(row);
+    }
+    let report = table::render(
+        "Insight 5 — BBRv2 buffer occupancy vs initial inflight_hi (drop-tail, homogeneous)",
+        &header,
+        &rows,
+    );
+    FigureOutput {
+        id: "insight5",
+        title: "Insight 5: BBRv2 deep-buffer bufferbloat",
+        csv: vec![("insight5.csv".into(), table::to_csv(&header, &rows))],
+        report,
+    }
+}
+
+/// Multi-bottleneck parking lot (the paper's stated follow-up work):
+/// agent 0 crosses two bottlenecks, agents 1 and 2 cross one each.
+pub fn parking_lot(effort: Effort) -> FigureOutput {
+    let cfg = if effort.is_fast() {
+        ModelConfig::coarse()
+    } else {
+        ModelConfig {
+            dt: 2e-5,
+            ..ModelConfig::default()
+        }
+    };
+    let duration = if effort.is_fast() { 2.0 } else { 8.0 };
+    let c1 = 100.0;
+    let c2 = 80.0;
+    let mk_net = || -> Network {
+        let bdp = 100.0 * 0.030;
+        Network {
+            links: vec![
+                LinkSpec {
+                    capacity: c1,
+                    buffer: bdp,
+                    prop_delay: 0.010,
+                    qdisc: QdiscKind::DropTail,
+                },
+                LinkSpec {
+                    capacity: c2,
+                    buffer: bdp,
+                    prop_delay: 0.010,
+                    qdisc: QdiscKind::DropTail,
+                },
+            ],
+            paths: vec![
+                // Agent 0: both bottlenecks.
+                PathSpec {
+                    links: vec![LinkId(0), LinkId(1)],
+                    extra_fwd_delay: 0.005,
+                    extra_bwd_delay: 0.005,
+                },
+                // Agent 1: first link only.
+                PathSpec {
+                    links: vec![LinkId(0)],
+                    extra_fwd_delay: 0.005,
+                    extra_bwd_delay: 0.015,
+                },
+                // Agent 2: second link only.
+                PathSpec {
+                    links: vec![LinkId(1)],
+                    extra_fwd_delay: 0.015,
+                    extra_bwd_delay: 0.005,
+                },
+            ],
+        }
+    };
+    let mut report = String::new();
+    let mut csv = Vec::new();
+    for kind in [CcaKind::BbrV1, CcaKind::BbrV2] {
+        let net = mk_net();
+        let agents: Vec<Box<dyn FluidCca>> = (0..3)
+            .map(|i| {
+                let hint = ScenarioHint {
+                    capacity: if i == 2 { c2 } else { c1 },
+                    prop_rtt: net.prop_rtt(i),
+                    n_agents: 2,
+                    buffer: net.links[0].buffer,
+                    agent_index: i,
+                };
+                build(kind, &hint, &cfg)
+            })
+            .collect();
+        let mut sim = bbr_fluid_core::sim::Simulator::new(net, cfg.clone(), agents).unwrap();
+        let m = sim.run(duration).metrics;
+        // Packet-level cross-check of the same topology.
+        let pkt_kind = crate::scenarios::to_packet_kind(kind);
+        let pkt_spec = ParkingLotSpec {
+            c1_mbps: c1,
+            c2_mbps: c2,
+            link_delay: 0.010,
+            buffer_bytes: 100.0 * 0.030 * 1e6 / 8.0,
+            qdisc: PktQdisc::DropTail,
+            ccas: [pkt_kind; 3],
+        };
+        let pkt_cfg = PktSimConfig {
+            duration: duration + 1.0,
+            warmup: 1.0,
+            seed: 13,
+            ..Default::default()
+        };
+        let pkt = run_parking_lot(&pkt_spec, &pkt_cfg);
+        let header: Vec<String> = [
+            "agent",
+            "path",
+            "model rate [Mbit/s]",
+            "experiment rate [Mbit/s]",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let paths = ["ℓ1+ℓ2", "ℓ1", "ℓ2"];
+        let rows: Vec<Vec<String>> = (0..3)
+            .map(|i| {
+                vec![
+                    format!("{i}"),
+                    paths[i].to_string(),
+                    format!("{:.2}", m.mean_rates[i]),
+                    format!("{:.2}", pkt.throughput_mbps[i]),
+                ]
+            })
+            .collect();
+        report.push_str(&table::render(
+            &format!(
+                "Parking lot ({kind}): C1 = {c1}, C2 = {c2} Mbit/s; link occupancy \
+                 {:.0} % / {:.0} %",
+                m.per_link_occupancy[0], m.per_link_occupancy[1]
+            ),
+            &header,
+            &rows,
+        ));
+        report.push('\n');
+        csv.push((
+            format!("parking_lot_{}.csv", kind.name().to_lowercase()),
+            table::to_csv(&header, &rows),
+        ));
+    }
+    FigureOutput {
+        id: "parking_lot",
+        title: "Multi-bottleneck parking lot (extension)",
+        report,
+        csv,
+    }
+}
+
+/// Start-up extension: run BBRv2 with the modelled Startup/Drain phase
+/// (the paper omits it, Insight 9) and compare the deep-buffer occupancy
+/// against the configured-initial-condition runs of [`insight5`]. With
+/// the start-up modelled, `inflight_hi` materializes organically: in
+/// shallow buffers start-up loss sets a tight bound; in deep buffers no
+/// loss occurs, the bound stays unset, and the loose 2-BDP fallback
+/// produces the Insight-5 bufferbloat.
+pub fn startup(effort: Effort) -> FigureOutput {
+    let (n, duration, cfg) = if effort.is_fast() {
+        (
+            4,
+            2.0,
+            ModelConfig {
+                model_startup: true,
+                bbr2_wlo_unset: true,
+                ..ModelConfig::coarse()
+            },
+        )
+    } else {
+        (
+            10,
+            6.0,
+            ModelConfig {
+                dt: 2e-5,
+                model_startup: true,
+                bbr2_wlo_unset: true,
+                ..ModelConfig::default()
+            },
+        )
+    };
+    let buffers: Vec<f64> = if effort.is_fast() {
+        vec![1.0, 5.0]
+    } else {
+        (1..=7).map(|b| b as f64).collect()
+    };
+    let header: Vec<String> = [
+        "buffer[BDP]",
+        "occ[%]",
+        "loss[%]",
+        "util[%]",
+        "whi set [flows]",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for b in &buffers {
+        let scenario = Scenario::dumbbell(n, 100.0, 0.010, *b, QdiscKind::DropTail)
+            .rtt_range(0.030, 0.040)
+            .config(cfg.clone());
+        let mut sim = scenario.build(&[CcaKind::BbrV2]).unwrap();
+        let m = sim.run(duration).metrics;
+        // Count agents whose inflight_hi was materialized during start-up.
+        let mut telemetry = Vec::new();
+        let whi_set = sim
+            .agents()
+            .iter()
+            .filter(|a| {
+                telemetry.clear();
+                a.telemetry(&mut telemetry);
+                telemetry
+                    .iter()
+                    .any(|(k, v)| *k == "w_hi" && *v >= 0.0)
+            })
+            .count();
+        rows.push(vec![
+            table::f1(*b),
+            table::f1(m.occupancy_percent),
+            table::f1(m.loss_percent),
+            table::f1(m.utilization_percent),
+            format!("{whi_set}/{n}"),
+        ]);
+    }
+    let report = table::render(
+        "Start-up extension — BBRv2 with modelled Startup/Drain (drop-tail, homogeneous)",
+        &header,
+        &rows,
+    );
+    FigureOutput {
+        id: "startup",
+        title: "Modelled start-up phase (extension)",
+        csv: vec![("startup.csv".into(), table::to_csv(&header, &rows))],
+        report,
+    }
+}
+
+/// Ablations of the modelling knobs the paper introduces: sigmoid
+/// sharpness K, drop-tail exponent L, integration step, and the
+/// reset-mode realization (discrete vs literal sigmoid relaxation).
+pub fn ablation(effort: Effort) -> FigureOutput {
+    let duration = if effort.is_fast() { 1.5 } else { 5.0 };
+    let base = if effort.is_fast() {
+        ModelConfig::coarse()
+    } else {
+        ModelConfig {
+            dt: 2e-5,
+            ..ModelConfig::default()
+        }
+    };
+    let variants: Vec<(String, ModelConfig)> = vec![
+        ("baseline".into(), base.clone()),
+        (
+            "dt ×5".into(),
+            ModelConfig {
+                dt: base.dt * 5.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "L = 5".into(),
+            ModelConfig {
+                drop_exp_l: 5.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "L = 50".into(),
+            ModelConfig {
+                drop_exp_l: 50.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "soft σ (K/10)".into(),
+            ModelConfig {
+                k_time: base.k_time / 10.0,
+                k_rate: base.k_rate / 10.0,
+                ..base.clone()
+            },
+        ),
+        (
+            "smooth resets (gain 200)".into(),
+            ModelConfig {
+                reset_mode: ResetMode::Smooth { gain: 200.0 },
+                ..base.clone()
+            },
+        ),
+        (
+            "max filter on send rate".into(),
+            ModelConfig {
+                max_filter_on_send_rate: true,
+                ..base.clone()
+            },
+        ),
+    ];
+    let header: Vec<String> = ["variant", "util[%]", "loss[%]", "occ[%]", "jain"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for (label, cfg) in variants {
+        let scenario = Scenario::dumbbell(4, 100.0, 0.010, 1.0, QdiscKind::DropTail)
+            .rtt_range(0.030, 0.040)
+            .config(cfg);
+        let mut sim = scenario.build(&[CcaKind::BbrV1]).unwrap();
+        let m = sim.run(duration).metrics;
+        rows.push(vec![
+            label,
+            table::f1(m.utilization_percent),
+            table::f1(m.loss_percent),
+            table::f1(m.occupancy_percent),
+            table::f3(m.jain),
+        ]);
+    }
+    let report = table::render(
+        "Ablation — fluid-model knobs on 4 BBRv1 flows, drop-tail, 1 BDP",
+        &header,
+        &rows,
+    );
+    FigureOutput {
+        id: "ablation",
+        title: "Fluid-model ablations",
+        csv: vec![("ablation.csv".into(), table::to_csv(&header, &rows))],
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insight5_fast_runs() {
+        let out = insight5(Effort::Fast);
+        assert!(out.report.contains("buffer-dependent"));
+        // Rows: one per buffer size in fast mode.
+        assert_eq!(out.csv.len(), 1);
+    }
+
+    #[test]
+    fn parking_lot_has_both_versions() {
+        let out = parking_lot(Effort::Fast);
+        assert!(out.report.contains("BBRv1"));
+        assert!(out.report.contains("BBRv2"));
+    }
+
+    #[test]
+    fn startup_extension_runs() {
+        let out = startup(Effort::Fast);
+        assert!(out.report.contains("whi set"));
+    }
+
+    #[test]
+    fn ablation_covers_knobs() {
+        let out = ablation(Effort::Fast);
+        for needle in ["baseline", "dt ×5", "L = 5", "smooth resets"] {
+            assert!(out.report.contains(needle), "missing {needle}");
+        }
+    }
+}

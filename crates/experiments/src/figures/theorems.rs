@@ -1,0 +1,70 @@
+//! The §5 theoretical results as an executable report.
+
+use bbr_analysis::{
+    theorem1_equilibrium, theorem2_stability, theorem3_shallow, theorem4_equilibrium,
+    theorem5_stability,
+};
+
+use crate::figures::FigureOutput;
+use crate::table;
+use crate::Effort;
+
+/// Run the Theorem 1–5 checks for the paper's validation parameters.
+pub fn run(effort: Effort) -> FigureOutput {
+    let (n, c, d) = if effort.is_fast() {
+        (4, 100.0, 0.035)
+    } else {
+        (10, 100.0, 0.035)
+    };
+    let reports = [
+        theorem1_equilibrium(n, c, d),
+        theorem2_stability(n, c, d),
+        theorem3_shallow(n, c, d),
+        theorem4_equilibrium(n, c, d),
+        theorem5_stability(n, c, d),
+    ];
+    let header: Vec<String> = ["theorem", "holds", "max Re λ", "residual", "statement"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                if r.holds { "yes" } else { "NO" }.to_string(),
+                if r.max_re_lambda.is_nan() {
+                    "—".to_string()
+                } else {
+                    format!("{:.4}", r.max_re_lambda)
+                },
+                format!("{:.2e}", r.residual),
+                // Commas would break the CSV attachment.
+                r.statement.replace(',', ";"),
+            ]
+        })
+        .collect();
+    let report = table::render(
+        &format!("§5 stability analysis (N = {n}, C = {c} Mbit/s, d = {d} s)"),
+        &header,
+        &rows,
+    );
+    FigureOutput {
+        id: "thm",
+        title: "Theorems 1–5",
+        csv: vec![("theorems.csv".into(), table::to_csv(&header, &rows))],
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_theorems_hold_in_fast_mode() {
+        let out = run(Effort::Fast);
+        assert!(!out.report.contains(" NO"), "{}", out.report);
+        assert!(out.report.contains("Theorem 5"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Reproduction harness for the paper's evaluation: one generator per
+//! figure (Figs. 1–2, 4–17), the Theorem 1–5 checks, and the extension
+//! experiments (multi-bottleneck, ablations, Insight-5 initial-condition
+//! sweep).
+//!
+//! Every generator returns its report as a `String` (so benches and
+//! tests can call it) and is exposed through the `figures` binary:
+//!
+//! ```text
+//! cargo run --release -p bbr-experiments --bin figures -- fig06
+//! cargo run --release -p bbr-experiments --bin figures -- all --fast
+//! ```
+
+pub mod aggregate;
+pub mod figures;
+pub mod scenarios;
+pub mod table;
+
+/// Speed preset for a generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Paper-scale parameters (buffers 1–7 BDP, 5 s windows, fine step).
+    Full,
+    /// Reduced parameters for benches / smoke tests.
+    Fast,
+}
+
+impl Effort {
+    pub fn is_fast(&self) -> bool {
+        matches!(self, Effort::Fast)
+    }
+}

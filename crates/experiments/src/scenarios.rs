@@ -1,0 +1,145 @@
+//! The CCA mixes of the paper's aggregate validation (§4.3) and shared
+//! scenario plumbing between the fluid model and the packet simulator.
+
+use bbr_fluid_core::cca::CcaKind;
+use bbr_packetsim::cca::PacketCcaKind;
+
+/// One line of the paper's figure legends: a homogeneous CCA or a
+/// half/half mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Combo {
+    pub label: &'static str,
+    pub kinds: &'static [CcaKind],
+}
+
+/// The seven combinations of Figs. 6–10 (each mix runs on N/2 + N/2
+/// senders).
+pub const COMBOS: [Combo; 7] = [
+    Combo {
+        label: "BBRv1",
+        kinds: &[CcaKind::BbrV1],
+    },
+    Combo {
+        label: "BBRv1/BBRv2",
+        kinds: &[CcaKind::BbrV1, CcaKind::BbrV2],
+    },
+    Combo {
+        label: "BBRv1/CUBIC",
+        kinds: &[CcaKind::BbrV1, CcaKind::Cubic],
+    },
+    Combo {
+        label: "BBRv1/RENO",
+        kinds: &[CcaKind::BbrV1, CcaKind::Reno],
+    },
+    Combo {
+        label: "BBRv2",
+        kinds: &[CcaKind::BbrV2],
+    },
+    Combo {
+        label: "BBRv2/CUBIC",
+        kinds: &[CcaKind::BbrV2, CcaKind::Cubic],
+    },
+    Combo {
+        label: "BBRv2/RENO",
+        kinds: &[CcaKind::BbrV2, CcaKind::Reno],
+    },
+];
+
+/// Map a fluid CCA kind to its packet-level counterpart.
+pub fn to_packet_kind(kind: CcaKind) -> PacketCcaKind {
+    match kind {
+        CcaKind::Reno => PacketCcaKind::Reno,
+        CcaKind::Cubic => PacketCcaKind::Cubic,
+        CcaKind::BbrV1 => PacketCcaKind::BbrV1,
+        CcaKind::BbrV2 => PacketCcaKind::BbrV2,
+    }
+}
+
+/// Network parameters of one validation campaign (§4.3 default vs the
+/// Appendix C short-RTT replica).
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignParams {
+    pub n: usize,
+    pub capacity: f64,
+    pub bottleneck_delay: f64,
+    pub rtt_lo: f64,
+    pub rtt_hi: f64,
+    /// Measurement window (s).
+    pub duration: f64,
+    /// Packet-sim warm-up excluded from metrics (s).
+    pub warmup: f64,
+    /// Experiment runs to average.
+    pub runs: usize,
+}
+
+impl CampaignParams {
+    /// §4.3: N = 10, C = 100 Mbit/s, bottleneck 10 ms, RTTs 30–40 ms,
+    /// 5 s traces, 3 runs.
+    pub fn default_rtt() -> Self {
+        Self {
+            n: 10,
+            capacity: 100.0,
+            bottleneck_delay: 0.010,
+            rtt_lo: 0.030,
+            rtt_hi: 0.040,
+            duration: 5.0,
+            warmup: 1.0,
+            runs: 3,
+        }
+    }
+
+    /// Appendix C: bottleneck 5 ms, RTTs 10–20 ms.
+    pub fn short_rtt() -> Self {
+        Self {
+            bottleneck_delay: 0.005,
+            rtt_lo: 0.010,
+            rtt_hi: 0.020,
+            ..Self::default_rtt()
+        }
+    }
+
+    /// Reduced-size variant for fast mode.
+    pub fn fast(mut self) -> Self {
+        self.n = 4;
+        self.duration = 1.5;
+        self.warmup = 0.5;
+        self.runs = 1;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_combos_match_paper_legend() {
+        assert_eq!(COMBOS.len(), 7);
+        assert_eq!(COMBOS[0].label, "BBRv1");
+        assert_eq!(COMBOS[4].label, "BBRv2");
+        // Mixes have exactly two kinds; homogeneous have one.
+        for c in &COMBOS {
+            let expected = if c.label.contains('/') { 2 } else { 1 };
+            assert_eq!(c.kinds.len(), expected, "{}", c.label);
+        }
+    }
+
+    #[test]
+    fn packet_kind_mapping_total() {
+        for k in [CcaKind::Reno, CcaKind::Cubic, CcaKind::BbrV1, CcaKind::BbrV2] {
+            let p = to_packet_kind(k);
+            assert_eq!(p.name(), k.name());
+        }
+    }
+
+    #[test]
+    fn campaigns() {
+        let d = CampaignParams::default_rtt();
+        assert_eq!(d.n, 10);
+        let s = CampaignParams::short_rtt();
+        assert!(s.rtt_hi < d.rtt_lo + 1e-12 + 0.011);
+        assert!(s.bottleneck_delay < d.bottleneck_delay);
+        let f = d.fast();
+        assert!(f.n < d.n && f.duration < d.duration);
+    }
+}

@@ -1,0 +1,138 @@
+//! Minimal complex numbers (eigenvalues of real matrices come in
+//! conjugate pairs).
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A complex number `re + i·im`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Modulus |z|.
+    pub fn abs(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(&self) -> Self {
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).max(0.0).sqrt();
+        let im = ((r - self.re) / 2.0).max(0.0).sqrt();
+        Self::new(re, if self.im >= 0.0 { im } else { -im })
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, o: Complex) -> Complex {
+        let d = o.re * o.re + o.im * o.im;
+        Complex::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im.abs() < 1e-12 {
+            write!(f, "{:.6}", self.re)
+        } else if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back.re - a.re).abs() < 1e-12);
+        assert!((back.im - a.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_of_negative_real() {
+        let z = Complex::real(-4.0);
+        let s = z.sqrt();
+        assert!((s.re).abs() < 1e-12);
+        assert!((s.im - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for (re, im) in [(3.0, 4.0), (-2.0, 1.0), (0.5, -0.25)] {
+            let z = Complex::new(re, im);
+            let s = z.sqrt();
+            let sq = s * s;
+            assert!((sq.re - re).abs() < 1e-10);
+            assert!((sq.im - im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn abs_and_conj() {
+        let z = Complex::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+    }
+}

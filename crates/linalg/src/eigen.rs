@@ -1,0 +1,428 @@
+//! Eigenvalues of real square matrices: Hessenberg reduction followed by
+//! the Francis implicit double-shift QR iteration (the classic `elmhes` +
+//! `hqr` pair, cf. Numerical Recipes §11.5–11.6 / Golub & Van Loan).
+//!
+//! Only eigenvalues are computed (no vectors) — exactly what the indirect
+//! Lyapunov method of the paper's §5 needs.
+
+// The Hessenberg/QR routines below are direct transcriptions of the
+// classic 1-indexed algorithms; index-based loops keep them reviewable
+// against the reference formulation.
+#![allow(clippy::needless_range_loop, clippy::manual_swap)]
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+
+/// Compute all eigenvalues of a real square matrix.
+///
+/// Returns `Err` if the QR iteration fails to converge (does not happen
+/// for the well-conditioned Jacobians of the stability analysis; guarded
+/// anyway).
+pub fn eigenvalues(a: &Matrix) -> Result<Vec<Complex>, String> {
+    assert!(a.is_square(), "eigenvalues need a square matrix");
+    let n = a.rows();
+    if n == 1 {
+        return Ok(vec![Complex::real(a[(0, 0)])]);
+    }
+    // 1-indexed working copy (direct transcription of the classic
+    // algorithms keeps the index arithmetic honest).
+    let mut w = vec![vec![0.0f64; n + 1]; n + 1];
+    for i in 0..n {
+        for j in 0..n {
+            w[i + 1][j + 1] = a[(i, j)];
+        }
+    }
+    elmhes(&mut w, n);
+    // Below-subdiagonal entries hold elimination multipliers; hqr treats
+    // them as zero, so zero them explicitly.
+    for i in 1..=n {
+        for j in 1..=n {
+            if i > j + 1 {
+                w[i][j] = 0.0;
+            }
+        }
+    }
+    hqr(&mut w, n)
+}
+
+/// Largest real part among the eigenvalues (the stability margin: the
+/// equilibrium is asymptotically stable iff this is negative).
+pub fn max_real_part(a: &Matrix) -> Result<f64, String> {
+    Ok(eigenvalues(a)?
+        .iter()
+        .map(|z| z.re)
+        .fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Reduce to upper Hessenberg form by stabilized elementary similarity
+/// transformations (1-indexed in-place).
+fn elmhes(a: &mut [Vec<f64>], n: usize) {
+    for m in 2..n {
+        let mut x = 0.0f64;
+        let mut i = m;
+        for j in m..=n {
+            if a[j][m - 1].abs() > x.abs() {
+                x = a[j][m - 1];
+                i = j;
+            }
+        }
+        if i != m {
+            // Similarity permutation: swap rows i↔m (from column m−1 on)
+            // and columns i↔m.
+            for j in (m - 1)..=n {
+                let tmp = a[i][j];
+                a[i][j] = a[m][j];
+                a[m][j] = tmp;
+            }
+            for j in 1..=n {
+                let tmp = a[j][i];
+                a[j][i] = a[j][m];
+                a[j][m] = tmp;
+            }
+        }
+        if x != 0.0 {
+            for i in (m + 1)..=n {
+                let mut y = a[i][m - 1];
+                if y != 0.0 {
+                    y /= x;
+                    a[i][m - 1] = y;
+                    for j in m..=n {
+                        let sub = y * a[m][j];
+                        a[i][j] -= sub;
+                    }
+                    for j in 1..=n {
+                        let add = y * a[j][i];
+                        a[j][m] += add;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn sign(a: f64, b: f64) -> f64 {
+    if b >= 0.0 {
+        a.abs()
+    } else {
+        -a.abs()
+    }
+}
+
+/// Francis double-shift QR on an upper Hessenberg matrix (1-indexed
+/// in-place); returns the eigenvalues.
+#[allow(clippy::needless_range_loop)]
+fn hqr(a: &mut [Vec<f64>], n: usize) -> Result<Vec<Complex>, String> {
+    let eps = f64::EPSILON;
+    let mut wr = vec![0.0f64; n + 1];
+    let mut wi = vec![0.0f64; n + 1];
+    let mut anorm = 0.0;
+    for i in 1..=n {
+        for j in i.saturating_sub(1).max(1)..=n {
+            anorm += a[i][j].abs();
+        }
+    }
+    let mut nn = n;
+    let mut t = 0.0f64;
+    'outer: while nn >= 1 {
+        let mut its = 0;
+        loop {
+            // Find small subdiagonal element.
+            let mut l = nn;
+            while l >= 2 {
+                let mut s = a[l - 1][l - 1].abs() + a[l][l].abs();
+                if s == 0.0 {
+                    s = anorm;
+                }
+                if a[l][l - 1].abs() <= eps * s {
+                    a[l][l - 1] = 0.0;
+                    break;
+                }
+                l -= 1;
+            }
+            let mut x = a[nn][nn];
+            if l == nn {
+                // One real root.
+                wr[nn] = x + t;
+                wi[nn] = 0.0;
+                nn -= 1;
+                continue 'outer;
+            }
+            let mut y = a[nn - 1][nn - 1];
+            let mut w = a[nn][nn - 1] * a[nn - 1][nn];
+            if l == nn - 1 {
+                // A 2×2 block: two roots.
+                let p = 0.5 * (y - x);
+                let q = p * p + w;
+                let z = q.abs().sqrt();
+                x += t;
+                if q >= 0.0 {
+                    let z = p + sign(z, p);
+                    wr[nn - 1] = x + z;
+                    wr[nn] = wr[nn - 1];
+                    if z != 0.0 {
+                        wr[nn] = x - w / z;
+                    }
+                    wi[nn - 1] = 0.0;
+                    wi[nn] = 0.0;
+                } else {
+                    wr[nn - 1] = x + p;
+                    wr[nn] = x + p;
+                    wi[nn] = z;
+                    wi[nn - 1] = -z;
+                }
+                nn -= 2;
+                continue 'outer;
+            }
+            // No root yet: a QR step.
+            if its == 30 {
+                return Err("too many QR iterations".into());
+            }
+            if its == 10 || its == 20 {
+                // Exceptional shift.
+                t += x;
+                for i in 1..=nn {
+                    a[i][i] -= x;
+                }
+                let s = a[nn][nn - 1].abs() + a[nn - 1][nn - 2].abs();
+                x = 0.75 * s;
+                y = x;
+                w = -0.4375 * s * s;
+            }
+            its += 1;
+            // Look for two consecutive small subdiagonal elements.
+            let mut m = nn - 2;
+            let (mut p, mut q, mut r);
+            loop {
+                let z = a[m][m];
+                let rr = x - z;
+                let ss = y - z;
+                p = (rr * ss - w) / a[m + 1][m] + a[m][m + 1];
+                q = a[m + 1][m + 1] - z - rr - ss;
+                r = a[m + 2][m + 1];
+                let scale = p.abs() + q.abs() + r.abs();
+                p /= scale;
+                q /= scale;
+                r /= scale;
+                if m == l {
+                    break;
+                }
+                let u = a[m][m - 1].abs() * (q.abs() + r.abs());
+                let v = p.abs() * (a[m - 1][m - 1].abs() + z.abs() + a[m + 1][m + 1].abs());
+                if u <= eps * v {
+                    break;
+                }
+                m -= 1;
+            }
+            for i in (m + 2)..=nn {
+                a[i][i - 2] = 0.0;
+                if i != m + 2 {
+                    a[i][i - 3] = 0.0;
+                }
+            }
+            // Double QR step (bulge chase) on rows l..nn.
+            for k in m..=(nn - 1) {
+                if k != m {
+                    p = a[k][k - 1];
+                    q = a[k + 1][k - 1];
+                    r = if k != nn - 1 { a[k + 2][k - 1] } else { 0.0 };
+                    x = p.abs() + q.abs() + r.abs();
+                    if x != 0.0 {
+                        p /= x;
+                        q /= x;
+                        r /= x;
+                    }
+                }
+                let s = sign((p * p + q * q + r * r).sqrt(), p);
+                if s == 0.0 {
+                    continue;
+                }
+                if k == m {
+                    if l != m {
+                        a[k][k - 1] = -a[k][k - 1];
+                    }
+                } else {
+                    a[k][k - 1] = -s * x;
+                }
+                p += s;
+                x = p / s;
+                y = q / s;
+                let z = r / s;
+                q /= p;
+                r /= p;
+                // Row modification.
+                for j in k..=nn {
+                    let mut pp = a[k][j] + q * a[k + 1][j];
+                    if k != nn - 1 {
+                        pp += r * a[k + 2][j];
+                        a[k + 2][j] -= pp * z;
+                    }
+                    a[k + 1][j] -= pp * y;
+                    a[k][j] -= pp * x;
+                }
+                // Column modification.
+                let mmin = nn.min(k + 3);
+                for i in l..=mmin {
+                    let mut pp = x * a[i][k] + y * a[i][k + 1];
+                    if k != nn - 1 {
+                        pp += z * a[i][k + 2];
+                        a[i][k + 2] -= pp * r;
+                    }
+                    a[i][k + 1] -= pp * q;
+                    a[i][k] -= pp;
+                }
+            }
+        }
+    }
+    let mut out: Vec<Complex> = (1..=n).map(|i| Complex::new(wr[i], wi[i])).collect();
+    // Deterministic order: by real part, then imaginary part.
+    out.sort_by(|a, b| {
+        a.re.partial_cmp(&b.re)
+            .unwrap()
+            .then(a.im.partial_cmp(&b.im).unwrap())
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::Lu;
+
+    fn assert_spectrum(m: &Matrix, expected: &[Complex], tol: f64) {
+        let mut got = eigenvalues(m).unwrap();
+        let mut exp = expected.to_vec();
+        exp.sort_by(|a, b| {
+            a.re.partial_cmp(&b.re)
+                .unwrap()
+                .then(a.im.partial_cmp(&b.im).unwrap())
+        });
+        got.sort_by(|a, b| {
+            a.re.partial_cmp(&b.re)
+                .unwrap()
+                .then(a.im.partial_cmp(&b.im).unwrap())
+        });
+        assert_eq!(got.len(), exp.len());
+        for (g, e) in got.iter().zip(&exp) {
+            assert!(
+                (g.re - e.re).abs() < tol && (g.im - e.im).abs() < tol,
+                "got {g}, expected {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let m = Matrix::from_rows(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, -1.0, 0.0],
+            vec![0.0, 0.0, 7.5],
+        ]);
+        assert_spectrum(
+            &m,
+            &[Complex::real(3.0), Complex::real(-1.0), Complex::real(7.5)],
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn rotation_scaling_block_has_complex_pair() {
+        // [[a, -b], [b, a]] has eigenvalues a ± b·i.
+        let m = Matrix::from_rows(&[vec![2.0, -3.0], vec![3.0, 2.0]]);
+        assert_spectrum(
+            &m,
+            &[Complex::new(2.0, 3.0), Complex::new(2.0, -3.0)],
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn companion_matrix_roots() {
+        // x³ − 6x² + 11x − 6 = (x−1)(x−2)(x−3).
+        let m = Matrix::from_rows(&[
+            vec![6.0, -11.0, 6.0],
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+        ]);
+        assert_spectrum(
+            &m,
+            &[Complex::real(1.0), Complex::real(2.0), Complex::real(3.0)],
+            1e-8,
+        );
+    }
+
+    #[test]
+    fn laplacian_tridiagonal_spectrum() {
+        // Tridiag(1, −2, 1) of size n: λ_k = −2 + 2·cos(kπ/(n+1)).
+        let n = 8;
+        let m = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                -2.0
+            } else if i.abs_diff(j) == 1 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let expected: Vec<Complex> = (1..=n)
+            .map(|k| Complex::real(-2.0 + 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos()))
+            .collect();
+        assert_spectrum(&m, &expected, 1e-8);
+    }
+
+    #[test]
+    fn rank_one_plus_diagonal_structure() {
+        // J = (d − o)·I + o·𝟙𝟙ᵀ: eigenvalues d − o (×(n−1)) and
+        // d + (n−1)·o — the structure of the paper's Theorem 3 Jacobian.
+        let n = 6;
+        let d = -5.0 / 25.0;
+        let o = -4.0 / 25.0;
+        let m = Matrix::from_fn(n, n, |i, j| if i == j { d } else { o });
+        let mut expected = vec![Complex::real(d - o); n - 1];
+        expected.push(Complex::real(d + (n as f64 - 1.0) * o));
+        assert_spectrum(&m, &expected, 1e-9);
+    }
+
+    #[test]
+    fn trace_and_det_invariants_random() {
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 2.0 - 1.0
+        };
+        for n in [3, 5, 8, 11] {
+            let m = Matrix::from_fn(n, n, |_, _| next());
+            let eig = eigenvalues(&m).unwrap();
+            let tr: f64 = eig.iter().map(|z| z.re).sum();
+            assert!(
+                (tr - m.trace()).abs() < 1e-7 * (1.0 + m.trace().abs()),
+                "n={n}: Σλ = {tr} vs trace {}",
+                m.trace()
+            );
+            // Product of eigenvalues = determinant.
+            let mut prod = Complex::real(1.0);
+            for z in &eig {
+                prod = prod * *z;
+            }
+            let det = Lu::new(&m).det();
+            assert!(
+                (prod.re - det).abs() < 1e-6 * (1.0 + det.abs()),
+                "n={n}: Πλ = {} vs det {det}",
+                prod.re
+            );
+            assert!(prod.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn max_real_part_of_stable_matrix() {
+        let m = Matrix::from_rows(&[vec![-1.0, 100.0], vec![0.0, -0.5]]);
+        let margin = max_real_part(&m).unwrap();
+        assert!((margin + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_element() {
+        let m = Matrix::from_rows(&[vec![4.2]]);
+        assert_spectrum(&m, &[Complex::real(4.2)], 1e-12);
+    }
+}

@@ -1,0 +1,17 @@
+//! Small dense linear algebra for the stability analysis (paper §5):
+//! real matrices, LU decomposition, Hessenberg reduction, and eigenvalues
+//! via the Francis implicit double-shift QR algorithm.
+//!
+//! The indirect Lyapunov method needs the eigenvalues of Jacobian
+//! matrices of moderate size (N + 1 state variables for N senders); this
+//! crate implements exactly that, with no external dependencies.
+
+pub mod complex;
+pub mod eigen;
+pub mod lu;
+pub mod matrix;
+
+pub use complex::Complex;
+pub use eigen::eigenvalues;
+pub use lu::Lu;
+pub use matrix::Matrix;

@@ -1,0 +1,195 @@
+//! LU decomposition with partial pivoting: linear solves, determinants,
+//! inverses.
+
+use crate::matrix::Matrix;
+
+/// LU factorization `P·A = L·U` of a square matrix.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed L (unit diagonal, below) and U (diagonal and above).
+    lu: Matrix,
+    /// Row permutation.
+    piv: Vec<usize>,
+    /// Sign of the permutation (for the determinant).
+    sign: f64,
+    singular: bool,
+}
+
+impl Lu {
+    /// Factorize `a` (square).
+    pub fn new(a: &Matrix) -> Self {
+        assert!(a.is_square(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut piv: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let mut singular = false;
+        for k in 0..n {
+            // Partial pivoting.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                if lu[(i, k)].abs() > max {
+                    max = lu[(i, k)].abs();
+                    p = i;
+                }
+            }
+            if max < 1e-300 {
+                singular = true;
+                continue;
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                piv.swap(k, p);
+                sign = -sign;
+            }
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / lu[(k, k)];
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let sub = factor * lu[(k, j)];
+                    lu[(i, j)] -= sub;
+                }
+            }
+        }
+        Self {
+            lu,
+            piv,
+            sign,
+            singular,
+        }
+    }
+
+    /// Whether the matrix was (numerically) singular.
+    pub fn is_singular(&self) -> bool {
+        self.singular
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        if self.singular {
+            return 0.0;
+        }
+        let n = self.lu.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Solve `A·x = b`. Returns `None` for singular systems.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        if self.singular {
+            return None;
+        }
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n);
+        // Apply permutation.
+        let mut x: Vec<f64> = self.piv.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L, unit diagonal).
+        for i in 1..n {
+            for j in 0..i {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+        }
+        // Backward substitution (U).
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                x[i] -= self.lu[(i, j)] * x[j];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Some(x)
+    }
+
+    /// Matrix inverse. Returns `None` for singular matrices.
+    pub fn inverse(&self) -> Option<Matrix> {
+        if self.singular {
+            return None;
+        }
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Some(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let lu = Lu::new(&a);
+        let x = lu.solve(&[3.0, 5.0]).unwrap();
+        // 2x + y = 3, x + 3y = 5 → x = 4/5, y = 7/5.
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!((Lu::new(&a).det() + 2.0).abs() < 1e-12);
+        let i = Matrix::identity(5);
+        assert!((Lu::new(&i).det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let lu = Lu::new(&a);
+        assert!(lu.is_singular());
+        assert!(lu.solve(&[1.0, 1.0]).is_none());
+        assert_eq!(lu.det(), 0.0);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 7.0, 1.0],
+            vec![2.0, 6.0, 0.5],
+            vec![1.0, 1.0, 3.0],
+        ]);
+        let inv = Lu::new(&a).inverse().unwrap();
+        let prod = &a * &inv;
+        let err = (&prod - &Matrix::identity(3)).norm();
+        assert!(err < 1e-10, "‖A·A⁻¹ − I‖ = {err}");
+    }
+
+    #[test]
+    fn solve_residual_small_random() {
+        // Pseudo-random but deterministic matrices.
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) * 2.0 - 1.0
+        };
+        for n in [2, 5, 9] {
+            let a = Matrix::from_fn(n, n, |_, _| next());
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            let lu = Lu::new(&a);
+            if lu.is_singular() {
+                continue;
+            }
+            let x = lu.solve(&b).unwrap();
+            let r = a.mul_vec(&x);
+            for i in 0..n {
+                assert!((r[i] - b[i]).abs() < 1e-8, "residual at {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Inspect one packet-level dumbbell run: aggregate metrics plus a
+//! binned trace.
+//!
+//! ```text
+//! cargo run --release -p bbr-packetsim --example packet_dumbbell -- [reno|cubic|bbr1|bbr2] [dt|red] [n] [capacity_mbps]
+//! ```
+
+use bbr_packetsim::prelude::*;
+use bbr_packetsim::engine::SimConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kind = match args.get(1).map(|s| s.as_str()) {
+        Some("bbr1") => PacketCcaKind::BbrV1,
+        Some("bbr2") => PacketCcaKind::BbrV2,
+        Some("cubic") => PacketCcaKind::Cubic,
+        _ => PacketCcaKind::Reno,
+    };
+    let qdisc = match args.get(2).map(|s| s.as_str()) {
+        Some("red") => QdiscKind::Red,
+        _ => QdiscKind::DropTail,
+    };
+    let n: usize = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(1);
+    let cap: f64 = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(20.0);
+    let spec = DumbbellSpec::new(n, cap, 0.010, 1.0, qdisc).ccas(vec![kind]);
+    let cfg = SimConfig { duration: 5.0, warmup: 1.0, seed: 1, trace_bin: Some(0.25), ..Default::default() };
+    let r = run_dumbbell(&spec, &cfg);
+    println!("util={:.1}% loss={:.2}% occ={:.1}% jain={:.3} jitter={:.3}ms",
+        r.utilization_percent, r.loss_percent, r.occupancy_percent, r.jain, r.jitter_ms);
+    for (i, f) in r.flows.iter().enumerate() {
+        println!("flow {i} {}: tput={:.2} rtt={:.1}ms", f.kind, f.throughput_mbps, f.mean_rtt*1000.0);
+    }
+    if let Some(tr) = &r.trace {
+        for (k, t) in tr.t.iter().enumerate() {
+            print!("t={t:.2} q={:.2} loss={:.3} ", tr.queue_frac[k], tr.loss_frac[k]);
+            for fl in 0..n.min(3) { print!("r{fl}={:.1} ", tr.rate_mbps[fl][k]); }
+            println!();
+        }
+    }
+}

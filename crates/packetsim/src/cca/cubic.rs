@@ -1,0 +1,184 @@
+//! Packet-level TCP CUBIC per RFC 8312: cubic window growth anchored at
+//! the last loss, β = 0.7 multiplicative decrease, fast convergence,
+//! plus standard slow start.
+
+use crate::cca::{PacketCca, PacketCcaKind, RateSample};
+
+/// RFC 8312 constants.
+const C: f64 = 0.4; // segments / s³
+const BETA: f64 = 0.7;
+
+#[derive(Debug, Clone)]
+pub struct CubicPkt {
+    mss: f64,
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window at the last congestion event (segments).
+    w_max: f64,
+    /// Start of the current congestion-avoidance epoch (s).
+    epoch_start: Option<f64>,
+    /// Cube-root offset K of the current epoch (s).
+    k: f64,
+}
+
+impl CubicPkt {
+    pub fn new(mss: f64) -> Self {
+        Self {
+            mss,
+            cwnd: 10.0 * mss,
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+        }
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    /// Target window (bytes) of the cubic function at time `now`.
+    fn w_cubic(&self, now: f64) -> f64 {
+        let t = now - self.epoch_start.unwrap_or(now);
+        let d = t - self.k;
+        (C * d * d * d + self.w_max) * self.mss
+    }
+}
+
+impl PacketCca for CubicPkt {
+    fn on_ack(&mut self, rs: &RateSample) {
+        if self.in_slow_start() {
+            self.cwnd += rs.newly_acked;
+            return;
+        }
+        if self.epoch_start.is_none() {
+            self.epoch_start = Some(rs.now);
+            let w_seg = self.cwnd / self.mss;
+            if self.w_max < w_seg {
+                self.w_max = w_seg;
+            }
+            self.k = ((self.w_max * (1.0 - BETA)) / C).cbrt();
+        }
+        // Track the cubic target one RTT ahead (RFC 8312 §4.1).
+        let target = self.w_cubic(rs.now + rs.srtt);
+        if target > self.cwnd {
+            // Approach the target within one RTT.
+            self.cwnd += (target - self.cwnd) * rs.newly_acked / self.cwnd;
+        } else {
+            // TCP-friendly floor: grow slowly (≈ Reno's 1 MSS per RTT
+            // scaled by 0.3/1.3 per the RFC's AIMD-friendly term).
+            self.cwnd += 0.23 * self.mss * rs.newly_acked / self.cwnd;
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: f64, _inflight: f64) {
+        let w_seg = self.cwnd / self.mss;
+        // Fast convergence: release bandwidth faster when w_max shrinks.
+        self.w_max = if w_seg < self.w_max {
+            w_seg * (1.0 + BETA) / 2.0
+        } else {
+            w_seg
+        };
+        self.cwnd = (self.cwnd * BETA).max(2.0 * self.mss);
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None;
+    }
+
+    fn on_rto(&mut self, _now: f64) {
+        let w_seg = self.cwnd / self.mss;
+        if self.w_max < w_seg {
+            self.w_max = w_seg;
+        }
+        self.ssthresh = (self.cwnd * BETA).max(2.0 * self.mss);
+        self.cwnd = self.mss;
+        self.epoch_start = None;
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn kind(&self) -> PacketCcaKind {
+        PacketCcaKind::Cubic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(now: f64, newly_acked: f64, srtt: f64) -> RateSample {
+        RateSample {
+            now,
+            delivery_rate: 1e6,
+            rtt: srtt,
+            newly_acked,
+            delivered: 1e6,
+            pkt_delivered_at_send: 0.0,
+            inflight: 0.0,
+            srtt,
+            min_rtt: srtt,
+        }
+    }
+
+    #[test]
+    fn slow_start_grows_with_acked_bytes() {
+        let mut c = CubicPkt::new(1500.0);
+        let w0 = c.cwnd();
+        c.on_ack(&sample(0.0, w0, 0.04));
+        assert!((c.cwnd() - 2.0 * w0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_multiplies_by_beta() {
+        let mut c = CubicPkt::new(1500.0);
+        c.cwnd = 100.0 * 1500.0;
+        c.ssthresh = 1.0; // CA
+        c.on_congestion_event(1.0, 0.0);
+        assert!((c.cwnd() - 70.0 * 1500.0).abs() < 1e-6);
+        assert_eq!(c.w_max, 100.0);
+    }
+
+    #[test]
+    fn window_recovers_to_wmax_after_k_seconds() {
+        let mut c = CubicPkt::new(1500.0);
+        c.cwnd = 100.0 * 1500.0;
+        c.ssthresh = 1.0;
+        c.on_congestion_event(10.0, 0.0);
+        // Feed ACKs over time; around t = 10 + K the window should be
+        // back near w_max = 100 segments.
+        let mut now = 10.0;
+        let srtt = 0.04;
+        while now < 10.0 + 4.0 {
+            c.on_ack(&sample(now, c.cwnd() / 10.0, srtt));
+            now += srtt / 10.0;
+        }
+        let k = ((100.0 * 0.3) / C).cbrt(); // ≈ 4.2 s
+        assert!(k > 3.0 && k < 5.0);
+        let w_seg = c.cwnd() / 1500.0;
+        assert!(w_seg > 85.0, "w = {w_seg} segments after ~4 s");
+    }
+
+    #[test]
+    fn fast_convergence_reduces_wmax() {
+        let mut c = CubicPkt::new(1500.0);
+        c.ssthresh = 1.0;
+        c.w_max = 200.0;
+        c.cwnd = 100.0 * 1500.0; // below previous w_max
+        c.on_congestion_event(1.0, 0.0);
+        assert!((c.w_max - 100.0 * (1.0 + BETA) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rto_resets_epoch() {
+        let mut c = CubicPkt::new(1500.0);
+        c.cwnd = 50.0 * 1500.0;
+        c.on_rto(1.0);
+        assert_eq!(c.cwnd(), 1500.0);
+        assert!(c.epoch_start.is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! Packet-level congestion-control algorithms.
+//!
+//! The engine feeds each flow's CCA with per-ACK rate samples (delivery
+//! rate, RTT, round tracking — the signals the BBR papers call the "rate
+//! sample") plus loss and timeout notifications; the CCA answers with a
+//! congestion window (bytes) and a pacing rate (bytes/s).
+
+pub mod bbrv1;
+pub mod bbrv2;
+pub mod cubic;
+pub mod reno;
+
+pub use bbrv1::BbrV1Pkt;
+pub use bbrv2::BbrV2Pkt;
+pub use cubic::CubicPkt;
+pub use reno::RenoPkt;
+
+/// Which packet-level CCA a flow runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketCcaKind {
+    Reno,
+    Cubic,
+    BbrV1,
+    BbrV2,
+}
+
+impl PacketCcaKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            PacketCcaKind::Reno => "RENO",
+            PacketCcaKind::Cubic => "CUBIC",
+            PacketCcaKind::BbrV1 => "BBRv1",
+            PacketCcaKind::BbrV2 => "BBRv2",
+        }
+    }
+}
+
+impl std::fmt::Display for PacketCcaKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-ACK sample handed to the CCA.
+#[derive(Debug, Clone, Copy)]
+pub struct RateSample {
+    /// Current time (s).
+    pub now: f64,
+    /// Delivery rate measured over the acked packet's flight (bytes/s).
+    pub delivery_rate: f64,
+    /// RTT sample of the acked packet (s); NaN for retransmits.
+    pub rtt: f64,
+    /// Bytes newly acknowledged by this ACK.
+    pub newly_acked: f64,
+    /// Total bytes delivered so far on this flow.
+    pub delivered: f64,
+    /// `delivered` at the time the acked packet was sent (round
+    /// tracking).
+    pub pkt_delivered_at_send: f64,
+    /// Bytes currently in flight (after this ACK).
+    pub inflight: f64,
+    /// Smoothed RTT (s).
+    pub srtt: f64,
+    /// Windowed minimum RTT (s).
+    pub min_rtt: f64,
+}
+
+/// A packet-level congestion controller.
+pub trait PacketCca: Send {
+    /// Process an ACK.
+    fn on_ack(&mut self, rs: &RateSample);
+    /// A loss-based congestion event (at most once per RTT of losses).
+    fn on_congestion_event(&mut self, now: f64, inflight: f64);
+    /// Every individual lost packet (BBRv2 loss-rate accounting).
+    fn on_packet_lost(&mut self, _now: f64, _bytes: f64) {}
+    /// Retransmission timeout.
+    fn on_rto(&mut self, now: f64);
+    /// Current congestion window (bytes).
+    fn cwnd(&self) -> f64;
+    /// Current pacing rate (bytes/s); `f64::INFINITY` for unpaced CCAs.
+    fn pacing_rate(&self) -> f64;
+    /// Algorithm identifier.
+    fn kind(&self) -> PacketCcaKind;
+}
+
+/// Build a packet CCA. `mss` in bytes; `seed` individualizes randomized
+/// choices (BBRv1's probing phase, BBRv2's probe interval).
+pub fn build(kind: PacketCcaKind, mss: f64, seed: u64) -> Box<dyn PacketCca> {
+    match kind {
+        PacketCcaKind::Reno => Box::new(RenoPkt::new(mss)),
+        PacketCcaKind::Cubic => Box::new(CubicPkt::new(mss)),
+        PacketCcaKind::BbrV1 => Box::new(BbrV1Pkt::new(mss, seed)),
+        PacketCcaKind::BbrV2 => Box::new(BbrV2Pkt::new(mss, seed)),
+    }
+}
+
+/// Windowed max filter over (time, value) samples, used for BBR's
+/// bottleneck-bandwidth estimate.
+#[derive(Debug, Clone, Default)]
+pub struct WindowedMax {
+    samples: std::collections::VecDeque<(f64, f64)>,
+}
+
+impl WindowedMax {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a sample and evict everything older than `window` seconds.
+    pub fn update(&mut self, t: f64, v: f64, window: f64) {
+        // Monotonic deque: drop smaller trailing samples.
+        while let Some(&(_, back)) = self.samples.back() {
+            if back <= v {
+                self.samples.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.samples.push_back((t, v));
+        while let Some(&(front_t, _)) = self.samples.front() {
+            if front_t < t - window {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Current windowed maximum (0 if empty).
+    pub fn max(&self) -> f64 {
+        self.samples.front().map(|&(_, v)| v).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_max_tracks_maximum() {
+        let mut f = WindowedMax::new();
+        f.update(0.0, 5.0, 1.0);
+        f.update(0.1, 3.0, 1.0);
+        assert_eq!(f.max(), 5.0);
+        f.update(0.2, 8.0, 1.0);
+        assert_eq!(f.max(), 8.0);
+    }
+
+    #[test]
+    fn windowed_max_evicts_old_samples() {
+        let mut f = WindowedMax::new();
+        f.update(0.0, 10.0, 1.0);
+        f.update(0.5, 4.0, 1.0);
+        // At t = 1.5 the sample from t = 0 is outside the 1 s window.
+        f.update(1.5, 1.0, 1.0);
+        assert_eq!(f.max(), 4.0);
+    }
+
+    #[test]
+    fn build_all() {
+        for kind in [
+            PacketCcaKind::Reno,
+            PacketCcaKind::Cubic,
+            PacketCcaKind::BbrV1,
+            PacketCcaKind::BbrV2,
+        ] {
+            let cca = build(kind, 1500.0, 7);
+            assert_eq!(cca.kind(), kind);
+            assert!(cca.cwnd() >= 1500.0);
+            assert!(cca.pacing_rate() > 0.0);
+        }
+    }
+}

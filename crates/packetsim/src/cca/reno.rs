@@ -1,0 +1,114 @@
+//! Packet-level TCP Reno (NewReno-style): slow start, AIMD congestion
+//! avoidance, halving on fast retransmit, reset to one segment on RTO.
+
+use crate::cca::{PacketCca, PacketCcaKind, RateSample};
+
+#[derive(Debug, Clone)]
+pub struct RenoPkt {
+    mss: f64,
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl RenoPkt {
+    pub fn new(mss: f64) -> Self {
+        Self {
+            mss,
+            cwnd: 10.0 * mss, // RFC 6928 initial window
+            ssthresh: f64::INFINITY,
+        }
+    }
+
+    /// Whether the flow is in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+}
+
+impl PacketCca for RenoPkt {
+    fn on_ack(&mut self, rs: &RateSample) {
+        if self.in_slow_start() {
+            self.cwnd += rs.newly_acked;
+        } else {
+            // +1 MSS per cwnd of acked data.
+            self.cwnd += self.mss * rs.newly_acked / self.cwnd;
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: f64, _inflight: f64) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: f64) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss);
+        self.cwnd = self.mss;
+    }
+
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    fn kind(&self) -> PacketCcaKind {
+        PacketCcaKind::Reno
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(newly_acked: f64) -> RateSample {
+        RateSample {
+            now: 1.0,
+            delivery_rate: 1e6,
+            rtt: 0.04,
+            newly_acked,
+            delivered: 1e6,
+            pkt_delivered_at_send: 0.0,
+            inflight: 10.0 * 1500.0,
+            srtt: 0.04,
+            min_rtt: 0.04,
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut r = RenoPkt::new(1500.0);
+        let w0 = r.cwnd();
+        // Ack a full window: slow start adds the acked bytes.
+        r.on_ack(&sample(w0));
+        assert!((r.cwnd() - 2.0 * w0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_avoidance_adds_one_mss_per_window() {
+        let mut r = RenoPkt::new(1500.0);
+        r.ssthresh = 1500.0; // force CA
+        let w0 = r.cwnd();
+        r.on_ack(&sample(w0));
+        assert!((r.cwnd() - (w0 + 1500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_halves_window() {
+        let mut r = RenoPkt::new(1500.0);
+        r.cwnd = 100.0 * 1500.0;
+        r.on_congestion_event(1.0, 0.0);
+        assert!((r.cwnd() - 50.0 * 1500.0).abs() < 1e-9);
+        assert!(!r.in_slow_start());
+    }
+
+    #[test]
+    fn rto_collapses_to_one_segment() {
+        let mut r = RenoPkt::new(1500.0);
+        r.cwnd = 100.0 * 1500.0;
+        r.on_rto(1.0);
+        assert_eq!(r.cwnd(), 1500.0);
+        assert!(r.in_slow_start());
+    }
+}

@@ -1,0 +1,303 @@
+//! Dumbbell scenario builder and aggregate reporting — the packet-level
+//! counterpart of the paper's mininet experiments (§4.1).
+
+use crate::cca::{build, PacketCcaKind};
+use crate::engine::{Engine, Flow, Link, PacketTrace, SimConfig};
+use crate::qdisc::QdiscKind;
+
+/// The dumbbell of the paper's Fig. 3 at packet level.
+#[derive(Debug, Clone)]
+pub struct DumbbellSpec {
+    pub n: usize,
+    /// Bottleneck capacity (Mbit/s).
+    pub capacity_mbps: f64,
+    /// Bottleneck propagation delay (s).
+    pub bottleneck_delay: f64,
+    /// Buffer in multiples of the mean-RTT BDP.
+    pub buffer_bdp: f64,
+    pub qdisc: QdiscKind,
+    /// One-way access delay per sender (s).
+    pub access: Vec<f64>,
+    /// CCA kinds, assigned round-robin.
+    pub ccas: Vec<PacketCcaKind>,
+}
+
+impl DumbbellSpec {
+    /// Defaults mirror the fluid-side `Scenario::dumbbell`: total
+    /// propagation RTTs spread evenly over 3–4× the bottleneck RTT
+    /// (30–40 ms for a 10 ms bottleneck).
+    pub fn new(
+        n: usize,
+        capacity_mbps: f64,
+        bottleneck_delay: f64,
+        buffer_bdp: f64,
+        qdisc: QdiscKind,
+    ) -> Self {
+        let mut s = Self {
+            n,
+            capacity_mbps,
+            bottleneck_delay,
+            buffer_bdp,
+            qdisc,
+            access: Vec::new(),
+            ccas: vec![PacketCcaKind::Reno],
+        };
+        s = s.rtt_range(3.0 * bottleneck_delay, 4.0 * bottleneck_delay);
+        s
+    }
+
+    /// Spread total propagation RTTs evenly over `[lo, hi]`.
+    pub fn rtt_range(mut self, lo: f64, hi: f64) -> Self {
+        self.access = (0..self.n)
+            .map(|i| {
+                let frac = if self.n > 1 {
+                    i as f64 / (self.n - 1) as f64
+                } else {
+                    0.5
+                };
+                let rtt = lo + frac * (hi - lo);
+                (rtt / 2.0 - self.bottleneck_delay).max(0.0)
+            })
+            .collect();
+        self
+    }
+
+    /// Explicit access delays (one-way, s).
+    pub fn access_delays(mut self, access: Vec<f64>) -> Self {
+        assert_eq!(access.len(), self.n);
+        self.access = access;
+        self
+    }
+
+    /// Set the CCA assignment (cycled across senders).
+    pub fn ccas(mut self, ccas: Vec<PacketCcaKind>) -> Self {
+        assert!(!ccas.is_empty());
+        self.ccas = ccas;
+        self
+    }
+
+    /// Mean propagation RTT across senders (s).
+    pub fn mean_rtt(&self) -> f64 {
+        self.access
+            .iter()
+            .map(|a| 2.0 * (a + self.bottleneck_delay))
+            .sum::<f64>()
+            / self.n as f64
+    }
+
+    /// Buffer size in bytes: `buffer_bdp` × the BDP of the bottleneck
+    /// link (`capacity · bottleneck_delay`, §4.1.3).
+    pub fn buffer_bytes(&self) -> f64 {
+        self.buffer_bdp * self.capacity_mbps * 1e6 / 8.0 * self.bottleneck_delay
+    }
+
+    /// The CCA of sender `i`.
+    pub fn kind_of(&self, i: usize) -> PacketCcaKind {
+        self.ccas[i % self.ccas.len()]
+    }
+}
+
+/// Per-flow results.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    pub kind: PacketCcaKind,
+    pub throughput_mbps: f64,
+    pub mean_rtt: f64,
+    pub jitter_ms: f64,
+}
+
+/// Aggregate results of one packet-level run (the "Experiment" column of
+/// the paper's figures).
+#[derive(Debug, Clone)]
+pub struct PacketSimReport {
+    pub flows: Vec<FlowReport>,
+    pub jain: f64,
+    pub loss_percent: f64,
+    pub occupancy_percent: f64,
+    pub utilization_percent: f64,
+    pub jitter_ms: f64,
+    pub trace: Option<PacketTrace>,
+}
+
+/// Jain's fairness index.
+fn jain(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq <= f64::EPSILON {
+        1.0
+    } else {
+        sum * sum / (n as f64 * sq)
+    }
+}
+
+/// Run one dumbbell simulation.
+pub fn run_dumbbell(spec: &DumbbellSpec, cfg: &SimConfig) -> PacketSimReport {
+    let rate = spec.capacity_mbps * 1e6 / 8.0; // bytes/s
+    let buffer = spec.buffer_bytes();
+    let link = Link::new(rate, spec.bottleneck_delay, buffer, spec.qdisc);
+    let flows: Vec<Flow> = (0..spec.n)
+        .map(|i| {
+            let cca = build(spec.kind_of(i), cfg.mss, cfg.seed.wrapping_add(i as u64 * 7919));
+            // Staggered starts avoid artificial phase lock.
+            let start = i as f64 * 0.005;
+            Flow::new(
+                vec![0],
+                spec.access[i],
+                spec.access[i] + spec.bottleneck_delay,
+                start,
+                cca,
+                cfg.mss,
+            )
+        })
+        .collect();
+    let mut engine = Engine::new(cfg.clone(), vec![link], flows, 0);
+    engine.run();
+
+    let window = engine.window().max(1e-9);
+    let flow_reports: Vec<FlowReport> = (0..spec.n)
+        .map(|i| FlowReport {
+            kind: spec.kind_of(i),
+            throughput_mbps: engine.flow_delivered(i) * 8.0 / 1e6 / window,
+            mean_rtt: engine.flow_mean_rtt(i),
+            jitter_ms: engine.flow_jitter(i) * 1000.0,
+        })
+        .collect();
+    let (arrived, dropped, delivered, occ_int) = engine.link_stats(0);
+    let tputs: Vec<f64> = flow_reports.iter().map(|f| f.throughput_mbps).collect();
+    PacketSimReport {
+        jain: jain(&tputs),
+        loss_percent: if arrived > 0.0 {
+            100.0 * dropped / arrived
+        } else {
+            0.0
+        },
+        occupancy_percent: 100.0 * occ_int / (buffer * window),
+        utilization_percent: 100.0 * delivered / (rate * window),
+        jitter_ms: flow_reports.iter().map(|f| f.jitter_ms).sum::<f64>() / spec.n as f64,
+        trace: engine.trace().cloned(),
+        flows: flow_reports,
+    }
+}
+
+/// Run `runs` seeds and average the aggregate metrics (the paper averages
+/// experiment results over 3 runs, §4.3).
+pub fn run_dumbbell_avg(spec: &DumbbellSpec, cfg: &SimConfig, runs: usize) -> PacketSimReport {
+    assert!(runs >= 1);
+    let mut reports: Vec<PacketSimReport> = (0..runs)
+        .map(|r| {
+            let mut c = cfg.clone();
+            c.seed = cfg.seed.wrapping_add(r as u64 * 104_729);
+            c.trace_bin = None;
+            run_dumbbell(spec, &c)
+        })
+        .collect();
+    let k = runs as f64;
+    let mut out = reports.pop().unwrap();
+    for r in &reports {
+        out.jain += r.jain;
+        out.loss_percent += r.loss_percent;
+        out.occupancy_percent += r.occupancy_percent;
+        out.utilization_percent += r.utilization_percent;
+        out.jitter_ms += r.jitter_ms;
+        for (a, b) in out.flows.iter_mut().zip(&r.flows) {
+            a.throughput_mbps += b.throughput_mbps;
+            a.mean_rtt += b.mean_rtt;
+            a.jitter_ms += b.jitter_ms;
+        }
+    }
+    out.jain /= k;
+    out.loss_percent /= k;
+    out.occupancy_percent /= k;
+    out.utilization_percent /= k;
+    out.jitter_ms /= k;
+    for f in &mut out.flows {
+        f.throughput_mbps /= k;
+        f.mean_rtt /= k;
+        f.jitter_ms /= k;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            duration: 3.0,
+            warmup: 1.0,
+            seed: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_bbrv1_fills_the_bottleneck() {
+        let spec = DumbbellSpec::new(1, 50.0, 0.010, 1.0, QdiscKind::DropTail)
+            .ccas(vec![PacketCcaKind::BbrV1]);
+        let r = run_dumbbell(&spec, &quick_cfg());
+        assert!(
+            r.utilization_percent > 85.0,
+            "util {}",
+            r.utilization_percent
+        );
+    }
+
+    #[test]
+    fn homogeneous_reno_is_fair() {
+        let spec = DumbbellSpec::new(4, 50.0, 0.010, 2.0, QdiscKind::DropTail)
+            .ccas(vec![PacketCcaKind::Reno]);
+        let cfg = SimConfig {
+            duration: 8.0,
+            warmup: 2.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let r = run_dumbbell(&spec, &cfg);
+        assert!(r.jain > 0.8, "jain {}", r.jain);
+        assert!(r.utilization_percent > 80.0);
+    }
+
+    #[test]
+    fn bbrv1_starves_reno_in_shallow_buffers() {
+        // The paper's Insight 2 at packet level.
+        let spec = DumbbellSpec::new(2, 50.0, 0.010, 1.0, QdiscKind::DropTail)
+            .ccas(vec![PacketCcaKind::BbrV1, PacketCcaKind::Reno]);
+        let cfg = SimConfig {
+            duration: 10.0,
+            warmup: 3.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let r = run_dumbbell(&spec, &cfg);
+        let bbr = r.flows[0].throughput_mbps;
+        let reno = r.flows[1].throughput_mbps;
+        assert!(
+            bbr > 2.0 * reno,
+            "BBRv1 {bbr} vs Reno {reno} — expected strong dominance"
+        );
+    }
+
+    #[test]
+    fn averaging_runs_is_stable() {
+        // 4 link-BDPs of buffer (≈ 1.2 path BDPs) so Reno can work.
+        let spec = DumbbellSpec::new(2, 20.0, 0.010, 4.0, QdiscKind::Red)
+            .ccas(vec![PacketCcaKind::Reno]);
+        let r = run_dumbbell_avg(&spec, &quick_cfg(), 2);
+        assert!(r.utilization_percent > 25.0, "{}", r.utilization_percent);
+        assert!(r.loss_percent >= 0.0 && r.loss_percent <= 100.0);
+        assert!(r.occupancy_percent >= 0.0 && r.occupancy_percent <= 100.0);
+    }
+
+    #[test]
+    fn buffer_bytes_matches_bdp_definition() {
+        let spec = DumbbellSpec::new(2, 100.0, 0.010, 2.0, QdiscKind::DropTail)
+            .rtt_range(0.030, 0.040);
+        // Link BDP = 100e6/8 · 0.010 = 125000 B; ×2.
+        assert!((spec.buffer_bytes() - 250_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Queuing disciplines of the packet simulator: drop-tail and RED.
+//!
+//! RED follows Floyd/Jacobson: an EWMA of the queue length drives a drop
+//! probability that ramps from `min_th` to `max_th`. The defaults
+//! (`min_th = 0`, `max_th = B`, `max_p = 1`) mirror the paper's idealized
+//! fluid RED (`p = q/B`, Eq. (6)) while retaining the *averaging lag*
+//! that the paper identifies as the main model/experiment difference
+//! (§4.3.2: "real RED tracks the queue length with a moving average and
+//! hence reacts to queue build-up with delay").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Queuing discipline selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QdiscKind {
+    DropTail,
+    Red,
+}
+
+/// RED parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RedParams {
+    /// EWMA weight per packet arrival.
+    pub weight: f64,
+    /// Lower averaging threshold as a fraction of the buffer.
+    pub min_th_frac: f64,
+    /// Upper threshold as a fraction of the buffer.
+    pub max_th_frac: f64,
+    /// Drop probability at `max_th`.
+    pub max_p: f64,
+}
+
+impl Default for RedParams {
+    fn default() -> Self {
+        Self {
+            weight: 0.002,
+            min_th_frac: 0.1,
+            max_th_frac: 1.0,
+            max_p: 1.0,
+        }
+    }
+}
+
+/// Per-link queuing-discipline state.
+#[derive(Debug, Clone)]
+pub enum Qdisc {
+    DropTail,
+    Red { params: RedParams, avg_bytes: f64 },
+}
+
+impl Qdisc {
+    pub fn new(kind: QdiscKind, params: RedParams) -> Self {
+        match kind {
+            QdiscKind::DropTail => Qdisc::DropTail,
+            QdiscKind::Red => Qdisc::Red {
+                params,
+                avg_bytes: 0.0,
+            },
+        }
+    }
+
+    /// Decide whether an arriving packet of `pkt_bytes` is dropped, given
+    /// the current queue backlog and the buffer size (bytes). Updates the
+    /// RED average as a side effect.
+    pub fn admit(
+        &mut self,
+        queued_bytes: f64,
+        buffer_bytes: f64,
+        pkt_bytes: f64,
+        rng: &mut StdRng,
+    ) -> bool {
+        match self {
+            Qdisc::DropTail => queued_bytes + pkt_bytes <= buffer_bytes,
+            Qdisc::Red { params, avg_bytes } => {
+                // EWMA update on every arrival.
+                *avg_bytes += params.weight * (queued_bytes - *avg_bytes);
+                let min_th = params.min_th_frac * buffer_bytes;
+                let max_th = params.max_th_frac * buffer_bytes;
+                let p = if *avg_bytes <= min_th {
+                    0.0
+                } else if *avg_bytes >= max_th {
+                    1.0
+                } else {
+                    params.max_p * (*avg_bytes - min_th) / (max_th - min_th)
+                };
+                if rng.gen::<f64>() < p {
+                    return false;
+                }
+                // Physical buffer limit still applies.
+                queued_bytes + pkt_bytes <= buffer_bytes
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn droptail_admits_until_full() {
+        let mut q = Qdisc::new(QdiscKind::DropTail, RedParams::default());
+        let mut r = rng();
+        assert!(q.admit(0.0, 10_000.0, 1500.0, &mut r));
+        assert!(q.admit(8500.0, 10_000.0, 1500.0, &mut r));
+        assert!(!q.admit(9000.0, 10_000.0, 1500.0, &mut r));
+    }
+
+    #[test]
+    fn red_empty_queue_admits() {
+        let mut q = Qdisc::new(QdiscKind::Red, RedParams::default());
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(q.admit(0.0, 10_000.0, 1500.0, &mut r));
+        }
+    }
+
+    #[test]
+    fn red_full_average_drops_everything() {
+        let params = RedParams::default();
+        let mut q = Qdisc::Red {
+            params,
+            avg_bytes: 10_000.0,
+        };
+        let mut r = rng();
+        let mut drops = 0;
+        for _ in 0..100 {
+            if !q.admit(10_000.0, 10_000.0, 1500.0, &mut r) {
+                drops += 1;
+            }
+        }
+        assert_eq!(drops, 100);
+    }
+
+    #[test]
+    fn red_drop_rate_tracks_average() {
+        // Hold the instantaneous queue at half the buffer long enough for
+        // the EWMA to converge; drop rate should approach 0.5.
+        let mut q = Qdisc::new(QdiscKind::Red, RedParams::default());
+        let mut r = rng();
+        for _ in 0..5000 {
+            q.admit(5_000.0, 10_000.0, 1500.0, &mut r);
+        }
+        let mut drops = 0;
+        let trials = 4000;
+        for _ in 0..trials {
+            if !q.admit(5_000.0, 10_000.0, 1500.0, &mut r) {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / trials as f64;
+        // p = max_p · (avg − min_th)/(max_th − min_th) = 0.4/0.9 ≈ 0.444.
+        assert!((rate - 0.444).abs() < 0.05, "drop rate {rate}");
+    }
+
+    #[test]
+    fn red_average_lags_instantaneous_queue() {
+        let mut q = Qdisc::new(QdiscKind::Red, RedParams::default());
+        let mut r = rng();
+        // Sudden burst: instantaneous queue is full but the average is
+        // still low → most packets admitted (the lag the paper discusses).
+        let mut admitted = 0;
+        for _ in 0..50 {
+            if q.admit(9_000.0, 10_000.0, 1000.0, &mut r) {
+                admitted += 1;
+            }
+        }
+        assert!(admitted > 40, "admitted {admitted}/50");
+    }
+}

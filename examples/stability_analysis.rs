@@ -1,0 +1,47 @@
+//! Run the paper's §5 stability analysis: equilibria of the reduced
+//! BBRv1/BBRv2 models, Jacobian spectra, and convergence checks
+//! (Theorems 1–5).
+//!
+//! ```text
+//! cargo run --release --example stability_analysis [N] [C_mbps] [d_seconds]
+//! ```
+
+use bbr_repro::analysis::reduced_v1::ReducedParams;
+use bbr_repro::analysis::{
+    numeric_jacobian, reduced_v2, theorem1_equilibrium, theorem2_stability, theorem3_shallow,
+    theorem4_equilibrium, theorem5_stability,
+};
+use bbr_repro::linalg::eigen::eigenvalues;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let c: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let d: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.035);
+
+    println!("Stability analysis for N = {n}, C = {c} Mbit/s, d = {d} s\n");
+    for r in [
+        theorem1_equilibrium(n, c, d),
+        theorem2_stability(n, c, d),
+        theorem3_shallow(n, c, d),
+        theorem4_equilibrium(n, c, d),
+        theorem5_stability(n, c, d),
+    ] {
+        println!(
+            "{:<10} {}  {}",
+            r.name,
+            if r.holds { "HOLDS " } else { "FAILS " },
+            r.statement
+        );
+    }
+
+    // Show the full BBRv2 Jacobian spectrum at the Theorem 4 equilibrium.
+    let p = ReducedParams::new(n, c, d);
+    let mut state = vec![reduced_v2::eq_rate(&p); n];
+    state.push(reduced_v2::eq_queue(&p));
+    let jac = numeric_jacobian(|s, o| reduced_v2::field(&p, s, o), &state, 1e-7);
+    println!("\nBBRv2 Jacobian spectrum at the fair equilibrium:");
+    for z in eigenvalues(&jac).expect("eigensolver") {
+        println!("  λ = {z}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the BBR fluid-model reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can
+//! reach everything through one dependency. See the individual crates for
+//! the actual functionality:
+//!
+//! * [`fluid`] — the paper's contribution: fluid models of BBRv1/BBRv2
+//!   (plus Reno and CUBIC) over a general network model.
+//! * [`packetsim`] — packet-level discrete-event simulator standing in for
+//!   the paper's mininet testbed.
+//! * [`linalg`] — small dense linear algebra (eigenvalues for the
+//!   stability analysis).
+//! * [`analysis`] — reduced models, equilibria, and Lyapunov stability
+//!   checks for Theorems 1–5.
+//! * [`experiments`] — figure generators reproducing the paper's
+//!   evaluation.
+
+pub use bbr_analysis as analysis;
+pub use bbr_experiments as experiments;
+pub use bbr_fluid_core as fluid;
+pub use bbr_linalg as linalg;
+pub use bbr_packetsim as packetsim;

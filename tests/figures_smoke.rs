@@ -1,0 +1,33 @@
+//! Smoke tests: every figure generator runs in fast mode and produces a
+//! non-empty report plus its CSV attachments.
+
+use bbr_repro::experiments::figures::{all_ids, run_figure};
+use bbr_repro::experiments::Effort;
+
+#[test]
+fn every_figure_id_runs_in_fast_mode() {
+    for id in all_ids() {
+        let out = run_figure(id, Effort::Fast).unwrap_or_else(|| panic!("unknown id {id}"));
+        assert_eq!(out.id, id);
+        assert!(
+            out.report.lines().count() >= 4,
+            "{id}: report too short:\n{}",
+            out.report
+        );
+        assert!(!out.csv.is_empty(), "{id}: no CSV attachments");
+        for (name, csv) in &out.csv {
+            assert!(name.ends_with(".csv"), "{id}: {name}");
+            assert!(csv.lines().count() >= 2, "{id}: empty CSV {name}");
+            // Rectangular CSV.
+            let cols = csv.lines().next().unwrap().split(',').count();
+            for line in csv.lines() {
+                assert_eq!(line.split(',').count(), cols, "{id}: ragged CSV {name}");
+            }
+        }
+    }
+}
+
+#[test]
+fn unknown_id_is_rejected() {
+    assert!(run_figure("fig99", Effort::Fast).is_none());
+}
