@@ -92,7 +92,10 @@ pub fn field_aggregate(p: &ReducedParams, state: &[f64], out: &mut [f64]) {
 /// `(y, q) = (C, d·C)` (paper Eq. (48)).
 pub fn aggregate_jacobian_at_eq(p: &ReducedParams) -> bbr_linalg::Matrix {
     let d = p.d;
-    bbr_linalg::Matrix::from_rows(&[vec![-1.0 / (2.0 * d) - 1.0, -1.0 / (2.0 * d)], vec![1.0, 0.0]])
+    bbr_linalg::Matrix::from_rows(&[
+        vec![-1.0 / (2.0 * d) - 1.0, -1.0 / (2.0 * d)],
+        vec![1.0, 0.0],
+    ])
 }
 
 /// Analytic maximum eigenvalue of the aggregate Jacobian (paper

@@ -35,8 +35,8 @@ pub fn field(p: &ReducedParams, state: &[f64], out: &mut [f64]) {
     for i in 0..n {
         let x = state[i];
         let others = total - x;
-        let gain = (p.c - total) / (p.c * tau) + 1.25 * delta * p.c / (1.25 * x + others).max(1e-12)
-            - 1.0;
+        let gain =
+            (p.c - total) / (p.c * tau) + 1.25 * delta * p.c / (1.25 * x + others).max(1e-12) - 1.0;
         out[i] = gain * x;
     }
     let dq = total - p.c;
@@ -166,6 +166,9 @@ mod tests {
         let p = ReducedParams::new(2, 100.0, 0.02);
         let f = |s: &[f64], o: &mut [f64]| field(&p, s, o);
         let end = rk4_integrate(f, &[80.0, 20.0, eq_queue(&p)], 80.0, 1e-3);
-        assert!((end[0] - end[1]).abs() < 1.0, "rates must equalize: {end:?}");
+        assert!(
+            (end[0] - end[1]).abs() < 1.0,
+            "rates must equalize: {end:?}"
+        );
     }
 }

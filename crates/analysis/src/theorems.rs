@@ -158,7 +158,9 @@ pub fn theorem5_stability(n: usize, c: f64, d: f64) -> TheoremReport {
         .max((jac[(0, n)] - jiq).abs());
     let max_re = max_real_part(&jac).unwrap_or(f64::NAN);
     // Convergence from an unfair overloaded start.
-    let mut start: Vec<f64> = (0..n).map(|i| c * (i + 1) as f64 / (n * n) as f64 * 2.0).collect();
+    let mut start: Vec<f64> = (0..n)
+        .map(|i| c * (i + 1) as f64 / (n * n) as f64 * 2.0)
+        .collect();
     let total: f64 = start.iter().sum();
     for x in &mut start {
         *x *= 1.2 * c / total;

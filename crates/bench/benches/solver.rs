@@ -26,7 +26,12 @@ fn fluid_steps(c: &mut Criterion) {
                         .rtt_range(0.030, 0.040)
                         .config(ModelConfig::coarse());
                     scenario
-                        .build(&[CcaKind::BbrV1, CcaKind::BbrV2, CcaKind::Reno, CcaKind::Cubic])
+                        .build(&[
+                            CcaKind::BbrV1,
+                            CcaKind::BbrV2,
+                            CcaKind::Reno,
+                            CcaKind::Cubic,
+                        ])
                         .unwrap()
                 },
                 |mut sim| {
@@ -45,11 +50,14 @@ fn fluid_steps(c: &mut Criterion) {
 fn packet_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("packetsim");
     g.sample_size(10);
-    for (label, kind) in [("reno", PacketCcaKind::Reno), ("bbrv1", PacketCcaKind::BbrV1)] {
+    for (label, kind) in [
+        ("reno", PacketCcaKind::Reno),
+        ("bbrv1", PacketCcaKind::BbrV1),
+    ] {
         g.bench_function(format!("1s_{label}_50mbps"), |b| {
             b.iter(|| {
-                let spec = DumbbellSpec::new(2, 50.0, 0.010, 1.0, PktQdisc::DropTail)
-                    .ccas(vec![kind]);
+                let spec =
+                    DumbbellSpec::new(2, 50.0, 0.010, 1.0, PktQdisc::DropTail).ccas(vec![kind]);
                 let cfg = SimConfig {
                     duration: 1.0,
                     warmup: 0.0,
@@ -93,5 +101,11 @@ fn reduced_models(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, fluid_steps, packet_sim, eigensolver, reduced_models);
+criterion_group!(
+    benches,
+    fluid_steps,
+    packet_sim,
+    eigensolver,
+    reduced_models
+);
 criterion_main!(benches);

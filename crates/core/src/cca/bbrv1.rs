@@ -118,7 +118,9 @@ impl FluidCca for BbrV1 {
         } else {
             // Eq. (15): min of window rate and pacing rate.
             let w_pbw = 2.0 * self.bdp_estimate();
-            (w_pbw / tau).min(self.pacing_rate(cfg)).max(self.min_rate(cfg))
+            (w_pbw / tau)
+                .min(self.pacing_rate(cfg))
+                .max(self.min_rate(cfg))
         }
     }
 

@@ -89,13 +89,15 @@ impl BbrV2 {
         } else {
             hint.fair_share()
         };
-        let init = if cfg.model_startup { WhiInit::Unset } else { init };
+        let init = if cfg.model_startup {
+            WhiInit::Unset
+        } else {
+            init
+        };
         let w_bar = x0 * hint.prop_rtt;
         let w_hi = match init {
             WhiInit::Tight { factor } => factor * w_bar,
-            WhiInit::BufferDependent => {
-                (hint.bdp() + hint.buffer) / hint.n_agents.max(1) as f64
-            }
+            WhiInit::BufferDependent => (hint.bdp() + hint.buffer) / hint.n_agents.max(1) as f64,
             WhiInit::Unset => f64::INFINITY,
         };
         let w_minus = w_bar.min(cfg.bbr2_headroom * w_hi);
@@ -136,8 +138,7 @@ impl BbrV2 {
 
     /// Probing-period duration `T_pbw = min(63·τ_min, 2 + i/N)`, Eq. (24).
     pub fn period(&self) -> f64 {
-        (63.0 * self.probe_rtt.tau_min)
-            .min(2.0 + self.agent_index as f64 / self.n_agents as f64)
+        (63.0 * self.probe_rtt.tau_min).min(2.0 + self.agent_index as f64 / self.n_agents as f64)
     }
 
     /// Pacing rate, Eq. (25): `5/4·x_btl` once the refill RTT has passed
@@ -361,8 +362,22 @@ impl FluidCca for BbrV2 {
         out.push(("x_btl", self.x_btl));
         out.push(("x_max", self.x_max));
         out.push(("w_bdp_est", self.bdp_estimate()));
-        out.push(("w_hi", if self.w_hi.is_finite() { self.w_hi } else { -1.0 }));
-        out.push(("w_lo", if self.w_lo.is_finite() { self.w_lo } else { -1.0 }));
+        out.push((
+            "w_hi",
+            if self.w_hi.is_finite() {
+                self.w_hi
+            } else {
+                -1.0
+            },
+        ));
+        out.push((
+            "w_lo",
+            if self.w_lo.is_finite() {
+                self.w_lo
+            } else {
+                -1.0
+            },
+        ));
         out.push(("v", self.v));
         out.push(("m_dwn", self.m_dwn as u8 as f64));
         out.push(("m_crs", self.m_crs as u8 as f64));

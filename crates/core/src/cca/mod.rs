@@ -13,11 +13,11 @@ pub mod reno;
 pub mod startup;
 
 pub use bbr_common::ProbeRtt;
-pub use startup::{StartupPhase, StartupState};
 pub use bbrv1::BbrV1;
 pub use bbrv2::{BbrV2, WhiInit};
 pub use cubic::Cubic;
 pub use reno::Reno;
+pub use startup::{StartupPhase, StartupState};
 
 use crate::config::ModelConfig;
 
@@ -177,7 +177,12 @@ mod tests {
             agent_index: 0,
         };
         let cfg = ModelConfig::default();
-        for kind in [CcaKind::Reno, CcaKind::Cubic, CcaKind::BbrV1, CcaKind::BbrV2] {
+        for kind in [
+            CcaKind::Reno,
+            CcaKind::Cubic,
+            CcaKind::BbrV1,
+            CcaKind::BbrV2,
+        ] {
             let m = build(kind, &h, &cfg);
             assert_eq!(m.kind(), kind);
             assert!(m.rate(0.04, &cfg) > 0.0, "{kind} must start sending");

@@ -83,10 +83,10 @@ impl Default for ModelConfig {
     fn default() -> Self {
         Self {
             dt: 1e-5,
-            k_time: 5e4,   // ~20 µs transition width
-            k_rate: 50.0,  // ~0.02 Mbit/s width
-            k_vol: 5e3,    // ~0.2 kbit width
-            k_prob: 5e3,   // ~2e-4 width
+            k_time: 5e4,  // ~20 µs transition width
+            k_rate: 50.0, // ~0.02 Mbit/s width
+            k_vol: 5e3,   // ~0.2 kbit width
+            k_prob: 5e3,  // ~2e-4 width
             drop_exp_l: 20.0,
             loss_gate_eps: 1e-3,
             mss: crate::MSS_MBIT,

@@ -139,4 +139,75 @@ mod tests {
     fn rejects_zero_dt() {
         History::new(0.1, 0.0, 0.0);
     }
+
+    #[test]
+    #[should_panic]
+    fn rejects_negative_max_delay() {
+        History::new(-0.1, 0.01, 0.0);
+    }
+
+    #[test]
+    fn zero_max_delay_still_answers_lookups() {
+        // max_delay = 0 keeps 2 samples, enough for latest + one step back.
+        let mut h = History::new(0.0, 0.01, 3.0);
+        assert!(h.capacity() >= 2);
+        assert_eq!(h.at_delay(0.0), 3.0);
+        h.push(5.0);
+        assert_eq!(h.latest(), 5.0);
+        assert_eq!(h.at_delay(0.0), 5.0);
+    }
+
+    #[test]
+    fn lookup_at_exact_window_boundary_clamps() {
+        let mut h = History::new(0.5, 0.1, 9.0);
+        h.push(1.0);
+        h.push(2.0);
+        // Delay equal to the retained window hits the clamped branch and
+        // must return the oldest sample (still the initial fill here).
+        assert_eq!(h.at_delay(0.5), 9.0);
+        // One sample further than the capacity is clamped identically.
+        assert_eq!(h.at_delay(0.5 + 0.1), 9.0);
+    }
+
+    #[test]
+    fn interpolates_between_pushed_and_initial_fill() {
+        let mut h = History::new(0.3, 0.1, 10.0);
+        h.push(20.0);
+        // 0.05 s back: halfway between latest (20) and the initial 10.
+        let v = h.at_delay(0.05);
+        assert!((v - 15.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn fractional_delay_near_clamp_boundary() {
+        let mut h = History::new(0.3, 0.1, 0.0);
+        for i in 1..=10 {
+            h.push(i as f64);
+        }
+        let max_back = h.capacity() - 1;
+        // Just inside the window: interpolates between the last two
+        // retained samples instead of snapping to the oldest.
+        let delay = (max_back as f64 - 0.5) * 0.1;
+        let a = h.at_delay((max_back - 1) as f64 * 0.1);
+        let b = h.at_delay(max_back as f64 * 0.1);
+        let mid = h.at_delay(delay);
+        assert!(
+            (mid - 0.5 * (a + b)).abs() < 1e-9,
+            "got {mid}, ends {a} {b}"
+        );
+    }
+
+    #[test]
+    fn delay_not_on_grid_is_robust_to_float_noise() {
+        let dt = 0.001;
+        let mut h = History::new(0.05, dt, 0.0);
+        for i in 1..=50 {
+            h.push(i as f64);
+        }
+        // 3·dt computed via a float expression that lands a hair off the
+        // grid point; the lookup must stay within one sample of exact.
+        let delay = 3.0f64 * dt * (1.0 + 1e-15);
+        let v = h.at_delay(delay);
+        assert!((v - 47.0).abs() < 1e-6, "got {v}");
+    }
 }

@@ -106,4 +106,66 @@ mod tests {
         let b = jain(&[10.0, 20.0, 30.0]);
         assert!((a - b).abs() < 1e-12);
     }
+
+    #[test]
+    fn jain_single_flow_is_always_fair() {
+        assert_eq!(jain(&[5.0]), 1.0);
+        assert_eq!(jain(&[1e-12]), 1.0);
+        assert!((jain(&[1e150]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_stays_in_unit_interval_at_extremes() {
+        // Widely spread magnitudes (bounded so the squares stay finite).
+        let v = [1e-9, 1.0, 1e9, 1e12];
+        let j = jain(&v);
+        assert!(
+            j > 1.0 / v.len() as f64 - 1e-12 && j <= 1.0 + 1e-12,
+            "got {j}"
+        );
+        // Tiny but non-zero values don't trip the all-zero guard into
+        // claiming more fairness than the data has.
+        let j = jain(&[1e-8, 3e-8]);
+        assert!(j < 1.0 && j > 0.5, "got {j}");
+    }
+
+    #[test]
+    fn sigmoid_extreme_arguments_saturate_without_nan() {
+        assert_eq!(sigmoid(1e6, 1e6), 1.0);
+        assert_eq!(sigmoid(1e6, -1e6), 0.0);
+        assert_eq!(sigmoid(1e300, 1e300), 1.0); // k·v overflows to +inf
+        assert_eq!(sigmoid(1e300, -1e300), 0.0);
+        // Near the overflow-guard seam the exp branch is already within
+        // one ulp-scale of the saturated value, so the guard introduces
+        // no visible discontinuity.
+        let below = sigmoid(1.0, 35.0);
+        assert!(below < 1.0 && (1.0 - below) < 1e-14, "got {below}");
+    }
+
+    #[test]
+    fn relu_smooth_extreme_arguments() {
+        // Far into the linear region Γ(v) = v exactly (σ saturates to 1).
+        assert_eq!(relu_smooth(1e4, 1e6), 1e6);
+        // Far negative: exactly 0 (σ saturates to 0), not a NaN or -0·inf.
+        assert_eq!(relu_smooth(1e4, -1e6), 0.0);
+        // Γ(0) = 0 regardless of sharpness.
+        assert_eq!(relu_smooth(1e12, 0.0), 0.0);
+    }
+
+    #[test]
+    fn clamp01_extremes() {
+        assert_eq!(clamp01(f64::INFINITY), 1.0);
+        assert_eq!(clamp01(f64::NEG_INFINITY), 0.0);
+        assert_eq!(clamp01(-0.0), 0.0);
+        assert_eq!(clamp01(0.5), 0.5);
+    }
+
+    #[test]
+    fn pulse_degenerate_interval() {
+        // a == b: the pulse never reaches 1; at the (empty) interval's
+        // location both sigmoids are exactly 1/2.
+        let v = pulse(1e3, 1.0, 1.0, 1.0);
+        assert!((v - 0.25).abs() < 1e-12, "got {v}");
+        assert!(pulse(1e3, 2.0, 1.0, 1.0) < 1e-6);
+    }
 }

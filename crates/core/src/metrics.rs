@@ -221,16 +221,7 @@ mod tests {
     #[test]
     fn reset_clears_state() {
         let mut acc = MetricsAccumulator::new(1, 1, 0, 0.01);
-        acc.record(
-            0.0,
-            1.0,
-            &[50.0],
-            &[0.04],
-            &[50.0],
-            &[0.5],
-            &[1.0],
-            &[50.0],
-        );
+        acc.record(0.0, 1.0, &[50.0], &[0.04], &[50.0], &[0.5], &[1.0], &[50.0]);
         acc.reset();
         let m = acc.finalize(&[100.0]);
         assert_eq!(m.duration, 0.0);

@@ -45,7 +45,10 @@ impl Scenario {
             access: Vec::new(),
             cfg: ModelConfig::default(),
         };
-        s = s.rtt_range(3.0 * 2.0 * bottleneck_delay / 2.0, 4.0 * 2.0 * bottleneck_delay / 2.0);
+        s = s.rtt_range(
+            3.0 * 2.0 * bottleneck_delay / 2.0,
+            4.0 * 2.0 * bottleneck_delay / 2.0,
+        );
         s
     }
 
@@ -150,8 +153,8 @@ mod tests {
 
     #[test]
     fn rtt_range_spreads_evenly() {
-        let s = Scenario::dumbbell(10, 100.0, 0.010, 1.0, QdiscKind::DropTail)
-            .rtt_range(0.030, 0.040);
+        let s =
+            Scenario::dumbbell(10, 100.0, 0.010, 1.0, QdiscKind::DropTail).rtt_range(0.030, 0.040);
         let net = s.network();
         assert!((net.prop_rtt(0) - 0.030).abs() < 1e-9);
         assert!((net.prop_rtt(9) - 0.040).abs() < 1e-9);
@@ -180,8 +183,8 @@ mod tests {
 
     #[test]
     fn single_sender_uses_midpoint_rtt() {
-        let s = Scenario::dumbbell(1, 100.0, 0.010, 1.0, QdiscKind::DropTail)
-            .rtt_range(0.030, 0.040);
+        let s =
+            Scenario::dumbbell(1, 100.0, 0.010, 1.0, QdiscKind::DropTail).rtt_range(0.030, 0.040);
         let net = s.network();
         assert!((net.prop_rtt(0) - 0.035).abs() < 1e-9);
     }

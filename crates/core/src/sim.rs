@@ -113,12 +113,8 @@ impl Simulator {
         let tau_hist: Vec<History> = (0..n)
             .map(|i| History::new(max_rtt, cfg.dt, prop_rtt[i]))
             .collect();
-        let p_hist: Vec<History> = (0..m)
-            .map(|_| History::new(max_rtt, cfg.dt, 0.0))
-            .collect();
-        let q_hist: Vec<History> = (0..m)
-            .map(|_| History::new(max_rtt, cfg.dt, 0.0))
-            .collect();
+        let p_hist: Vec<History> = (0..m).map(|_| History::new(max_rtt, cfg.dt, 0.0)).collect();
+        let q_hist: Vec<History> = (0..m).map(|_| History::new(max_rtt, cfg.dt, 0.0)).collect();
         let y0: Vec<f64> = (0..m)
             .map(|l| users[l].iter().map(|(i, _)| x0[*i]).sum())
             .collect();
@@ -427,7 +423,12 @@ mod tests {
 
     #[test]
     fn rates_stay_finite_and_nonnegative() {
-        for kind in [CcaKind::Reno, CcaKind::Cubic, CcaKind::BbrV1, CcaKind::BbrV2] {
+        for kind in [
+            CcaKind::Reno,
+            CcaKind::Cubic,
+            CcaKind::BbrV1,
+            CcaKind::BbrV2,
+        ] {
             let mut sim = make_sim(kind, 2.0, QdiscKind::DropTail);
             sim.enable_trace(50);
             let report = sim.run(3.0);

@@ -100,12 +100,25 @@ pub fn model_cell(
     }
 }
 
-/// Run the packet-level experiment for one cell.
+/// Run the packet-level experiment for one cell with the fixed seed the
+/// figure sweeps use.
 pub fn experiment_cell(
     p: &CampaignParams,
     combo: &Combo,
     buffer_bdp: f64,
     qdisc: QdiscKind,
+) -> CellMetrics {
+    experiment_cell_seeded(p, combo, buffer_bdp, qdisc, 42)
+}
+
+/// Run the packet-level experiment for one cell with an explicit seed
+/// (the sweep engine derives one per grid cell).
+pub fn experiment_cell_seeded(
+    p: &CampaignParams,
+    combo: &Combo,
+    buffer_bdp: f64,
+    qdisc: QdiscKind,
+    seed: u64,
 ) -> CellMetrics {
     let pkt_qdisc = match qdisc {
         QdiscKind::DropTail => PktQdisc::DropTail,
@@ -118,7 +131,7 @@ pub fn experiment_cell(
     let cfg = SimConfig {
         duration: p.warmup + p.duration,
         warmup: p.warmup,
-        seed: 42,
+        seed,
         ..Default::default()
     };
     let r = run_dumbbell_avg(&spec, &cfg, p.runs);
@@ -143,10 +156,7 @@ pub fn buffer_sizes(effort: Effort) -> Vec<f64> {
 /// Run (or fetch from the in-process cache) the full sweep.
 pub fn sweep(p: &CampaignParams, qdisc: QdiscKind, effort: Effort) -> Arc<SweepTable> {
     static CACHE: OnceLock<Mutex<HashMap<String, Arc<SweepTable>>>> = OnceLock::new();
-    let key = format!(
-        "{}-{}-{:?}-{:?}",
-        p.n, p.bottleneck_delay, qdisc, effort
-    );
+    let key = format!("{}-{}-{:?}-{:?}", p.n, p.bottleneck_delay, qdisc, effort);
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(hit) = cache.lock().unwrap().get(&key) {
         return hit.clone();
@@ -171,10 +181,7 @@ pub fn sweep(p: &CampaignParams, qdisc: QdiscKind, effort: Effort) -> Arc<SweepT
                 .collect()
         })
         .collect();
-    let table = Arc::new(SweepTable {
-        buffers,
-        cells,
-    });
+    let table = Arc::new(SweepTable { buffers, cells });
     cache.lock().unwrap().insert(key, table.clone());
     table
 }

@@ -3,42 +3,66 @@
 //! ```text
 //! figures <id>... [--fast] [--out DIR]
 //! figures all [--fast]
+//! figures sweep [--fast] [--threads N] [--backend fluid|packet|both] [--out DIR]
 //! figures list
 //! ```
 //!
 //! Reports print to stdout; CSV series are written to `--out`
-//! (default `results/`).
+//! (default `results/`). `sweep` runs the §4/§5-style scenario grid
+//! (all seven CCA mixes × buffer sizes × both qdiscs) in parallel
+//! across the machine's cores.
 
 use std::path::PathBuf;
 
+use bbr_experiments::aggregate::buffer_sizes;
 use bbr_experiments::figures::{all_ids, run_figure};
+use bbr_experiments::scenarios::CampaignParams;
+use bbr_experiments::sweep::{Backend, ScenarioGrid};
 use bbr_experiments::Effort;
+use bbr_fluid_core::topology::QdiscKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: figures <id>...|all|list [--fast] [--out DIR]");
+        eprintln!("usage: figures <id>...|all|sweep|list [--fast] [--threads N] [--out DIR]");
         std::process::exit(2);
     }
     let fast = args.iter().any(|a| a == "--fast");
     let effort = if fast { Effort::Fast } else { Effort::Full };
-    let out_dir: PathBuf = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
+    if let Some(v) = flag_value(&args, "--threads") {
+        match v.parse::<usize>() {
+            Ok(n) => rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build_global()
+                .expect("thread pool configuration"),
+            Err(_) => {
+                eprintln!("invalid --threads value: {v} (expected a number)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_dir: PathBuf = flag_value(&args, "--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
 
+    // Positional ids are the non-flag args minus the value slots of flags
+    // that take one (dropped by index, so a value that happens to equal a
+    // figure id or subcommand doesn't scrub the positional too).
+    let value_slots: std::collections::HashSet<usize> = ["--out", "--threads", "--backend"]
+        .iter()
+        .filter_map(|flag| args.iter().position(|a| a == *flag).map(|i| i + 1))
+        .collect();
     let mut ids: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !value_slots.contains(i))
+        .map(|(_, a)| a.clone())
         .collect();
-    // Drop the --out argument value.
-    if let Some(i) = args.iter().position(|a| a == "--out") {
-        if let Some(v) = args.get(i + 1) {
-            ids.retain(|x| x != v);
-        }
+    // `sweep` is a positional subcommand, so a flag value that happens to
+    // equal "sweep" (e.g. `--out sweep`) doesn't hijack the invocation.
+    if ids.first().map(String::as_str) == Some("sweep") {
+        run_sweep(&args, effort);
+        return;
     }
     if ids.iter().any(|i| i == "list") {
         for id in all_ids() {
@@ -70,5 +94,56 @@ fn main() {
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+/// The `sweep` subcommand: the paper-shaped grid (all seven CCA mixes ×
+/// buffer sizes × both qdiscs) fanned out over the cores.
+fn run_sweep(args: &[String], effort: Effort) {
+    let backend = match flag_value(args, "--backend") {
+        Some("fluid") => Backend::Fluid,
+        Some("packet") => Backend::Packet,
+        Some("both") | None => Backend::Both,
+        Some(other) => {
+            eprintln!("unknown backend: {other} (expected fluid|packet|both)");
+            std::process::exit(2);
+        }
+    };
+    // Full effort runs the §4.3 campaign (N = 10, 5 s windows, 3 runs);
+    // --fast its reduced variant — same split as the figure generators.
+    let campaign = if effort.is_fast() {
+        CampaignParams::default_rtt().fast()
+    } else {
+        CampaignParams::default_rtt()
+    };
+    let grid = ScenarioGrid::from_campaign(&campaign)
+        .effort(effort)
+        .backend(backend)
+        .all_combos()
+        .buffers_bdp(buffer_sizes(effort))
+        .qdiscs(vec![QdiscKind::DropTail, QdiscKind::Red]);
+    eprintln!(
+        "sweeping {} points on {} thread(s)...",
+        grid.len(),
+        rayon::current_num_threads()
+    );
+    let report = grid.run();
+    println!("{}", report.table());
+    if let Some(gap) = report.mean_utilization_gap() {
+        println!("mean |model - experiment| utilization gap: {gap:.1} pp");
+    }
+    if let Some(dir) = flag_value(args, "--out") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("cannot create output directory");
+        let path = dir.join("sweep.csv");
+        std::fs::write(&path, report.csv()).expect("cannot write CSV");
+        eprintln!("wrote {}", path.display());
     }
 }

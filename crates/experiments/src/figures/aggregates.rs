@@ -40,7 +40,11 @@ impl AggFigure {
     pub fn short_rtt(&self) -> bool {
         matches!(
             self,
-            AggFigure::Fig13 | AggFigure::Fig14 | AggFigure::Fig15 | AggFigure::Fig16 | AggFigure::Fig17
+            AggFigure::Fig13
+                | AggFigure::Fig14
+                | AggFigure::Fig15
+                | AggFigure::Fig16
+                | AggFigure::Fig17
         )
     }
 

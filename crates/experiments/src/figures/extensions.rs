@@ -277,9 +277,7 @@ pub fn startup(effort: Effort) -> FigureOutput {
             .filter(|a| {
                 telemetry.clear();
                 a.telemetry(&mut telemetry);
-                telemetry
-                    .iter()
-                    .any(|(k, v)| *k == "w_hi" && *v >= 0.0)
+                telemetry.iter().any(|(k, v)| *k == "w_hi" && *v >= 0.0)
             })
             .count();
         rows.push(vec![

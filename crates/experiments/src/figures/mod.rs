@@ -21,9 +21,27 @@ pub struct FigureOutput {
 /// All generator ids, in paper order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "fig01", "fig02", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-        "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "thm", "insight5", "parking_lot",
-        "ablation", "startup",
+        "fig01",
+        "fig02",
+        "fig04",
+        "fig05",
+        "fig06",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "thm",
+        "insight5",
+        "parking_lot",
+        "ablation",
+        "startup",
     ]
 }
 
@@ -64,14 +82,30 @@ mod tests {
         for id in all_ids() {
             // Only check that dispatch recognizes every id (running all of
             // them is done by the integration tests / binary).
-            assert!(
-                [
-                    "fig01", "fig02", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
-                    "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-                    "thm", "insight5", "parking_lot", "ablation", "startup"
-                ]
-                .contains(&id)
-            );
+            assert!([
+                "fig01",
+                "fig02",
+                "fig04",
+                "fig05",
+                "fig06",
+                "fig07",
+                "fig08",
+                "fig09",
+                "fig10",
+                "fig11",
+                "fig12",
+                "fig13",
+                "fig14",
+                "fig15",
+                "fig16",
+                "fig17",
+                "thm",
+                "insight5",
+                "parking_lot",
+                "ablation",
+                "startup"
+            ]
+            .contains(&id));
         }
         assert!(run_figure("nope", Effort::Fast).is_none());
     }

@@ -298,22 +298,46 @@ fn trace_validation(
 
 /// Fig. 4: BBRv1 trace validation (7 s).
 pub fn fig04(effort: Effort) -> FigureOutput {
-    trace_validation("fig04", "Fig. 4 — BBRv1 trace validation", CcaKind::BbrV1, 7.0, effort)
+    trace_validation(
+        "fig04",
+        "Fig. 4 — BBRv1 trace validation",
+        CcaKind::BbrV1,
+        7.0,
+        effort,
+    )
 }
 
 /// Fig. 5: BBRv2 trace validation (30 s; shows the ProbeRTT dips).
 pub fn fig05(effort: Effort) -> FigureOutput {
-    trace_validation("fig05", "Fig. 5 — BBRv2 trace validation", CcaKind::BbrV2, 30.0, effort)
+    trace_validation(
+        "fig05",
+        "Fig. 5 — BBRv2 trace validation",
+        CcaKind::BbrV2,
+        30.0,
+        effort,
+    )
 }
 
 /// Fig. 11: Reno trace validation (30 s).
 pub fn fig11(effort: Effort) -> FigureOutput {
-    trace_validation("fig11", "Fig. 11 — Reno trace validation", CcaKind::Reno, 30.0, effort)
+    trace_validation(
+        "fig11",
+        "Fig. 11 — Reno trace validation",
+        CcaKind::Reno,
+        30.0,
+        effort,
+    )
 }
 
 /// Fig. 12: CUBIC trace validation (30 s).
 pub fn fig12(effort: Effort) -> FigureOutput {
-    trace_validation("fig12", "Fig. 12 — CUBIC trace validation", CcaKind::Cubic, 30.0, effort)
+    trace_validation(
+        "fig12",
+        "Fig. 12 — CUBIC trace validation",
+        CcaKind::Cubic,
+        30.0,
+        effort,
+    )
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 pub mod aggregate;
 pub mod figures;
 pub mod scenarios;
+pub mod sweep;
 pub mod table;
 
 /// Speed preset for a generator.

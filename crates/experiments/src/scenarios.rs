@@ -126,7 +126,12 @@ mod tests {
 
     #[test]
     fn packet_kind_mapping_total() {
-        for k in [CcaKind::Reno, CcaKind::Cubic, CcaKind::BbrV1, CcaKind::BbrV2] {
+        for k in [
+            CcaKind::Reno,
+            CcaKind::Cubic,
+            CcaKind::BbrV1,
+            CcaKind::BbrV2,
+        ] {
             let p = to_packet_kind(k);
             assert_eq!(p.name(), k.name());
         }

@@ -1,0 +1,493 @@
+//! Rayon-parallel scenario-sweep engine.
+//!
+//! The paper's evaluation is a grid: CCA mixes × buffer sizes × RTT
+//! ranges × queuing disciplines × sender counts, each cell evaluated on
+//! the fluid model and/or the packet simulator (§4.3's Figs. 6–10 sweep,
+//! §5's stability grids, Appendix C's short-RTT replica all have this
+//! shape). [`ScenarioGrid`] is the builder for such grids; [`run`]
+//! (`ScenarioGrid::run`) fans the cartesian product out over all cores
+//! and returns a [`SweepReport`] that renders as an aligned table or CSV.
+//!
+//! Determinism: with the same grid (including [`ScenarioGrid::seed`]) the
+//! report is bit-identical regardless of thread count — every cell derives
+//! its packet-simulator seed from the grid seed and the cell's index in
+//! the cartesian expansion, never from scheduling order.
+//!
+//! ```no_run
+//! use bbr_experiments::sweep::{Backend, ScenarioGrid};
+//! use bbr_experiments::Effort;
+//!
+//! let report = ScenarioGrid::new()
+//!     .effort(Effort::Fast)
+//!     .backend(Backend::Both)
+//!     .buffers_bdp(vec![1.0, 4.0])
+//!     .run();
+//! println!("{}", report.table());
+//! ```
+
+use std::time::Instant;
+
+use bbr_fluid_core::topology::QdiscKind;
+use rayon::prelude::*;
+
+use crate::aggregate::{experiment_cell_seeded, model_cell, CellMetrics};
+use crate::scenarios::{CampaignParams, Combo, COMBOS};
+use crate::table;
+use crate::Effort;
+
+/// Which simulator(s) evaluate each grid point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Fluid model only (fast; the paper's "Model" columns).
+    Fluid,
+    /// Packet-level simulator only (the paper's "Experiment" columns).
+    Packet,
+    /// Both, for model-vs-experiment comparison tables.
+    Both,
+}
+
+/// One point of the cartesian expansion.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioPoint {
+    /// Index in the deterministic cartesian order (also salts the
+    /// packet-simulator seed).
+    pub index: usize,
+    pub combo: Combo,
+    pub n: usize,
+    pub buffer_bdp: f64,
+    /// (min, max) propagation RTT in seconds.
+    pub rtt: (f64, f64),
+    pub qdisc: QdiscKind,
+}
+
+/// Builder for a scenario grid. Defaults mirror the §4.3 campaign
+/// (100 Mbit/s bottleneck, 10 ms bottleneck delay, 30–40 ms RTTs) with a
+/// small default grid; every axis is settable.
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    capacity: f64,
+    bottleneck_delay: f64,
+    duration: f64,
+    warmup: f64,
+    runs: usize,
+    seed: u64,
+    effort: Effort,
+    backend: Backend,
+    combos: Vec<Combo>,
+    flow_counts: Vec<usize>,
+    buffers_bdp: Vec<f64>,
+    rtt_ranges: Vec<(f64, f64)>,
+    qdiscs: Vec<QdiscKind>,
+}
+
+impl Default for ScenarioGrid {
+    fn default() -> Self {
+        let p = CampaignParams::default_rtt().fast();
+        Self {
+            capacity: p.capacity,
+            bottleneck_delay: p.bottleneck_delay,
+            duration: p.duration,
+            warmup: p.warmup,
+            runs: p.runs,
+            seed: 42,
+            effort: Effort::Fast,
+            backend: Backend::Both,
+            combos: vec![COMBOS[0], COMBOS[4]],
+            flow_counts: vec![p.n],
+            buffers_bdp: vec![1.0, 4.0],
+            rtt_ranges: vec![(p.rtt_lo, p.rtt_hi)],
+            qdiscs: vec![QdiscKind::DropTail],
+        }
+    }
+}
+
+impl ScenarioGrid {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start from a campaign's network/timing parameters (§4.3 default or
+    /// the Appendix C short-RTT variant).
+    pub fn from_campaign(p: &CampaignParams) -> Self {
+        Self {
+            capacity: p.capacity,
+            bottleneck_delay: p.bottleneck_delay,
+            duration: p.duration,
+            warmup: p.warmup,
+            runs: p.runs,
+            flow_counts: vec![p.n],
+            rtt_ranges: vec![(p.rtt_lo, p.rtt_hi)],
+            ..Self::default()
+        }
+    }
+
+    pub fn capacity(mut self, mbps: f64) -> Self {
+        self.capacity = mbps;
+        self
+    }
+
+    pub fn bottleneck_delay(mut self, seconds: f64) -> Self {
+        self.bottleneck_delay = seconds;
+        self
+    }
+
+    pub fn duration(mut self, seconds: f64) -> Self {
+        self.duration = seconds;
+        self
+    }
+
+    pub fn warmup(mut self, seconds: f64) -> Self {
+        self.warmup = seconds;
+        self
+    }
+
+    /// Packet-simulator runs averaged per cell.
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.runs = runs.max(1);
+        self
+    }
+
+    /// Base seed; every cell's packet-sim seed derives from it and the
+    /// cell index.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn effort(mut self, effort: Effort) -> Self {
+        self.effort = effort;
+        self
+    }
+
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    pub fn combos(mut self, combos: Vec<Combo>) -> Self {
+        self.combos = combos;
+        self
+    }
+
+    /// All seven legend mixes of Figs. 6–10.
+    pub fn all_combos(self) -> Self {
+        self.combos(COMBOS.to_vec())
+    }
+
+    pub fn flow_counts(mut self, counts: Vec<usize>) -> Self {
+        self.flow_counts = counts;
+        self
+    }
+
+    pub fn buffers_bdp(mut self, buffers: Vec<f64>) -> Self {
+        self.buffers_bdp = buffers;
+        self
+    }
+
+    pub fn rtt_ranges(mut self, ranges: Vec<(f64, f64)>) -> Self {
+        self.rtt_ranges = ranges;
+        self
+    }
+
+    pub fn qdiscs(mut self, qdiscs: Vec<QdiscKind>) -> Self {
+        self.qdiscs = qdiscs;
+        self
+    }
+
+    /// Number of grid points (product of the axis lengths).
+    pub fn len(&self) -> usize {
+        self.combos.len()
+            * self.flow_counts.len()
+            * self.buffers_bdp.len()
+            * self.rtt_ranges.len()
+            * self.qdiscs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cartesian expansion, in the fixed deterministic order
+    /// combo → flows → buffer → RTT range → qdisc (innermost last).
+    pub fn points(&self) -> Vec<ScenarioPoint> {
+        let mut pts = Vec::with_capacity(self.len());
+        let mut index = 0;
+        for combo in &self.combos {
+            for &n in &self.flow_counts {
+                for &buffer_bdp in &self.buffers_bdp {
+                    for &rtt in &self.rtt_ranges {
+                        for &qdisc in &self.qdiscs {
+                            pts.push(ScenarioPoint {
+                                index,
+                                combo: *combo,
+                                n,
+                                buffer_bdp,
+                                rtt,
+                                qdisc,
+                            });
+                            index += 1;
+                        }
+                    }
+                }
+            }
+        }
+        pts
+    }
+
+    /// Evaluate the whole grid in parallel across all available cores
+    /// (bounded by `rayon`'s global thread count).
+    pub fn run(&self) -> SweepReport {
+        let t0 = Instant::now();
+        let cells: Vec<SweepCell> = self
+            .points()
+            .into_par_iter()
+            .map(|pt| self.run_point(pt))
+            .collect();
+        SweepReport {
+            capacity: self.capacity,
+            bottleneck_delay: self.bottleneck_delay,
+            duration: self.duration,
+            backend: self.backend,
+            threads: rayon::current_num_threads(),
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            cells,
+        }
+    }
+
+    /// Evaluate one point on the configured backend(s).
+    fn run_point(&self, pt: ScenarioPoint) -> SweepCell {
+        let campaign = CampaignParams {
+            n: pt.n,
+            capacity: self.capacity,
+            bottleneck_delay: self.bottleneck_delay,
+            rtt_lo: pt.rtt.0,
+            rtt_hi: pt.rtt.1,
+            duration: self.duration,
+            warmup: self.warmup,
+            runs: self.runs,
+        };
+        let fluid = match self.backend {
+            Backend::Packet => None,
+            _ => Some(model_cell(
+                &campaign,
+                &pt.combo,
+                pt.buffer_bdp,
+                pt.qdisc,
+                self.effort,
+            )),
+        };
+        // Per-cell seed derived from the grid seed and the cell index:
+        // scheduling-order independent, unlike a shared RNG would be.
+        let packet = match self.backend {
+            Backend::Fluid => None,
+            _ => Some(experiment_cell_seeded(
+                &campaign,
+                &pt.combo,
+                pt.buffer_bdp,
+                pt.qdisc,
+                mix_seed(self.seed, pt.index as u64),
+            )),
+        };
+        SweepCell {
+            point: pt,
+            fluid,
+            packet,
+        }
+    }
+}
+
+/// splitmix64 finalizer over (seed, index): decorrelates neighbouring
+/// cells while staying a pure function of the inputs.
+fn mix_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    pub point: ScenarioPoint,
+    pub fluid: Option<CellMetrics>,
+    pub packet: Option<CellMetrics>,
+}
+
+/// Results of a grid run, with table/CSV rendering.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    pub capacity: f64,
+    pub bottleneck_delay: f64,
+    pub duration: f64,
+    pub backend: Backend,
+    /// Worker threads the run was allowed to use.
+    pub threads: usize,
+    pub wall_seconds: f64,
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn header(&self) -> Vec<String> {
+        let mut h: Vec<String> = ["combo", "N", "buf[BDP]", "RTT[ms]", "qdisc"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        if self.backend != Backend::Packet {
+            h.extend(
+                ["jainM", "lossM%", "occM%", "utilM%"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            );
+        }
+        if self.backend != Backend::Fluid {
+            h.extend(
+                ["jainE", "lossE%", "occE%", "utilE%"]
+                    .iter()
+                    .map(|s| s.to_string()),
+            );
+        }
+        h
+    }
+
+    fn rows(&self) -> Vec<Vec<String>> {
+        self.cells
+            .iter()
+            .map(|c| {
+                let p = &c.point;
+                let mut row = vec![
+                    p.combo.label.to_string(),
+                    p.n.to_string(),
+                    table::f1(p.buffer_bdp),
+                    format!("{:.0}-{:.0}", p.rtt.0 * 1e3, p.rtt.1 * 1e3),
+                    format!("{:?}", p.qdisc),
+                ];
+                for m in [&c.fluid, &c.packet].into_iter().flatten() {
+                    row.push(table::f3(m.jain));
+                    row.push(table::f3(m.loss_percent));
+                    row.push(table::f1(m.occupancy_percent));
+                    row.push(table::f1(m.utilization_percent));
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Aligned plain-text table (M = fluid model, E = packet experiment).
+    pub fn table(&self) -> String {
+        let title = format!(
+            "Scenario sweep: {} points, C = {} Mbit/s, {} s windows — {:.2} s wall on {} thread(s)",
+            self.cells.len(),
+            self.capacity,
+            self.duration,
+            self.wall_seconds,
+            self.threads,
+        );
+        table::render(&title, &self.header(), &self.rows())
+    }
+
+    /// CSV rendering of the same cells (also the canonical form compared
+    /// by the determinism tests).
+    pub fn csv(&self) -> String {
+        table::to_csv(&self.header(), &self.rows())
+    }
+
+    /// Mean absolute model-vs-experiment gap in utilization percentage
+    /// points over cells that ran both backends (a coarse §4.3-style
+    /// validation number).
+    pub fn mean_utilization_gap(&self) -> Option<f64> {
+        let gaps: Vec<f64> = self
+            .cells
+            .iter()
+            .filter_map(|c| {
+                let (f, e) = (c.fluid.as_ref()?, c.packet.as_ref()?);
+                Some((f.utilization_percent - e.utilization_percent).abs())
+            })
+            .collect();
+        if gaps.is_empty() {
+            None
+        } else {
+            Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> ScenarioGrid {
+        // 2 combos × 2 buffers = 4 points; short windows and a halved
+        // capacity (fewer packets to simulate) keep it quick.
+        ScenarioGrid::new()
+            .capacity(50.0)
+            .combos(vec![COMBOS[0], COMBOS[4]])
+            .flow_counts(vec![2])
+            .buffers_bdp(vec![1.0, 4.0])
+            .duration(1.0)
+            .warmup(0.25)
+            .runs(1)
+    }
+
+    #[test]
+    fn cartesian_expansion_counts_and_order() {
+        let grid = ScenarioGrid::new()
+            .combos(vec![COMBOS[0], COMBOS[3], COMBOS[4]])
+            .flow_counts(vec![2, 4])
+            .buffers_bdp(vec![1.0, 2.0, 4.0])
+            .rtt_ranges(vec![(0.030, 0.040), (0.010, 0.020)])
+            .qdiscs(vec![QdiscKind::DropTail, QdiscKind::Red]);
+        assert_eq!(grid.len(), 3 * 2 * 3 * 2 * 2);
+        let pts = grid.points();
+        assert_eq!(pts.len(), grid.len());
+        // Indices are the position in the expansion.
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        // qdisc is the innermost axis, combo the outermost.
+        assert_eq!(pts[0].qdisc, QdiscKind::DropTail);
+        assert_eq!(pts[1].qdisc, QdiscKind::Red);
+        assert_eq!(pts[0].combo.label, pts[grid.len() / 3 - 1].combo.label);
+        assert_ne!(pts[0].combo.label, pts[grid.len() - 1].combo.label);
+        // Two expansions of the same grid are identical.
+        let again = grid.points();
+        for (a, b) in pts.iter().zip(&again) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.combo.label, b.combo.label);
+            assert_eq!(a.buffer_bdp, b.buffer_bdp);
+        }
+    }
+
+    // Full-simulation determinism and fluid-vs-packet agreement checks
+    // live in tests/sweep_engine.rs (through the umbrella crate); the
+    // in-crate tests stay cheap and structural.
+
+    #[test]
+    fn fluid_only_backend_skips_packet_sim() {
+        let r = tiny_grid().backend(Backend::Fluid).run();
+        assert_eq!(r.len(), 4);
+        assert!(r
+            .cells
+            .iter()
+            .all(|c| c.fluid.is_some() && c.packet.is_none()));
+        assert!(r.mean_utilization_gap().is_none());
+    }
+
+    #[test]
+    fn report_renders_table_and_csv() {
+        let r = tiny_grid().backend(Backend::Fluid).run();
+        let t = r.table();
+        assert!(t.contains("Scenario sweep: 4 points"));
+        assert!(t.contains("BBRv1") && t.contains("BBRv2"));
+        let csv = r.csv();
+        assert_eq!(csv.lines().count(), 5); // header + 4 cells
+        assert!(csv.starts_with("combo,N,buf[BDP],RTT[ms],qdisc,jainM"));
+    }
+}

@@ -364,7 +364,11 @@ mod tests {
             }
         });
         let expected: Vec<Complex> = (1..=n)
-            .map(|k| Complex::real(-2.0 + 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos()))
+            .map(|k| {
+                Complex::real(
+                    -2.0 + 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos(),
+                )
+            })
             .collect();
         assert_spectrum(&m, &expected, 1e-8);
     }

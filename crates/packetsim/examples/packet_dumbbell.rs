@@ -5,8 +5,8 @@
 //! cargo run --release -p bbr-packetsim --example packet_dumbbell -- [reno|cubic|bbr1|bbr2] [dt|red] [n] [capacity_mbps]
 //! ```
 
-use bbr_packetsim::prelude::*;
 use bbr_packetsim::engine::SimConfig;
+use bbr_packetsim::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -23,17 +23,35 @@ fn main() {
     let n: usize = args.get(3).map(|s| s.parse().unwrap()).unwrap_or(1);
     let cap: f64 = args.get(4).map(|s| s.parse().unwrap()).unwrap_or(20.0);
     let spec = DumbbellSpec::new(n, cap, 0.010, 1.0, qdisc).ccas(vec![kind]);
-    let cfg = SimConfig { duration: 5.0, warmup: 1.0, seed: 1, trace_bin: Some(0.25), ..Default::default() };
+    let cfg = SimConfig {
+        duration: 5.0,
+        warmup: 1.0,
+        seed: 1,
+        trace_bin: Some(0.25),
+        ..Default::default()
+    };
     let r = run_dumbbell(&spec, &cfg);
-    println!("util={:.1}% loss={:.2}% occ={:.1}% jain={:.3} jitter={:.3}ms",
-        r.utilization_percent, r.loss_percent, r.occupancy_percent, r.jain, r.jitter_ms);
+    println!(
+        "util={:.1}% loss={:.2}% occ={:.1}% jain={:.3} jitter={:.3}ms",
+        r.utilization_percent, r.loss_percent, r.occupancy_percent, r.jain, r.jitter_ms
+    );
     for (i, f) in r.flows.iter().enumerate() {
-        println!("flow {i} {}: tput={:.2} rtt={:.1}ms", f.kind, f.throughput_mbps, f.mean_rtt*1000.0);
+        println!(
+            "flow {i} {}: tput={:.2} rtt={:.1}ms",
+            f.kind,
+            f.throughput_mbps,
+            f.mean_rtt * 1000.0
+        );
     }
     if let Some(tr) = &r.trace {
         for (k, t) in tr.t.iter().enumerate() {
-            print!("t={t:.2} q={:.2} loss={:.3} ", tr.queue_frac[k], tr.loss_frac[k]);
-            for fl in 0..n.min(3) { print!("r{fl}={:.1} ", tr.rate_mbps[fl][k]); }
+            print!(
+                "t={t:.2} q={:.2} loss={:.3} ",
+                tr.queue_frac[k], tr.loss_frac[k]
+            );
+            for fl in 0..n.min(3) {
+                print!("r{fl}={:.1} ", tr.rate_mbps[fl][k]);
+            }
             println!();
         }
     }

@@ -324,8 +324,9 @@ mod tests {
 
     #[test]
     fn initial_phase_varies_with_seed() {
-        let phases: std::collections::HashSet<usize> =
-            (0..20).map(|s| BbrV1Pkt::new(1500.0, s).cycle_idx).collect();
+        let phases: std::collections::HashSet<usize> = (0..20)
+            .map(|s| BbrV1Pkt::new(1500.0, s).cycle_idx)
+            .collect();
         assert!(phases.len() > 2, "seeds should spread phases: {phases:?}");
         // The drain phase (index 1) is never the starting phase.
         assert!(!phases.contains(&1));

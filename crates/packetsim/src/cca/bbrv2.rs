@@ -67,8 +67,10 @@ pub struct BbrV2Pkt {
 
 impl BbrV2Pkt {
     pub fn new(mss: f64, seed: u64) -> Self {
-        let r = (seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 33)
-            as f64
+        let r = (seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+            >> 33) as f64
             / (1u64 << 31) as f64;
         Self {
             mss,
@@ -197,8 +199,8 @@ impl PacketCca for BbrV2Pkt {
             State::Startup => {
                 self.pacing_gain = STARTUP_GAIN;
                 self.check_full_pipe(round_start);
-                let excess_loss = self.round_loss_rate() > LOSS_THRESH
-                    && self.lost_in_round > 3.0 * self.mss;
+                let excess_loss =
+                    self.round_loss_rate() > LOSS_THRESH && self.lost_in_round > 3.0 * self.mss;
                 if self.full_bw_count >= 3 || excess_loss {
                     if excess_loss {
                         // The paper's Insight 5 mechanism: startup loss
@@ -234,12 +236,12 @@ impl PacketCca for BbrV2Pkt {
                     if round_start {
                         self.up_growth *= 2.0;
                     }
-                    self.inflight_hi += self.up_growth * self.mss * rs.newly_acked
-                        / rs.inflight.max(self.mss);
+                    self.inflight_hi +=
+                        self.up_growth * self.mss * rs.newly_acked / rs.inflight.max(self.mss);
                 }
                 let inflight_done = rs.inflight >= 1.25 * self.bdp();
-                let loss_done = self.round_loss_rate() > LOSS_THRESH
-                    && self.lost_in_round > 3.0 * self.mss;
+                let loss_done =
+                    self.round_loss_rate() > LOSS_THRESH && self.lost_in_round > 3.0 * self.mss;
                 if inflight_done || loss_done {
                     if loss_done && !self.hi_cut_this_round {
                         // β-cut of inflight_hi, at most once per round.
@@ -310,9 +312,9 @@ impl PacketCca for BbrV2Pkt {
         let bdp = self.bdp();
         match self.state {
             State::ProbeRtt => (0.5 * bdp).max(4.0 * self.mss),
-            State::Startup | State::Drain => {
-                (STARTUP_GAIN * bdp).min(self.inflight_hi).max(4.0 * self.mss)
-            }
+            State::Startup | State::Drain => (STARTUP_GAIN * bdp)
+                .min(self.inflight_hi)
+                .max(4.0 * self.mss),
             State::Cruise => {
                 // min(2·BDP, headroom·inflight_hi, inflight_lo).
                 let mut w = 2.0 * bdp;
@@ -321,9 +323,7 @@ impl PacketCca for BbrV2Pkt {
                 }
                 w.min(self.inflight_lo).max(4.0 * self.mss)
             }
-            State::Refill | State::Up => {
-                (2.0 * bdp).min(self.inflight_hi).max(4.0 * self.mss)
-            }
+            State::Refill | State::Up => (2.0 * bdp).min(self.inflight_hi).max(4.0 * self.mss),
             State::Down => {
                 // Headroom applies while draining, so the inflight can
                 // actually reach the drain target min(BDP, 0.85·w_hi).

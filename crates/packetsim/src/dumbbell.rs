@@ -141,7 +141,11 @@ pub fn run_dumbbell(spec: &DumbbellSpec, cfg: &SimConfig) -> PacketSimReport {
     let link = Link::new(rate, spec.bottleneck_delay, buffer, spec.qdisc);
     let flows: Vec<Flow> = (0..spec.n)
         .map(|i| {
-            let cca = build(spec.kind_of(i), cfg.mss, cfg.seed.wrapping_add(i as u64 * 7919));
+            let cca = build(
+                spec.kind_of(i),
+                cfg.mss,
+                cfg.seed.wrapping_add(i as u64 * 7919),
+            );
             // Staggered starts avoid artificial phase lock.
             let start = i as f64 * 0.005;
             Flow::new(
@@ -285,8 +289,8 @@ mod tests {
     #[test]
     fn averaging_runs_is_stable() {
         // 4 link-BDPs of buffer (≈ 1.2 path BDPs) so Reno can work.
-        let spec = DumbbellSpec::new(2, 20.0, 0.010, 4.0, QdiscKind::Red)
-            .ccas(vec![PacketCcaKind::Reno]);
+        let spec =
+            DumbbellSpec::new(2, 20.0, 0.010, 4.0, QdiscKind::Red).ccas(vec![PacketCcaKind::Reno]);
         let r = run_dumbbell_avg(&spec, &quick_cfg(), 2);
         assert!(r.utilization_percent > 25.0, "{}", r.utilization_percent);
         assert!(r.loss_percent >= 0.0 && r.loss_percent <= 100.0);
@@ -295,8 +299,8 @@ mod tests {
 
     #[test]
     fn buffer_bytes_matches_bdp_definition() {
-        let spec = DumbbellSpec::new(2, 100.0, 0.010, 2.0, QdiscKind::DropTail)
-            .rtt_range(0.030, 0.040);
+        let spec =
+            DumbbellSpec::new(2, 100.0, 0.010, 2.0, QdiscKind::DropTail).rtt_range(0.030, 0.040);
         // Link BDP = 100e6/8 · 0.010 = 125000 B; ×2.
         assert!((spec.buffer_bytes() - 250_000.0).abs() < 1.0);
     }

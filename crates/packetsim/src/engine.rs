@@ -765,7 +765,12 @@ impl Engine {
     /// the window, in bytes / byte-seconds.
     pub fn link_stats(&self, l: usize) -> (f64, f64, f64, f64) {
         let link = &self.links[l];
-        (link.arrived, link.dropped, link.delivered, link.occ_integral)
+        (
+            link.arrived,
+            link.dropped,
+            link.delivered,
+            link.occ_integral,
+        )
     }
 }
 
@@ -781,7 +786,12 @@ mod tests {
             seed: 1,
             ..Default::default()
         };
-        let link = Link::new(rate_mbps * 1e6 / 8.0, 0.010, buffer_bytes, QdiscKind::DropTail);
+        let link = Link::new(
+            rate_mbps * 1e6 / 8.0,
+            0.010,
+            buffer_bytes,
+            QdiscKind::DropTail,
+        );
         let cca = build(kind, cfg.mss, 1);
         let flow = Flow::new(vec![0], 0.0056, 0.0156, 0.0, cca, cfg.mss);
         Engine::new(cfg, vec![link], vec![flow], 0)

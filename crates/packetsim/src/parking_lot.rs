@@ -69,7 +69,11 @@ pub fn run_parking_lot(spec: &ParkingLotSpec, cfg: &SimConfig) -> ParkingLotRepo
     ];
     let flows: Vec<Flow> = (0..3)
         .map(|i| {
-            let cca = build(spec.ccas[i], cfg.mss, cfg.seed.wrapping_add(i as u64 * 7919));
+            let cca = build(
+                spec.ccas[i],
+                cfg.mss,
+                cfg.seed.wrapping_add(i as u64 * 7919),
+            );
             Flow::new(
                 routes[i].clone(),
                 access,

@@ -25,7 +25,9 @@ fn combo(name: &str) -> Vec<CcaKind> {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "bbr1-reno".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bbr1-reno".into());
     let kinds = combo(&name);
     println!("combo {name}: N = 10 senders, C = 100 Mbit/s, RTT 30–40 ms, drop-tail");
     println!("buffer[BDP]   jain   loss[%]   occupancy[%]   utilization[%]");

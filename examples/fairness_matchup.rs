@@ -42,9 +42,7 @@ fn main() {
     for k in (0..trace.len()).step_by(trace.len() / 18 + 1) {
         println!(
             "  {:5.2}  {:10.1}  {:10.1}",
-            trace.t[k],
-            trace.agents[0].x[k],
-            trace.agents[1].x[k],
+            trace.t[k], trace.agents[0].x[k], trace.agents[1].x[k],
         );
     }
 }

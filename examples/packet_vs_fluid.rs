@@ -24,10 +24,13 @@ fn main() {
         ),
     ];
     println!("N = 10, C = 100 Mbit/s, RTT 30–40 ms, 2-BDP drop-tail buffer, 5 s window\n");
-    println!("{:<12} {:>14} {:>8} {:>9} {:>8} {:>8}", "combo", "side", "jain", "loss[%]", "occ[%]", "util[%]");
+    println!(
+        "{:<12} {:>14} {:>8} {:>9} {:>8} {:>8}",
+        "combo", "side", "jain", "loss[%]", "occ[%]", "util[%]"
+    );
     for (label, fluid_kinds, pkt_kinds) in combos {
-        let scenario = Scenario::dumbbell(10, 100.0, 0.010, 2.0, QdiscKind::DropTail)
-            .rtt_range(0.030, 0.040);
+        let scenario =
+            Scenario::dumbbell(10, 100.0, 0.010, 2.0, QdiscKind::DropTail).rtt_range(0.030, 0.040);
         let mut sim = scenario.build(&fluid_kinds).expect("valid scenario");
         let m = sim.run(5.0).metrics;
         println!(

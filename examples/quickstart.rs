@@ -12,8 +12,8 @@ fn main() {
     // The paper's §4.2 trace-validation setting: C = 100 Mbit/s,
     // bottleneck propagation delay 10 ms, access delay 5.6 ms, 1-BDP
     // drop-tail buffer.
-    let scenario = Scenario::dumbbell(1, 100.0, 0.010, 1.0, QdiscKind::DropTail)
-        .access_delays(vec![0.0056]);
+    let scenario =
+        Scenario::dumbbell(1, 100.0, 0.010, 1.0, QdiscKind::DropTail).access_delays(vec![0.0056]);
     let mut sim = scenario.build(&[CcaKind::BbrV1]).expect("valid scenario");
     sim.enable_trace(2_000); // sample every 2000 steps
 

@@ -1,0 +1,277 @@
+//! Offline stand-in for the subset of the [proptest](https://docs.rs/proptest)
+//! API this workspace uses, so property tests run without network access.
+//!
+//! Differences from the real crate, deliberately kept small:
+//!
+//! * Cases are generated from a *deterministic* per-test PRNG (seeded from
+//!   the test's name), so failures reproduce exactly across runs — there
+//!   is no persistence file and no `PROPTEST_CASES` env handling.
+//! * No shrinking: a failing case panics with the generated inputs
+//!   printed, which is enough to paste into a unit test.
+//! * Only the strategies the workspace uses exist: numeric `Range`s,
+//!   `proptest::collection::vec`, and `proptest::bool::ANY`.
+//!
+//! The `proptest!` macro syntax accepted here is the same as upstream's
+//! common form (optional `#![proptest_config(..)]`, `#[test]` functions
+//! with `arg in strategy` parameters), so swapping the real crate back in
+//! requires no source changes.
+
+use std::ops::Range;
+
+/// Configuration accepted via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic split-mix/xorshift PRNG used to drive strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from the test's identity plus the case index, so each case is
+    /// distinct but every run of the suite sees identical inputs.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // splitmix64 finalizer; avoid the all-zero state
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        Self {
+            state: (h ^ (h >> 31)) | 1,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Uniform in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator. Unlike upstream there is no value tree / shrinking;
+/// `generate` yields the case directly.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                if span == 0 {
+                    return self.start;
+                }
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Mirror of `proptest::bool::ANY`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Mirror of `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestRng};
+}
+
+/// Assertion macro; panics with the formatted message (no shrink phase to
+/// feed a `Result` into, so plain panic reporting is equivalent here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)*));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            panic!("prop_assert_eq failed: {:?} != {:?}", a, b);
+        }
+    }};
+}
+
+/// The `proptest!` block macro: accepts an optional
+/// `#![proptest_config(expr)]` followed by `#[test]` functions whose
+/// parameters use `name in strategy` syntax. Each expands to a normal
+/// `#[test]` that loops over `config.cases` generated cases and prints the
+/// inputs of a failing case before propagating the panic.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);
+                    )+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)+),
+                        $(&$arg),+
+                    );
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(e) = result {
+                        eprintln!(
+                            "proptest case {}/{} failed for {}: {}",
+                            case + 1, config.cases, stringify!($name), __inputs
+                        );
+                        std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -3.0f64..7.5, n in 2usize..9) {
+            prop_assert!((-3.0..7.5).contains(&x));
+            prop_assert!((2..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0.0f64..1.0, 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+    }
+
+    #[test]
+    fn bool_strategy_takes_both_values() {
+        use crate::Strategy;
+        let mut seen = [false, false];
+        for case in 0..64 {
+            let mut rng = TestRng::for_case("bool_strategy", case);
+            seen[crate::bool::ANY.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true], "64 cases must hit both booleans");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_case("t", 0);
+        let mut b = TestRng::for_case("t", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 1);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

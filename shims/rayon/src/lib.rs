@@ -1,0 +1,267 @@
+//! Offline stand-in for the subset of the [rayon](https://docs.rs/rayon)
+//! API this workspace uses, so the build needs no network access.
+//!
+//! It is *genuinely parallel*: `collect()` fans the mapped items out over
+//! `std::thread::scope` workers pulling indices from an atomic counter
+//! (dynamic load balancing, like rayon's work stealing for coarse-grained
+//! items), and results come back in input order. Only the shapes used by
+//! the workspace are implemented:
+//!
+//! * `vec.into_par_iter().map(f).collect::<Vec<_>>()`
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()`
+//! * `ThreadPoolBuilder::new().num_threads(n).build_global()`
+//! * `current_num_threads()`
+//!
+//! Swapping in the real crate is a one-line change in the workspace
+//! manifest; nothing here conflicts with rayon's semantics for these
+//! calls (deterministic order-preserving collect, global thread count).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global thread-count override set by [`ThreadPoolBuilder::build_global`].
+/// 0 means "use the hardware parallelism".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    let n = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if n > 0 {
+        n
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Mirror of `rayon::ThreadPoolBuilder` for the global-pool configuration
+/// path only.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build_global`]. The shim
+/// never fails, but the signature matches rayon's so callers can `?` or
+/// ignore it identically.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool already initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 0 restores the default (hardware parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Head of a parallel pipeline; only `map` is offered, matching usage.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator; terminal ops execute the fan-out.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Minimal `ParallelIterator` trait so `use rayon::prelude::*` call sites
+/// type-check exactly as with the real crate.
+pub trait ParallelIterator {
+    type Output;
+    fn collect<C: FromIterator<Self::Output>>(self) -> C;
+}
+
+impl<T, R, F> ParallelIterator for ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    type Output = R;
+
+    fn collect<C: FromIterator<R>>(self) -> C {
+        run_par(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Fan `f` over `items` across worker threads, returning results in input
+/// order. Workers claim indices from a shared atomic counter, so uneven
+/// per-item cost (e.g. a slow packet-sim cell next to fast fluid cells)
+/// still balances.
+fn run_par<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().max(1).min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot claimed once");
+                let out = f(item);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..257)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(out, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let data = vec![1u64, 2, 3, 4];
+        let out: Vec<u64> = data.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+        assert_eq!(data.len(), 4); // still owned by caller
+    }
+
+    #[test]
+    fn respects_global_thread_override() {
+        ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build_global()
+            .unwrap();
+        assert_eq!(current_num_threads(), 2);
+        let out: Vec<i32> = vec![5, 6].into_par_iter().map(|x| -x).collect();
+        assert_eq!(out, vec![-5, -6]);
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .unwrap();
+        let ids: Vec<String> = (0..64)
+            .collect::<Vec<i32>>()
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                format!("{:?}", std::thread::current().id())
+            })
+            .collect();
+        let mut uniq: Vec<_> = ids.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert!(uniq.len() > 1, "expected work spread over >1 thread");
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+}

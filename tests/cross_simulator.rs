@@ -78,8 +78,16 @@ fn both_simulators_show_bbrv1_loss_decreasing_with_buffer() {
 fn both_simulators_show_full_bbrv1_utilization() {
     let f = fluid(&[CcaKind::BbrV1], 2.0, QdiscKind::DropTail);
     let p = packet(&[PacketCcaKind::BbrV1], 2.0, PktQdisc::DropTail);
-    assert!(f.utilization_percent > 95.0, "fluid {}", f.utilization_percent);
-    assert!(p.utilization_percent > 90.0, "packet {}", p.utilization_percent);
+    assert!(
+        f.utilization_percent > 95.0,
+        "fluid {}",
+        f.utilization_percent
+    );
+    assert!(
+        p.utilization_percent > 90.0,
+        "packet {}",
+        p.utilization_percent
+    );
 }
 
 #[test]

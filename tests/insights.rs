@@ -43,11 +43,7 @@ fn insight2_bbrv1_unfair_to_loss_based() {
         "shallow-buffer Jain = {:.3}, expected strong unfairness",
         shallow.jain
     );
-    let bbr_rate: f64 = shallow
-        .mean_rates
-        .iter()
-        .step_by(2)
-        .sum::<f64>();
+    let bbr_rate: f64 = shallow.mean_rates.iter().step_by(2).sum::<f64>();
     let reno_rate: f64 = shallow.mean_rates.iter().skip(1).step_by(2).sum::<f64>();
     assert!(
         bbr_rate > 3.0 * reno_rate,

@@ -99,8 +99,7 @@ fn multi_link_path_accumulates_latency_and_loss() {
         buffer: 0.5,
         agent_index: 0,
     };
-    let agents: Vec<Box<dyn FluidCca>> =
-        vec![Box::new(BbrV1::new(&hint, &cfg).with_x_btl(48.0))];
+    let agents: Vec<Box<dyn FluidCca>> = vec![Box::new(BbrV1::new(&hint, &cfg).with_x_btl(48.0))];
     let mut sim = bbr_repro::fluid::sim::Simulator::new(net, cfg, agents).unwrap();
     sim.enable_trace(50);
     let report = sim.run(3.0);

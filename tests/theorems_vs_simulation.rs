@@ -20,7 +20,7 @@ fn theorem1_queue_matches_full_model() {
     sim.reset_metrics();
     let m = sim.run(4.0).metrics;
     let q_star = d * 100.0; // Mbit
-    // Buffer: 6 × link BDP = 6 × 100 Mbit/s × 10 ms = 6 Mbit.
+                            // Buffer: 6 × link BDP = 6 × 100 Mbit/s × 10 ms = 6 Mbit.
     let buffer = 6.0 * 100.0 * 0.010;
     let occ_star = 100.0 * q_star / buffer;
     assert!(
