@@ -1,0 +1,58 @@
+//! Benchmarks of the backend-agnostic simulation layer — the hot path
+//! the `SimBackend` refactor routes every sweep through.
+//!
+//! * `packet_8flow_30s_dumbbell` — one `PacketBackend::run` on the
+//!   paper-scale dumbbell (8 flows, 100 Mbit/s, 30 s): the dominant cost
+//!   of every "Experiment" column.
+//! * `sweep_24_cells` — a 24-cell grid (2 topologies × 3 mixes × 2
+//!   buffers × 2 qdiscs) through both backends, exercising the full
+//!   fan-out machinery end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bbr_experiments::scenarios::COMBOS;
+use bbr_experiments::sweep::{Backend, ScenarioGrid};
+use bbr_experiments::Effort;
+use bbr_packetsim::backend::PacketBackend;
+use bbr_scenario::{CcaKind, QdiscKind, ScenarioSpec, SimBackend};
+
+fn packet_backend_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend");
+    g.sample_size(2);
+    let spec = ScenarioSpec::dumbbell(8, 100.0, 0.010, 2.0)
+        .ccas(vec![CcaKind::BbrV1, CcaKind::Cubic])
+        .duration(30.0)
+        .warmup(1.0);
+    let backend = PacketBackend::new(1);
+    g.bench_function("packet_8flow_30s_dumbbell", |b| {
+        b.iter(|| black_box(backend.run(black_box(&spec), 42).utilization_percent))
+    });
+    g.finish();
+}
+
+fn sweep_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend");
+    g.sample_size(2);
+    // 2 topologies × 3 combos × 2 buffers × 2 qdiscs = dumbbell 12 +
+    // parking lot 12 = 24 cells, each on both backends.
+    let grid = ScenarioGrid::new()
+        .effort(Effort::Fast)
+        .backend(Backend::Both)
+        .with_parking_lot()
+        .combos(vec![COMBOS[0], COMBOS[3], COMBOS[4]])
+        .flow_counts(vec![4])
+        .buffers_bdp(vec![1.0, 4.0])
+        .qdiscs(vec![QdiscKind::DropTail, QdiscKind::Red])
+        .duration(0.5)
+        .warmup(0.25)
+        .runs(1);
+    assert_eq!(grid.len(), 24);
+    g.bench_function("sweep_24_cells", |b| {
+        b.iter(|| black_box(grid.run().mean_utilization_gap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, packet_backend_run, sweep_grid);
+criterion_main!(benches);

@@ -12,8 +12,6 @@ use bbr_fluid_core::prelude::*;
 use bbr_linalg::{eigenvalues, Matrix};
 use bbr_packetsim::dumbbell::{run_dumbbell, DumbbellSpec};
 use bbr_packetsim::engine::SimConfig;
-use bbr_packetsim::prelude::PacketCcaKind;
-use bbr_packetsim::qdisc::QdiscKind as PktQdisc;
 
 fn fluid_steps(c: &mut Criterion) {
     let mut g = c.benchmark_group("fluid_step");
@@ -50,14 +48,11 @@ fn fluid_steps(c: &mut Criterion) {
 fn packet_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("packetsim");
     g.sample_size(10);
-    for (label, kind) in [
-        ("reno", PacketCcaKind::Reno),
-        ("bbrv1", PacketCcaKind::BbrV1),
-    ] {
+    for (label, kind) in [("reno", CcaKind::Reno), ("bbrv1", CcaKind::BbrV1)] {
         g.bench_function(format!("1s_{label}_50mbps"), |b| {
             b.iter(|| {
                 let spec =
-                    DumbbellSpec::new(2, 50.0, 0.010, 1.0, PktQdisc::DropTail).ccas(vec![kind]);
+                    DumbbellSpec::new(2, 50.0, 0.010, 1.0, QdiscKind::DropTail).ccas(vec![kind]);
                 let cfg = SimConfig {
                     duration: 1.0,
                     warmup: 0.0,

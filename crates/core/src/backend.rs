@@ -1,0 +1,239 @@
+//! [`FluidBackend`] — the fluid model behind the backend-agnostic
+//! [`SimBackend`] trait.
+//!
+//! Translates a [`ScenarioSpec`] into a [`Network`] + CCA agents, runs
+//! the method-of-steps integration, and reshapes the aggregate metrics
+//! into the shared [`RunOutcome`]. The fluid model is deterministic and
+//! starts from near-equilibrium initial conditions, so it ignores both
+//! the seed and the warm-up window (packet-level start-up phases have no
+//! fluid counterpart).
+//!
+//! ```
+//! use bbr_fluid_core::backend::FluidBackend;
+//! use bbr_fluid_core::config::ModelConfig;
+//! use bbr_scenario::{CcaKind, ScenarioSpec, SimBackend};
+//!
+//! let spec = ScenarioSpec::dumbbell(2, 100.0, 0.010, 2.0)
+//!     .ccas(vec![CcaKind::BbrV1, CcaKind::Reno])
+//!     .duration(1.0);
+//! let outcome = FluidBackend::coarse().run(&spec, 0);
+//! assert_eq!(outcome.backend, "fluid");
+//! assert!(outcome.flows[0].throughput_mbps > outcome.flows[1].throughput_mbps);
+//! ```
+
+pub use bbr_scenario::PARKING_LOT_ACCESS_DELAY;
+use bbr_scenario::{FlowMetrics, RunOutcome, ScenarioSpec, SimBackend, Topology};
+
+use crate::cca::{build, FluidCca, ScenarioHint};
+use crate::config::ModelConfig;
+use crate::metrics::AggregateMetrics;
+use crate::scenario::Scenario;
+use crate::sim::Simulator;
+use crate::topology::{LinkId, LinkSpec, Network, PathSpec};
+
+/// The fluid model as a [`SimBackend`].
+#[derive(Debug, Clone, Default)]
+pub struct FluidBackend {
+    cfg: ModelConfig,
+}
+
+impl FluidBackend {
+    /// Backend with an explicit integration configuration.
+    pub fn new(cfg: ModelConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Backend with the coarse (fast) integration step — the usual choice
+    /// for sweeps and tests.
+    pub fn coarse() -> Self {
+        Self::new(ModelConfig::coarse())
+    }
+}
+
+impl SimBackend for FluidBackend {
+    fn name(&self) -> &'static str {
+        "fluid"
+    }
+
+    fn run(&self, spec: &ScenarioSpec, _seed: u64) -> RunOutcome {
+        spec.validate().expect("invalid scenario spec");
+        let metrics = match spec.topology {
+            Topology::Dumbbell {
+                n,
+                capacity,
+                bottleneck_delay,
+                buffer_bdp,
+                rtt_lo,
+                rtt_hi,
+            } => {
+                let scenario =
+                    Scenario::dumbbell(n, capacity, bottleneck_delay, buffer_bdp, spec.qdisc)
+                        .rtt_range(rtt_lo, rtt_hi)
+                        .config(self.cfg.clone());
+                let mut sim = scenario
+                    .build(&spec.ccas)
+                    .expect("validated spec must build");
+                sim.run(spec.duration).metrics
+            }
+            Topology::ParkingLot { .. } => {
+                let net = parking_lot_network(spec);
+                let agents: Vec<Box<dyn FluidCca>> = (0..spec.n_flows())
+                    .map(|i| {
+                        let pos = net.bottleneck_pos(i);
+                        let link = &net.links[net.paths[i].links[pos].0];
+                        let hint = ScenarioHint {
+                            capacity: link.capacity,
+                            prop_rtt: net.prop_rtt(i),
+                            n_agents: net.users_of(net.paths[i].links[pos]).len(),
+                            buffer: link.buffer,
+                            agent_index: i,
+                        };
+                        build(spec.cca_of(i), &hint, &self.cfg)
+                    })
+                    .collect();
+                let mut sim = Simulator::new(net, self.cfg.clone(), agents)
+                    .expect("validated spec must build");
+                sim.run(spec.duration).metrics
+            }
+        };
+        outcome(spec, &metrics)
+    }
+}
+
+/// The two-bottleneck network of [`Topology::ParkingLot`]: flow 0 crosses
+/// both links, flow 1 only the first, flow 2 only the second; reverse
+/// paths are pure delay completing symmetric RTTs.
+fn parking_lot_network(spec: &ScenarioSpec) -> Network {
+    let Topology::ParkingLot {
+        c1,
+        c2,
+        link_delay,
+        buffer_bdp,
+    } = spec.topology
+    else {
+        unreachable!("parking_lot_network called on a non-parking-lot spec");
+    };
+    let buffer = buffer_bdp * c1 * link_delay;
+    let access = PARKING_LOT_ACCESS_DELAY;
+    let link = |capacity: f64| LinkSpec {
+        capacity,
+        buffer,
+        prop_delay: link_delay,
+        qdisc: spec.qdisc,
+    };
+    Network {
+        links: vec![link(c1), link(c2)],
+        paths: vec![
+            // Flow 0: both bottlenecks.
+            PathSpec {
+                links: vec![LinkId(0), LinkId(1)],
+                extra_fwd_delay: access,
+                extra_bwd_delay: access,
+            },
+            // Flow 1: first link only.
+            PathSpec {
+                links: vec![LinkId(0)],
+                extra_fwd_delay: access,
+                extra_bwd_delay: access + link_delay,
+            },
+            // Flow 2: second link only.
+            PathSpec {
+                links: vec![LinkId(1)],
+                extra_fwd_delay: access + link_delay,
+                extra_bwd_delay: access,
+            },
+        ],
+    }
+}
+
+fn outcome(spec: &ScenarioSpec, m: &AggregateMetrics) -> RunOutcome {
+    let flows = m
+        .mean_rates
+        .iter()
+        .enumerate()
+        .map(|(i, rate)| FlowMetrics {
+            cca: spec.cca_of(i),
+            throughput_mbps: *rate,
+        })
+        .collect();
+    RunOutcome {
+        backend: "fluid",
+        flows,
+        jain: m.jain,
+        loss_percent: m.loss_percent,
+        occupancy_percent: m.occupancy_percent,
+        utilization_percent: m.utilization_percent,
+        jitter_ms: m.jitter_ms,
+        per_link_occupancy: m.per_link_occupancy.clone(),
+        per_link_utilization: m.per_link_utilization.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbr_scenario::CcaKind;
+
+    #[test]
+    fn dumbbell_outcome_matches_direct_simulation() {
+        let spec = ScenarioSpec::dumbbell(2, 50.0, 0.010, 2.0)
+            .ccas(vec![CcaKind::BbrV1, CcaKind::Reno])
+            .duration(1.5);
+        let out = FluidBackend::coarse().run(&spec, 7);
+        // Same scenario built by hand must give identical numbers — the
+        // backend is a pure adapter.
+        let scenario = Scenario::dumbbell(2, 50.0, 0.010, 2.0, spec.qdisc)
+            .rtt_range(0.030, 0.040)
+            .config(ModelConfig::coarse());
+        let mut sim = scenario.build(&spec.ccas).unwrap();
+        let m = sim.run(1.5).metrics;
+        assert_eq!(out.utilization_percent, m.utilization_percent);
+        assert_eq!(out.jain, m.jain);
+        assert_eq!(out.flows.len(), 2);
+        assert_eq!(out.flows[0].cca, CcaKind::BbrV1);
+        assert_eq!(out.flows[1].cca, CcaKind::Reno);
+    }
+
+    #[test]
+    fn seed_is_ignored() {
+        let spec = ScenarioSpec::dumbbell(2, 50.0, 0.010, 1.0)
+            .ccas(vec![CcaKind::Cubic])
+            .duration(1.0);
+        let b = FluidBackend::coarse();
+        assert_eq!(b.run(&spec, 1), b.run(&spec, 999));
+    }
+
+    #[test]
+    fn parking_lot_multihop_flow_loses() {
+        let spec = ScenarioSpec::parking_lot(100.0, 80.0, 0.010, 3.0)
+            .ccas(vec![CcaKind::BbrV1])
+            .duration(4.0);
+        let out = FluidBackend::coarse().run(&spec, 0);
+        assert_eq!(out.flows.len(), 3);
+        assert_eq!(out.per_link_utilization.len(), 2);
+        let t = out.throughputs();
+        // The classic parking-lot outcome: the flow crossing both
+        // bottlenecks gets less than either single-hop competitor.
+        assert!(t[0] < t[1], "multi-hop {:.1} vs hop-1 {:.1}", t[0], t[1]);
+        assert!(t[0] < t[2], "multi-hop {:.1} vs hop-2 {:.1}", t[0], t[2]);
+        // Both links busy.
+        assert!(out.per_link_utilization[0] > 60.0);
+        assert!(out.per_link_utilization[1] > 60.0);
+    }
+
+    #[test]
+    fn parking_lot_network_shape() {
+        let spec = ScenarioSpec::parking_lot(100.0, 80.0, 0.010, 3.0);
+        let net = parking_lot_network(&spec);
+        net.validate().unwrap();
+        assert_eq!(net.links.len(), 2);
+        assert_eq!(net.paths.len(), 3);
+        // 3 Mbit buffer = 3 × (100 Mbit/s × 10 ms).
+        assert!((net.links[0].buffer - 3.0).abs() < 1e-9);
+        // Every flow has a 30 ms propagation RTT: 5 ms access + 20 ms of
+        // links + 5 ms return for flow 0, and 5 + 10 + 15 for the others.
+        assert!((net.prop_rtt(0) - 0.030).abs() < 1e-12);
+        assert!((net.prop_rtt(1) - 0.030).abs() < 1e-12);
+        assert!((net.prop_rtt(2) - 0.030).abs() < 1e-12);
+    }
+}

@@ -21,38 +21,10 @@ pub use startup::{StartupPhase, StartupState};
 
 use crate::config::ModelConfig;
 
-/// Which congestion-control algorithm a flow runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum CcaKind {
-    Reno,
-    Cubic,
-    BbrV1,
-    BbrV2,
-}
-
-impl CcaKind {
-    /// Short display name matching the paper's legends.
-    pub fn name(&self) -> &'static str {
-        match self {
-            CcaKind::Reno => "RENO",
-            CcaKind::Cubic => "CUBIC",
-            CcaKind::BbrV1 => "BBRv1",
-            CcaKind::BbrV2 => "BBRv2",
-        }
-    }
-
-    /// Whether the CCA backs off in response to packet loss (all but
-    /// BBRv1; used by tests and by the experiment harness).
-    pub fn loss_sensitive(&self) -> bool {
-        !matches!(self, CcaKind::BbrV1)
-    }
-}
-
-impl std::fmt::Display for CcaKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+// The CCA tag is shared with the packet simulator through the
+// backend-agnostic scenario layer; only the fluid state machines live
+// here.
+pub use bbr_scenario::CcaKind;
 
 /// Static facts about the scenario a flow is placed in, used to choose
 /// initial conditions (the paper notes that fluid models "have to be

@@ -25,6 +25,7 @@
 //! Units throughout: rates in Mbit/s, data volumes in Mbit, times in
 //! seconds. One MSS-sized segment is 1500 B = 0.012 Mbit.
 
+pub mod backend;
 pub mod cca;
 pub mod config;
 pub mod history;
@@ -38,6 +39,7 @@ pub mod trace;
 
 /// Convenient re-exports of the items needed by typical simulations.
 pub mod prelude {
+    pub use crate::backend::FluidBackend;
     pub use crate::cca::{CcaKind, FluidCca, ScenarioHint};
     pub use crate::config::ModelConfig;
     pub use crate::metrics::{jain_fairness, AggregateMetrics};
@@ -46,6 +48,7 @@ pub mod prelude {
     pub use crate::topology::{LinkId, LinkSpec, Network, PathSpec, QdiscKind};
     pub use crate::trace::Trace;
     pub use crate::MSS_MBIT;
+    pub use bbr_scenario::{FlowMetrics, RunOutcome, ScenarioSpec, SimBackend, Topology};
 }
 
 /// One maximum-segment-size packet (1500 bytes) expressed in Mbit.

@@ -9,16 +9,10 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub usize);
 
-/// Queuing discipline of a link (paper §2, Eqs. (4) and (6)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum QdiscKind {
-    /// Loss only when the buffer is (nearly) full; smooth approximation
-    /// of Eq. (4).
-    DropTail,
-    /// Idealized RED: loss probability proportional to the instantaneous
-    /// queue, Eq. (6).
-    Red,
-}
+// Shared with the packet simulator through the scenario layer; the fluid
+// model implements DropTail as a smooth approximation of Eq. (4) and Red
+// as the idealized `p = q/B` of Eq. (6).
+pub use bbr_scenario::QdiscKind;
 
 /// A unidirectional link: transmission capacity `C_ℓ` (Mbit/s), buffer
 /// size `B_ℓ` (Mbit), propagation delay `d_ℓ` (s).

@@ -8,11 +8,10 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use bbr_fluid_core::prelude::*;
-use bbr_packetsim::dumbbell::{run_dumbbell_avg, DumbbellSpec};
-use bbr_packetsim::engine::SimConfig;
-use bbr_packetsim::qdisc::QdiscKind as PktQdisc;
+use bbr_packetsim::backend::PacketBackend;
+use bbr_scenario::RunOutcome;
 
-use crate::scenarios::{to_packet_kind, CampaignParams, Combo, COMBOS};
+use crate::scenarios::{CampaignParams, Combo, COMBOS};
 use crate::Effort;
 
 /// The five §4.3 metrics of one simulation.
@@ -23,6 +22,18 @@ pub struct CellMetrics {
     pub occupancy_percent: f64,
     pub utilization_percent: f64,
     pub jitter_ms: f64,
+}
+
+impl From<&RunOutcome> for CellMetrics {
+    fn from(o: &RunOutcome) -> Self {
+        Self {
+            jain: o.jain,
+            loss_percent: o.loss_percent,
+            occupancy_percent: o.occupancy_percent,
+            utilization_percent: o.utilization_percent,
+            jitter_ms: o.jitter_ms,
+        }
+    }
 }
 
 impl CellMetrics {
@@ -67,7 +78,20 @@ pub struct SweepTable {
     pub cells: Vec<Vec<(CellMetrics, CellMetrics)>>,
 }
 
-/// Run the fluid model for one cell.
+/// The integration configuration the figure generators use at the given
+/// effort (coarse step for fast mode, a fine 20 µs step otherwise).
+pub fn model_config(effort: Effort) -> ModelConfig {
+    if effort.is_fast() {
+        ModelConfig::coarse()
+    } else {
+        ModelConfig {
+            dt: 2e-5,
+            ..ModelConfig::default()
+        }
+    }
+}
+
+/// Run the fluid model for one cell (through [`FluidBackend`]).
 pub fn model_cell(
     p: &CampaignParams,
     combo: &Combo,
@@ -75,29 +99,8 @@ pub fn model_cell(
     qdisc: QdiscKind,
     effort: Effort,
 ) -> CellMetrics {
-    let cfg = if effort.is_fast() {
-        ModelConfig::coarse()
-    } else {
-        ModelConfig {
-            dt: 2e-5,
-            ..ModelConfig::default()
-        }
-    };
-    let scenario = Scenario::dumbbell(p.n, p.capacity, p.bottleneck_delay, buffer_bdp, qdisc)
-        .rtt_range(p.rtt_lo, p.rtt_hi)
-        .config(cfg);
-    let mut sim = scenario
-        .build(combo.kinds)
-        .expect("scenario construction cannot fail");
-    let report = sim.run(p.duration);
-    let m = report.metrics;
-    CellMetrics {
-        jain: m.jain,
-        loss_percent: m.loss_percent,
-        occupancy_percent: m.occupancy_percent,
-        utilization_percent: m.utilization_percent,
-        jitter_ms: m.jitter_ms,
-    }
+    let spec = p.dumbbell_spec(combo, buffer_bdp, qdisc);
+    CellMetrics::from(&FluidBackend::new(model_config(effort)).run(&spec, 0))
 }
 
 /// Run the packet-level experiment for one cell with the fixed seed the
@@ -112,7 +115,8 @@ pub fn experiment_cell(
 }
 
 /// Run the packet-level experiment for one cell with an explicit seed
-/// (the sweep engine derives one per grid cell).
+/// (the sweep engine derives one per grid cell), averaging the
+/// campaign's `runs` seeds through [`PacketBackend`].
 pub fn experiment_cell_seeded(
     p: &CampaignParams,
     combo: &Combo,
@@ -120,28 +124,8 @@ pub fn experiment_cell_seeded(
     qdisc: QdiscKind,
     seed: u64,
 ) -> CellMetrics {
-    let pkt_qdisc = match qdisc {
-        QdiscKind::DropTail => PktQdisc::DropTail,
-        QdiscKind::Red => PktQdisc::Red,
-    };
-    let kinds: Vec<_> = combo.kinds.iter().map(|k| to_packet_kind(*k)).collect();
-    let spec = DumbbellSpec::new(p.n, p.capacity, p.bottleneck_delay, buffer_bdp, pkt_qdisc)
-        .rtt_range(p.rtt_lo, p.rtt_hi)
-        .ccas(kinds);
-    let cfg = SimConfig {
-        duration: p.warmup + p.duration,
-        warmup: p.warmup,
-        seed,
-        ..Default::default()
-    };
-    let r = run_dumbbell_avg(&spec, &cfg, p.runs);
-    CellMetrics {
-        jain: r.jain,
-        loss_percent: r.loss_percent,
-        occupancy_percent: r.occupancy_percent,
-        utilization_percent: r.utilization_percent,
-        jitter_ms: r.jitter_ms,
-    }
+    let spec = p.dumbbell_spec(combo, buffer_bdp, qdisc);
+    CellMetrics::from(&PacketBackend::new(p.runs).run(&spec, seed))
 }
 
 /// Buffer sizes of the sweep (1–7 BDP; reduced in fast mode).

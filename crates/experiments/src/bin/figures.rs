@@ -3,7 +3,8 @@
 //! ```text
 //! figures <id>... [--fast] [--out DIR]
 //! figures all [--fast]
-//! figures sweep [--fast] [--threads N] [--backend fluid|packet|both] [--out DIR]
+//! figures sweep [--fast] [--threads N] [--backend fluid|packet|both]
+//!               [--topology dumbbell|parking|both] [--out DIR]
 //! figures list
 //! ```
 //!
@@ -17,7 +18,7 @@ use std::path::PathBuf;
 use bbr_experiments::aggregate::buffer_sizes;
 use bbr_experiments::figures::{all_ids, run_figure};
 use bbr_experiments::scenarios::CampaignParams;
-use bbr_experiments::sweep::{Backend, ScenarioGrid};
+use bbr_experiments::sweep::{Backend, ScenarioGrid, TopologyKind};
 use bbr_experiments::Effort;
 use bbr_fluid_core::topology::QdiscKind;
 
@@ -48,10 +49,11 @@ fn main() {
     // Positional ids are the non-flag args minus the value slots of flags
     // that take one (dropped by index, so a value that happens to equal a
     // figure id or subcommand doesn't scrub the positional too).
-    let value_slots: std::collections::HashSet<usize> = ["--out", "--threads", "--backend"]
-        .iter()
-        .filter_map(|flag| args.iter().position(|a| a == *flag).map(|i| i + 1))
-        .collect();
+    let value_slots: std::collections::HashSet<usize> =
+        ["--out", "--threads", "--backend", "--topology"]
+            .iter()
+            .filter_map(|flag| args.iter().position(|a| a == *flag).map(|i| i + 1))
+            .collect();
     let mut ids: Vec<String> = args
         .iter()
         .enumerate()
@@ -116,6 +118,15 @@ fn run_sweep(args: &[String], effort: Effort) {
             std::process::exit(2);
         }
     };
+    let topologies = match flag_value(args, "--topology") {
+        Some("dumbbell") | None => vec![TopologyKind::Dumbbell],
+        Some("parking") => vec![TopologyKind::ParkingLot],
+        Some("both") => vec![TopologyKind::Dumbbell, TopologyKind::ParkingLot],
+        Some(other) => {
+            eprintln!("unknown topology: {other} (expected dumbbell|parking|both)");
+            std::process::exit(2);
+        }
+    };
     // Full effort runs the §4.3 campaign (N = 10, 5 s windows, 3 runs);
     // --fast its reduced variant — same split as the figure generators.
     let campaign = if effort.is_fast() {
@@ -126,6 +137,7 @@ fn run_sweep(args: &[String], effort: Effort) {
     let grid = ScenarioGrid::from_campaign(&campaign)
         .effort(effort)
         .backend(backend)
+        .topologies(topologies)
         .all_combos()
         .buffers_bdp(buffer_sizes(effort))
         .qdiscs(vec![QdiscKind::DropTail, QdiscKind::Red]);

@@ -3,13 +3,10 @@
 //! the paper names as future work, and ablations of the fluid-model
 //! knobs.
 
-use bbr_fluid_core::cca::{build, BbrV2, CcaKind, FluidCca, ScenarioHint, WhiInit};
+use bbr_fluid_core::cca::{BbrV2, CcaKind, FluidCca, WhiInit};
 use bbr_fluid_core::config::{ModelConfig, ResetMode};
 use bbr_fluid_core::prelude::*;
-use bbr_fluid_core::topology::{LinkId, LinkSpec, Network, PathSpec};
-use bbr_packetsim::engine::SimConfig as PktSimConfig;
-use bbr_packetsim::parking_lot::{run_parking_lot, ParkingLotSpec};
-use bbr_packetsim::qdisc::QdiscKind as PktQdisc;
+use bbr_packetsim::backend::PacketBackend;
 
 use crate::figures::FigureOutput;
 use crate::table;
@@ -87,118 +84,54 @@ pub fn insight5(effort: Effort) -> FigureOutput {
 }
 
 /// Multi-bottleneck parking lot (the paper's stated follow-up work):
-/// agent 0 crosses two bottlenecks, agents 1 and 2 cross one each.
+/// agent 0 crosses two bottlenecks, agents 1 and 2 cross one each. Both
+/// simulators evaluate the *same* [`ScenarioSpec`] through the
+/// [`SimBackend`] trait — the topology is described exactly once.
 pub fn parking_lot(effort: Effort) -> FigureOutput {
-    let cfg = if effort.is_fast() {
-        ModelConfig::coarse()
-    } else {
-        ModelConfig {
-            dt: 2e-5,
-            ..ModelConfig::default()
-        }
-    };
     let duration = if effort.is_fast() { 2.0 } else { 8.0 };
-    let c1 = 100.0;
-    let c2 = 80.0;
-    let mk_net = || -> Network {
-        let bdp = 100.0 * 0.030;
-        Network {
-            links: vec![
-                LinkSpec {
-                    capacity: c1,
-                    buffer: bdp,
-                    prop_delay: 0.010,
-                    qdisc: QdiscKind::DropTail,
-                },
-                LinkSpec {
-                    capacity: c2,
-                    buffer: bdp,
-                    prop_delay: 0.010,
-                    qdisc: QdiscKind::DropTail,
-                },
-            ],
-            paths: vec![
-                // Agent 0: both bottlenecks.
-                PathSpec {
-                    links: vec![LinkId(0), LinkId(1)],
-                    extra_fwd_delay: 0.005,
-                    extra_bwd_delay: 0.005,
-                },
-                // Agent 1: first link only.
-                PathSpec {
-                    links: vec![LinkId(0)],
-                    extra_fwd_delay: 0.005,
-                    extra_bwd_delay: 0.015,
-                },
-                // Agent 2: second link only.
-                PathSpec {
-                    links: vec![LinkId(1)],
-                    extra_fwd_delay: 0.015,
-                    extra_bwd_delay: 0.005,
-                },
-            ],
-        }
-    };
+    let backends: Vec<Box<dyn SimBackend>> = vec![
+        Box::new(FluidBackend::new(crate::aggregate::model_config(effort))),
+        Box::new(PacketBackend::new(1)),
+    ];
+    let (c1, c2) = (100.0, 80.0);
     let mut report = String::new();
     let mut csv = Vec::new();
     for kind in [CcaKind::BbrV1, CcaKind::BbrV2] {
-        let net = mk_net();
-        let agents: Vec<Box<dyn FluidCca>> = (0..3)
-            .map(|i| {
-                let hint = ScenarioHint {
-                    capacity: if i == 2 { c2 } else { c1 },
-                    prop_rtt: net.prop_rtt(i),
-                    n_agents: 2,
-                    buffer: net.links[0].buffer,
-                    agent_index: i,
-                };
-                build(kind, &hint, &cfg)
-            })
-            .collect();
-        let mut sim = bbr_fluid_core::sim::Simulator::new(net, cfg.clone(), agents).unwrap();
-        let m = sim.run(duration).metrics;
-        // Packet-level cross-check of the same topology.
-        let pkt_kind = crate::scenarios::to_packet_kind(kind);
-        let pkt_spec = ParkingLotSpec {
-            c1_mbps: c1,
-            c2_mbps: c2,
-            link_delay: 0.010,
-            buffer_bytes: 100.0 * 0.030 * 1e6 / 8.0,
-            qdisc: PktQdisc::DropTail,
-            ccas: [pkt_kind; 3],
-        };
-        let pkt_cfg = PktSimConfig {
-            duration: duration + 1.0,
-            warmup: 1.0,
-            seed: 13,
-            ..Default::default()
-        };
-        let pkt = run_parking_lot(&pkt_spec, &pkt_cfg);
-        let header: Vec<String> = [
-            "agent",
-            "path",
-            "model rate [Mbit/s]",
-            "experiment rate [Mbit/s]",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-        let paths = ["ℓ1+ℓ2", "ℓ1", "ℓ2"];
+        // 3 Mbit of buffer per link (3 BDP of the 100 Mbit/s × 10 ms
+        // first bottleneck).
+        let spec = ScenarioSpec::parking_lot(c1, c2, 0.010, 3.0)
+            .ccas(vec![kind])
+            .duration(duration)
+            .warmup(1.0);
+        let outcomes: Vec<RunOutcome> = backends.iter().map(|b| b.run(&spec, 13)).collect();
+        // One rate column per backend, derived from the backend names so
+        // header arity always matches the generated rows.
+        let mut header: Vec<String> = vec!["agent".to_string(), "path".to_string()];
+        header.extend(
+            backends
+                .iter()
+                .map(|b| format!("{} rate [Mbit/s]", b.name())),
+        );
+        let paths = ["\u{2113}1+\u{2113}2", "\u{2113}1", "\u{2113}2"];
         let rows: Vec<Vec<String>> = (0..3)
             .map(|i| {
-                vec![
-                    format!("{i}"),
-                    paths[i].to_string(),
-                    format!("{:.2}", m.mean_rates[i]),
-                    format!("{:.2}", pkt.throughput_mbps[i]),
-                ]
+                let mut row = vec![format!("{i}"), paths[i].to_string()];
+                row.extend(
+                    outcomes
+                        .iter()
+                        .map(|o| format!("{:.2}", o.flows[i].throughput_mbps)),
+                );
+                row
             })
             .collect();
+        let m = &outcomes[0];
         report.push_str(&table::render(
             &format!(
-                "Parking lot ({kind}): C1 = {c1}, C2 = {c2} Mbit/s; link occupancy \
+                "Parking lot ({kind}): C1 = {c1}, C2 = {c2} Mbit/s; {} link occupancy \
                  {:.0} % / {:.0} %",
-                m.per_link_occupancy[0], m.per_link_occupancy[1]
+                backends[0].name(),
+                m.per_link_occupancy[0],
+                m.per_link_occupancy[1]
             ),
             &header,
             &rows,

@@ -7,13 +7,10 @@
 
 use bbr_fluid_core::cca::CcaKind;
 use bbr_fluid_core::prelude::*;
-use bbr_packetsim::cca::PacketCcaKind;
 use bbr_packetsim::dumbbell::{run_dumbbell, DumbbellSpec};
 use bbr_packetsim::engine::{PacketTrace, SimConfig};
-use bbr_packetsim::qdisc::QdiscKind as PktQdisc;
 
 use crate::figures::FigureOutput;
-use crate::scenarios::to_packet_kind;
 use crate::table;
 use crate::Effort;
 
@@ -50,12 +47,7 @@ fn sim_dt(effort: Effort) -> f64 {
 }
 
 /// Run the packet simulator and return its binned trace.
-fn experiment_trace(
-    kinds: &[PacketCcaKind],
-    qdisc: PktQdisc,
-    duration: f64,
-    bin: f64,
-) -> PacketTrace {
+fn experiment_trace(kinds: &[CcaKind], qdisc: QdiscKind, duration: f64, bin: f64) -> PacketTrace {
     let n = kinds.len();
     let spec = DumbbellSpec::new(n, CAPACITY, BOTTLENECK_DELAY, 1.0, qdisc)
         .access_delays(vec![ACCESS_DELAY; n])
@@ -92,8 +84,7 @@ pub fn fig01(effort: Effort) -> FigureOutput {
     let duration = if effort.is_fast() { 3.0 } else { 9.0 };
     let kinds = [CcaKind::Reno, CcaKind::BbrV1];
     let model = model_trace(&kinds, QdiscKind::DropTail, duration, effort);
-    let pkt_kinds: Vec<_> = kinds.iter().map(|k| to_packet_kind(*k)).collect();
-    let exp = experiment_trace(&pkt_kinds, PktQdisc::DropTail, duration, 0.25);
+    let exp = experiment_trace(&kinds, QdiscKind::DropTail, duration, 0.25);
 
     let step = if effort.is_fast() { 0.25 } else { 0.5 };
     let mut rows = Vec::new();
@@ -226,12 +217,9 @@ fn trace_validation(
     let prop_rtt = 2.0 * (ACCESS_DELAY + BOTTLENECK_DELAY);
     let mut report = String::new();
     let mut csv = Vec::new();
-    for (qdisc, pqdisc, label) in [
-        (QdiscKind::DropTail, PktQdisc::DropTail, "drop-tail"),
-        (QdiscKind::Red, PktQdisc::Red, "RED"),
-    ] {
+    for (qdisc, label) in [(QdiscKind::DropTail, "drop-tail"), (QdiscKind::Red, "RED")] {
         let model = model_trace(&[kind], qdisc, duration, effort);
-        let exp = experiment_trace(&[to_packet_kind(kind)], pqdisc, duration, step.min(0.25));
+        let exp = experiment_trace(&[kind], qdisc, duration, step.min(0.25));
         let header: Vec<String> = [
             "t[s]",
             "m rate[%]",

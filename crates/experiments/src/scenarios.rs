@@ -1,8 +1,7 @@
 //! The CCA mixes of the paper's aggregate validation (§4.3) and shared
 //! scenario plumbing between the fluid model and the packet simulator.
 
-use bbr_fluid_core::cca::CcaKind;
-use bbr_packetsim::cca::PacketCcaKind;
+use bbr_scenario::{CcaKind, QdiscKind, ScenarioSpec};
 
 /// One line of the paper's figure legends: a homogeneous CCA or a
 /// half/half mix.
@@ -44,16 +43,6 @@ pub const COMBOS: [Combo; 7] = [
         kinds: &[CcaKind::BbrV2, CcaKind::Reno],
     },
 ];
-
-/// Map a fluid CCA kind to its packet-level counterpart.
-pub fn to_packet_kind(kind: CcaKind) -> PacketCcaKind {
-    match kind {
-        CcaKind::Reno => PacketCcaKind::Reno,
-        CcaKind::Cubic => PacketCcaKind::Cubic,
-        CcaKind::BbrV1 => PacketCcaKind::BbrV1,
-        CcaKind::BbrV2 => PacketCcaKind::BbrV2,
-    }
-}
 
 /// Network parameters of one validation campaign (§4.3 default vs the
 /// Appendix C short-RTT replica).
@@ -106,6 +95,18 @@ impl CampaignParams {
         self.runs = 1;
         self
     }
+
+    /// The backend-agnostic dumbbell spec of one campaign cell: this
+    /// campaign's network/timing parameters with the given CCA mix,
+    /// buffer size, and queuing discipline.
+    pub fn dumbbell_spec(&self, combo: &Combo, buffer_bdp: f64, qdisc: QdiscKind) -> ScenarioSpec {
+        ScenarioSpec::dumbbell(self.n, self.capacity, self.bottleneck_delay, buffer_bdp)
+            .rtt_range(self.rtt_lo, self.rtt_hi)
+            .ccas(combo.kinds.to_vec())
+            .qdisc(qdisc)
+            .duration(self.duration)
+            .warmup(self.warmup)
+    }
 }
 
 #[cfg(test)]
@@ -125,16 +126,15 @@ mod tests {
     }
 
     #[test]
-    fn packet_kind_mapping_total() {
-        for k in [
-            CcaKind::Reno,
-            CcaKind::Cubic,
-            CcaKind::BbrV1,
-            CcaKind::BbrV2,
-        ] {
-            let p = to_packet_kind(k);
-            assert_eq!(p.name(), k.name());
-        }
+    fn dumbbell_spec_mirrors_campaign() {
+        let p = CampaignParams::default_rtt();
+        let spec = p.dumbbell_spec(&COMBOS[3], 2.0, QdiscKind::Red);
+        assert_eq!(spec.n_flows(), 10);
+        assert_eq!(spec.cca_of(0), CcaKind::BbrV1);
+        assert_eq!(spec.cca_of(1), CcaKind::Reno);
+        assert_eq!(spec.qdisc, QdiscKind::Red);
+        assert_eq!(spec.duration, p.duration);
+        spec.validate().unwrap();
     }
 
     #[test]

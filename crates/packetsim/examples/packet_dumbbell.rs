@@ -11,10 +11,10 @@ use bbr_packetsim::prelude::*;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let kind = match args.get(1).map(|s| s.as_str()) {
-        Some("bbr1") => PacketCcaKind::BbrV1,
-        Some("bbr2") => PacketCcaKind::BbrV2,
-        Some("cubic") => PacketCcaKind::Cubic,
-        _ => PacketCcaKind::Reno,
+        Some("bbr1") => CcaKind::BbrV1,
+        Some("bbr2") => CcaKind::BbrV2,
+        Some("cubic") => CcaKind::Cubic,
+        _ => CcaKind::Reno,
     };
     let qdisc = match args.get(2).map(|s| s.as_str()) {
         Some("red") => QdiscKind::Red,

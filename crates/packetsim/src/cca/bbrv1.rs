@@ -4,7 +4,7 @@
 //! a windowed-max bottleneck-bandwidth filter, a 10 s windowed-min
 //! RTprop filter, and the 2×BDP congestion window. Loss-insensitive.
 
-use crate::cca::{PacketCca, PacketCcaKind, RateSample, WindowedMax};
+use crate::cca::{CcaKind, PacketCca, RateSample, WindowedMax};
 
 const STARTUP_GAIN: f64 = 2.885; // 2/ln 2
 const DRAIN_GAIN: f64 = 1.0 / 2.885;
@@ -232,8 +232,8 @@ impl PacketCca for BbrV1Pkt {
         self.pacing_gain * bw
     }
 
-    fn kind(&self) -> PacketCcaKind {
-        PacketCcaKind::BbrV1
+    fn kind(&self) -> CcaKind {
+        CcaKind::BbrV1
     }
 }
 

@@ -9,7 +9,7 @@
 //! `inflight_lo`, which starts from the window at the moment of loss and
 //! is β-reduced per loss event. ProbeRTT halves the window to BDP/2.
 
-use crate::cca::{PacketCca, PacketCcaKind, RateSample};
+use crate::cca::{CcaKind, PacketCca, RateSample};
 
 const STARTUP_GAIN: f64 = 2.885;
 const DRAIN_GAIN: f64 = 1.0 / 2.885;
@@ -344,8 +344,8 @@ impl PacketCca for BbrV2Pkt {
         self.pacing_gain * bw
     }
 
-    fn kind(&self) -> PacketCcaKind {
-        PacketCcaKind::BbrV2
+    fn kind(&self) -> CcaKind {
+        CcaKind::BbrV2
     }
 }
 

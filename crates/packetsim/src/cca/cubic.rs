@@ -2,7 +2,7 @@
 //! the last loss, β = 0.7 multiplicative decrease, fast convergence,
 //! plus standard slow start.
 
-use crate::cca::{PacketCca, PacketCcaKind, RateSample};
+use crate::cca::{CcaKind, PacketCca, RateSample};
 
 /// RFC 8312 constants.
 const C: f64 = 0.4; // segments / s³
@@ -102,8 +102,8 @@ impl PacketCca for CubicPkt {
         f64::INFINITY
     }
 
-    fn kind(&self) -> PacketCcaKind {
-        PacketCcaKind::Cubic
+    fn kind(&self) -> CcaKind {
+        CcaKind::Cubic
     }
 }
 

@@ -15,31 +15,9 @@ pub use bbrv2::BbrV2Pkt;
 pub use cubic::CubicPkt;
 pub use reno::RenoPkt;
 
-/// Which packet-level CCA a flow runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum PacketCcaKind {
-    Reno,
-    Cubic,
-    BbrV1,
-    BbrV2,
-}
-
-impl PacketCcaKind {
-    pub fn name(&self) -> &'static str {
-        match self {
-            PacketCcaKind::Reno => "RENO",
-            PacketCcaKind::Cubic => "CUBIC",
-            PacketCcaKind::BbrV1 => "BBRv1",
-            PacketCcaKind::BbrV2 => "BBRv2",
-        }
-    }
-}
-
-impl std::fmt::Display for PacketCcaKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
+// The CCA tag is shared with the fluid model through the backend-agnostic
+// scenario layer; only the packet-level state machines live here.
+pub use bbr_scenario::CcaKind;
 
 /// Per-ACK sample handed to the CCA.
 #[derive(Debug, Clone, Copy)]
@@ -80,17 +58,17 @@ pub trait PacketCca: Send {
     /// Current pacing rate (bytes/s); `f64::INFINITY` for unpaced CCAs.
     fn pacing_rate(&self) -> f64;
     /// Algorithm identifier.
-    fn kind(&self) -> PacketCcaKind;
+    fn kind(&self) -> CcaKind;
 }
 
 /// Build a packet CCA. `mss` in bytes; `seed` individualizes randomized
 /// choices (BBRv1's probing phase, BBRv2's probe interval).
-pub fn build(kind: PacketCcaKind, mss: f64, seed: u64) -> Box<dyn PacketCca> {
+pub fn build(kind: CcaKind, mss: f64, seed: u64) -> Box<dyn PacketCca> {
     match kind {
-        PacketCcaKind::Reno => Box::new(RenoPkt::new(mss)),
-        PacketCcaKind::Cubic => Box::new(CubicPkt::new(mss)),
-        PacketCcaKind::BbrV1 => Box::new(BbrV1Pkt::new(mss, seed)),
-        PacketCcaKind::BbrV2 => Box::new(BbrV2Pkt::new(mss, seed)),
+        CcaKind::Reno => Box::new(RenoPkt::new(mss)),
+        CcaKind::Cubic => Box::new(CubicPkt::new(mss)),
+        CcaKind::BbrV1 => Box::new(BbrV1Pkt::new(mss, seed)),
+        CcaKind::BbrV2 => Box::new(BbrV2Pkt::new(mss, seed)),
     }
 }
 
@@ -158,12 +136,7 @@ mod tests {
 
     #[test]
     fn build_all() {
-        for kind in [
-            PacketCcaKind::Reno,
-            PacketCcaKind::Cubic,
-            PacketCcaKind::BbrV1,
-            PacketCcaKind::BbrV2,
-        ] {
+        for kind in CcaKind::ALL {
             let cca = build(kind, 1500.0, 7);
             assert_eq!(cca.kind(), kind);
             assert!(cca.cwnd() >= 1500.0);

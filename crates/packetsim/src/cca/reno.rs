@@ -1,7 +1,7 @@
 //! Packet-level TCP Reno (NewReno-style): slow start, AIMD congestion
 //! avoidance, halving on fast retransmit, reset to one segment on RTO.
 
-use crate::cca::{PacketCca, PacketCcaKind, RateSample};
+use crate::cca::{CcaKind, PacketCca, RateSample};
 
 #[derive(Debug, Clone)]
 pub struct RenoPkt {
@@ -53,8 +53,8 @@ impl PacketCca for RenoPkt {
         f64::INFINITY
     }
 
-    fn kind(&self) -> PacketCcaKind {
-        PacketCcaKind::Reno
+    fn kind(&self) -> CcaKind {
+        CcaKind::Reno
     }
 }
 

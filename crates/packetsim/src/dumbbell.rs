@@ -1,7 +1,9 @@
 //! Dumbbell scenario builder and aggregate reporting — the packet-level
 //! counterpart of the paper's mininet experiments (§4.1).
 
-use crate::cca::{build, PacketCcaKind};
+use bbr_scenario::jain_index;
+
+use crate::cca::{build, CcaKind};
 use crate::engine::{Engine, Flow, Link, PacketTrace, SimConfig};
 use crate::qdisc::QdiscKind;
 
@@ -19,7 +21,7 @@ pub struct DumbbellSpec {
     /// One-way access delay per sender (s).
     pub access: Vec<f64>,
     /// CCA kinds, assigned round-robin.
-    pub ccas: Vec<PacketCcaKind>,
+    pub ccas: Vec<CcaKind>,
 }
 
 impl DumbbellSpec {
@@ -40,7 +42,7 @@ impl DumbbellSpec {
             buffer_bdp,
             qdisc,
             access: Vec::new(),
-            ccas: vec![PacketCcaKind::Reno],
+            ccas: vec![CcaKind::Reno],
         };
         s = s.rtt_range(3.0 * bottleneck_delay, 4.0 * bottleneck_delay);
         s
@@ -70,7 +72,7 @@ impl DumbbellSpec {
     }
 
     /// Set the CCA assignment (cycled across senders).
-    pub fn ccas(mut self, ccas: Vec<PacketCcaKind>) -> Self {
+    pub fn ccas(mut self, ccas: Vec<CcaKind>) -> Self {
         assert!(!ccas.is_empty());
         self.ccas = ccas;
         self
@@ -92,7 +94,7 @@ impl DumbbellSpec {
     }
 
     /// The CCA of sender `i`.
-    pub fn kind_of(&self, i: usize) -> PacketCcaKind {
+    pub fn kind_of(&self, i: usize) -> CcaKind {
         self.ccas[i % self.ccas.len()]
     }
 }
@@ -100,37 +102,86 @@ impl DumbbellSpec {
 /// Per-flow results.
 #[derive(Debug, Clone)]
 pub struct FlowReport {
-    pub kind: PacketCcaKind,
+    pub kind: CcaKind,
     pub throughput_mbps: f64,
     pub mean_rtt: f64,
     pub jitter_ms: f64,
 }
 
 /// Aggregate results of one packet-level run (the "Experiment" column of
-/// the paper's figures).
+/// the paper's figures). The headline occupancy/utilization refer to the
+/// bottleneck (minimum-capacity) link; the `per_link_*` vectors cover all
+/// queued links of multi-bottleneck topologies.
 #[derive(Debug, Clone)]
 pub struct PacketSimReport {
     pub flows: Vec<FlowReport>,
     pub jain: f64,
+    /// Lost traffic as a percentage of traffic arriving at queued links,
+    /// aggregated over all links.
     pub loss_percent: f64,
     pub occupancy_percent: f64,
     pub utilization_percent: f64,
     pub jitter_ms: f64,
+    pub per_link_loss: Vec<f64>,
+    pub per_link_occupancy: Vec<f64>,
+    pub per_link_utilization: Vec<f64>,
     pub trace: Option<PacketTrace>,
 }
 
-/// Jain's fairness index.
-fn jain(values: &[f64]) -> f64 {
-    let n = values.len();
-    if n == 0 {
-        return 1.0;
+/// Collect the per-flow and per-link statistics of a finished engine.
+/// `links` holds each link's (service rate in bytes/s, buffer in bytes);
+/// `headline` selects the link whose occupancy/utilization become the
+/// headline numbers.
+pub(crate) fn collect_report(
+    engine: &Engine,
+    kinds: &[CcaKind],
+    links: &[(f64, f64)],
+    headline: usize,
+) -> PacketSimReport {
+    let window = engine.window().max(1e-9);
+    let flows: Vec<FlowReport> = kinds
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| FlowReport {
+            kind: *kind,
+            throughput_mbps: engine.flow_delivered(i) * 8.0 / 1e6 / window,
+            mean_rtt: engine.flow_mean_rtt(i),
+            jitter_ms: engine.flow_jitter(i) * 1000.0,
+        })
+        .collect();
+    let mut total_arrived = 0.0;
+    let mut total_dropped = 0.0;
+    let mut per_link_loss = Vec::with_capacity(links.len());
+    let mut per_link_occupancy = Vec::with_capacity(links.len());
+    let mut per_link_utilization = Vec::with_capacity(links.len());
+    for (l, (rate, buffer)) in links.iter().enumerate() {
+        let (arrived, dropped, delivered, occ_int) = engine.link_stats(l);
+        total_arrived += arrived;
+        total_dropped += dropped;
+        per_link_loss.push(if arrived > 0.0 {
+            100.0 * dropped / arrived
+        } else {
+            0.0
+        });
+        per_link_occupancy.push(100.0 * occ_int / (buffer * window));
+        per_link_utilization.push(100.0 * delivered / (rate * window));
     }
-    let sum: f64 = values.iter().sum();
-    let sq: f64 = values.iter().map(|v| v * v).sum();
-    if sq <= f64::EPSILON {
-        1.0
-    } else {
-        sum * sum / (n as f64 * sq)
+    let tputs: Vec<f64> = flows.iter().map(|f| f.throughput_mbps).collect();
+    PacketSimReport {
+        jain: jain_index(&tputs),
+        loss_percent: if total_arrived > 0.0 {
+            100.0 * total_dropped / total_arrived
+        } else {
+            0.0
+        },
+        occupancy_percent: per_link_occupancy[headline],
+        utilization_percent: per_link_utilization[headline],
+        jitter_ms: flows.iter().map(|f| f.jitter_ms).sum::<f64>() / flows.len().max(1) as f64,
+        per_link_loss,
+        per_link_occupancy,
+        per_link_utilization,
+        trace: engine.trace().cloned(),
+        flows,
     }
 }
 
@@ -160,70 +211,8 @@ pub fn run_dumbbell(spec: &DumbbellSpec, cfg: &SimConfig) -> PacketSimReport {
         .collect();
     let mut engine = Engine::new(cfg.clone(), vec![link], flows, 0);
     engine.run();
-
-    let window = engine.window().max(1e-9);
-    let flow_reports: Vec<FlowReport> = (0..spec.n)
-        .map(|i| FlowReport {
-            kind: spec.kind_of(i),
-            throughput_mbps: engine.flow_delivered(i) * 8.0 / 1e6 / window,
-            mean_rtt: engine.flow_mean_rtt(i),
-            jitter_ms: engine.flow_jitter(i) * 1000.0,
-        })
-        .collect();
-    let (arrived, dropped, delivered, occ_int) = engine.link_stats(0);
-    let tputs: Vec<f64> = flow_reports.iter().map(|f| f.throughput_mbps).collect();
-    PacketSimReport {
-        jain: jain(&tputs),
-        loss_percent: if arrived > 0.0 {
-            100.0 * dropped / arrived
-        } else {
-            0.0
-        },
-        occupancy_percent: 100.0 * occ_int / (buffer * window),
-        utilization_percent: 100.0 * delivered / (rate * window),
-        jitter_ms: flow_reports.iter().map(|f| f.jitter_ms).sum::<f64>() / spec.n as f64,
-        trace: engine.trace().cloned(),
-        flows: flow_reports,
-    }
-}
-
-/// Run `runs` seeds and average the aggregate metrics (the paper averages
-/// experiment results over 3 runs, §4.3).
-pub fn run_dumbbell_avg(spec: &DumbbellSpec, cfg: &SimConfig, runs: usize) -> PacketSimReport {
-    assert!(runs >= 1);
-    let mut reports: Vec<PacketSimReport> = (0..runs)
-        .map(|r| {
-            let mut c = cfg.clone();
-            c.seed = cfg.seed.wrapping_add(r as u64 * 104_729);
-            c.trace_bin = None;
-            run_dumbbell(spec, &c)
-        })
-        .collect();
-    let k = runs as f64;
-    let mut out = reports.pop().unwrap();
-    for r in &reports {
-        out.jain += r.jain;
-        out.loss_percent += r.loss_percent;
-        out.occupancy_percent += r.occupancy_percent;
-        out.utilization_percent += r.utilization_percent;
-        out.jitter_ms += r.jitter_ms;
-        for (a, b) in out.flows.iter_mut().zip(&r.flows) {
-            a.throughput_mbps += b.throughput_mbps;
-            a.mean_rtt += b.mean_rtt;
-            a.jitter_ms += b.jitter_ms;
-        }
-    }
-    out.jain /= k;
-    out.loss_percent /= k;
-    out.occupancy_percent /= k;
-    out.utilization_percent /= k;
-    out.jitter_ms /= k;
-    for f in &mut out.flows {
-        f.throughput_mbps /= k;
-        f.mean_rtt /= k;
-        f.jitter_ms /= k;
-    }
-    out
+    let kinds: Vec<CcaKind> = (0..spec.n).map(|i| spec.kind_of(i)).collect();
+    collect_report(&engine, &kinds, &[(rate, buffer)], 0)
 }
 
 #[cfg(test)]
@@ -241,20 +230,24 @@ mod tests {
 
     #[test]
     fn single_bbrv1_fills_the_bottleneck() {
-        let spec = DumbbellSpec::new(1, 50.0, 0.010, 1.0, QdiscKind::DropTail)
-            .ccas(vec![PacketCcaKind::BbrV1]);
+        let spec =
+            DumbbellSpec::new(1, 50.0, 0.010, 1.0, QdiscKind::DropTail).ccas(vec![CcaKind::BbrV1]);
         let r = run_dumbbell(&spec, &quick_cfg());
         assert!(
             r.utilization_percent > 85.0,
             "util {}",
             r.utilization_percent
         );
+        // Single-link dumbbell: headline == the only per-link entry.
+        assert_eq!(r.per_link_utilization.len(), 1);
+        assert_eq!(r.per_link_utilization[0], r.utilization_percent);
+        assert_eq!(r.per_link_loss[0], r.loss_percent);
     }
 
     #[test]
     fn homogeneous_reno_is_fair() {
-        let spec = DumbbellSpec::new(4, 50.0, 0.010, 2.0, QdiscKind::DropTail)
-            .ccas(vec![PacketCcaKind::Reno]);
+        let spec =
+            DumbbellSpec::new(4, 50.0, 0.010, 2.0, QdiscKind::DropTail).ccas(vec![CcaKind::Reno]);
         let cfg = SimConfig {
             duration: 8.0,
             warmup: 2.0,
@@ -270,7 +263,7 @@ mod tests {
     fn bbrv1_starves_reno_in_shallow_buffers() {
         // The paper's Insight 2 at packet level.
         let spec = DumbbellSpec::new(2, 50.0, 0.010, 1.0, QdiscKind::DropTail)
-            .ccas(vec![PacketCcaKind::BbrV1, PacketCcaKind::Reno]);
+            .ccas(vec![CcaKind::BbrV1, CcaKind::Reno]);
         let cfg = SimConfig {
             duration: 10.0,
             warmup: 3.0,
@@ -284,17 +277,6 @@ mod tests {
             bbr > 2.0 * reno,
             "BBRv1 {bbr} vs Reno {reno} — expected strong dominance"
         );
-    }
-
-    #[test]
-    fn averaging_runs_is_stable() {
-        // 4 link-BDPs of buffer (≈ 1.2 path BDPs) so Reno can work.
-        let spec =
-            DumbbellSpec::new(2, 20.0, 0.010, 4.0, QdiscKind::Red).ccas(vec![PacketCcaKind::Reno]);
-        let r = run_dumbbell_avg(&spec, &quick_cfg(), 2);
-        assert!(r.utilization_percent > 25.0, "{}", r.utilization_percent);
-        assert!(r.loss_percent >= 0.0 && r.loss_percent <= 100.0);
-        assert!(r.occupancy_percent >= 0.0 && r.occupancy_percent <= 100.0);
     }
 
     #[test]

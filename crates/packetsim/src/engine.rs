@@ -777,9 +777,9 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cca::{build, PacketCcaKind};
+    use crate::cca::{build, CcaKind};
 
-    fn one_flow_engine(kind: PacketCcaKind, rate_mbps: f64, buffer_bytes: f64) -> Engine {
+    fn one_flow_engine(kind: CcaKind, rate_mbps: f64, buffer_bytes: f64) -> Engine {
         let cfg = SimConfig {
             duration: 3.0,
             warmup: 0.5,
@@ -799,7 +799,7 @@ mod tests {
 
     #[test]
     fn reno_fills_a_simple_link() {
-        let mut e = one_flow_engine(PacketCcaKind::Reno, 20.0, 50_000.0);
+        let mut e = one_flow_engine(CcaKind::Reno, 20.0, 50_000.0);
         e.run();
         let tput = e.flow_delivered(0) * 8.0 / 1e6 / e.window();
         assert!(tput > 15.0, "throughput {tput} Mbit/s of 20");
@@ -813,7 +813,7 @@ mod tests {
 
     #[test]
     fn bbrv1_fills_a_simple_link() {
-        let mut e = one_flow_engine(PacketCcaKind::BbrV1, 20.0, 50_000.0);
+        let mut e = one_flow_engine(CcaKind::BbrV1, 20.0, 50_000.0);
         e.run();
         let tput = e.flow_delivered(0) * 8.0 / 1e6 / e.window();
         assert!(tput > 15.0, "throughput {tput} Mbit/s of 20");
@@ -821,7 +821,7 @@ mod tests {
 
     #[test]
     fn cubic_and_bbrv2_work() {
-        for kind in [PacketCcaKind::Cubic, PacketCcaKind::BbrV2] {
+        for kind in [CcaKind::Cubic, CcaKind::BbrV2] {
             let mut e = one_flow_engine(kind, 20.0, 50_000.0);
             e.run();
             let tput = e.flow_delivered(0) * 8.0 / 1e6 / e.window();
@@ -831,7 +831,7 @@ mod tests {
 
     #[test]
     fn tiny_buffer_causes_loss_but_progress() {
-        let mut e = one_flow_engine(PacketCcaKind::Reno, 20.0, 7_500.0);
+        let mut e = one_flow_engine(CcaKind::Reno, 20.0, 7_500.0);
         e.run();
         let (arrived, dropped, _, _) = e.link_stats(0);
         assert!(dropped > 0.0, "a 5-packet buffer must drop");
@@ -842,7 +842,7 @@ mod tests {
 
     #[test]
     fn rtt_reflects_queueing_delay() {
-        let mut e = one_flow_engine(PacketCcaKind::Reno, 20.0, 100_000.0);
+        let mut e = one_flow_engine(CcaKind::Reno, 20.0, 100_000.0);
         e.run();
         let mean_rtt = e.flow_mean_rtt(0);
         // Propagation RTT ≈ 31.2 ms; with a filled buffer the mean RTT
@@ -860,7 +860,7 @@ mod tests {
         };
         cfg.trace_bin = Some(0.1);
         let link = Link::new(20.0 * 1e6 / 8.0, 0.010, 50_000.0, QdiscKind::DropTail);
-        let cca = build(PacketCcaKind::Reno, cfg.mss, 1);
+        let cca = build(CcaKind::Reno, cfg.mss, 1);
         let flow = Flow::new(vec![0], 0.0056, 0.0156, 0.0, cca, cfg.mss);
         let mut e = Engine::new(cfg, vec![link], vec![flow], 0);
         e.run();
@@ -880,7 +880,7 @@ mod tests {
                 ..Default::default()
             };
             let link = Link::new(20.0 * 1e6 / 8.0, 0.010, 30_000.0, QdiscKind::Red);
-            let cca = build(PacketCcaKind::Reno, cfg.mss, seed);
+            let cca = build(CcaKind::Reno, cfg.mss, seed);
             let flow = Flow::new(vec![0], 0.0056, 0.0156, 0.0, cca, cfg.mss);
             let mut e = Engine::new(cfg, vec![link], vec![flow], 0);
             e.run();

@@ -21,12 +21,17 @@
 //! use bbr_packetsim::prelude::*;
 //!
 //! let spec = DumbbellSpec::new(1, 100.0, 0.010, 1.0, QdiscKind::DropTail)
-//!     .ccas(vec![PacketCcaKind::BbrV1]);
+//!     .ccas(vec![CcaKind::BbrV1]);
 //! let cfg = SimConfig { duration: 2.0, warmup: 0.5, seed: 1, ..Default::default() };
 //! let report = run_dumbbell(&spec, &cfg);
 //! assert!(report.utilization_percent > 70.0);
 //! ```
+//!
+//! For backend-agnostic use (the same scenario fired at the fluid model
+//! and this simulator), see [`backend::PacketBackend`] and the
+//! `bbr-scenario` crate.
 
+pub mod backend;
 pub mod cca;
 pub mod dumbbell;
 pub mod engine;
@@ -35,10 +40,12 @@ pub mod parking_lot;
 pub mod qdisc;
 
 pub mod prelude {
-    pub use crate::cca::PacketCcaKind;
+    pub use crate::backend::PacketBackend;
+    pub use crate::cca::CcaKind;
     pub use crate::dumbbell::{run_dumbbell, DumbbellSpec, PacketSimReport};
     pub use crate::engine::SimConfig;
     pub use crate::qdisc::QdiscKind;
+    pub use bbr_scenario::{RunOutcome, ScenarioSpec, SimBackend};
 }
 
 /// Segment size used by all flows (bytes).

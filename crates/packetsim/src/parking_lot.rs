@@ -1,12 +1,20 @@
 //! Packet-level parking-lot topology (two bottlenecks in series) —
 //! cross-validates the fluid model's multi-bottleneck extension.
 //!
-//! Agent 0 traverses both queued links; agent 1 only the first; agent 2
+//! Flow 0 traverses both queued links; flow 1 only the first; flow 2
 //! only the second. Reverse paths are pure delay, as in the dumbbell.
+//! Results come back as the same [`PacketSimReport`] the dumbbell
+//! produces (headline metrics at the minimum-capacity link, per-link
+//! vectors for both bottlenecks).
 
-use crate::cca::{build, PacketCcaKind};
+use crate::cca::{build, CcaKind};
+use crate::dumbbell::{collect_report, PacketSimReport};
 use crate::engine::{Engine, Flow, Link, SimConfig};
 use crate::qdisc::QdiscKind;
+
+// The access delay is part of the shared topology definition, so both
+// backends simulate identical propagation RTTs.
+pub use bbr_scenario::PARKING_LOT_ACCESS_DELAY as ACCESS_DELAY;
 
 /// Parameters of the two-bottleneck parking lot.
 #[derive(Debug, Clone)]
@@ -20,7 +28,7 @@ pub struct ParkingLotSpec {
     pub buffer_bytes: f64,
     pub qdisc: QdiscKind,
     /// CCA of the three flows (multi-hop, hop-1-only, hop-2-only).
-    pub ccas: [PacketCcaKind; 3],
+    pub ccas: [CcaKind; 3],
 }
 
 impl Default for ParkingLotSpec {
@@ -31,41 +39,34 @@ impl Default for ParkingLotSpec {
             link_delay: 0.010,
             buffer_bytes: 375_000.0, // ≈ 1 BDP of 100 Mbit/s × 30 ms
             qdisc: QdiscKind::DropTail,
-            ccas: [PacketCcaKind::BbrV2; 3],
+            ccas: [CcaKind::BbrV2; 3],
         }
     }
 }
 
-/// Per-flow throughputs (Mbit/s) and per-link loss/occupancy of one run.
-#[derive(Debug, Clone)]
-pub struct ParkingLotReport {
-    pub throughput_mbps: [f64; 3],
-    pub link_loss_percent: [f64; 2],
-    pub link_occupancy_percent: [f64; 2],
-    pub link_utilization_percent: [f64; 2],
+impl ParkingLotSpec {
+    /// Index of the minimum-capacity (headline) link.
+    pub fn bottleneck(&self) -> usize {
+        if self.c2_mbps < self.c1_mbps {
+            1
+        } else {
+            0
+        }
+    }
 }
 
 /// Run the parking lot.
-pub fn run_parking_lot(spec: &ParkingLotSpec, cfg: &SimConfig) -> ParkingLotReport {
-    let l1 = Link::new(
-        spec.c1_mbps * 1e6 / 8.0,
-        spec.link_delay,
-        spec.buffer_bytes,
-        spec.qdisc,
-    );
-    let l2 = Link::new(
-        spec.c2_mbps * 1e6 / 8.0,
-        spec.link_delay,
-        spec.buffer_bytes,
-        spec.qdisc,
-    );
-    let access = 0.005;
+pub fn run_parking_lot(spec: &ParkingLotSpec, cfg: &SimConfig) -> PacketSimReport {
+    let r1 = spec.c1_mbps * 1e6 / 8.0;
+    let r2 = spec.c2_mbps * 1e6 / 8.0;
+    let l1 = Link::new(r1, spec.link_delay, spec.buffer_bytes, spec.qdisc);
+    let l2 = Link::new(r2, spec.link_delay, spec.buffer_bytes, spec.qdisc);
     let routes: [Vec<u32>; 3] = [vec![0, 1], vec![0], vec![1]];
     // Return-path delays complete symmetric RTTs.
     let bwd = [
-        access + 2.0 * spec.link_delay,
-        access + spec.link_delay,
-        access + spec.link_delay,
+        ACCESS_DELAY + 2.0 * spec.link_delay,
+        ACCESS_DELAY + spec.link_delay,
+        ACCESS_DELAY + spec.link_delay,
     ];
     let flows: Vec<Flow> = (0..3)
         .map(|i| {
@@ -76,7 +77,7 @@ pub fn run_parking_lot(spec: &ParkingLotSpec, cfg: &SimConfig) -> ParkingLotRepo
             );
             Flow::new(
                 routes[i].clone(),
-                access,
+                ACCESS_DELAY,
                 bwd[i],
                 i as f64 * 0.005,
                 cca,
@@ -84,33 +85,15 @@ pub fn run_parking_lot(spec: &ParkingLotSpec, cfg: &SimConfig) -> ParkingLotRepo
             )
         })
         .collect();
-    let mut engine = Engine::new(cfg.clone(), vec![l1, l2], flows, 1);
+    let headline = spec.bottleneck();
+    let mut engine = Engine::new(cfg.clone(), vec![l1, l2], flows, headline);
     engine.run();
-    let window = engine.window().max(1e-9);
-    let mut throughput = [0.0; 3];
-    for (i, t) in throughput.iter_mut().enumerate() {
-        *t = engine.flow_delivered(i) * 8.0 / 1e6 / window;
-    }
-    let mut loss = [0.0; 2];
-    let mut occ = [0.0; 2];
-    let mut util = [0.0; 2];
-    for l in 0..2 {
-        let (arrived, dropped, delivered, occ_int) = engine.link_stats(l);
-        loss[l] = if arrived > 0.0 {
-            100.0 * dropped / arrived
-        } else {
-            0.0
-        };
-        occ[l] = 100.0 * occ_int / (spec.buffer_bytes * window);
-        let rate = if l == 0 { spec.c1_mbps } else { spec.c2_mbps } * 1e6 / 8.0;
-        util[l] = 100.0 * delivered / (rate * window);
-    }
-    ParkingLotReport {
-        throughput_mbps: throughput,
-        link_loss_percent: loss,
-        link_occupancy_percent: occ,
-        link_utilization_percent: util,
-    }
+    collect_report(
+        &engine,
+        &spec.ccas,
+        &[(r1, spec.buffer_bytes), (r2, spec.buffer_bytes)],
+        headline,
+    )
 }
 
 #[cfg(test)]
@@ -126,17 +109,25 @@ mod tests {
         }
     }
 
+    fn tput(r: &PacketSimReport, i: usize) -> f64 {
+        r.flows[i].throughput_mbps
+    }
+
     #[test]
     fn both_links_are_shared_and_saturated() {
         let spec = ParkingLotSpec::default();
         let r = run_parking_lot(&spec, &cfg());
         // Link 1 carries flows 0 and 1; link 2 carries flows 0 and 2.
-        let y1 = r.throughput_mbps[0] + r.throughput_mbps[1];
-        let y2 = r.throughput_mbps[0] + r.throughput_mbps[2];
+        let y1 = tput(&r, 0) + tput(&r, 1);
+        let y2 = tput(&r, 0) + tput(&r, 2);
         assert!(y1 > 0.7 * spec.c1_mbps, "link 1 carries {y1:.1}");
         assert!(y2 > 0.7 * spec.c2_mbps, "link 2 carries {y2:.1}");
         assert!(y1 <= 1.05 * spec.c1_mbps);
         assert!(y2 <= 1.05 * spec.c2_mbps);
+        // The headline metrics refer to the slower second link.
+        assert_eq!(spec.bottleneck(), 1);
+        assert_eq!(r.utilization_percent, r.per_link_utilization[1]);
+        assert_eq!(r.per_link_utilization.len(), 2);
     }
 
     #[test]
@@ -146,29 +137,30 @@ mod tests {
         let spec = ParkingLotSpec::default();
         let r = run_parking_lot(&spec, &cfg());
         assert!(
-            r.throughput_mbps[0] < r.throughput_mbps[1],
+            tput(&r, 0) < tput(&r, 1),
             "multi-hop {:.1} vs hop-1 {:.1}",
-            r.throughput_mbps[0],
-            r.throughput_mbps[1]
+            tput(&r, 0),
+            tput(&r, 1)
         );
         assert!(
-            r.throughput_mbps[0] < r.throughput_mbps[2],
+            tput(&r, 0) < tput(&r, 2),
             "multi-hop {:.1} vs hop-2 {:.1}",
-            r.throughput_mbps[0],
-            r.throughput_mbps[2]
+            tput(&r, 0),
+            tput(&r, 2)
         );
     }
 
     #[test]
     fn all_flows_make_progress() {
-        for kind in [PacketCcaKind::Reno, PacketCcaKind::BbrV1] {
+        for kind in [CcaKind::Reno, CcaKind::BbrV1] {
             let spec = ParkingLotSpec {
                 ccas: [kind; 3],
                 ..Default::default()
             };
             let r = run_parking_lot(&spec, &cfg());
-            for (i, t) in r.throughput_mbps.iter().enumerate() {
-                assert!(*t > 1.0, "{kind}: flow {i} got {t:.2} Mbit/s");
+            for i in 0..3 {
+                let t = tput(&r, i);
+                assert!(t > 1.0, "{kind}: flow {i} got {t:.2} Mbit/s");
             }
         }
     }

@@ -11,12 +11,9 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Queuing discipline selector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum QdiscKind {
-    DropTail,
-    Red,
-}
+// Shared with the fluid model through the scenario layer; this module
+// implements the discrete (EWMA-averaged RED) behaviour behind the tag.
+pub use bbr_scenario::QdiscKind;
 
 /// RED parameters.
 #[derive(Debug, Clone, Copy)]

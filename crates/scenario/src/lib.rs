@@ -1,0 +1,613 @@
+//! Backend-agnostic scenario layer.
+//!
+//! The paper's central method is running the *same* scenario through a
+//! fluid model and a packet-level simulator and comparing the resulting
+//! throughput/fairness/stability metrics. This crate holds everything
+//! both simulators must agree on so that a scenario is described exactly
+//! once:
+//!
+//! * [`CcaKind`] / [`QdiscKind`] — the congestion-control algorithms and
+//!   queuing disciplines, shared by both backends (the per-backend state
+//!   machines stay in `bbr-fluid-core` and `bbr-packetsim`);
+//! * [`ScenarioSpec`] / [`Topology`] — one declarative description of
+//!   topology (dumbbell or parking lot), flows, buffer, qdisc, and
+//!   measurement window;
+//! * [`FlowMetrics`] / [`RunOutcome`] — one result shape both backends
+//!   populate, so aggregation code never pattern-matches on the backend;
+//! * [`SimBackend`] — the trait every simulator implements:
+//!   `run(&ScenarioSpec, seed) -> RunOutcome`.
+//!
+//! # Cross-backend example
+//!
+//! The same spec fired through both simulators (`FluidBackend` lives in
+//! `bbr-fluid-core`, `PacketBackend` in `bbr-packetsim`):
+//!
+//! ```
+//! use bbr_fluid_core::backend::FluidBackend;
+//! use bbr_packetsim::backend::PacketBackend;
+//! use bbr_scenario::{CcaKind, ScenarioSpec, SimBackend};
+//!
+//! let spec = ScenarioSpec::dumbbell(2, 50.0, 0.010, 2.0)
+//!     .ccas(vec![CcaKind::Cubic, CcaKind::BbrV1])
+//!     .duration(1.0)
+//!     .warmup(0.25);
+//! let backends: Vec<Box<dyn SimBackend>> = vec![
+//!     Box::new(FluidBackend::coarse()),
+//!     Box::new(PacketBackend::new(1)),
+//! ];
+//! for backend in &backends {
+//!     let outcome = backend.run(&spec, 42);
+//!     assert_eq!(outcome.flows.len(), 2);
+//!     assert!(outcome.utilization_percent > 10.0, "{} idle", backend.name());
+//! }
+//! ```
+
+/// Which congestion-control algorithm a flow runs (shared by the fluid
+/// model and the packet simulator; the per-backend state machines are
+/// built from this tag by `bbr_fluid_core::cca::build` and
+/// `bbr_packetsim::cca::build`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcaKind {
+    Reno,
+    Cubic,
+    BbrV1,
+    BbrV2,
+}
+
+impl CcaKind {
+    /// Every kind, in a fixed order (handy for property tests and CLIs).
+    pub const ALL: [CcaKind; 4] = [
+        CcaKind::Reno,
+        CcaKind::Cubic,
+        CcaKind::BbrV1,
+        CcaKind::BbrV2,
+    ];
+
+    /// Short display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CcaKind::Reno => "RENO",
+            CcaKind::Cubic => "CUBIC",
+            CcaKind::BbrV1 => "BBRv1",
+            CcaKind::BbrV2 => "BBRv2",
+        }
+    }
+
+    /// Whether the CCA backs off in response to packet loss (all but
+    /// BBRv1; used by tests and by the experiment harness).
+    pub fn loss_sensitive(&self) -> bool {
+        !matches!(self, CcaKind::BbrV1)
+    }
+}
+
+impl std::fmt::Display for CcaKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Queuing discipline of a link (paper §2, Eqs. (4) and (6)). The fluid
+/// model uses the idealized forms; the packet simulator the discrete
+/// (EWMA-averaged RED) counterparts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QdiscKind {
+    DropTail,
+    Red,
+}
+
+/// The link layout of a scenario. All rates in Mbit/s, delays in
+/// seconds; buffers in multiples of the bottleneck link's BDP
+/// (`capacity · delay`, the paper's §4.1.3 convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Topology {
+    /// `n` senders with heterogeneous RTTs share one bottleneck (the
+    /// paper's Fig. 3). Total propagation RTTs are spread evenly over
+    /// `[rtt_lo, rtt_hi]`.
+    Dumbbell {
+        n: usize,
+        capacity: f64,
+        bottleneck_delay: f64,
+        buffer_bdp: f64,
+        rtt_lo: f64,
+        rtt_hi: f64,
+    },
+    /// Two bottlenecks in series (the paper's stated future work): flow 0
+    /// traverses both, flow 1 only the first, flow 2 only the second.
+    /// Always three flows; `buffer_bdp` is measured in BDP of the first
+    /// link (`c1 · link_delay`) and applied to both links.
+    ParkingLot {
+        c1: f64,
+        c2: f64,
+        link_delay: f64,
+        buffer_bdp: f64,
+    },
+}
+
+impl Topology {
+    /// Number of flows this topology carries.
+    pub fn n_flows(&self) -> usize {
+        match self {
+            Topology::Dumbbell { n, .. } => *n,
+            Topology::ParkingLot { .. } => 3,
+        }
+    }
+}
+
+/// One-way access delay of every parking-lot flow (s). Part of the
+/// topology definition — both backends must simulate identical
+/// propagation RTTs — so it lives here rather than per backend.
+pub const PARKING_LOT_ACCESS_DELAY: f64 = 0.005;
+
+/// Backend-agnostic description of one simulation: topology, flows,
+/// queuing discipline, and measurement window. Built once, runnable on
+/// every [`SimBackend`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    pub topology: Topology,
+    /// CCA kinds assigned round-robin across flows (the paper's
+    /// heterogeneous settings use N/2 senders per CCA, which the
+    /// alternating assignment reproduces for two kinds).
+    pub ccas: Vec<CcaKind>,
+    /// Queuing discipline at every queued link.
+    pub qdisc: QdiscKind,
+    /// Measurement window (s).
+    pub duration: f64,
+    /// Warm-up excluded from metrics (s). Packet-level CCAs have a
+    /// start-up phase (slow start / BBR-Startup) the fluid model
+    /// idealizes away, so the fluid backend ignores this field.
+    pub warmup: f64,
+}
+
+impl ScenarioSpec {
+    /// Dumbbell with the paper's default RTT spread: total propagation
+    /// RTTs evenly over 3–4× the one-way bottleneck delay (30–40 ms for
+    /// a 10 ms bottleneck, the §4.3 setting), matching both backends'
+    /// native builders.
+    pub fn dumbbell(n: usize, capacity: f64, bottleneck_delay: f64, buffer_bdp: f64) -> Self {
+        Self {
+            topology: Topology::Dumbbell {
+                n,
+                capacity,
+                bottleneck_delay,
+                buffer_bdp,
+                rtt_lo: 3.0 * bottleneck_delay,
+                rtt_hi: 4.0 * bottleneck_delay,
+            },
+            ccas: vec![CcaKind::Reno],
+            qdisc: QdiscKind::DropTail,
+            duration: 5.0,
+            warmup: 1.0,
+        }
+    }
+
+    /// Two-bottleneck parking lot (three flows; see
+    /// [`Topology::ParkingLot`]).
+    pub fn parking_lot(c1: f64, c2: f64, link_delay: f64, buffer_bdp: f64) -> Self {
+        Self {
+            topology: Topology::ParkingLot {
+                c1,
+                c2,
+                link_delay,
+                buffer_bdp,
+            },
+            ccas: vec![CcaKind::Reno],
+            qdisc: QdiscKind::DropTail,
+            duration: 5.0,
+            warmup: 1.0,
+        }
+    }
+
+    /// Set the CCA assignment (cycled across flows).
+    pub fn ccas(mut self, ccas: Vec<CcaKind>) -> Self {
+        assert!(!ccas.is_empty(), "need at least one CCA kind");
+        self.ccas = ccas;
+        self
+    }
+
+    pub fn qdisc(mut self, qdisc: QdiscKind) -> Self {
+        self.qdisc = qdisc;
+        self
+    }
+
+    /// Spread total propagation RTTs evenly over `[lo, hi]`. No effect on
+    /// the parking lot, whose delays are fixed by the topology.
+    pub fn rtt_range(mut self, lo: f64, hi: f64) -> Self {
+        if let Topology::Dumbbell { rtt_lo, rtt_hi, .. } = &mut self.topology {
+            *rtt_lo = lo;
+            *rtt_hi = hi;
+        }
+        self
+    }
+
+    /// Measurement window (s).
+    pub fn duration(mut self, seconds: f64) -> Self {
+        self.duration = seconds;
+        self
+    }
+
+    /// Warm-up excluded from metrics (s).
+    pub fn warmup(mut self, seconds: f64) -> Self {
+        self.warmup = seconds;
+        self
+    }
+
+    /// Number of flows.
+    pub fn n_flows(&self) -> usize {
+        self.topology.n_flows()
+    }
+
+    /// The CCA of flow `i` under the round-robin assignment.
+    pub fn cca_of(&self, i: usize) -> CcaKind {
+        self.ccas[i % self.ccas.len()]
+    }
+
+    /// Reject specs no backend can run.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ccas.is_empty() {
+            return Err("no CCA kinds given".into());
+        }
+        if self.duration <= 0.0 {
+            return Err("non-positive duration".into());
+        }
+        if self.warmup < 0.0 {
+            return Err("negative warmup".into());
+        }
+        match self.topology {
+            Topology::Dumbbell {
+                n,
+                capacity,
+                bottleneck_delay,
+                buffer_bdp,
+                rtt_lo,
+                rtt_hi,
+            } => {
+                if n == 0 {
+                    return Err("dumbbell needs at least one sender".into());
+                }
+                if capacity <= 0.0 || bottleneck_delay <= 0.0 || buffer_bdp <= 0.0 {
+                    return Err("dumbbell parameters must be positive".into());
+                }
+                if !(rtt_lo > 0.0 && rtt_hi >= rtt_lo) {
+                    return Err("dumbbell RTT range must satisfy 0 < lo <= hi".into());
+                }
+            }
+            Topology::ParkingLot {
+                c1,
+                c2,
+                link_delay,
+                buffer_bdp,
+            } => {
+                if c1 <= 0.0 || c2 <= 0.0 || link_delay <= 0.0 || buffer_bdp <= 0.0 {
+                    return Err("parking-lot parameters must be positive".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministic hash of the spec's *contents* (not of any grid
+    /// position). Sweep engines derive per-cell seeds from this, so that
+    /// inserting a grid axis does not silently reshuffle the seeds of
+    /// unchanged cells.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        match self.topology {
+            Topology::Dumbbell {
+                n,
+                capacity,
+                bottleneck_delay,
+                buffer_bdp,
+                rtt_lo,
+                rtt_hi,
+            } => {
+                h.word(0x01);
+                h.word(n as u64);
+                h.f64(capacity);
+                h.f64(bottleneck_delay);
+                h.f64(buffer_bdp);
+                h.f64(rtt_lo);
+                h.f64(rtt_hi);
+            }
+            Topology::ParkingLot {
+                c1,
+                c2,
+                link_delay,
+                buffer_bdp,
+            } => {
+                h.word(0x02);
+                h.f64(c1);
+                h.f64(c2);
+                h.f64(link_delay);
+                h.f64(buffer_bdp);
+            }
+        }
+        for cca in &self.ccas {
+            h.word(match cca {
+                CcaKind::Reno => 0x10,
+                CcaKind::Cubic => 0x11,
+                CcaKind::BbrV1 => 0x12,
+                CcaKind::BbrV2 => 0x13,
+            });
+        }
+        h.word(match self.qdisc {
+            QdiscKind::DropTail => 0x20,
+            QdiscKind::Red => 0x21,
+        });
+        h.f64(self.duration);
+        h.f64(self.warmup);
+        h.finish()
+    }
+}
+
+/// FNV-1a over little-endian 8-byte words; stable across platforms and
+/// releases (unlike `std::hash`, which is explicitly unstable).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.word(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Per-flow results both backends can populate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowMetrics {
+    pub cca: CcaKind,
+    /// Mean goodput over the measurement window (Mbit/s).
+    pub throughput_mbps: f64,
+}
+
+/// Aggregate results of one simulation — the §4.3 metric set, populated
+/// identically by every backend so comparison code stays generic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Name of the backend that produced this outcome (e.g. `"fluid"`,
+    /// `"packet"`).
+    pub backend: &'static str,
+    pub flows: Vec<FlowMetrics>,
+    /// Jain fairness index over the per-flow throughputs.
+    pub jain: f64,
+    /// Lost traffic as a percentage of traffic arriving at queued links
+    /// (aggregated over all links).
+    pub loss_percent: f64,
+    /// Time-averaged queue at the observed (minimum-capacity) link, as a
+    /// percentage of its buffer.
+    pub occupancy_percent: f64,
+    /// Delivered volume at the observed link as a percentage of capacity.
+    pub utilization_percent: f64,
+    /// Mean delay variation between consecutive (virtual) packets (ms).
+    pub jitter_ms: f64,
+    /// Per-link time-averaged occupancy percentage.
+    pub per_link_occupancy: Vec<f64>,
+    /// Per-link utilization percentage.
+    pub per_link_utilization: Vec<f64>,
+}
+
+impl RunOutcome {
+    /// The per-flow throughputs (Mbit/s).
+    pub fn throughputs(&self) -> Vec<f64> {
+        self.flows.iter().map(|f| f.throughput_mbps).collect()
+    }
+
+    /// Element-wise mean of several outcomes of the *same* spec (packet
+    /// backends average a few seeds, §4.3). Panics on an empty slice or
+    /// mismatched shapes.
+    pub fn average(outcomes: &[RunOutcome]) -> RunOutcome {
+        assert!(!outcomes.is_empty(), "cannot average zero outcomes");
+        let k = outcomes.len() as f64;
+        let mut out = outcomes[0].clone();
+        for o in &outcomes[1..] {
+            assert_eq!(o.flows.len(), out.flows.len(), "mismatched flow counts");
+            out.jain += o.jain;
+            out.loss_percent += o.loss_percent;
+            out.occupancy_percent += o.occupancy_percent;
+            out.utilization_percent += o.utilization_percent;
+            out.jitter_ms += o.jitter_ms;
+            for (a, b) in out.flows.iter_mut().zip(&o.flows) {
+                a.throughput_mbps += b.throughput_mbps;
+            }
+            for (a, b) in out.per_link_occupancy.iter_mut().zip(&o.per_link_occupancy) {
+                *a += b;
+            }
+            for (a, b) in out
+                .per_link_utilization
+                .iter_mut()
+                .zip(&o.per_link_utilization)
+            {
+                *a += b;
+            }
+        }
+        out.jain /= k;
+        out.loss_percent /= k;
+        out.occupancy_percent /= k;
+        out.utilization_percent /= k;
+        out.jitter_ms /= k;
+        for f in &mut out.flows {
+            f.throughput_mbps /= k;
+        }
+        for v in &mut out.per_link_occupancy {
+            *v /= k;
+        }
+        for v in &mut out.per_link_utilization {
+            *v /= k;
+        }
+        out
+    }
+}
+
+/// Jain's fairness index over a set of allocations (1 = perfectly fair).
+pub fn jain_index(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq <= f64::EPSILON {
+        1.0
+    } else {
+        sum * sum / (n as f64 * sq)
+    }
+}
+
+/// A simulator that can evaluate any [`ScenarioSpec`].
+///
+/// Implementations: `FluidBackend` (`bbr-fluid-core`) integrates the
+/// paper's §2/§3 fluid model; `PacketBackend` (`bbr-packetsim`) runs the
+/// packet-level discrete-event simulator. Sweep engines hold
+/// `Vec<Box<dyn SimBackend>>` and fire every grid cell through each
+/// backend — adding a simulator is a single-site change.
+pub trait SimBackend: Send + Sync {
+    /// Short stable identifier (`"fluid"`, `"packet"`), used as a column
+    /// key in reports.
+    fn name(&self) -> &'static str;
+
+    /// Evaluate the spec. `seed` drives any randomized choices; fully
+    /// deterministic backends may ignore it.
+    fn run(&self, spec: &ScenarioSpec, seed: u64) -> RunOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_have_names_and_sensitivity() {
+        assert_eq!(CcaKind::Reno.name(), "RENO");
+        assert!(CcaKind::Reno.loss_sensitive());
+        assert!(CcaKind::Cubic.loss_sensitive());
+        assert!(CcaKind::BbrV2.loss_sensitive());
+        assert!(!CcaKind::BbrV1.loss_sensitive());
+        assert_eq!(CcaKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn dumbbell_defaults_match_paper() {
+        let s = ScenarioSpec::dumbbell(10, 100.0, 0.010, 1.0);
+        match s.topology {
+            Topology::Dumbbell { rtt_lo, rtt_hi, .. } => {
+                assert!((rtt_lo - 0.030).abs() < 1e-12);
+                assert!((rtt_hi - 0.040).abs() < 1e-12);
+            }
+            _ => panic!("expected dumbbell"),
+        }
+        assert_eq!(s.n_flows(), 10);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn parking_lot_is_three_flows() {
+        let s = ScenarioSpec::parking_lot(100.0, 80.0, 0.010, 3.0)
+            .ccas(vec![CcaKind::BbrV2])
+            .duration(2.0);
+        assert_eq!(s.n_flows(), 3);
+        assert_eq!(s.cca_of(2), CcaKind::BbrV2);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn round_robin_cca_assignment() {
+        let s =
+            ScenarioSpec::dumbbell(4, 100.0, 0.010, 1.0).ccas(vec![CcaKind::BbrV1, CcaKind::Reno]);
+        assert_eq!(s.cca_of(0), CcaKind::BbrV1);
+        assert_eq!(s.cca_of(1), CcaKind::Reno);
+        assert_eq!(s.cca_of(2), CcaKind::BbrV1);
+        assert_eq!(s.cca_of(3), CcaKind::Reno);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        assert!(ScenarioSpec::dumbbell(0, 100.0, 0.010, 1.0)
+            .validate()
+            .is_err());
+        assert!(ScenarioSpec::dumbbell(2, -1.0, 0.010, 1.0)
+            .validate()
+            .is_err());
+        assert!(ScenarioSpec::dumbbell(2, 100.0, 0.010, 1.0)
+            .duration(0.0)
+            .validate()
+            .is_err());
+        assert!(ScenarioSpec::parking_lot(100.0, 0.0, 0.010, 1.0)
+            .validate()
+            .is_err());
+        assert!(ScenarioSpec::dumbbell(2, 100.0, 0.010, 1.0)
+            .rtt_range(0.040, 0.030)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn stable_hash_depends_on_contents_only() {
+        let a = ScenarioSpec::dumbbell(4, 100.0, 0.010, 2.0).ccas(vec![CcaKind::BbrV1]);
+        let b = ScenarioSpec::dumbbell(4, 100.0, 0.010, 2.0).ccas(vec![CcaKind::BbrV1]);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        // Every field change must move the hash.
+        assert_ne!(
+            a.stable_hash(),
+            a.clone().qdisc(QdiscKind::Red).stable_hash()
+        );
+        assert_ne!(a.stable_hash(), a.clone().duration(2.0).stable_hash());
+        assert_ne!(
+            a.stable_hash(),
+            a.clone().ccas(vec![CcaKind::BbrV2]).stable_hash()
+        );
+        assert_ne!(
+            a.stable_hash(),
+            ScenarioSpec::dumbbell(5, 100.0, 0.010, 2.0)
+                .ccas(vec![CcaKind::BbrV1])
+                .stable_hash()
+        );
+        assert_ne!(
+            a.stable_hash(),
+            ScenarioSpec::parking_lot(100.0, 80.0, 0.010, 2.0)
+                .ccas(vec![CcaKind::BbrV1])
+                .stable_hash()
+        );
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[30.0, 60.0]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_averaging() {
+        let mk = |tput: f64, util: f64| RunOutcome {
+            backend: "test",
+            flows: vec![FlowMetrics {
+                cca: CcaKind::Reno,
+                throughput_mbps: tput,
+            }],
+            jain: 1.0,
+            loss_percent: 2.0,
+            occupancy_percent: 50.0,
+            utilization_percent: util,
+            jitter_ms: 0.5,
+            per_link_occupancy: vec![50.0],
+            per_link_utilization: vec![util],
+        };
+        let avg = RunOutcome::average(&[mk(10.0, 80.0), mk(20.0, 100.0)]);
+        assert!((avg.flows[0].throughput_mbps - 15.0).abs() < 1e-12);
+        assert!((avg.utilization_percent - 90.0).abs() < 1e-12);
+        assert!((avg.per_link_utilization[0] - 90.0).abs() < 1e-12);
+        assert!((avg.loss_percent - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,56 +1,48 @@
 //! Run the same dumbbell scenario on the fluid model and the
 //! packet-level simulator and compare the aggregate metrics — the
-//! model-vs-experiment methodology of the paper's §4.
+//! model-vs-experiment methodology of the paper's §4, expressed through
+//! the backend-agnostic `SimBackend` trait: one `ScenarioSpec`, every
+//! backend.
 //!
 //! ```text
 //! cargo run --release --example packet_vs_fluid
 //! ```
 
-use bbr_repro::fluid::cca::CcaKind;
 use bbr_repro::fluid::prelude::*;
-use bbr_repro::packetsim::dumbbell::{run_dumbbell_avg, DumbbellSpec};
-use bbr_repro::packetsim::engine::SimConfig;
-use bbr_repro::packetsim::prelude::PacketCcaKind;
-use bbr_repro::packetsim::qdisc::QdiscKind as PktQdisc;
+use bbr_repro::packetsim::backend::PacketBackend;
+use bbr_repro::scenario::CcaKind;
 
 fn main() {
-    let combos: [(&str, Vec<CcaKind>, Vec<PacketCcaKind>); 3] = [
-        ("BBRv1", vec![CcaKind::BbrV1], vec![PacketCcaKind::BbrV1]),
-        ("BBRv2", vec![CcaKind::BbrV2], vec![PacketCcaKind::BbrV2]),
-        (
-            "BBRv1/RENO",
-            vec![CcaKind::BbrV1, CcaKind::Reno],
-            vec![PacketCcaKind::BbrV1, PacketCcaKind::Reno],
-        ),
+    let combos: [(&str, Vec<CcaKind>); 3] = [
+        ("BBRv1", vec![CcaKind::BbrV1]),
+        ("BBRv2", vec![CcaKind::BbrV2]),
+        ("BBRv1/RENO", vec![CcaKind::BbrV1, CcaKind::Reno]),
+    ];
+    let backends: Vec<Box<dyn SimBackend>> = vec![
+        Box::new(FluidBackend::default()),
+        Box::new(PacketBackend::new(3)),
     ];
     println!("N = 10, C = 100 Mbit/s, RTT 30–40 ms, 2-BDP drop-tail buffer, 5 s window\n");
     println!(
         "{:<12} {:>14} {:>8} {:>9} {:>8} {:>8}",
-        "combo", "side", "jain", "loss[%]", "occ[%]", "util[%]"
+        "combo", "backend", "jain", "loss[%]", "occ[%]", "util[%]"
     );
-    for (label, fluid_kinds, pkt_kinds) in combos {
-        let scenario =
-            Scenario::dumbbell(10, 100.0, 0.010, 2.0, QdiscKind::DropTail).rtt_range(0.030, 0.040);
-        let mut sim = scenario.build(&fluid_kinds).expect("valid scenario");
-        let m = sim.run(5.0).metrics;
-        println!(
-            "{label:<12} {:>14} {:>8.3} {:>9.2} {:>8.1} {:>8.1}",
-            "fluid model", m.jain, m.loss_percent, m.occupancy_percent, m.utilization_percent
-        );
-
-        let spec = DumbbellSpec::new(10, 100.0, 0.010, 2.0, PktQdisc::DropTail)
+    for (label, kinds) in combos {
+        let spec = ScenarioSpec::dumbbell(10, 100.0, 0.010, 2.0)
             .rtt_range(0.030, 0.040)
-            .ccas(pkt_kinds);
-        let cfg = SimConfig {
-            duration: 6.0,
-            warmup: 1.0,
-            seed: 42,
-            ..Default::default()
-        };
-        let e = run_dumbbell_avg(&spec, &cfg, 3);
-        println!(
-            "{label:<12} {:>14} {:>8.3} {:>9.2} {:>8.1} {:>8.1}",
-            "packet sim", e.jain, e.loss_percent, e.occupancy_percent, e.utilization_percent
-        );
+            .ccas(kinds)
+            .duration(5.0)
+            .warmup(1.0);
+        for backend in &backends {
+            let o = backend.run(&spec, 42);
+            println!(
+                "{label:<12} {:>14} {:>8.3} {:>9.2} {:>8.1} {:>8.1}",
+                backend.name(),
+                o.jain,
+                o.loss_percent,
+                o.occupancy_percent,
+                o.utilization_percent
+            );
+        }
     }
 }

@@ -1,15 +1,14 @@
 //! Multi-bottleneck (parking-lot) topology — the paper's stated future
-//! work, enabled by the general network model: agent 0 traverses two
-//! bottlenecks, agents 1 and 2 traverse one each.
+//! work: flow 0 traverses two bottlenecks, flows 1 and 2 traverse one
+//! each. The scenario is described once and fired through both the
+//! fluid model and the packet simulator via the `SimBackend` trait.
 //!
 //! ```text
 //! cargo run --release --example parking_lot [bbr1|bbr2|reno|cubic]
 //! ```
 
-use bbr_repro::fluid::cca::{build, CcaKind, FluidCca, ScenarioHint};
-use bbr_repro::fluid::config::ModelConfig;
-use bbr_repro::fluid::sim::Simulator;
-use bbr_repro::fluid::topology::{LinkId, LinkSpec, Network, PathSpec, QdiscKind};
+use bbr_repro::fluid::prelude::*;
+use bbr_repro::packetsim::backend::PacketBackend;
 
 fn main() {
     let kind = match std::env::args().nth(1).as_deref() {
@@ -19,68 +18,36 @@ fn main() {
         _ => CcaKind::BbrV1,
     };
     let (c1, c2) = (100.0, 80.0);
-    let bdp = 3.0;
-    let net = Network {
-        links: vec![
-            LinkSpec {
-                capacity: c1,
-                buffer: bdp,
-                prop_delay: 0.010,
-                qdisc: QdiscKind::DropTail,
-            },
-            LinkSpec {
-                capacity: c2,
-                buffer: bdp,
-                prop_delay: 0.010,
-                qdisc: QdiscKind::DropTail,
-            },
-        ],
-        paths: vec![
-            PathSpec {
-                links: vec![LinkId(0), LinkId(1)],
-                extra_fwd_delay: 0.005,
-                extra_bwd_delay: 0.005,
-            },
-            PathSpec {
-                links: vec![LinkId(0)],
-                extra_fwd_delay: 0.005,
-                extra_bwd_delay: 0.015,
-            },
-            PathSpec {
-                links: vec![LinkId(1)],
-                extra_fwd_delay: 0.015,
-                extra_bwd_delay: 0.005,
-            },
-        ],
-    };
-    let cfg = ModelConfig::default();
-    let agents: Vec<Box<dyn FluidCca>> = (0..3)
-        .map(|i| {
-            let hint = ScenarioHint {
-                capacity: if i == 2 { c2 } else { c1 },
-                prop_rtt: net.prop_rtt(i),
-                n_agents: 2,
-                buffer: bdp,
-                agent_index: i,
-            };
-            build(kind, &hint, &cfg)
-        })
-        .collect();
-    let mut sim = Simulator::new(net, cfg, agents).expect("valid network");
-    let m = sim.run(8.0).metrics;
+    // 3 BDP of the first bottleneck (100 Mbit/s × 10 ms) per link.
+    let spec = ScenarioSpec::parking_lot(c1, c2, 0.010, 3.0)
+        .ccas(vec![kind])
+        .duration(8.0)
+        .warmup(1.0);
+    let backends: Vec<Box<dyn SimBackend>> = vec![
+        Box::new(FluidBackend::default()),
+        Box::new(PacketBackend::new(1)),
+    ];
 
     println!("Parking lot with {kind}: C1 = {c1}, C2 = {c2} Mbit/s");
-    for (i, path) in ["l1+l2 (both)", "l1 only", "l2 only"].iter().enumerate() {
-        println!("  agent {i} ({path:<13}): {:6.2} Mbit/s", m.mean_rates[i]);
+    let paths = ["l1+l2 (both)", "l1 only", "l2 only"];
+    for backend in &backends {
+        let o = backend.run(&spec, 7);
+        println!("\n[{}]", backend.name());
+        for (i, path) in paths.iter().enumerate() {
+            println!(
+                "  flow {i} ({path:<13}): {:6.2} Mbit/s",
+                o.flows[i].throughput_mbps
+            );
+        }
+        println!(
+            "  link occupancy: l1 = {:.1} %, l2 = {:.1} %",
+            o.per_link_occupancy[0], o.per_link_occupancy[1]
+        );
+        println!(
+            "  link utilization: l1 = {:.1} %, l2 = {:.1} %",
+            o.per_link_utilization[0], o.per_link_utilization[1]
+        );
     }
-    println!(
-        "  link occupancy: l1 = {:.1} %, l2 = {:.1} %",
-        m.per_link_occupancy[0], m.per_link_occupancy[1]
-    );
-    println!(
-        "  link utilization: l1 = {:.1} %, l2 = {:.1} %",
-        m.per_link_utilization[0], m.per_link_utilization[1]
-    );
-    println!("\nThe multi-hop agent 0 gets less than either single-hop competitor");
+    println!("\nThe multi-hop flow 0 gets less than either single-hop competitor");
     println!("whenever both links are saturated (RTT/beat-down effect).");
 }

@@ -6,10 +6,11 @@
 //! ```
 //!
 //! The default grid has 3 mixes × 2 buffers × 2 RTT ranges × 2 qdiscs =
-//! 24 points, each evaluated on BOTH the fluid model and the packet
-//! simulator; `--full` widens it to all 7 mixes × 4 buffers (112 points).
-//! Compare the wall-clock line printed in the table header against a run
-//! with `--threads 1` to see the parallel speed-up.
+//! 24 dumbbell points plus 3 × 2 × 2 = 12 parking-lot points, each
+//! evaluated on BOTH the fluid model and the packet simulator through
+//! the `SimBackend` trait; `--full` widens it to all 7 mixes × 4
+//! buffers. Compare the wall-clock line printed in the table header
+//! against a run with `--threads 1` to see the parallel speed-up.
 
 use bbr_repro::experiments::scenarios::COMBOS;
 use bbr_repro::experiments::sweep::{Backend, ScenarioGrid};
@@ -43,6 +44,9 @@ fn main() {
     let grid = ScenarioGrid::new()
         .effort(Effort::Fast)
         .backend(Backend::Both)
+        // Dumbbell AND parking-lot cells: both topologies run through
+        // the same backend-agnostic specs.
+        .with_parking_lot()
         .combos(combos)
         .flow_counts(vec![4])
         .buffers_bdp(buffers)

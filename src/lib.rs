@@ -14,9 +14,13 @@
 //!   checks for Theorems 1–5.
 //! * [`experiments`] — figure generators reproducing the paper's
 //!   evaluation.
+//! * [`scenario`] — the backend-agnostic layer both simulators implement:
+//!   shared `CcaKind`/`QdiscKind`/`ScenarioSpec`/`RunOutcome` types and
+//!   the `SimBackend` trait.
 
 pub use bbr_analysis as analysis;
 pub use bbr_experiments as experiments;
 pub use bbr_fluid_core as fluid;
 pub use bbr_linalg as linalg;
 pub use bbr_packetsim as packetsim;
+pub use bbr_scenario as scenario;

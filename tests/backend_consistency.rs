@@ -1,0 +1,159 @@
+//! Cross-backend consistency through the unified `SimBackend` layer: the
+//! paper's model-vs-simulation validation (§4.3) as executable checks,
+//! the seed-derivation regression pins, and a property test that every
+//! spec the sweep grid can emit runs on both backends.
+
+use bbr_repro::experiments::scenarios::COMBOS;
+use bbr_repro::experiments::sweep::{ScenarioGrid, TopologyKind};
+use bbr_repro::fluid::prelude::*;
+use bbr_repro::packetsim::backend::PacketBackend;
+use bbr_repro::scenario::{CcaKind, QdiscKind};
+use proptest::prelude::*;
+
+fn backends() -> Vec<Box<dyn SimBackend>> {
+    vec![
+        Box::new(FluidBackend::coarse()),
+        Box::new(PacketBackend::new(1)),
+    ]
+}
+
+#[test]
+fn cubic_vs_bbrv1_dumbbell_agrees_across_backends() {
+    // The paper's validation claim, as a hard check: for a 2-flow
+    // CUBIC-vs-BBRv1 dumbbell, the fluid model and the packet simulator
+    // must agree on bottleneck utilization and Jain fairness within a
+    // tolerance.
+    let spec = ScenarioSpec::dumbbell(2, 50.0, 0.010, 2.0)
+        .ccas(vec![CcaKind::Cubic, CcaKind::BbrV1])
+        .duration(3.0)
+        .warmup(1.0);
+    let fluid = FluidBackend::coarse().run(&spec, 11);
+    let packet = PacketBackend::new(1).run(&spec, 11);
+
+    for o in [&fluid, &packet] {
+        assert!(
+            o.utilization_percent > 60.0,
+            "{} idle: {:.1} %",
+            o.backend,
+            o.utilization_percent
+        );
+        assert_eq!(o.flows.len(), 2);
+        assert_eq!(o.flows[0].cca, CcaKind::Cubic);
+        assert_eq!(o.flows[1].cca, CcaKind::BbrV1);
+    }
+    let util_gap = (fluid.utilization_percent - packet.utilization_percent).abs();
+    assert!(
+        util_gap < 25.0,
+        "utilization gap {util_gap:.1} pp (fluid {:.1} vs packet {:.1})",
+        fluid.utilization_percent,
+        packet.utilization_percent
+    );
+    let jain_gap = (fluid.jain - packet.jain).abs();
+    assert!(
+        jain_gap < 0.35,
+        "Jain gap {jain_gap:.3} (fluid {:.3} vs packet {:.3})",
+        fluid.jain,
+        packet.jain
+    );
+}
+
+#[test]
+fn parking_lot_story_matches_across_backends() {
+    // Both backends must reproduce the qualitative parking-lot outcome:
+    // the multi-hop flow loses against both single-hop competitors.
+    let spec = ScenarioSpec::parking_lot(50.0, 40.0, 0.010, 3.0)
+        .ccas(vec![CcaKind::BbrV2])
+        .duration(3.0)
+        .warmup(1.0);
+    for backend in backends() {
+        let o = backend.run(&spec, 5);
+        let t = o.throughputs();
+        assert!(
+            t[0] < t[1] && t[0] < t[2],
+            "{}: multi-hop {:.1} vs {:.1}/{:.1}",
+            backend.name(),
+            t[0],
+            t[1],
+            t[2]
+        );
+        assert_eq!(o.per_link_utilization.len(), 2);
+    }
+}
+
+#[test]
+fn pinned_cell_seeds_are_stable() {
+    // Regression pin for the seed-derivation scheme: seeds are a pure
+    // function of (grid seed, spec contents). If this test fails, the
+    // stable hash or the mixing changed and every recorded sweep seed
+    // silently moves — bump these constants only on a deliberate format
+    // change.
+    let grid = ScenarioGrid::new().seed(42);
+    let pts = grid.points();
+    let s0 = grid.cell_seed(&grid.spec_for(&pts[0]));
+    let s1 = grid.cell_seed(&grid.spec_for(&pts[1]));
+    assert_eq!(s0, 0xd5db_5d8c_8e59_0972, "cell 0 seed moved");
+    assert_eq!(s1, 0x2d2e_8530_2e4b_cda1, "cell 1 seed moved");
+}
+
+#[test]
+fn cell_seeds_are_independent_of_grid_position() {
+    // The footgun this scheme fixes: inserting an axis used to reshuffle
+    // every per-cell seed because seeds came from the cell *index*.
+    let base = ScenarioGrid::new().seed(42);
+    let widened = ScenarioGrid::new()
+        .seed(42)
+        .qdiscs(vec![QdiscKind::Red, QdiscKind::DropTail]) // extra + reordered axis
+        .flow_counts(vec![7, 4]);
+    for pt in base.points() {
+        let spec = base.spec_for(&pt);
+        let twin = widened
+            .points()
+            .into_iter()
+            .map(|p| widened.spec_for(&p))
+            .find(|s| *s == spec)
+            .expect("original cell must survive axis insertion");
+        assert_eq!(base.cell_seed(&spec), widened.cell_seed(&twin));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Any spec the grid can emit must run on both backends without
+    // panicking and produce sane metrics (tiny windows keep this cheap).
+    #[test]
+    fn any_grid_spec_runs_on_both_backends(
+        combo in 0usize..7,
+        n in 1usize..4,
+        buffer in 0.5f64..4.0,
+        red in proptest::bool::ANY,
+        parking in proptest::bool::ANY,
+    ) {
+        let grid = ScenarioGrid::new()
+            .capacity(20.0)
+            .combos(vec![COMBOS[combo]])
+            .flow_counts(vec![n])
+            .buffers_bdp(vec![buffer])
+            .qdiscs(vec![if red { QdiscKind::Red } else { QdiscKind::DropTail }])
+            .topologies(vec![if parking {
+                TopologyKind::ParkingLot
+            } else {
+                TopologyKind::Dumbbell
+            }])
+            .duration(0.4)
+            .warmup(0.1)
+            .runs(1);
+        for pt in grid.points() {
+            let spec = grid.spec_for(&pt);
+            prop_assert!(spec.validate().is_ok(), "grid emitted invalid spec {spec:?}");
+            let seed = grid.cell_seed(&spec);
+            for backend in backends() {
+                let o = backend.run(&spec, seed);
+                prop_assert_eq!(o.flows.len(), spec.n_flows());
+                prop_assert!((0.0..=100.0 + 1e-9).contains(&o.loss_percent));
+                prop_assert!(o.utilization_percent.is_finite());
+                prop_assert!(o.jain <= 1.0 + 1e-9);
+            }
+        }
+    }
+}

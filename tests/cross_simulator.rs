@@ -4,10 +4,8 @@
 
 use bbr_repro::fluid::cca::CcaKind;
 use bbr_repro::fluid::prelude::*;
-use bbr_repro::packetsim::cca::PacketCcaKind;
 use bbr_repro::packetsim::dumbbell::{run_dumbbell, DumbbellSpec, PacketSimReport};
 use bbr_repro::packetsim::engine::SimConfig;
-use bbr_repro::packetsim::qdisc::QdiscKind as PktQdisc;
 
 fn fluid(kinds: &[CcaKind], buffer: f64, qdisc: QdiscKind) -> AggregateMetrics {
     let scenario = Scenario::dumbbell(6, 100.0, 0.010, buffer, qdisc)
@@ -17,7 +15,7 @@ fn fluid(kinds: &[CcaKind], buffer: f64, qdisc: QdiscKind) -> AggregateMetrics {
     sim.run(4.0).metrics
 }
 
-fn packet(kinds: &[PacketCcaKind], buffer: f64, qdisc: PktQdisc) -> PacketSimReport {
+fn packet(kinds: &[CcaKind], buffer: f64, qdisc: QdiscKind) -> PacketSimReport {
     let spec = DumbbellSpec::new(6, 100.0, 0.010, buffer, qdisc)
         .rtt_range(0.030, 0.040)
         .ccas(kinds.to_vec());
@@ -33,11 +31,7 @@ fn packet(kinds: &[PacketCcaKind], buffer: f64, qdisc: PktQdisc) -> PacketSimRep
 #[test]
 fn both_simulators_show_bbrv1_dominating_reno() {
     let f = fluid(&[CcaKind::BbrV1, CcaKind::Reno], 1.0, QdiscKind::DropTail);
-    let p = packet(
-        &[PacketCcaKind::BbrV1, PacketCcaKind::Reno],
-        1.0,
-        PktQdisc::DropTail,
-    );
+    let p = packet(&[CcaKind::BbrV1, CcaKind::Reno], 1.0, QdiscKind::DropTail);
     let f_ratio = f.mean_rates[0] / f.mean_rates[1].max(0.01);
     let p_bbr: f64 = p.flows.iter().step_by(2).map(|x| x.throughput_mbps).sum();
     let p_reno: f64 = p
@@ -64,8 +58,8 @@ fn both_simulators_show_bbrv1_loss_decreasing_with_buffer() {
         f1.loss_percent,
         f4.loss_percent
     );
-    let p1 = packet(&[PacketCcaKind::BbrV1], 1.0, PktQdisc::DropTail);
-    let p4 = packet(&[PacketCcaKind::BbrV1], 4.0, PktQdisc::DropTail);
+    let p1 = packet(&[CcaKind::BbrV1], 1.0, QdiscKind::DropTail);
+    let p4 = packet(&[CcaKind::BbrV1], 4.0, QdiscKind::DropTail);
     assert!(
         p1.loss_percent > p4.loss_percent,
         "packet: {:.2} % @1BDP vs {:.2} % @4BDP",
@@ -77,7 +71,7 @@ fn both_simulators_show_bbrv1_loss_decreasing_with_buffer() {
 #[test]
 fn both_simulators_show_full_bbrv1_utilization() {
     let f = fluid(&[CcaKind::BbrV1], 2.0, QdiscKind::DropTail);
-    let p = packet(&[PacketCcaKind::BbrV1], 2.0, PktQdisc::DropTail);
+    let p = packet(&[CcaKind::BbrV1], 2.0, QdiscKind::DropTail);
     assert!(
         f.utilization_percent > 95.0,
         "fluid {}",
@@ -92,14 +86,12 @@ fn both_simulators_show_full_bbrv1_utilization() {
 
 #[test]
 fn both_simulators_show_homogeneous_fairness() {
-    for (fk, pk) in [
-        (CcaKind::Reno, PacketCcaKind::Reno),
-        (CcaKind::BbrV2, PacketCcaKind::BbrV2),
-    ] {
-        let f = fluid(&[fk], 2.0, QdiscKind::DropTail);
-        let p = packet(&[pk], 2.0, PktQdisc::DropTail);
-        assert!(f.jain > 0.85, "fluid {fk}: jain {:.3}", f.jain);
-        assert!(p.jain > 0.7, "packet {pk}: jain {:.3}", p.jain);
+    // One shared kind drives both backends since the CCA unification.
+    for kind in [CcaKind::Reno, CcaKind::BbrV2] {
+        let f = fluid(&[kind], 2.0, QdiscKind::DropTail);
+        let p = packet(&[kind], 2.0, QdiscKind::DropTail);
+        assert!(f.jain > 0.85, "fluid {kind}: jain {:.3}", f.jain);
+        assert!(p.jain > 0.7, "packet {kind}: jain {:.3}", p.jain);
     }
 }
 
@@ -113,8 +105,8 @@ fn red_reduces_queueing_for_bbrv1_in_both() {
         f_red.occupancy_percent,
         f_dt.occupancy_percent
     );
-    let p_dt = packet(&[PacketCcaKind::BbrV1], 2.0, PktQdisc::DropTail);
-    let p_red = packet(&[PacketCcaKind::BbrV1], 2.0, PktQdisc::Red);
+    let p_dt = packet(&[CcaKind::BbrV1], 2.0, QdiscKind::DropTail);
+    let p_red = packet(&[CcaKind::BbrV1], 2.0, QdiscKind::Red);
     assert!(
         p_red.occupancy_percent < p_dt.occupancy_percent,
         "packet: RED {:.1} % vs drop-tail {:.1} %",
@@ -128,7 +120,7 @@ fn jitter_is_underestimated_by_the_fluid_model() {
     // §4.3.5 / Insight 9: fluid models cannot capture packet-granularity
     // jitter; the experiment jitter exceeds the model's.
     let f = fluid(&[CcaKind::Reno], 2.0, QdiscKind::DropTail);
-    let p = packet(&[PacketCcaKind::Reno], 2.0, PktQdisc::DropTail);
+    let p = packet(&[CcaKind::Reno], 2.0, QdiscKind::DropTail);
     assert!(
         p.jitter_ms > f.jitter_ms,
         "packet jitter {:.4} ms must exceed fluid jitter {:.4} ms",

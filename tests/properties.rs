@@ -143,11 +143,10 @@ proptest! {
     fn packet_sim_conservation(seed in 0u64..50, red in proptest::bool::ANY) {
         use bbr_repro::packetsim::dumbbell::{run_dumbbell, DumbbellSpec};
         use bbr_repro::packetsim::engine::SimConfig;
-        use bbr_repro::packetsim::prelude::PacketCcaKind;
-        use bbr_repro::packetsim::qdisc::QdiscKind as PktQdisc;
-        let qdisc = if red { PktQdisc::Red } else { PktQdisc::DropTail };
+        use bbr_repro::packetsim::qdisc::QdiscKind;
+        let qdisc = if red { QdiscKind::Red } else { QdiscKind::DropTail };
         let spec = DumbbellSpec::new(2, 20.0, 0.010, 1.0, qdisc)
-            .ccas(vec![PacketCcaKind::Reno, PacketCcaKind::BbrV2]);
+            .ccas(vec![CcaKind::Reno, CcaKind::BbrV2]);
         let cfg = SimConfig { duration: 1.5, warmup: 0.0, seed, ..Default::default() };
         let r = run_dumbbell(&spec, &cfg);
         // Rates bounded by capacity (+ small binning slack).

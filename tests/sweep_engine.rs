@@ -1,9 +1,10 @@
 //! Integration tests of the parallel scenario-sweep engine through the
 //! umbrella crate: grid expansion, determinism under parallel execution,
-//! and qualitative fluid-vs-packet agreement (the §4.3 validation shape).
+//! and qualitative fluid-vs-packet agreement (the §4.3 validation shape)
+//! — all routed through the backend-agnostic `SimBackend` layer.
 
 use bbr_repro::experiments::scenarios::COMBOS;
-use bbr_repro::experiments::sweep::ScenarioGrid;
+use bbr_repro::experiments::sweep::{ScenarioGrid, TopologyKind};
 use bbr_repro::experiments::Effort;
 use bbr_repro::fluid::topology::QdiscKind;
 
@@ -45,17 +46,15 @@ fn grid_expansion_matches_axis_product() {
 #[test]
 fn parallel_run_is_deterministic() {
     // The engine runs under whatever global thread count the process has;
-    // per-cell seeds derive from (grid seed, cell index), so the report
-    // must be bit-identical run-to-run regardless of scheduling.
+    // per-cell seeds derive from (grid seed, spec-content hash), so the
+    // report must be bit-identical run-to-run regardless of scheduling.
     let grid = small_grid();
     let a = grid.run();
     let b = grid.run();
     assert_eq!(a.csv(), b.csv());
     assert_eq!(a.len(), 8);
-    assert!(a
-        .cells
-        .iter()
-        .all(|c| c.fluid.is_some() && c.packet.is_some()));
+    assert_eq!(a.backends, vec!["fluid", "packet"]);
+    assert!(a.cells.iter().all(|c| c.outcomes.len() == 2));
     // A different seed must actually change the packet-sim columns.
     let c = small_grid().seed(43).run();
     assert_ne!(a.csv(), c.csv(), "seed must reach the packet simulator");
@@ -69,8 +68,8 @@ fn fluid_and_packet_backends_agree_qualitatively() {
     let report = small_grid().qdiscs(vec![QdiscKind::DropTail]).run();
     assert_eq!(report.len(), 4);
     for cell in &report.cells {
-        let f = cell.fluid.as_ref().unwrap();
-        let e = cell.packet.as_ref().unwrap();
+        let f = report.metrics(cell, "fluid").unwrap();
+        let e = report.metrics(cell, "packet").unwrap();
         assert!(
             f.utilization_percent > 50.0,
             "fluid idle at {:?}",
@@ -96,4 +95,52 @@ fn fluid_and_packet_backends_agree_qualitatively() {
     }
     let mean_gap = report.mean_utilization_gap().unwrap();
     assert!(mean_gap < 25.0, "mean utilization gap {mean_gap} pp");
+}
+
+#[test]
+fn parking_lot_cells_run_on_both_backends() {
+    // The first genuinely new scenario family since the seed: parking-lot
+    // cells flow through the very same sweep loop and SimBackend trait.
+    let report = small_grid()
+        .topologies(vec![TopologyKind::ParkingLot])
+        .qdiscs(vec![QdiscKind::DropTail])
+        .buffers_bdp(vec![3.0])
+        .duration(1.5)
+        .run();
+    // 2 combos × 1 buffer × 1 qdisc (flow/RTT axes collapse).
+    assert_eq!(report.len(), 2);
+    for cell in &report.cells {
+        assert_eq!(cell.point.topology, TopologyKind::ParkingLot);
+        assert_eq!(cell.point.n, 3);
+        let f = report.metrics(cell, "fluid").unwrap();
+        let e = report.metrics(cell, "packet").unwrap();
+        for (name, m) in [("fluid", f), ("packet", e)] {
+            assert!(
+                m.utilization_percent > 40.0,
+                "{name} parking lot idle at {:?}: {}",
+                cell.point,
+                m.utilization_percent
+            );
+            assert!((0.0..=100.0).contains(&m.loss_percent), "{name} loss");
+            assert!(m.jain > 0.3, "{name} jain {:.3}", m.jain);
+        }
+    }
+    let table = report.table();
+    assert!(
+        table.contains("parklot"),
+        "topology column missing:\n{table}"
+    );
+}
+
+#[test]
+fn mixed_topology_grid_is_deterministic() {
+    let grid = small_grid()
+        .with_parking_lot()
+        .qdiscs(vec![QdiscKind::DropTail]);
+    // Dumbbell 2×2 + parking lot 2×2 (buffer axis kept, flow/RTT axes
+    // collapsed).
+    assert_eq!(grid.len(), 4 + 4);
+    let a = grid.run();
+    let b = grid.run();
+    assert_eq!(a.csv(), b.csv());
 }
