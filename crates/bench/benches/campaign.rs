@@ -1,0 +1,144 @@
+//! Benchmarks of the campaign subsystem — the persistence and caching
+//! layer every sharded sweep routes through.
+//!
+//! * `store_write_1k` / `store_read_1k` — raw JSONL store throughput:
+//!   1000 records appended to a fresh store, then a full reload.
+//! * `campaign_24_cells_cold` / `campaign_24_cells_warm` — a 24-cell
+//!   two-topology grid through `ScenarioGrid::run_cached` against an
+//!   empty store (every engine run computes) vs a pre-populated one
+//!   (zero engine runs; the warm number is the pure cache/reassembly
+//!   overhead a resumed campaign pays).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use bbr_campaign::{CellKey, ResultStore};
+use bbr_experiments::scenarios::COMBOS;
+use bbr_experiments::sweep::{Backend, ScenarioGrid};
+use bbr_experiments::Effort;
+use bbr_scenario::{CcaKind, FlowMetrics, QdiscKind, RunOutcome};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh, unique store directory per measurement.
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bbr-campaign-bench-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_outcome(i: usize) -> RunOutcome {
+    RunOutcome {
+        backend: "packet",
+        flows: (0..4)
+            .map(|f| FlowMetrics {
+                cca: CcaKind::ALL[f % 4],
+                throughput_mbps: 25.0 + (i * 7 + f) as f64 * 0.125,
+            })
+            .collect(),
+        jain: 0.875 + (i % 8) as f64 / 64.0,
+        loss_percent: i as f64 * 0.011,
+        occupancy_percent: 42.0,
+        utilization_percent: 97.5,
+        jitter_ms: 0.375,
+        per_link_occupancy: vec![42.0, 43.0],
+        per_link_utilization: vec![97.5, 96.5],
+    }
+}
+
+fn key(i: usize) -> CellKey {
+    CellKey {
+        spec_hash: 0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1),
+        seed: i as u64,
+        backend: "packet".into(),
+        run_index: (i % 3) as u32,
+    }
+}
+
+fn store_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(10);
+    g.bench_function("store_write_1k", |b| {
+        b.iter(|| {
+            let dir = fresh_dir("write");
+            let mut store = ResultStore::open(&dir).unwrap();
+            for i in 0..1000 {
+                store.insert(key(i), sample_outcome(i)).unwrap();
+            }
+            let n = store.len();
+            drop(store);
+            std::fs::remove_dir_all(&dir).unwrap();
+            black_box(n)
+        })
+    });
+    // One populated store, reloaded from disk each iteration.
+    let dir = fresh_dir("read");
+    {
+        let mut store = ResultStore::open(&dir).unwrap();
+        for i in 0..1000 {
+            store.insert(key(i), sample_outcome(i)).unwrap();
+        }
+    }
+    g.bench_function("store_read_1k", |b| {
+        b.iter(|| black_box(ResultStore::open(&dir).unwrap().len()))
+    });
+    std::fs::remove_dir_all(&dir).unwrap();
+    g.finish();
+}
+
+/// 2 topologies × 3 combos × 2 buffers × 2 qdiscs = 24 cells (the same
+/// grid shape as `benches/backend.rs`'s `sweep_24_cells`).
+fn bench_grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .effort(Effort::Fast)
+        .backend(Backend::Both)
+        .with_parking_lot()
+        .combos(vec![COMBOS[0], COMBOS[3], COMBOS[4]])
+        .flow_counts(vec![4])
+        .buffers_bdp(vec![1.0, 4.0])
+        .qdiscs(vec![QdiscKind::DropTail, QdiscKind::Red])
+        .duration(0.5)
+        .warmup(0.25)
+        .runs(1)
+}
+
+fn campaign_cold_vs_warm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(2);
+    let grid = bench_grid();
+    assert_eq!(grid.len(), 24);
+    g.bench_function("campaign_24_cells_cold", |b| {
+        b.iter(|| {
+            let dir = fresh_dir("cold");
+            let mut store = ResultStore::open(&dir).unwrap();
+            let (report, stats) = grid.run_cached(&mut store).unwrap();
+            assert_eq!(stats.cached, 0);
+            drop(store);
+            std::fs::remove_dir_all(&dir).unwrap();
+            black_box(report.len())
+        })
+    });
+    let dir = fresh_dir("warm");
+    ResultStore::open(&dir)
+        .and_then(|mut s| grid.run_cached(&mut s).map(|_| ()))
+        .unwrap();
+    g.bench_function("campaign_24_cells_warm", |b| {
+        b.iter(|| {
+            let mut store = ResultStore::open(&dir).unwrap();
+            let (report, stats) = grid.run_cached(&mut store).unwrap();
+            assert_eq!(stats.computed, 0);
+            black_box(report.len())
+        })
+    });
+    std::fs::remove_dir_all(&dir).unwrap();
+    g.finish();
+}
+
+criterion_group!(benches, store_io, campaign_cold_vs_warm);
+criterion_main!(benches);

@@ -1,0 +1,322 @@
+//! Campaign plans: the serialized work list handed to worker processes.
+//!
+//! A [`CampaignPlan`] is everything a worker needs to reproduce its
+//! share of a campaign without the parent's in-memory state: the full
+//! cell list (each a [`ScenarioSpec`] plus its deterministic base seed),
+//! which backends to run with how many repetitions each, and an opaque
+//! effort tag the backend factory interprets (integration step size
+//! etc.). Plans are persisted as `plan.json` in the store directory via
+//! the hand-rolled [`crate::json`] module; specs round-trip exactly, so
+//! a worker's [`ScenarioSpec::stable_hash`] — and therefore every cache
+//! key — matches the parent's bit for bit.
+
+use std::path::Path;
+
+use bbr_scenario::{CcaKind, QdiscKind, ScenarioSpec, Topology};
+
+use crate::json::Json;
+
+/// Name of the plan file inside a store directory.
+pub const PLAN_FILE: &str = "plan.json";
+
+/// One backend of a campaign: its stable name plus how many repetitions
+/// each cell stores under distinct `run_index` keys (deterministic
+/// backends use 1; the packet simulator averages several).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendSel {
+    pub name: String,
+    pub runs: u32,
+}
+
+/// One cell of a campaign: the backend-agnostic spec and the cell's
+/// base seed (already derived from the grid seed and the spec's content
+/// hash by the sweep layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedCell {
+    pub spec: ScenarioSpec,
+    pub seed: u64,
+}
+
+/// A complete campaign work list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPlan {
+    /// Opaque effort tag the backend factory interprets (`"fast"` /
+    /// `"full"` for the built-in backends).
+    pub effort: String,
+    pub backends: Vec<BackendSel>,
+    pub cells: Vec<PlannedCell>,
+}
+
+impl CampaignPlan {
+    pub fn to_json_string(&self) -> String {
+        Json::Obj(vec![
+            ("effort".into(), Json::str(&self.effort)),
+            (
+                "backends".into(),
+                Json::Arr(
+                    self.backends
+                        .iter()
+                        .map(|b| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(&b.name)),
+                                ("runs".into(), Json::Num(b.runs as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "cells".into(),
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::Obj(vec![
+                                ("seed".into(), Json::hex(c.seed)),
+                                ("spec".into(), spec_to_json(&c.spec)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_compact_string()
+    }
+
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let backends = doc
+            .field("backends")?
+            .as_arr()
+            .ok_or("backends is not an array")?
+            .iter()
+            .map(|b| {
+                Ok(BackendSel {
+                    name: b.field("name")?.as_str().ok_or("bad backend name")?.into(),
+                    runs: b.field("runs")?.as_usize().ok_or("bad backend runs")? as u32,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let cells = doc
+            .field("cells")?
+            .as_arr()
+            .ok_or("cells is not an array")?
+            .iter()
+            .map(|c| {
+                Ok(PlannedCell {
+                    seed: c.field("seed")?.as_hex_u64().ok_or("bad cell seed")?,
+                    spec: spec_from_json(c.field("spec")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            effort: doc
+                .field("effort")?
+                .as_str()
+                .ok_or("bad effort tag")?
+                .into(),
+            backends,
+            cells,
+        })
+    }
+
+    /// Write the plan into `dir` as [`PLAN_FILE`].
+    pub fn save(&self, dir: &Path) -> Result<(), String> {
+        let path = dir.join(PLAN_FILE);
+        std::fs::write(&path, self.to_json_string() + "\n")
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    /// Load the plan from `dir`'s [`PLAN_FILE`].
+    pub fn load(dir: &Path) -> Result<Self, String> {
+        let path = dir.join(PLAN_FILE);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json_str(text.trim_end())
+    }
+}
+
+/// [`ScenarioSpec`] → JSON. Exact float round-trips (see [`crate::json`])
+/// keep [`ScenarioSpec::stable_hash`] identical across the serialization
+/// boundary — the property the content-addressed store keys rely on.
+pub fn spec_to_json(spec: &ScenarioSpec) -> Json {
+    let topology = match spec.topology {
+        Topology::Dumbbell {
+            n,
+            capacity,
+            bottleneck_delay,
+            buffer_bdp,
+            rtt_lo,
+            rtt_hi,
+        } => Json::Obj(vec![
+            ("kind".into(), Json::str("dumbbell")),
+            ("n".into(), Json::Num(n as f64)),
+            ("capacity".into(), Json::Num(capacity)),
+            ("bottleneck_delay".into(), Json::Num(bottleneck_delay)),
+            ("buffer_bdp".into(), Json::Num(buffer_bdp)),
+            ("rtt_lo".into(), Json::Num(rtt_lo)),
+            ("rtt_hi".into(), Json::Num(rtt_hi)),
+        ]),
+        Topology::ParkingLot {
+            c1,
+            c2,
+            link_delay,
+            buffer_bdp,
+        } => Json::Obj(vec![
+            ("kind".into(), Json::str("parking_lot")),
+            ("c1".into(), Json::Num(c1)),
+            ("c2".into(), Json::Num(c2)),
+            ("link_delay".into(), Json::Num(link_delay)),
+            ("buffer_bdp".into(), Json::Num(buffer_bdp)),
+        ]),
+        Topology::Chain {
+            hops,
+            capacity,
+            link_delay,
+            buffer_bdp,
+        } => Json::Obj(vec![
+            ("kind".into(), Json::str("chain")),
+            ("hops".into(), Json::Num(hops as f64)),
+            ("capacity".into(), Json::Num(capacity)),
+            ("link_delay".into(), Json::Num(link_delay)),
+            ("buffer_bdp".into(), Json::Num(buffer_bdp)),
+        ]),
+    };
+    Json::Obj(vec![
+        ("topology".into(), topology),
+        (
+            "ccas".into(),
+            Json::Arr(spec.ccas.iter().map(|c| Json::str(c.name())).collect()),
+        ),
+        ("qdisc".into(), Json::str(spec.qdisc.name())),
+        ("duration".into(), Json::Num(spec.duration)),
+        ("warmup".into(), Json::Num(spec.warmup)),
+    ])
+}
+
+/// JSON → [`ScenarioSpec`] (exact inverse of [`spec_to_json`]).
+pub fn spec_from_json(j: &Json) -> Result<ScenarioSpec, String> {
+    let t = j.field("topology")?;
+    let num = |obj: &Json, key: &str| -> Result<f64, String> {
+        obj.field(key)?
+            .as_f64()
+            .ok_or(format!("bad number `{key}`"))
+    };
+    let topology = match t.field("kind")?.as_str() {
+        Some("dumbbell") => Topology::Dumbbell {
+            n: t.field("n")?.as_usize().ok_or("bad dumbbell n")?,
+            capacity: num(t, "capacity")?,
+            bottleneck_delay: num(t, "bottleneck_delay")?,
+            buffer_bdp: num(t, "buffer_bdp")?,
+            rtt_lo: num(t, "rtt_lo")?,
+            rtt_hi: num(t, "rtt_hi")?,
+        },
+        Some("parking_lot") => Topology::ParkingLot {
+            c1: num(t, "c1")?,
+            c2: num(t, "c2")?,
+            link_delay: num(t, "link_delay")?,
+            buffer_bdp: num(t, "buffer_bdp")?,
+        },
+        Some("chain") => Topology::Chain {
+            hops: t.field("hops")?.as_usize().ok_or("bad chain hops")?,
+            capacity: num(t, "capacity")?,
+            link_delay: num(t, "link_delay")?,
+            buffer_bdp: num(t, "buffer_bdp")?,
+        },
+        other => return Err(format!("unknown topology kind {other:?}")),
+    };
+    let ccas = j
+        .field("ccas")?
+        .as_arr()
+        .ok_or("ccas is not an array")?
+        .iter()
+        .map(|c| {
+            c.as_str()
+                .and_then(CcaKind::from_name)
+                .ok_or_else(|| format!("unknown CCA {c:?}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    if ccas.is_empty() {
+        return Err("spec has no CCA kinds".into());
+    }
+    Ok(ScenarioSpec {
+        topology,
+        ccas,
+        qdisc: j
+            .field("qdisc")?
+            .as_str()
+            .and_then(QdiscKind::from_name)
+            .ok_or("unknown qdisc")?,
+        duration: num(j, "duration")?,
+        warmup: num(j, "warmup")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::dumbbell(10, 100.0, 0.010, 2.0)
+                .ccas(vec![CcaKind::BbrV1, CcaKind::Reno])
+                .qdisc(QdiscKind::Red)
+                .duration(5.0)
+                .warmup(1.0),
+            ScenarioSpec::dumbbell(3, 1.0 / 3.0, 0.012_345, 0.1 + 0.2),
+            ScenarioSpec::parking_lot(100.0, 80.0, 0.010, 3.0).ccas(vec![CcaKind::BbrV2]),
+            ScenarioSpec::chain(5, 60.0, 0.007, 1.5).ccas(vec![CcaKind::Cubic, CcaKind::BbrV2]),
+        ]
+    }
+
+    #[test]
+    fn specs_round_trip_with_identical_stable_hash() {
+        for spec in specs() {
+            let json = spec_to_json(&spec).to_compact_string();
+            let back = spec_from_json(&Json::parse(&json).unwrap()).unwrap();
+            assert_eq!(spec, back, "via {json}");
+            assert_eq!(spec.stable_hash(), back.stable_hash());
+        }
+    }
+
+    #[test]
+    fn plan_round_trips_through_file() {
+        let plan = CampaignPlan {
+            effort: "fast".into(),
+            backends: vec![
+                BackendSel {
+                    name: "fluid".into(),
+                    runs: 1,
+                },
+                BackendSel {
+                    name: "packet".into(),
+                    runs: 3,
+                },
+            ],
+            cells: specs()
+                .into_iter()
+                .enumerate()
+                .map(|(i, spec)| PlannedCell {
+                    seed: u64::MAX - i as u64,
+                    spec,
+                })
+                .collect(),
+        };
+        let text = plan.to_json_string();
+        assert_eq!(CampaignPlan::from_json_str(&text).unwrap(), plan);
+
+        let dir = std::env::temp_dir().join(format!("bbr-plan-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        plan.save(&dir).unwrap();
+        assert_eq!(CampaignPlan::load(&dir).unwrap(), plan);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_names() {
+        assert!(spec_from_json(&Json::parse(r#"{"topology":{"kind":"torus"}}"#).unwrap()).is_err());
+        let bad_cca = r#"{"topology":{"kind":"parking_lot","c1":1.0,"c2":1.0,"link_delay":0.01,"buffer_bdp":1.0},"ccas":["TCP"],"qdisc":"DropTail","duration":1.0,"warmup":0.0}"#;
+        assert!(spec_from_json(&Json::parse(bad_cca).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Multi-process campaign execution.
+//!
+//! The runner executes a [`CampaignPlan`] as `shards` child *worker
+//! processes*: the host binary re-executes itself with a hidden
+//! `campaign-worker` argv (self-exec — no separate worker binary to
+//! build or ship), each worker computes the cells its shard owns that
+//! are not already in the store, writes its records to a private shard
+//! file, and the parent merges the shard files into the canonical
+//! `results.jsonl` once every worker has exited. Workers never write
+//! shared files, so no cross-process locking is needed.
+//!
+//! Resume/incremental semantics fall out of the content-addressed
+//! store: a re-run plans the same keys, finds them present, computes
+//! nothing, and merges nothing. Growing the grid (new axis value, new
+//! backend, more repetitions) computes exactly the missing delta.
+//! Interrupted runs lose nothing either — leftover shard files are
+//! absorbed into the store before the next run plans its work.
+//!
+//! Any binary can host workers by calling [`maybe_worker`] first thing
+//! in `main` (both the `figures` CLI and `examples/campaign.rs` do).
+
+use std::path::Path;
+use std::process::{Command, Stdio};
+
+use bbr_scenario::{run_seed, SimBackend};
+
+use crate::plan::{BackendSel, CampaignPlan};
+use crate::shard::ShardPlan;
+use crate::store::{CellKey, ResultStore, ShardWriter};
+
+/// The hidden argv[1] that switches a host binary into worker mode.
+pub const WORKER_SUBCOMMAND: &str = "campaign-worker";
+
+/// Builds a backend from a plan's selector, or `None` if the name is
+/// unknown to this host. The same factory must be used by the parent
+/// (for entry counting) and the workers (for computing) — it is the one
+/// piece of campaign behaviour the campaign crate cannot own, because
+/// backend construction lives above the scenario layer.
+pub type BackendFactory<'a> =
+    dyn Fn(&CampaignPlan, &BackendSel) -> Option<Box<dyn SimBackend>> + 'a;
+
+/// Backends built from a plan, each paired with its selector.
+type PlanBackends = Vec<(BackendSel, Box<dyn SimBackend>)>;
+
+/// What one worker did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSummary {
+    pub shard: usize,
+    pub shards: usize,
+    /// Engine runs this worker computed and wrote to its shard file.
+    pub computed: usize,
+    /// Planned entries of this shard that were already in the store.
+    pub cached: usize,
+}
+
+/// What a whole sharded campaign did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignSummary {
+    /// Planned entries: supported (cell, backend, run_index) triples.
+    pub entries: usize,
+    /// Entries computed by this run's workers.
+    pub computed: usize,
+    /// Entries served from the store.
+    pub cached: usize,
+    pub shards: usize,
+}
+
+impl CampaignSummary {
+    /// One stable log line (`computed=0` is what CI greps for to assert
+    /// a fully-cached resume).
+    pub fn log_line(&self) -> String {
+        format!(
+            "campaign summary: entries={} computed={} cached={} shards={}",
+            self.entries, self.computed, self.cached, self.shards
+        )
+    }
+}
+
+/// The per-shard work loop, run inside a worker process: compute every
+/// planned entry of `shard` that the store does not already hold and
+/// append it to the shard's private record file.
+pub fn run_worker(
+    store_dir: &Path,
+    shard: usize,
+    shards: usize,
+    factory: &BackendFactory,
+) -> Result<WorkerSummary, String> {
+    let plan = CampaignPlan::load(store_dir)?;
+    let store = ResultStore::open(store_dir)?; // read-only: resume lookups
+    let backends = build_backends(&plan, factory)?;
+    let splan = ShardPlan::new(shards);
+    let mut writer = ShardWriter::create(store_dir, shard)?;
+    let mut computed = 0;
+    let mut cached = 0;
+    for index in splan.cells_of(shard, plan.cells.len()) {
+        let cell = &plan.cells[index];
+        let spec_hash = cell.spec.stable_hash();
+        for (sel, backend) in &backends {
+            if !backend.supports(&cell.spec) {
+                continue;
+            }
+            for run_index in 0..sel.runs {
+                let key = CellKey {
+                    spec_hash,
+                    seed: cell.seed,
+                    backend: sel.name.clone(),
+                    run_index,
+                };
+                if store.contains(&key) {
+                    cached += 1;
+                    continue;
+                }
+                let outcome = backend.run(&cell.spec, run_seed(cell.seed, run_index));
+                writer.append(&key, &outcome)?;
+                computed += 1;
+            }
+        }
+    }
+    writer.finish()?;
+    Ok(WorkerSummary {
+        shard,
+        shards,
+        computed,
+        cached,
+    })
+}
+
+/// Execute the plan as `shards` child worker processes of the current
+/// executable and merge their outputs into the store at `store_dir`.
+///
+/// The host binary must route the [`WORKER_SUBCOMMAND`] argv through
+/// [`maybe_worker`] (with the same `factory`), or the children will
+/// misparse their arguments.
+pub fn run_sharded(
+    plan: &CampaignPlan,
+    store_dir: &Path,
+    shards: usize,
+    factory: &BackendFactory,
+) -> Result<CampaignSummary, String> {
+    let shards = shards.max(1);
+    let mut store = ResultStore::open(store_dir)?;
+    // Recover records from any previously interrupted run before
+    // planning, so they count as cached instead of being recomputed.
+    store.absorb_shards()?;
+    plan.save(store_dir)?;
+    let entries = planned_entries(plan, factory)?;
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own executable: {e}"))?;
+    let mut children = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let child = Command::new(&exe)
+            .arg(WORKER_SUBCOMMAND)
+            .arg("--store")
+            .arg(store_dir)
+            .arg("--shard")
+            .arg(shard.to_string())
+            .arg("--shards")
+            .arg(shards.to_string())
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("cannot spawn worker {shard}: {e}"))?;
+        children.push((shard, child));
+    }
+    let mut failures = Vec::new();
+    for (shard, mut child) in children {
+        let status = child
+            .wait()
+            .map_err(|e| format!("cannot wait for worker {shard}: {e}"))?;
+        if !status.success() {
+            failures.push(format!("worker {shard} exited with {status}"));
+        }
+    }
+    if !failures.is_empty() {
+        // Salvage what finished workers produced before reporting.
+        let _ = store.absorb_shards();
+        return Err(failures.join("; "));
+    }
+    let mut computed = 0;
+    for shard in 0..shards {
+        let path = ResultStore::shard_path(store_dir, shard);
+        computed += store.merge_file(&path)?;
+        std::fs::remove_file(&path).map_err(|e| format!("remove {}: {e}", path.display()))?;
+    }
+    Ok(CampaignSummary {
+        entries,
+        computed,
+        cached: entries - computed,
+        shards,
+    })
+}
+
+/// Worker-mode entry point for host binaries. If `args` (argv without
+/// the program name) starts with [`WORKER_SUBCOMMAND`], runs the
+/// requested shard and returns `Some(exit_code)` for the host to pass
+/// to [`std::process::exit`]; otherwise returns `None` and the host
+/// proceeds as usual.
+pub fn maybe_worker(args: &[String], factory: &BackendFactory) -> Option<i32> {
+    if args.first().map(String::as_str) != Some(WORKER_SUBCOMMAND) {
+        return None;
+    }
+    let flag = |name: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let parsed = (|| -> Result<(String, usize, usize), String> {
+        let store = flag("--store").ok_or("missing --store")?.to_string();
+        let shard = flag("--shard")
+            .ok_or("missing --shard")?
+            .parse()
+            .map_err(|e| format!("bad --shard: {e}"))?;
+        let shards = flag("--shards")
+            .ok_or("missing --shards")?
+            .parse()
+            .map_err(|e| format!("bad --shards: {e}"))?;
+        Ok((store, shard, shards))
+    })();
+    let (store, shard, shards) = match parsed {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("campaign-worker: {e}");
+            return Some(2);
+        }
+    };
+    match run_worker(Path::new(&store), shard, shards, factory) {
+        Ok(s) => {
+            eprintln!(
+                "campaign worker {}/{}: computed={} cached={}",
+                s.shard + 1,
+                s.shards,
+                s.computed,
+                s.cached
+            );
+            Some(0)
+        }
+        Err(e) => {
+            eprintln!("campaign worker {shard}/{shards} failed: {e}");
+            Some(1)
+        }
+    }
+}
+
+/// How many entries the plan expands to (supported `(cell, backend,
+/// run_index)` triples), independent of what is cached.
+fn planned_entries(plan: &CampaignPlan, factory: &BackendFactory) -> Result<usize, String> {
+    let backends = build_backends(plan, factory)?;
+    let mut entries = 0;
+    for cell in &plan.cells {
+        for (sel, backend) in &backends {
+            if backend.supports(&cell.spec) {
+                entries += sel.runs as usize;
+            }
+        }
+    }
+    Ok(entries)
+}
+
+fn build_backends<'a>(
+    plan: &CampaignPlan,
+    factory: &BackendFactory<'a>,
+) -> Result<PlanBackends, String> {
+    plan.backends
+        .iter()
+        .map(|sel| {
+            factory(plan, sel)
+                .map(|b| (sel.clone(), b))
+                .ok_or_else(|| format!("no backend named `{}` in this host", sel.name))
+        })
+        .collect()
+}

@@ -1,0 +1,117 @@
+//! Deterministic shard planner.
+//!
+//! A campaign's cells are split across `shards` disjoint shards by
+//! round-robin over the cell index: shard `s` owns every cell whose
+//! index `i` satisfies `i % shards == s`. Round-robin (rather than
+//! contiguous chunks) balances load when neighbouring cells share cost
+//! structure — a grid expansion orders cells by axis, so adjacent cells
+//! tend to be similarly expensive (same topology, same flow count) and
+//! striping spreads each cost band over all shards.
+//!
+//! The assignment is a pure function of `(cell index, shard count)`:
+//! re-running a campaign with the same shard count reproduces the same
+//! plan, and the result *store* is sharding-independent anyway (records
+//! are content-addressed), so even changing `shards` between runs only
+//! redistributes work, never recomputes it.
+
+/// A deterministic split of `0..n_cells` into disjoint shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// A plan with `shards` shards (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Which shard owns cell `index`.
+    pub fn shard_of(&self, index: usize) -> usize {
+        index % self.shards
+    }
+
+    /// The cell indices shard `shard` owns out of `0..n_cells`, in
+    /// ascending order.
+    pub fn cells_of(&self, shard: usize, n_cells: usize) -> Vec<usize> {
+        assert!(shard < self.shards, "shard {shard} out of {}", self.shards);
+        (shard..n_cells).step_by(self.shards).collect()
+    }
+
+    /// Number of cells shard `shard` owns out of `n_cells`.
+    pub fn len_of(&self, shard: usize, n_cells: usize) -> usize {
+        assert!(shard < self.shards, "shard {shard} out of {}", self.shards);
+        if shard >= n_cells {
+            0
+        } else {
+            (n_cells - shard).div_ceil(self.shards)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn shards_are_disjoint_and_covering() {
+        for n_cells in [0usize, 1, 7, 24, 100] {
+            for shards in [1usize, 2, 3, 4, 7, 24, 40] {
+                let plan = ShardPlan::new(shards);
+                let mut seen = HashSet::new();
+                for s in 0..plan.shards() {
+                    for i in plan.cells_of(s, n_cells) {
+                        assert!(i < n_cells);
+                        assert!(seen.insert(i), "cell {i} owned twice");
+                        assert_eq!(plan.shard_of(i), s);
+                    }
+                }
+                assert_eq!(seen.len(), n_cells, "{n_cells} cells / {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn shards_are_balanced() {
+        let plan = ShardPlan::new(4);
+        let sizes: Vec<usize> = (0..4).map(|s| plan.cells_of(s, 26).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 26);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+        for (s, size) in sizes.iter().enumerate() {
+            assert_eq!(plan.len_of(s, 26), *size);
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let a = ShardPlan::new(3);
+        let b = ShardPlan::new(3);
+        for i in 0..100 {
+            assert_eq!(a.shard_of(i), b.shard_of(i));
+        }
+        assert_eq!(a.cells_of(1, 50), b.cells_of(1, 50));
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let plan = ShardPlan::new(0);
+        assert_eq!(plan.shards(), 1);
+        assert_eq!(plan.cells_of(0, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn more_shards_than_cells_leaves_empty_shards() {
+        let plan = ShardPlan::new(8);
+        assert_eq!(plan.cells_of(2, 2), Vec::<usize>::new());
+        assert_eq!(plan.cells_of(1, 2), vec![1]);
+        assert_eq!(plan.len_of(7, 2), 0);
+    }
+}

@@ -1,0 +1,579 @@
+//! Content-addressed on-disk result store.
+//!
+//! Every stored record is one *engine run*: the [`RunOutcome`] of one
+//! backend evaluating one [`ScenarioSpec`] repetition, keyed by
+//! [`CellKey`] — `(spec content hash, cell seed, backend name, run
+//! index)`. Because the key is derived from the spec's *contents* (via
+//! [`ScenarioSpec::stable_hash`]) rather than any grid position, a store
+//! is reusable across campaigns: growing a grid by an axis, adding a
+//! backend, or re-sharding only ever computes the delta.
+//!
+//! Persistence is append-only JSONL (`results.jsonl` in the store
+//! directory), one record per line, written through the hand-rolled
+//! [`crate::json`] module (no serde in the offline shim set). Floats
+//! round-trip exactly, so a reloaded outcome is bit-identical to the
+//! computed one.
+//!
+//! [`ScenarioSpec`]: bbr_scenario::ScenarioSpec
+//! [`ScenarioSpec::stable_hash`]: bbr_scenario::ScenarioSpec::stable_hash
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use bbr_scenario::{CcaKind, FlowMetrics, RunOutcome};
+
+use crate::json::Json;
+
+/// Name of the canonical merged record file inside a store directory.
+pub const RESULTS_FILE: &str = "results.jsonl";
+
+/// Subdirectory holding per-shard record files while a sharded campaign
+/// runs (merged into [`RESULTS_FILE`] and removed afterwards).
+pub const SHARDS_DIR: &str = "shards";
+
+/// The content address of one stored engine run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellKey {
+    /// [`bbr_scenario::ScenarioSpec::stable_hash`] of the spec contents.
+    pub spec_hash: u64,
+    /// The cell's base seed (repetitions derive theirs via
+    /// [`bbr_scenario::run_seed`]).
+    pub seed: u64,
+    /// Backend name (`"fluid"`, `"packet"`, ...).
+    pub backend: String,
+    /// Repetition index within the cell (packet cells average several).
+    pub run_index: u32,
+}
+
+/// A result store: an in-memory map mirrored by an append-only JSONL
+/// file in `dir`.
+pub struct ResultStore {
+    dir: PathBuf,
+    map: HashMap<CellKey, RunOutcome>,
+    /// Lazily opened append handle for [`RESULTS_FILE`].
+    writer: Option<BufWriter<File>>,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) the store in `dir`, loading every
+    /// record of an existing `results.jsonl`.
+    ///
+    /// A *torn* final line — the signature of a crash mid-append (power
+    /// loss, ENOSPC, SIGKILL between write and flush) — is dropped with
+    /// a warning and truncated away, so the one record that was being
+    /// written is recomputed instead of wedging the whole store.
+    /// Malformed lines anywhere *else* are real corruption and still
+    /// hard-fail.
+    pub fn open(dir: &Path) -> Result<Self, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create store dir {}: {e}", dir.display()))?;
+        let mut store = Self {
+            dir: dir.to_path_buf(),
+            map: HashMap::new(),
+            writer: None,
+        };
+        let results = store.results_path();
+        if results.exists() {
+            let mut text = String::new();
+            File::open(&results)
+                .and_then(|mut f| f.read_to_string(&mut text))
+                .map_err(|e| format!("cannot read {}: {e}", results.display()))?;
+            for (key, outcome) in parse_lines(&text, &results)? {
+                store.map.insert(key, outcome);
+            }
+            if let Some(keep) = torn_tail_offset(&text, &results) {
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&results)
+                    .map_err(|e| format!("cannot reopen {}: {e}", results.display()))?;
+                file.set_len(keep as u64)
+                    .map_err(|e| format!("cannot truncate {}: {e}", results.display()))?;
+            }
+        }
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the canonical merged record file.
+    pub fn results_path(&self) -> PathBuf {
+        self.dir.join(RESULTS_FILE)
+    }
+
+    /// Path of shard `shard`'s transient record file under `dir`.
+    pub fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+        dir.join(SHARDS_DIR).join(format!("shard-{shard:04}.jsonl"))
+    }
+
+    /// Number of stored engine runs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn contains(&self, key: &CellKey) -> bool {
+        self.map.contains_key(key)
+    }
+
+    pub fn get(&self, key: &CellKey) -> Option<&RunOutcome> {
+        self.map.get(key)
+    }
+
+    /// Insert one record, appending it to `results.jsonl` and flushing
+    /// (one record = one durable line). Returns `false` (and writes
+    /// nothing) if the key is already present — the first write of a
+    /// content-addressed record wins.
+    pub fn insert(&mut self, key: CellKey, outcome: RunOutcome) -> Result<bool, String> {
+        let inserted = self.insert_unflushed(key, outcome)?;
+        if inserted {
+            self.flush_writer()?;
+        }
+        Ok(inserted)
+    }
+
+    /// [`ResultStore::insert`] without the per-record flush — the bulk
+    /// path for merges, which flush once per file instead of once per
+    /// line.
+    fn insert_unflushed(&mut self, key: CellKey, outcome: RunOutcome) -> Result<bool, String> {
+        if self.map.contains_key(&key) {
+            return Ok(false);
+        }
+        let line = record_to_line(&key, &outcome);
+        self.append_line(&line)?;
+        self.map.insert(key, outcome);
+        Ok(true)
+    }
+
+    fn append_line(&mut self, line: &str) -> Result<(), String> {
+        if self.writer.is_none() {
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.results_path())
+                .map_err(|e| format!("cannot append to {}: {e}", self.results_path().display()))?;
+            self.writer = Some(BufWriter::new(file));
+        }
+        writeln!(self.writer.as_mut().unwrap(), "{line}")
+            .map_err(|e| format!("write to {}: {e}", self.results_path().display()))
+    }
+
+    fn flush_writer(&mut self) -> Result<(), String> {
+        match self.writer.as_mut() {
+            Some(w) => w
+                .flush()
+                .map_err(|e| format!("flush {}: {e}", self.results_path().display())),
+            None => Ok(()),
+        }
+    }
+
+    /// Merge a shard (or foreign) JSONL file: records whose keys are not
+    /// yet present are appended to this store. Returns how many records
+    /// were new. A torn final line (crash mid-append) is skipped with a
+    /// warning — the record it would have held is simply recomputed —
+    /// while malformed lines elsewhere still hard-fail.
+    pub fn merge_file(&mut self, path: &Path) -> Result<usize, String> {
+        let mut text = String::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let mut added = 0;
+        for (key, outcome) in parse_lines(&text, path)? {
+            if self.insert_unflushed(key, outcome)? {
+                added += 1;
+            }
+        }
+        self.flush_writer()?; // one flush per merged file, not per record
+        torn_tail_offset(&text, path); // warn only: the caller deletes the file
+        Ok(added)
+    }
+
+    /// Merge every leftover shard file into the canonical store and
+    /// delete it — crash recovery for interrupted sharded campaigns.
+    /// Returns how many records were recovered.
+    pub fn absorb_shards(&mut self) -> Result<usize, String> {
+        let shards_dir = self.dir.join(SHARDS_DIR);
+        let mut files: Vec<PathBuf> = match std::fs::read_dir(&shards_dir) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+                .collect(),
+            Err(_) => return Ok(0), // no shards directory yet
+        };
+        files.sort();
+        let mut added = 0;
+        for f in files {
+            added += self.merge_file(&f)?;
+            std::fs::remove_file(&f).map_err(|e| format!("remove {}: {e}", f.display()))?;
+        }
+        Ok(added)
+    }
+}
+
+/// Append-only writer for one shard's records (used by campaign worker
+/// processes; the parent merges the files afterwards).
+pub struct ShardWriter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    written: usize,
+}
+
+impl ShardWriter {
+    /// Create (truncating) shard `shard`'s record file under `dir`.
+    pub fn create(dir: &Path, shard: usize) -> Result<Self, String> {
+        let path = ResultStore::shard_path(dir, shard);
+        std::fs::create_dir_all(path.parent().unwrap())
+            .map_err(|e| format!("cannot create shards dir: {e}"))?;
+        let file =
+            File::create(&path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        Ok(Self {
+            writer: BufWriter::new(file),
+            path,
+            written: 0,
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn append(&mut self, key: &CellKey, outcome: &RunOutcome) -> Result<(), String> {
+        writeln!(self.writer, "{}", record_to_line(key, outcome))
+            .and_then(|_| self.writer.flush())
+            .map_err(|e| format!("write to {}: {e}", self.path.display()))?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flush and return how many records were written.
+    pub fn finish(mut self) -> Result<usize, String> {
+        self.writer
+            .flush()
+            .map_err(|e| format!("flush {}: {e}", self.path.display()))?;
+        Ok(self.written)
+    }
+}
+
+/// Parse every well-formed record line of a JSONL file. A malformed
+/// *final* line is tolerated (it is a torn append from a crash — see
+/// [`torn_tail_offset`]); a malformed line anywhere else is corruption
+/// and errors with its location.
+fn parse_lines(text: &str, path: &Path) -> Result<Vec<(CellKey, RunOutcome)>, String> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut records = Vec::with_capacity(lines.len());
+    let last = lines.len().saturating_sub(1);
+    for (i, (lineno, line)) in lines.iter().enumerate() {
+        match parse_record(line) {
+            Ok(record) => records.push(record),
+            Err(_) if i == last => {} // torn tail; reported by torn_tail_offset
+            Err(e) => return Err(format!("{}:{}: {e}", path.display(), lineno + 1)),
+        }
+    }
+    Ok(records)
+}
+
+/// If the file's final non-empty line is not a parseable record (a torn
+/// append: power loss, ENOSPC, SIGKILL mid-flush), warn and return the
+/// byte offset the file should be truncated to so the torn bytes don't
+/// become mid-file corruption once new records are appended after them.
+fn torn_tail_offset(text: &str, path: &Path) -> Option<usize> {
+    let line = text.lines().rfind(|l| !l.trim().is_empty())?;
+    if parse_record(line).is_ok() {
+        return None;
+    }
+    let offset = line.as_ptr() as usize - text.as_ptr() as usize;
+    eprintln!(
+        "warning: dropping torn final record of {} (interrupted append); \
+         the affected cell will be recomputed",
+        path.display()
+    );
+    Some(offset)
+}
+
+/// Serialize one record as a single JSONL line.
+pub fn record_to_line(key: &CellKey, outcome: &RunOutcome) -> String {
+    Json::Obj(vec![
+        (
+            "key".into(),
+            Json::Obj(vec![
+                ("spec".into(), Json::hex(key.spec_hash)),
+                ("seed".into(), Json::hex(key.seed)),
+                ("backend".into(), Json::str(&key.backend)),
+                ("run".into(), Json::Num(key.run_index as f64)),
+            ]),
+        ),
+        ("outcome".into(), outcome_to_json(outcome)),
+    ])
+    .to_compact_string()
+}
+
+/// Parse one JSONL line back into a record.
+pub fn parse_record(line: &str) -> Result<(CellKey, RunOutcome), String> {
+    let doc = Json::parse(line)?;
+    let k = doc.field("key")?;
+    let key = CellKey {
+        spec_hash: k.field("spec")?.as_hex_u64().ok_or("bad key.spec hash")?,
+        seed: k.field("seed")?.as_hex_u64().ok_or("bad key.seed")?,
+        backend: k
+            .field("backend")?
+            .as_str()
+            .ok_or("bad key.backend")?
+            .to_string(),
+        run_index: k.field("run")?.as_usize().ok_or("bad key.run")? as u32,
+    };
+    let outcome = outcome_from_json(doc.field("outcome")?)?;
+    Ok((key, outcome))
+}
+
+/// [`RunOutcome`] → JSON (field order fixed for deterministic files).
+pub fn outcome_to_json(o: &RunOutcome) -> Json {
+    Json::Obj(vec![
+        ("backend".into(), Json::str(o.backend)),
+        (
+            "flows".into(),
+            Json::Arr(
+                o.flows
+                    .iter()
+                    .map(|f| Json::Arr(vec![Json::str(f.cca.name()), Json::Num(f.throughput_mbps)]))
+                    .collect(),
+            ),
+        ),
+        ("jain".into(), Json::Num(o.jain)),
+        ("loss".into(), Json::Num(o.loss_percent)),
+        ("occ".into(), Json::Num(o.occupancy_percent)),
+        ("util".into(), Json::Num(o.utilization_percent)),
+        ("jitter".into(), Json::Num(o.jitter_ms)),
+        (
+            "link_occ".into(),
+            Json::Arr(o.per_link_occupancy.iter().map(|v| Json::Num(*v)).collect()),
+        ),
+        (
+            "link_util".into(),
+            Json::Arr(
+                o.per_link_utilization
+                    .iter()
+                    .map(|v| Json::Num(*v))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// JSON → [`RunOutcome`] (exact inverse of [`outcome_to_json`]).
+pub fn outcome_from_json(j: &Json) -> Result<RunOutcome, String> {
+    let flows = j
+        .field("flows")?
+        .as_arr()
+        .ok_or("flows is not an array")?
+        .iter()
+        .map(|f| {
+            let pair = f.as_arr().filter(|a| a.len() == 2).ok_or("bad flow pair")?;
+            Ok(FlowMetrics {
+                cca: pair[0]
+                    .as_str()
+                    .and_then(CcaKind::from_name)
+                    .ok_or("unknown CCA name")?,
+                throughput_mbps: pair[1].as_f64().ok_or("bad throughput")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let num = |key: &str| -> Result<f64, String> {
+        j.field(key)?.as_f64().ok_or(format!("bad number `{key}`"))
+    };
+    let vec = |key: &str| -> Result<Vec<f64>, String> {
+        j.field(key)?
+            .as_arr()
+            .ok_or(format!("`{key}` is not an array"))?
+            .iter()
+            .map(|v| v.as_f64().ok_or(format!("bad number in `{key}`")))
+            .collect()
+    };
+    Ok(RunOutcome {
+        backend: intern_backend(j.field("backend")?.as_str().ok_or("bad backend name")?),
+        flows,
+        jain: num("jain")?,
+        loss_percent: num("loss")?,
+        occupancy_percent: num("occ")?,
+        utilization_percent: num("util")?,
+        jitter_ms: num("jitter")?,
+        per_link_occupancy: vec("link_occ")?,
+        per_link_utilization: vec("link_util")?,
+    })
+}
+
+/// `RunOutcome::backend` is `&'static str`; map parsed names onto the
+/// known statics and leak (once per distinct name, registry-deduplicated)
+/// for forward compatibility with third-party backends.
+fn intern_backend(name: &str) -> &'static str {
+    match name {
+        "fluid" => "fluid",
+        "packet" => "packet",
+        other => {
+            static EXTRA: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+            let mut known = EXTRA.lock().unwrap();
+            if let Some(s) = known.iter().find(|s| **s == other) {
+                s
+            } else {
+                let s: &'static str = Box::leak(other.to_string().into_boxed_str());
+                known.push(s);
+                s
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(tput: f64) -> RunOutcome {
+        RunOutcome {
+            backend: "packet",
+            flows: vec![
+                FlowMetrics {
+                    cca: CcaKind::BbrV1,
+                    throughput_mbps: tput,
+                },
+                FlowMetrics {
+                    cca: CcaKind::Cubic,
+                    throughput_mbps: 0.1 + 0.2,
+                },
+            ],
+            jain: 0.987_654_321_123_456_7,
+            loss_percent: 1.0 / 3.0,
+            occupancy_percent: 55.5,
+            utilization_percent: 99.999_999_999,
+            jitter_ms: 5e-324,
+            per_link_occupancy: vec![50.0, 60.0],
+            per_link_utilization: vec![99.0, 98.0],
+        }
+    }
+
+    fn key(h: u64, run: u32) -> CellKey {
+        CellKey {
+            spec_hash: h,
+            seed: 0xdead_beef_cafe_f00d,
+            backend: "packet".into(),
+            run_index: run,
+        }
+    }
+
+    #[test]
+    fn record_line_round_trips_exactly() {
+        let k = key(u64::MAX, 2);
+        let o = outcome(12.345_678_901_234_567);
+        let line = record_to_line(&k, &o);
+        assert!(!line.contains('\n'));
+        let (k2, o2) = parse_record(&line).unwrap();
+        assert_eq!(k, k2);
+        assert_eq!(o, o2); // PartialEq on f64: exact bit-level agreement
+    }
+
+    #[test]
+    fn store_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("bbr-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut s = ResultStore::open(&dir).unwrap();
+            assert!(s.is_empty());
+            assert!(s.insert(key(1, 0), outcome(10.0)).unwrap());
+            assert!(s.insert(key(1, 1), outcome(11.0)).unwrap());
+            // Duplicate insert is a no-op.
+            assert!(!s.insert(key(1, 0), outcome(99.0)).unwrap());
+            assert_eq!(s.len(), 2);
+        }
+        let s = ResultStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&key(1, 0)).unwrap(), &outcome(10.0));
+        assert_eq!(s.get(&key(1, 1)).unwrap(), &outcome(11.0));
+        assert!(!s.contains(&key(2, 0)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_files_merge_and_absorb() {
+        let dir = std::env::temp_dir().join(format!("bbr-shard-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = ResultStore::open(&dir).unwrap();
+        s.insert(key(1, 0), outcome(10.0)).unwrap();
+        // Two shard files, one overlapping the store.
+        let mut w0 = ShardWriter::create(&dir, 0).unwrap();
+        w0.append(&key(1, 0), &outcome(10.0)).unwrap(); // duplicate
+        w0.append(&key(2, 0), &outcome(20.0)).unwrap();
+        assert_eq!(w0.finish().unwrap(), 2);
+        let mut w1 = ShardWriter::create(&dir, 1).unwrap();
+        w1.append(&key(3, 0), &outcome(30.0)).unwrap();
+        w1.finish().unwrap();
+        assert_eq!(s.absorb_shards().unwrap(), 2); // only the new keys
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(&key(2, 0)) && s.contains(&key(3, 0)));
+        // Shard files are gone; a second absorb is a no-op.
+        assert_eq!(s.absorb_shards().unwrap(), 0);
+        // And everything survives a reopen.
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_final_lines_recover_instead_of_wedging() {
+        let dir = std::env::temp_dir().join(format!("bbr-torn-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut s = ResultStore::open(&dir).unwrap();
+            s.insert(key(1, 0), outcome(10.0)).unwrap();
+            s.insert(key(2, 0), outcome(20.0)).unwrap();
+        }
+        // Simulate a crash mid-append: a half-written trailing record.
+        let results = dir.join(RESULTS_FILE);
+        let mut text = std::fs::read_to_string(&results).unwrap();
+        let full_len = text.len();
+        text.push_str("{\"key\":{\"spec\":\"3\",\"seed\":\"0\",\"ba");
+        std::fs::write(&results, &text).unwrap();
+        // Open drops the torn tail, keeps the intact records, and
+        // truncates the file so the tail can't corrupt future appends.
+        let mut s = ResultStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(std::fs::metadata(&results).unwrap().len(), full_len as u64);
+        s.insert(key(3, 0), outcome(30.0)).unwrap();
+        assert_eq!(ResultStore::open(&dir).unwrap().len(), 3);
+
+        // A torn *shard* file merges its intact prefix the same way.
+        let mut w = ShardWriter::create(&dir, 0).unwrap();
+        w.append(&key(4, 0), &outcome(40.0)).unwrap();
+        w.finish().unwrap();
+        let shard = ResultStore::shard_path(&dir, 0);
+        let mut shard_text = std::fs::read_to_string(&shard).unwrap();
+        shard_text.push_str("{\"key\":{\"spec");
+        std::fs::write(&shard, &shard_text).unwrap();
+        assert_eq!(s.absorb_shards().unwrap(), 1);
+        assert!(s.contains(&key(4, 0)));
+
+        // Corruption *before* the final line is still a hard error.
+        let mut broken = std::fs::read_to_string(&results).unwrap();
+        broken.insert_str(0, "{not json}\n");
+        std::fs::write(&results, &broken).unwrap();
+        assert!(ResultStore::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_backend_names_intern_stably() {
+        let a = intern_backend("ns3");
+        let b = intern_backend("ns3");
+        assert_eq!(a, "ns3");
+        assert!(std::ptr::eq(a, b), "re-parse must not re-leak");
+    }
+}

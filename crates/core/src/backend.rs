@@ -21,8 +21,8 @@
 //! assert!(outcome.flows[0].throughput_mbps > outcome.flows[1].throughput_mbps);
 //! ```
 
-pub use bbr_scenario::PARKING_LOT_ACCESS_DELAY;
 use bbr_scenario::{FlowMetrics, RunOutcome, ScenarioSpec, SimBackend, Topology};
+pub use bbr_scenario::{CHAIN_ACCESS_DELAY, PARKING_LOT_ACCESS_DELAY};
 
 use crate::cca::{build, FluidCca, ScenarioHint};
 use crate::config::ModelConfig;
@@ -75,28 +75,36 @@ impl SimBackend for FluidBackend {
                     .expect("validated spec must build");
                 sim.run(spec.duration).metrics
             }
-            Topology::ParkingLot { .. } => {
-                let net = parking_lot_network(spec);
-                let agents: Vec<Box<dyn FluidCca>> = (0..spec.n_flows())
-                    .map(|i| {
-                        let pos = net.bottleneck_pos(i);
-                        let link = &net.links[net.paths[i].links[pos].0];
-                        let hint = ScenarioHint {
-                            capacity: link.capacity,
-                            prop_rtt: net.prop_rtt(i),
-                            n_agents: net.users_of(net.paths[i].links[pos]).len(),
-                            buffer: link.buffer,
-                            agent_index: i,
-                        };
-                        build(spec.cca_of(i), &hint, &self.cfg)
-                    })
-                    .collect();
-                let mut sim = Simulator::new(net, self.cfg.clone(), agents)
-                    .expect("validated spec must build");
-                sim.run(spec.duration).metrics
-            }
+            Topology::ParkingLot { .. } => self.run_network(spec, parking_lot_network(spec)),
+            Topology::Chain { .. } => self.run_network(spec, chain_network(spec)),
         };
         outcome(spec, &metrics)
+    }
+}
+
+impl FluidBackend {
+    /// Run the spec's flows over an explicit multi-link [`Network`]: each
+    /// agent is initialized against the bottleneck of *its own* path
+    /// (capacity, competitor count, buffer), which is what makes the same
+    /// code serve the parking lot, chains, and any future topology.
+    fn run_network(&self, spec: &ScenarioSpec, net: Network) -> AggregateMetrics {
+        let agents: Vec<Box<dyn FluidCca>> = (0..spec.n_flows())
+            .map(|i| {
+                let pos = net.bottleneck_pos(i);
+                let link = &net.links[net.paths[i].links[pos].0];
+                let hint = ScenarioHint {
+                    capacity: link.capacity,
+                    prop_rtt: net.prop_rtt(i),
+                    n_agents: net.users_of(net.paths[i].links[pos]).len(),
+                    buffer: link.buffer,
+                    agent_index: i,
+                };
+                build(spec.cca_of(i), &hint, &self.cfg)
+            })
+            .collect();
+        let mut sim =
+            Simulator::new(net, self.cfg.clone(), agents).expect("validated spec must build");
+        sim.run(spec.duration).metrics
     }
 }
 
@@ -144,6 +152,52 @@ fn parking_lot_network(spec: &ScenarioSpec) -> Network {
             },
         ],
     }
+}
+
+/// The `hops`-bottleneck chain of [`Topology::Chain`]: flow 0 traverses
+/// every link; flow `j` (1-based) is the cross-traffic of link `j - 1`
+/// alone. Forward/backward extra delays are chosen so every flow's
+/// propagation RTT equals `2·access + hops·link_delay` — RTT effects
+/// stay out of the picture and what remains is pure multi-bottleneck
+/// interaction.
+fn chain_network(spec: &ScenarioSpec) -> Network {
+    let Topology::Chain {
+        hops,
+        capacity,
+        link_delay,
+        buffer_bdp,
+    } = spec.topology
+    else {
+        unreachable!("chain_network called on a non-chain spec");
+    };
+    let buffer = buffer_bdp * capacity * link_delay;
+    let access = CHAIN_ACCESS_DELAY;
+    let links = (0..hops)
+        .map(|_| LinkSpec {
+            capacity,
+            buffer,
+            prop_delay: link_delay,
+            qdisc: spec.qdisc,
+        })
+        .collect();
+    let mut paths = vec![
+        // Flow 0: end to end over every hop.
+        PathSpec {
+            links: (0..hops).map(LinkId).collect(),
+            extra_fwd_delay: access,
+            extra_bwd_delay: access,
+        },
+    ];
+    for j in 0..hops {
+        // Cross flow of hop j: upstream hops contribute forward delay,
+        // downstream hops return-path delay, so all RTTs match.
+        paths.push(PathSpec {
+            links: vec![LinkId(j)],
+            extra_fwd_delay: access + j as f64 * link_delay,
+            extra_bwd_delay: access + (hops - 1 - j) as f64 * link_delay,
+        });
+    }
+    Network { links, paths }
 }
 
 fn outcome(spec: &ScenarioSpec, m: &AggregateMetrics) -> RunOutcome {
@@ -219,6 +273,49 @@ mod tests {
         // Both links busy.
         assert!(out.per_link_utilization[0] > 60.0);
         assert!(out.per_link_utilization[1] > 60.0);
+    }
+
+    #[test]
+    fn chain_network_shape() {
+        let spec = ScenarioSpec::chain(4, 100.0, 0.010, 2.0);
+        let net = chain_network(&spec);
+        net.validate().unwrap();
+        assert_eq!(net.links.len(), 4);
+        assert_eq!(net.paths.len(), 5);
+        // 2 Mbit buffer per hop = 2 × (100 Mbit/s × 10 ms).
+        for l in &net.links {
+            assert!((l.buffer - 2.0).abs() < 1e-9);
+        }
+        // Every flow sees the same propagation RTT: 2×5 ms access +
+        // 4×10 ms of links = 50 ms.
+        for i in 0..5 {
+            assert!((net.prop_rtt(i) - 0.050).abs() < 1e-12, "flow {i}");
+        }
+        // Each hop carries exactly the end-to-end flow and its own
+        // cross flow.
+        for j in 0..4 {
+            assert_eq!(net.users_of(LinkId(j)).len(), 2, "hop {j}");
+        }
+    }
+
+    #[test]
+    fn chain_end_to_end_flow_loses_to_cross_traffic() {
+        let spec = ScenarioSpec::chain(3, 100.0, 0.010, 3.0)
+            .ccas(vec![CcaKind::BbrV1])
+            .duration(4.0);
+        let out = FluidBackend::coarse().run(&spec, 0);
+        assert_eq!(out.flows.len(), 4);
+        assert_eq!(out.per_link_utilization.len(), 3);
+        let t = out.throughputs();
+        // The chain generalizes the parking-lot story: the flow crossing
+        // all three bottlenecks gets less than every single-hop cross
+        // flow, and every hop stays busy.
+        for j in 1..4 {
+            assert!(t[0] < t[j], "e2e {:.1} vs cross-{j} {:.1}", t[0], t[j]);
+        }
+        for (j, u) in out.per_link_utilization.iter().enumerate() {
+            assert!(*u > 60.0, "hop {j} idle: {u:.1} %");
+        }
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub fn jain(values: &[f64]) -> f64 {
     }
     let sum: f64 = values.iter().sum();
     let sum_sq: f64 = values.iter().map(|v| v * v).sum();
-    if sum_sq <= f64::EPSILON {
+    // Exact zero guard (not an epsilon): nearly-starved allocations must
+    // report their true index, not be rounded up to "fair".
+    if sum_sq == 0.0 {
         return 1.0;
     }
     sum * sum / (n as f64 * sum_sq)

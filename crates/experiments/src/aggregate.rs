@@ -15,7 +15,7 @@ use crate::scenarios::{CampaignParams, Combo, COMBOS};
 use crate::Effort;
 
 /// The five §4.3 metrics of one simulation.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CellMetrics {
     pub jain: f64,
     pub loss_percent: f64,

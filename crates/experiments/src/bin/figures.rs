@@ -4,18 +4,27 @@
 //! figures <id>... [--fast] [--out DIR]
 //! figures all [--fast]
 //! figures sweep [--fast] [--threads N] [--backend fluid|packet|both]
-//!               [--topology dumbbell|parking|both] [--out DIR]
+//!               [--topology dumbbell|parking|chain|both|all] [--out DIR]
+//! figures campaign [--fast] [--shards N] [--store DIR] [--resume]
+//!                  [--topology dumbbell|parking|chain|both|all]
 //! figures list
 //! ```
 //!
 //! Reports print to stdout; CSV series are written to `--out`
 //! (default `results/`). `sweep` runs the §4/§5-style scenario grid
 //! (all seven CCA mixes × buffer sizes × both qdiscs) in parallel
-//! across the machine's cores.
+//! across the machine's cores. `campaign` runs the same family of grids
+//! as a *resumable sharded campaign*: cells are computed by `--shards`
+//! child worker processes (this binary re-executing itself in a hidden
+//! `campaign-worker` mode), persisted in a content-addressed store
+//! under `--store`, and re-runs with `--resume` skip every cached cell
+//! — an immediate re-run computes nothing.
 
 use std::path::PathBuf;
 
+use bbr_campaign::ResultStore;
 use bbr_experiments::aggregate::buffer_sizes;
+use bbr_experiments::campaign::{all_topologies, build_backend, campaign_grid};
 use bbr_experiments::figures::{all_ids, run_figure};
 use bbr_experiments::scenarios::CampaignParams;
 use bbr_experiments::sweep::{Backend, ScenarioGrid, TopologyKind};
@@ -24,8 +33,15 @@ use bbr_fluid_core::topology::QdiscKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden worker mode: campaign parents re-exec this binary with a
+    // `campaign-worker` argv. Must run before any other arg handling.
+    if let Some(code) = bbr_experiments::campaign::maybe_worker(&args) {
+        std::process::exit(code);
+    }
     if args.is_empty() {
-        eprintln!("usage: figures <id>...|all|sweep|list [--fast] [--threads N] [--out DIR]");
+        eprintln!(
+            "usage: figures <id>...|all|sweep|campaign|list [--fast] [--threads N] [--out DIR]"
+        );
         std::process::exit(2);
     }
     let fast = args.iter().any(|a| a == "--fast");
@@ -49,11 +65,17 @@ fn main() {
     // Positional ids are the non-flag args minus the value slots of flags
     // that take one (dropped by index, so a value that happens to equal a
     // figure id or subcommand doesn't scrub the positional too).
-    let value_slots: std::collections::HashSet<usize> =
-        ["--out", "--threads", "--backend", "--topology"]
-            .iter()
-            .filter_map(|flag| args.iter().position(|a| a == *flag).map(|i| i + 1))
-            .collect();
+    let value_slots: std::collections::HashSet<usize> = [
+        "--out",
+        "--threads",
+        "--backend",
+        "--topology",
+        "--shards",
+        "--store",
+    ]
+    .iter()
+    .filter_map(|flag| args.iter().position(|a| a == *flag).map(|i| i + 1))
+    .collect();
     let mut ids: Vec<String> = args
         .iter()
         .enumerate()
@@ -64,6 +86,10 @@ fn main() {
     // equal "sweep" (e.g. `--out sweep`) doesn't hijack the invocation.
     if ids.first().map(String::as_str) == Some("sweep") {
         run_sweep(&args, effort);
+        return;
+    }
+    if ids.first().map(String::as_str) == Some("campaign") {
+        run_campaign(&args, effort);
         return;
     }
     if ids.iter().any(|i| i == "list") {
@@ -106,6 +132,74 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
         .map(|s| s.as_str())
 }
 
+/// The `--topology` selector shared by `sweep` and `campaign`.
+fn parse_topologies(args: &[String], default: Vec<TopologyKind>) -> Vec<TopologyKind> {
+    match flag_value(args, "--topology") {
+        None => default,
+        Some("dumbbell") => vec![TopologyKind::Dumbbell],
+        Some("parking") => vec![TopologyKind::ParkingLot],
+        Some("chain") => vec![TopologyKind::Chain],
+        Some("both") => vec![TopologyKind::Dumbbell, TopologyKind::ParkingLot],
+        Some("all") => all_topologies(),
+        Some(other) => {
+            eprintln!("unknown topology: {other} (expected dumbbell|parking|chain|both|all)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `campaign` subcommand: a resumable sharded sweep over worker
+/// processes and a content-addressed result store.
+fn run_campaign(args: &[String], effort: Effort) {
+    let shards: usize = match flag_value(args, "--shards").map(str::parse) {
+        None => 4,
+        Some(Ok(n)) => n,
+        Some(Err(_)) => {
+            eprintln!("invalid --shards value (expected a number)");
+            std::process::exit(2);
+        }
+    };
+    let store_dir = PathBuf::from(flag_value(args, "--store").unwrap_or("results/campaign"));
+    let resume = args.iter().any(|a| a == "--resume");
+    // A pre-existing store is only reused when the caller says so: the
+    // campaign would silently serve another grid's cached cells (which
+    // is exactly what --resume means, and surprising otherwise).
+    if store_dir.join(bbr_campaign::RESULTS_FILE).exists() && !resume {
+        eprintln!(
+            "store {} already holds results; pass --resume to reuse it (cached cells \
+             are skipped) or point --store somewhere fresh",
+            store_dir.display()
+        );
+        std::process::exit(2);
+    }
+    let grid = campaign_grid(effort, parse_topologies(args, all_topologies()));
+    eprintln!(
+        "campaign: {} cells across {} worker process(es), store {}...",
+        grid.len(),
+        shards.max(1),
+        store_dir.display()
+    );
+    let plan = grid.campaign_plan();
+    let summary = bbr_campaign::run_sharded(&plan, &store_dir, shards, &build_backend)
+        .unwrap_or_else(|e| {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        });
+    let store = ResultStore::open(&store_dir).unwrap_or_else(|e| {
+        eprintln!("cannot reopen store: {e}");
+        std::process::exit(1);
+    });
+    let report = grid.report_from_store(&store).unwrap_or_else(|e| {
+        eprintln!("merged store does not cover the grid: {e}");
+        std::process::exit(1);
+    });
+    println!("{}", report.table());
+    let csv_path = store_dir.join("report.csv");
+    std::fs::write(&csv_path, report.csv()).expect("cannot write report CSV");
+    eprintln!("wrote {}", csv_path.display());
+    println!("{}", summary.log_line());
+}
+
 /// The `sweep` subcommand: the paper-shaped grid (all seven CCA mixes ×
 /// buffer sizes × both qdiscs) fanned out over the cores.
 fn run_sweep(args: &[String], effort: Effort) {
@@ -118,15 +212,7 @@ fn run_sweep(args: &[String], effort: Effort) {
             std::process::exit(2);
         }
     };
-    let topologies = match flag_value(args, "--topology") {
-        Some("dumbbell") | None => vec![TopologyKind::Dumbbell],
-        Some("parking") => vec![TopologyKind::ParkingLot],
-        Some("both") => vec![TopologyKind::Dumbbell, TopologyKind::ParkingLot],
-        Some(other) => {
-            eprintln!("unknown topology: {other} (expected dumbbell|parking|both)");
-            std::process::exit(2);
-        }
-    };
+    let topologies = parse_topologies(args, vec![TopologyKind::Dumbbell]);
     // Full effort runs the §4.3 campaign (N = 10, 5 s windows, 3 runs);
     // --fast its reduced variant — same split as the figure generators.
     let campaign = if effort.is_fast() {

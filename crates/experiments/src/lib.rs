@@ -12,6 +12,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod campaign;
 pub mod figures;
 pub mod scenarios;
 pub mod sweep;
@@ -29,5 +30,23 @@ pub enum Effort {
 impl Effort {
     pub fn is_fast(&self) -> bool {
         matches!(self, Effort::Fast)
+    }
+
+    /// Stable tag used by campaign plan files (the worker process
+    /// rebuilds its backends from this).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Effort::Full => "full",
+            Effort::Fast => "fast",
+        }
+    }
+
+    /// Inverse of [`Effort::tag`].
+    pub fn from_tag(tag: &str) -> Option<Effort> {
+        match tag {
+            "full" => Some(Effort::Full),
+            "fast" => Some(Effort::Fast),
+            _ => None,
+        }
     }
 }

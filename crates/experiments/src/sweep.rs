@@ -34,9 +34,10 @@
 
 use std::time::Instant;
 
+use bbr_campaign::{BackendSel, CampaignPlan, CellKey, PlannedCell, ResultStore};
 use bbr_fluid_core::backend::FluidBackend;
 use bbr_packetsim::backend::PacketBackend;
-use bbr_scenario::{QdiscKind, ScenarioSpec, SimBackend};
+use bbr_scenario::{run_seed, QdiscKind, RunOutcome, ScenarioSpec, SimBackend};
 use rayon::prelude::*;
 
 use crate::aggregate::{model_config, CellMetrics};
@@ -66,6 +67,11 @@ pub enum TopologyKind {
     /// ignore the flow-count and RTT-range axes (the topology fixes
     /// both), so the expansion emits each parking-lot combination once.
     ParkingLot,
+    /// `chain_hops` equal bottlenecks in series with one end-to-end flow
+    /// plus per-hop cross traffic (fluid-only so far; packet cells are
+    /// skipped via `SimBackend::supports`). Collapses the flow-count and
+    /// RTT axes like the parking lot.
+    Chain,
 }
 
 impl TopologyKind {
@@ -73,6 +79,7 @@ impl TopologyKind {
         match self {
             TopologyKind::Dumbbell => "dumbbell",
             TopologyKind::ParkingLot => "parklot",
+            TopologyKind::Chain => "chain",
         }
     }
 }
@@ -114,6 +121,8 @@ pub struct ScenarioGrid {
     /// Second-bottleneck capacity of parking-lot cells, as a fraction of
     /// `capacity`.
     parking_c2_ratio: f64,
+    /// Hop count of chain cells (≥ 3).
+    chain_hops: usize,
 }
 
 impl Default for ScenarioGrid {
@@ -135,6 +144,7 @@ impl Default for ScenarioGrid {
             rtt_ranges: vec![(p.rtt_lo, p.rtt_hi)],
             qdiscs: vec![QdiscKind::DropTail],
             parking_c2_ratio: 0.8,
+            chain_hops: 3,
         }
     }
 }
@@ -220,6 +230,21 @@ impl ScenarioGrid {
         self
     }
 
+    /// Add chain cells next to the already-configured topologies.
+    pub fn with_chain(mut self) -> Self {
+        if !self.topologies.contains(&TopologyKind::Chain) {
+            self.topologies.push(TopologyKind::Chain);
+        }
+        self
+    }
+
+    /// Hop count of chain cells (default 3; must stay ≥ 3 to pass
+    /// plan-time validation).
+    pub fn chain_hops(mut self, hops: usize) -> Self {
+        self.chain_hops = hops;
+        self
+    }
+
     pub fn combos(mut self, combos: Vec<Combo>) -> Self {
         self.combos = combos;
         self
@@ -261,7 +286,7 @@ impl ScenarioGrid {
                 TopologyKind::Dumbbell => {
                     per_qdisc_combo_buffer * self.flow_counts.len() * self.rtt_ranges.len()
                 }
-                TopologyKind::ParkingLot => per_qdisc_combo_buffer,
+                TopologyKind::ParkingLot | TopologyKind::Chain => per_qdisc_combo_buffer,
             })
             .sum()
     }
@@ -277,12 +302,14 @@ impl ScenarioGrid {
     pub fn points(&self) -> Vec<ScenarioPoint> {
         let mut pts = Vec::with_capacity(self.len());
         let mut index = 0;
+        let chain_flows = [self.chain_hops + 1];
         for &topology in &self.topologies {
             let (flow_counts, rtt_ranges): (&[usize], &[(f64, f64)]) = match topology {
                 TopologyKind::Dumbbell => (&self.flow_counts, &self.rtt_ranges),
-                // Three flows, fixed delays: a single placeholder cell on
-                // the collapsed axes.
+                // Fixed flow counts and delays: a single placeholder cell
+                // on the collapsed axes.
                 TopologyKind::ParkingLot => (&[3], &[(0.0, 0.0)]),
+                TopologyKind::Chain => (&chain_flows, &[(0.0, 0.0)]),
             };
             for combo in &self.combos {
                 for &n in flow_counts {
@@ -310,6 +337,12 @@ impl ScenarioGrid {
 
     /// The backend-agnostic spec of one grid point — the single source of
     /// truth every backend runs.
+    ///
+    /// The spec is validated here, so a malformed axis value (negative
+    /// buffer, zero duration, two-hop chain, ...) is a hard error at
+    /// *plan* time — when the grid is expanded, before any simulation
+    /// starts — rather than a panic from deep inside a worker thread
+    /// halfway through a sweep.
     pub fn spec_for(&self, pt: &ScenarioPoint) -> ScenarioSpec {
         let spec = match pt.topology {
             TopologyKind::Dumbbell => {
@@ -322,11 +355,36 @@ impl ScenarioGrid {
                 self.bottleneck_delay,
                 pt.buffer_bdp,
             ),
+            TopologyKind::Chain => ScenarioSpec::chain(
+                self.chain_hops,
+                self.capacity,
+                self.bottleneck_delay,
+                pt.buffer_bdp,
+            ),
         };
-        spec.ccas(pt.combo.kinds.to_vec())
+        let spec = spec
+            .ccas(pt.combo.kinds.to_vec())
             .qdisc(pt.qdisc)
             .duration(self.duration)
-            .warmup(self.warmup)
+            .warmup(self.warmup);
+        if let Err(e) = spec.validate() {
+            panic!("invalid grid cell {pt:?}: {e}");
+        }
+        spec
+    }
+
+    /// The full expansion with specs and seeds, in deterministic order.
+    /// Built sequentially so invalid cells fail fast (and with a stable
+    /// cell in the message) before any parallel work begins.
+    fn tasks(&self) -> Vec<(ScenarioPoint, ScenarioSpec, u64)> {
+        self.points()
+            .into_iter()
+            .map(|pt| {
+                let spec = self.spec_for(&pt);
+                let seed = self.cell_seed(&spec);
+                (pt, spec, seed)
+            })
+            .collect()
     }
 
     /// The deterministic seed of one cell: grid seed mixed with a stable
@@ -348,6 +406,24 @@ impl ScenarioGrid {
         backends
     }
 
+    /// The same selector as *unit* backends — one engine run per
+    /// evaluation — plus how many repetitions each stores per cell.
+    /// Result stores persist every repetition under its own `run_index`
+    /// key; averaging the stored repetitions with [`RunOutcome::average`]
+    /// reproduces the internally-averaging backends of
+    /// [`ScenarioGrid::backends`] bit for bit (same seeds via
+    /// [`run_seed`], same averaging arithmetic).
+    fn backend_plan(&self) -> Vec<(Box<dyn SimBackend>, u32)> {
+        let mut plan: Vec<(Box<dyn SimBackend>, u32)> = Vec::new();
+        if self.backend != Backend::Packet {
+            plan.push((Box::new(FluidBackend::new(model_config(self.effort))), 1));
+        }
+        if self.backend != Backend::Fluid {
+            plan.push((Box::new(PacketBackend::new(1)), self.runs as u32));
+        }
+        plan
+    }
+
     /// Evaluate the whole grid in parallel across all available cores
     /// (bounded by `rayon`'s global thread count).
     pub fn run(&self) -> SweepReport {
@@ -356,18 +432,20 @@ impl ScenarioGrid {
 
     /// Evaluate the grid on an explicit set of backends — the sweep loop
     /// itself is fully backend-generic, so third-party `SimBackend`
-    /// implementations plug in here.
+    /// implementations plug in here. Cells a backend does not support
+    /// (`SimBackend::supports`) get `None` in that backend's column.
     pub fn run_with(&self, backends: &[Box<dyn SimBackend>]) -> SweepReport {
         let t0 = Instant::now();
         let cells: Vec<SweepCell> = self
-            .points()
+            .tasks()
             .into_par_iter()
-            .map(|pt| {
-                let spec = self.spec_for(&pt);
-                let seed = self.cell_seed(&spec);
+            .map(|(pt, spec, seed)| {
                 let outcomes = backends
                     .iter()
-                    .map(|b| CellMetrics::from(&b.run(&spec, seed)))
+                    .map(|b| {
+                        b.supports(&spec)
+                            .then(|| CellMetrics::from(&b.run(&spec, seed)))
+                    })
                     .collect();
                 SweepCell {
                     point: pt,
@@ -386,6 +464,161 @@ impl ScenarioGrid {
             cells,
         }
     }
+
+    /// The campaign work list of this grid: every cell's spec and seed
+    /// plus the backend selectors, ready for
+    /// [`bbr_campaign::run_sharded`] or a worker process. Covers the
+    /// built-in [`Backend`] selector (campaigns re-build their backends
+    /// from the plan file by name, so arbitrary `run_with` backends
+    /// cannot be campaigned).
+    pub fn campaign_plan(&self) -> CampaignPlan {
+        let backends = self
+            .backend_plan()
+            .iter()
+            .map(|(b, runs)| BackendSel {
+                name: b.name().to_string(),
+                runs: *runs,
+            })
+            .collect();
+        let cells = self
+            .tasks()
+            .into_iter()
+            .map(|(_, spec, seed)| PlannedCell { spec, seed })
+            .collect();
+        CampaignPlan {
+            effort: self.effort.tag().to_string(),
+            backends,
+            cells,
+        }
+    }
+
+    /// Reassemble the [`SweepReport`] of this grid purely from stored
+    /// results — the read side of campaigns. Fails with the first
+    /// missing key if the store does not (yet) cover the grid.
+    pub fn report_from_store(&self, store: &ResultStore) -> Result<SweepReport, String> {
+        let t0 = Instant::now();
+        let plan = self.backend_plan();
+        let mut cells = Vec::new();
+        for (pt, spec, seed) in self.tasks() {
+            let spec_hash = spec.stable_hash();
+            let mut outcomes = Vec::with_capacity(plan.len());
+            for (backend, runs) in &plan {
+                if !backend.supports(&spec) {
+                    outcomes.push(None);
+                    continue;
+                }
+                let stored: Vec<RunOutcome> = (0..*runs)
+                    .map(|run_index| {
+                        let key = CellKey {
+                            spec_hash,
+                            seed,
+                            backend: backend.name().to_string(),
+                            run_index,
+                        };
+                        store.get(&key).cloned().ok_or_else(|| {
+                            format!(
+                                "store {} is missing {}[run {run_index}] of cell {pt:?} \
+                                 (spec {spec_hash:x}, seed {seed:x})",
+                                store.dir().display(),
+                                backend.name()
+                            )
+                        })
+                    })
+                    .collect::<Result<_, String>>()?;
+                let avg = RunOutcome::average(&stored).expect("runs >= 1 per backend");
+                outcomes.push(Some(CellMetrics::from(&avg)));
+            }
+            cells.push(SweepCell {
+                point: pt,
+                seed,
+                outcomes,
+            });
+        }
+        Ok(SweepReport {
+            capacity: self.capacity,
+            bottleneck_delay: self.bottleneck_delay,
+            duration: self.duration,
+            backends: plan.iter().map(|(b, _)| b.name()).collect(),
+            threads: rayon::current_num_threads(),
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            cells,
+        })
+    }
+
+    /// Evaluate the grid *through* a result store: cells already present
+    /// are served from disk, missing cells are computed in parallel and
+    /// persisted, and the report is reassembled from the store. With the
+    /// same grid, the report is byte-identical (CSV and per-cell
+    /// metrics) to [`ScenarioGrid::run`] — whether it came from a cold
+    /// store, a warm one, or any mix.
+    pub fn run_cached(&self, store: &mut ResultStore) -> Result<(SweepReport, CacheStats), String> {
+        let plan = self.backend_plan();
+        struct Item {
+            spec: ScenarioSpec,
+            seed: u64,
+            backend_index: usize,
+            run_index: u32,
+        }
+        let mut total_entries = 0;
+        let mut missing: Vec<Item> = Vec::new();
+        for (_, spec, seed) in self.tasks() {
+            let spec_hash = spec.stable_hash();
+            for (backend_index, (backend, runs)) in plan.iter().enumerate() {
+                if !backend.supports(&spec) {
+                    continue;
+                }
+                for run_index in 0..*runs {
+                    total_entries += 1;
+                    let key = CellKey {
+                        spec_hash,
+                        seed,
+                        backend: backend.name().to_string(),
+                        run_index,
+                    };
+                    if !store.contains(&key) {
+                        missing.push(Item {
+                            spec: spec.clone(),
+                            seed,
+                            backend_index,
+                            run_index,
+                        });
+                    }
+                }
+            }
+        }
+        let computed: Vec<(CellKey, RunOutcome)> = missing
+            .par_iter()
+            .map(|item| {
+                let (backend, _) = &plan[item.backend_index];
+                let outcome = backend.run(&item.spec, run_seed(item.seed, item.run_index));
+                let key = CellKey {
+                    spec_hash: item.spec.stable_hash(),
+                    seed: item.seed,
+                    backend: backend.name().to_string(),
+                    run_index: item.run_index,
+                };
+                (key, outcome)
+            })
+            .collect();
+        let stats = CacheStats {
+            computed: computed.len(),
+            cached: total_entries - computed.len(),
+        };
+        for (key, outcome) in computed {
+            store.insert(key, outcome)?;
+        }
+        let report = self.report_from_store(store)?;
+        Ok((report, stats))
+    }
+}
+
+/// How much of a cached sweep was served from the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Engine runs evaluated by this call.
+    pub computed: usize,
+    /// Engine runs found in the store.
+    pub cached: usize,
 }
 
 /// splitmix64 finalizer over (seed, salt): decorrelates neighbouring
@@ -398,13 +631,14 @@ fn mix_seed(seed: u64, salt: u64) -> u64 {
 }
 
 /// One evaluated grid point: the per-backend metrics, aligned with
-/// [`SweepReport::backends`].
+/// [`SweepReport::backends`]. `None` marks a backend that does not
+/// support this cell's topology (`SimBackend::supports`).
 #[derive(Debug, Clone)]
 pub struct SweepCell {
     pub point: ScenarioPoint,
     /// The seed every backend received for this cell.
     pub seed: u64,
-    pub outcomes: Vec<CellMetrics>,
+    pub outcomes: Vec<Option<CellMetrics>>,
 }
 
 /// Results of a grid run, with table/CSV rendering.
@@ -435,9 +669,10 @@ impl SweepReport {
         self.backends.iter().position(|b| *b == name)
     }
 
-    /// The metrics a named backend produced for a cell.
+    /// The metrics a named backend produced for a cell (`None` when the
+    /// backend did not run or does not support the cell).
     pub fn metrics<'a>(&self, cell: &'a SweepCell, backend: &str) -> Option<&'a CellMetrics> {
-        cell.outcomes.get(self.backend_index(backend)?)
+        cell.outcomes.get(self.backend_index(backend)?)?.as_ref()
     }
 
     fn header(&self) -> Vec<String> {
@@ -462,7 +697,7 @@ impl SweepReport {
                     TopologyKind::Dumbbell => {
                         format!("{:.0}-{:.0}", p.rtt.0 * 1e3, p.rtt.1 * 1e3)
                     }
-                    TopologyKind::ParkingLot => "-".to_string(),
+                    TopologyKind::ParkingLot | TopologyKind::Chain => "-".to_string(),
                 };
                 let mut row = vec![
                     p.topology.label().to_string(),
@@ -473,10 +708,16 @@ impl SweepReport {
                     format!("{:?}", p.qdisc),
                 ];
                 for m in &c.outcomes {
-                    row.push(table::f3(m.jain));
-                    row.push(table::f3(m.loss_percent));
-                    row.push(table::f1(m.occupancy_percent));
-                    row.push(table::f1(m.utilization_percent));
+                    match m {
+                        Some(m) => {
+                            row.push(table::f3(m.jain));
+                            row.push(table::f3(m.loss_percent));
+                            row.push(table::f1(m.occupancy_percent));
+                            row.push(table::f1(m.utilization_percent));
+                        }
+                        // Backend does not support this cell's topology.
+                        None => row.extend(["-", "-", "-", "-"].map(String::from)),
+                    }
                 }
                 row
             })
@@ -512,7 +753,7 @@ impl SweepReport {
             .cells
             .iter()
             .filter_map(|c| {
-                let (x, y) = (c.outcomes.get(ia)?, c.outcomes.get(ib)?);
+                let (x, y) = (c.outcomes.get(ia)?.as_ref()?, c.outcomes.get(ib)?.as_ref()?);
                 Some((x.utilization_percent - y.utilization_percent).abs())
             })
             .collect();
@@ -625,9 +866,56 @@ mod tests {
         }
     }
 
+    #[test]
+    fn chain_cells_collapse_axes_and_skip_packet() {
+        let grid = tiny_grid()
+            .topologies(vec![TopologyKind::Chain])
+            .chain_hops(4);
+        // 2 combos × 2 buffers; flow-count and RTT axes collapsed.
+        assert_eq!(grid.len(), 4);
+        for pt in grid.points() {
+            assert_eq!(pt.topology, TopologyKind::Chain);
+            assert_eq!(pt.n, 5); // hops + 1 flows
+            assert!(grid.spec_for(&pt).validate().is_ok());
+        }
+        let r = grid.backend(Backend::Both).duration(0.5).run();
+        assert_eq!(r.backends, vec!["fluid", "packet"]);
+        for cell in &r.cells {
+            assert!(r.metrics(cell, "fluid").is_some(), "fluid ran the chain");
+            assert!(
+                r.metrics(cell, "packet").is_none(),
+                "packet must skip unsupported chain cells"
+            );
+        }
+        // Unsupported columns render as dashes, not NaNs or zeros.
+        assert!(r.table().contains('-'));
+        assert!(r.mean_utilization_gap().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid grid cell")]
+    fn invalid_cells_fail_at_plan_time() {
+        // A negative buffer is only detectable once the axis value is
+        // substituted into a spec; the failure must name the cell and
+        // happen before any simulation (points -> specs, not mid-run).
+        let grid = tiny_grid().buffers_bdp(vec![1.0, -2.0]);
+        let _ = grid.tasks();
+    }
+
+    #[test]
+    #[should_panic(expected = "chain needs at least 3 hops")]
+    fn short_chains_fail_at_plan_time() {
+        let grid = tiny_grid()
+            .topologies(vec![TopologyKind::Chain])
+            .chain_hops(2);
+        let _ = grid.tasks();
+    }
+
     // Full-simulation determinism and fluid-vs-packet agreement checks
     // live in tests/sweep_engine.rs (through the umbrella crate); the
-    // in-crate tests stay cheap and structural.
+    // in-crate tests stay cheap and structural. Store/campaign round
+    // trips live in tests/campaign_store.rs and
+    // crates/experiments/tests/campaign_cli.rs.
 
     #[test]
     fn fluid_only_backend_skips_packet_sim() {

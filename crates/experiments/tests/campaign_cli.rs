@@ -1,0 +1,79 @@
+//! End-to-end test of the `figures campaign` subcommand: a sharded
+//! multi-process campaign must produce byte-identical merged results to
+//! a single-process `ScenarioGrid::run`, and an immediate `--resume`
+//! re-run must complete with zero cells recomputed (the acceptance
+//! criteria of the campaign subsystem, and what the CI smoke step
+//! checks against a release build).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use bbr_experiments::campaign::{all_topologies, campaign_grid};
+use bbr_experiments::Effort;
+
+fn figures() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_figures"))
+}
+
+#[test]
+fn sharded_campaign_matches_single_process_run_and_resumes_clean() {
+    let store: PathBuf =
+        std::env::temp_dir().join(format!("bbr-campaign-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+
+    // Cold run: 36 cells (≥ 24) across 4 worker processes.
+    let cold = figures()
+        .args(["campaign", "--fast", "--shards", "4", "--store"])
+        .arg(&store)
+        .output()
+        .expect("spawn figures campaign");
+    assert!(
+        cold.status.success(),
+        "cold campaign failed:\n{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_stdout = String::from_utf8_lossy(&cold.stdout);
+    assert!(
+        cold_stdout.contains("cached=0"),
+        "cold run should compute everything: {cold_stdout}"
+    );
+
+    // The merged store's report is byte-identical to the same grid run
+    // in a single process with no store at all.
+    let report_csv = std::fs::read_to_string(store.join("report.csv")).expect("report.csv");
+    let reference = campaign_grid(Effort::Fast, all_topologies()).run();
+    assert!(reference.len() >= 24, "acceptance demands a ≥24-cell grid");
+    assert_eq!(
+        report_csv,
+        reference.csv(),
+        "sharded multi-process results diverge from single-process run"
+    );
+
+    // Immediate resume: zero cells recomputed.
+    let warm = figures()
+        .args(["campaign", "--fast", "--shards", "4", "--resume", "--store"])
+        .arg(&store)
+        .output()
+        .expect("spawn figures campaign --resume");
+    assert!(
+        warm.status.success(),
+        "resume failed:\n{}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    let warm_stdout = String::from_utf8_lossy(&warm.stdout);
+    assert!(
+        warm_stdout.contains("computed=0"),
+        "resume must be 100% cache hits: {warm_stdout}"
+    );
+
+    // Without --resume, a populated store is refused (exit code 2), not
+    // silently reused.
+    let refused = figures()
+        .args(["campaign", "--fast", "--store"])
+        .arg(&store)
+        .output()
+        .expect("spawn figures campaign without --resume");
+    assert_eq!(refused.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&store).unwrap();
+}

@@ -21,7 +21,7 @@
 //! assert!(outcome.utilization_percent > 70.0);
 //! ```
 
-use bbr_scenario::{FlowMetrics, RunOutcome, ScenarioSpec, SimBackend, Topology};
+use bbr_scenario::{run_seed, FlowMetrics, RunOutcome, ScenarioSpec, SimBackend, Topology};
 
 use crate::dumbbell::{run_dumbbell, DumbbellSpec, PacketSimReport};
 use crate::engine::SimConfig;
@@ -93,6 +93,11 @@ impl PacketBackend {
                 };
                 run_parking_lot(&lot, &self.config(spec, seed))
             }
+            Topology::Chain { .. } => {
+                // Kept out of `supports`-respecting sweep paths; a direct
+                // call is a caller bug, not a scenario-data state.
+                panic!("PacketBackend does not support Topology::Chain (fluid-only family)")
+            }
         }
     }
 }
@@ -102,15 +107,21 @@ impl SimBackend for PacketBackend {
         "packet"
     }
 
+    fn supports(&self, spec: &ScenarioSpec) -> bool {
+        // The discrete-event engine models dumbbells and parking lots;
+        // ≥3-hop chains are fluid-only so far.
+        !matches!(spec.topology, Topology::Chain { .. })
+    }
+
     fn run(&self, spec: &ScenarioSpec, seed: u64) -> RunOutcome {
         spec.validate().expect("invalid scenario spec");
         let outcomes: Vec<RunOutcome> = (0..self.runs)
             .map(|r| {
-                let report = self.run_once(spec, seed.wrapping_add(r as u64 * 104_729));
+                let report = self.run_once(spec, run_seed(seed, r as u32));
                 outcome(&report)
             })
             .collect();
-        RunOutcome::average(&outcomes)
+        RunOutcome::average(&outcomes).expect("runs >= 1 guarantees an outcome")
     }
 }
 
@@ -188,6 +199,15 @@ mod tests {
         let t = out.throughputs();
         assert!(t[0] < t[1], "multi-hop {:.1} vs hop-1 {:.1}", t[0], t[1]);
         assert!(t[0] < t[2], "multi-hop {:.1} vs hop-2 {:.1}", t[0], t[2]);
+    }
+
+    #[test]
+    fn chain_is_unsupported_not_miscomputed() {
+        let b = PacketBackend::new(1);
+        let chain = ScenarioSpec::chain(3, 50.0, 0.010, 2.0);
+        assert!(!b.supports(&chain));
+        assert!(b.supports(&ScenarioSpec::dumbbell(2, 50.0, 0.010, 1.0)));
+        assert!(b.supports(&ScenarioSpec::parking_lot(50.0, 40.0, 0.010, 1.0)));
     }
 
     #[test]

@@ -78,6 +78,12 @@ impl CcaKind {
     pub fn loss_sensitive(&self) -> bool {
         !matches!(self, CcaKind::BbrV1)
     }
+
+    /// Inverse of [`CcaKind::name`] (used by on-disk result stores and
+    /// plan files, which persist kinds by display name).
+    pub fn from_name(name: &str) -> Option<CcaKind> {
+        CcaKind::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 impl std::fmt::Display for CcaKind {
@@ -93,6 +99,25 @@ impl std::fmt::Display for CcaKind {
 pub enum QdiscKind {
     DropTail,
     Red,
+}
+
+impl QdiscKind {
+    /// Stable display name (also the persisted form in result stores).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QdiscKind::DropTail => "DropTail",
+            QdiscKind::Red => "Red",
+        }
+    }
+
+    /// Inverse of [`QdiscKind::name`].
+    pub fn from_name(name: &str) -> Option<QdiscKind> {
+        match name {
+            "DropTail" => Some(QdiscKind::DropTail),
+            "Red" => Some(QdiscKind::Red),
+            _ => None,
+        }
+    }
 }
 
 /// The link layout of a scenario. All rates in Mbit/s, delays in
@@ -121,6 +146,18 @@ pub enum Topology {
         link_delay: f64,
         buffer_bdp: f64,
     },
+    /// `hops` (≥ 3) equal-capacity bottlenecks in series: flow 0 crosses
+    /// every hop end to end, and each hop additionally carries one
+    /// cross-traffic flow entering and leaving at that hop — `hops + 1`
+    /// flows in total. All flows see the same propagation RTT
+    /// (`2·access + hops·link_delay`); `buffer_bdp` is measured in BDP of
+    /// one hop (`capacity · link_delay`) and applied at every hop.
+    Chain {
+        hops: usize,
+        capacity: f64,
+        link_delay: f64,
+        buffer_bdp: f64,
+    },
 }
 
 impl Topology {
@@ -129,6 +166,7 @@ impl Topology {
         match self {
             Topology::Dumbbell { n, .. } => *n,
             Topology::ParkingLot { .. } => 3,
+            Topology::Chain { hops, .. } => hops + 1,
         }
     }
 }
@@ -137,6 +175,10 @@ impl Topology {
 /// topology definition — both backends must simulate identical
 /// propagation RTTs — so it lives here rather than per backend.
 pub const PARKING_LOT_ACCESS_DELAY: f64 = 0.005;
+
+/// One-way access delay of every chain flow (s); same rationale as
+/// [`PARKING_LOT_ACCESS_DELAY`].
+pub const CHAIN_ACCESS_DELAY: f64 = 0.005;
 
 /// Backend-agnostic description of one simulation: topology, flows,
 /// queuing discipline, and measurement window. Built once, runnable on
@@ -187,6 +229,23 @@ impl ScenarioSpec {
             topology: Topology::ParkingLot {
                 c1,
                 c2,
+                link_delay,
+                buffer_bdp,
+            },
+            ccas: vec![CcaKind::Reno],
+            qdisc: QdiscKind::DropTail,
+            duration: 5.0,
+            warmup: 1.0,
+        }
+    }
+
+    /// Chain of `hops` (≥ 3) equal bottlenecks with per-hop cross
+    /// traffic (see [`Topology::Chain`]).
+    pub fn chain(hops: usize, capacity: f64, link_delay: f64, buffer_bdp: f64) -> Self {
+        Self {
+            topology: Topology::Chain {
+                hops,
+                capacity,
                 link_delay,
                 buffer_bdp,
             },
@@ -281,6 +340,22 @@ impl ScenarioSpec {
                     return Err("parking-lot parameters must be positive".into());
                 }
             }
+            Topology::Chain {
+                hops,
+                capacity,
+                link_delay,
+                buffer_bdp,
+            } => {
+                if hops < 3 {
+                    return Err(format!(
+                        "chain needs at least 3 hops (got {hops}); use a parking lot for \
+                         shorter multi-bottleneck paths"
+                    ));
+                }
+                if capacity <= 0.0 || link_delay <= 0.0 || buffer_bdp <= 0.0 {
+                    return Err("chain parameters must be positive".into());
+                }
+            }
         }
         Ok(())
     }
@@ -317,6 +392,18 @@ impl ScenarioSpec {
                 h.word(0x02);
                 h.f64(c1);
                 h.f64(c2);
+                h.f64(link_delay);
+                h.f64(buffer_bdp);
+            }
+            Topology::Chain {
+                hops,
+                capacity,
+                link_delay,
+                buffer_bdp,
+            } => {
+                h.word(0x03);
+                h.word(hops as u64);
+                h.f64(capacity);
                 h.f64(link_delay);
                 h.f64(buffer_bdp);
             }
@@ -405,10 +492,15 @@ impl RunOutcome {
     }
 
     /// Element-wise mean of several outcomes of the *same* spec (packet
-    /// backends average a few seeds, §4.3). Panics on an empty slice or
-    /// mismatched shapes.
-    pub fn average(outcomes: &[RunOutcome]) -> RunOutcome {
-        assert!(!outcomes.is_empty(), "cannot average zero outcomes");
+    /// backends average a few seeds, §4.3). Returns `None` for an empty
+    /// slice — there is no meaningful zero-run outcome, and silently
+    /// producing NaN-filled metrics would poison downstream aggregation.
+    /// Still panics on mismatched flow counts, which indicates outcomes
+    /// of *different* specs being mixed (a caller bug, not a data state).
+    pub fn average(outcomes: &[RunOutcome]) -> Option<RunOutcome> {
+        if outcomes.is_empty() {
+            return None;
+        }
         let k = outcomes.len() as f64;
         let mut out = outcomes[0].clone();
         for o in &outcomes[1..] {
@@ -446,11 +538,27 @@ impl RunOutcome {
         for v in &mut out.per_link_utilization {
             *v /= k;
         }
-        out
+        Some(out)
     }
 }
 
+/// The seed of repetition `run_index` of a cell whose base seed is
+/// `seed` — the shared convention between [`SimBackend`]s that average
+/// several runs internally (e.g. `PacketBackend`) and result stores that
+/// persist each repetition under its own `(seed, run_index)` key. Both
+/// sides using this one function is what makes a store-assembled average
+/// byte-identical to an in-process multi-run evaluation.
+pub fn run_seed(seed: u64, run_index: u32) -> u64 {
+    seed.wrapping_add(run_index as u64 * 104_729)
+}
+
 /// Jain's fairness index over a set of allocations (1 = perfectly fair).
+///
+/// Degenerate inputs — empty, or allocations whose squares all underflow
+/// to zero — are conventionally treated as fair (1.0). The guard is an
+/// exact zero test, not an epsilon: nearly-starved flows (throughputs of
+/// ~1e-8 and below) must report their true, unfair index rather than be
+/// rounded up to "perfectly fair" by an absolute threshold.
 pub fn jain_index(values: &[f64]) -> f64 {
     let n = values.len();
     if n == 0 {
@@ -458,7 +566,7 @@ pub fn jain_index(values: &[f64]) -> f64 {
     }
     let sum: f64 = values.iter().sum();
     let sq: f64 = values.iter().map(|v| v * v).sum();
-    if sq <= f64::EPSILON {
+    if sq == 0.0 {
         1.0
     } else {
         sum * sum / (n as f64 * sq)
@@ -476,6 +584,15 @@ pub trait SimBackend: Send + Sync {
     /// Short stable identifier (`"fluid"`, `"packet"`), used as a column
     /// key in reports.
     fn name(&self) -> &'static str;
+
+    /// Whether this backend can evaluate the spec. Sweep engines skip
+    /// unsupported (backend, cell) pairs instead of failing mid-grid —
+    /// e.g. chain topologies are currently fluid-only. Defaults to
+    /// supporting everything.
+    fn supports(&self, spec: &ScenarioSpec) -> bool {
+        let _ = spec;
+        true
+    }
 
     /// Evaluate the spec. `seed` drives any randomized choices; fully
     /// deterministic backends may ignore it.
@@ -604,10 +721,85 @@ mod tests {
             per_link_occupancy: vec![50.0],
             per_link_utilization: vec![util],
         };
-        let avg = RunOutcome::average(&[mk(10.0, 80.0), mk(20.0, 100.0)]);
+        let avg = RunOutcome::average(&[mk(10.0, 80.0), mk(20.0, 100.0)]).unwrap();
         assert!((avg.flows[0].throughput_mbps - 15.0).abs() < 1e-12);
         assert!((avg.utilization_percent - 90.0).abs() < 1e-12);
         assert!((avg.per_link_utilization[0] - 90.0).abs() < 1e-12);
         assert!((avg.loss_percent - 2.0).abs() < 1e-12);
+        // Averaging a single outcome is exact (division by 1.0 changes no
+        // bits) — result stores rely on this when reassembling cells.
+        assert_eq!(
+            RunOutcome::average(&[mk(10.0, 80.0)]).unwrap(),
+            mk(10.0, 80.0)
+        );
+    }
+
+    #[test]
+    fn average_of_nothing_is_none() {
+        assert!(RunOutcome::average(&[]).is_none());
+    }
+
+    #[test]
+    fn jain_index_degenerate_cases() {
+        // Empty and all-zero allocations are defined as perfectly fair
+        // rather than NaN (0/0).
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0, 0.0]), 1.0);
+        // A single non-zero allocation is trivially fair.
+        assert!((jain_index(&[7.5]) - 1.0).abs() < 1e-12);
+        // One active flow among n starved ones scores 1/n.
+        assert!((jain_index(&[10.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Tiny but non-zero values compute their true index — the zero
+        // guard is exact, not an absolute epsilon, so nearly-starved
+        // flows are not misreported as perfectly fair.
+        assert!((jain_index(&[1e-150, 2e-150]) - 0.9).abs() < 1e-12);
+        assert!((jain_index(&[1e-8, 2e-8]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_spec_shape_and_validation() {
+        let s = ScenarioSpec::chain(3, 100.0, 0.010, 2.0).ccas(vec![CcaKind::BbrV2]);
+        assert_eq!(s.n_flows(), 4); // end-to-end + one cross flow per hop
+        s.validate().unwrap();
+        assert!(ScenarioSpec::chain(2, 100.0, 0.010, 2.0)
+            .validate()
+            .is_err());
+        assert!(ScenarioSpec::chain(3, 0.0, 0.010, 2.0).validate().is_err());
+        assert!(ScenarioSpec::chain(3, 100.0, 0.010, -1.0)
+            .validate()
+            .is_err());
+        // Distinct from every other topology at equal parameters.
+        assert_ne!(
+            s.stable_hash(),
+            ScenarioSpec::parking_lot(100.0, 100.0, 0.010, 2.0)
+                .ccas(vec![CcaKind::BbrV2])
+                .stable_hash()
+        );
+        assert_ne!(
+            s.stable_hash(),
+            ScenarioSpec::chain(4, 100.0, 0.010, 2.0)
+                .ccas(vec![CcaKind::BbrV2])
+                .stable_hash()
+        );
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in CcaKind::ALL {
+            assert_eq!(CcaKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(CcaKind::from_name("bbr"), None);
+        for q in [QdiscKind::DropTail, QdiscKind::Red] {
+            assert_eq!(QdiscKind::from_name(q.name()), Some(q));
+        }
+        assert_eq!(QdiscKind::from_name("codel"), None);
+    }
+
+    #[test]
+    fn run_seed_is_the_shared_repetition_offset() {
+        assert_eq!(run_seed(42, 0), 42);
+        assert_eq!(run_seed(42, 1), 42 + 104_729);
+        assert_eq!(run_seed(u64::MAX, 1), 104_728); // wraps, never panics
     }
 }

@@ -1,0 +1,72 @@
+//! Resumable sharded campaign demo: the 36-cell demo grid (dumbbell +
+//! parking-lot + chain cells, fluid + packet backends) executed three
+//! ways against one content-addressed result store.
+//!
+//! ```text
+//! cargo run --release --example campaign
+//! ```
+//!
+//! 1. **Cold sharded run** — 2 worker processes (this binary re-executing
+//!    itself in `campaign-worker` mode) compute every cell.
+//! 2. **Resumed sharded run** — the same campaign again: every cell is
+//!    served from the store, `computed=0`.
+//! 3. **Incremental grid growth** — a buffer-axis value is added and the
+//!    grown grid runs through `run_cached`: only the new cells compute.
+
+use bbr_repro::campaign::{run_sharded, ResultStore};
+use bbr_repro::experiments::campaign::{
+    all_topologies, build_backend, campaign_grid, maybe_worker,
+};
+use bbr_repro::experiments::Effort;
+
+fn main() {
+    // This example hosts its own campaign workers: when the sharded
+    // runner re-executes this binary with a `campaign-worker` argv, run
+    // the assigned shard and exit.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(code) = maybe_worker(&args) {
+        std::process::exit(code);
+    }
+
+    let store_dir = std::env::temp_dir().join(format!("bbr-campaign-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let grid = campaign_grid(Effort::Fast, all_topologies());
+    let plan = grid.campaign_plan();
+    // The exact engine-run count (per-backend repetitions, unsupported
+    // cells excluded) is reported by each summary line below.
+    println!(
+        "campaign of {} cells, store {}",
+        grid.len(),
+        store_dir.display()
+    );
+
+    // 1. Cold: everything computes, split over 2 worker processes.
+    let cold = run_sharded(&plan, &store_dir, 2, &build_backend).expect("cold campaign");
+    println!("cold:    {}", cold.log_line());
+    assert_eq!(cold.cached, 0, "fresh store cannot have cache hits");
+
+    // 2. Resume: nothing computes.
+    let warm = run_sharded(&plan, &store_dir, 2, &build_backend).expect("resumed campaign");
+    println!("resume:  {}", warm.log_line());
+    assert_eq!(warm.computed, 0, "resumed campaign must be 100% cache hits");
+    assert_eq!(warm.cached, cold.entries);
+
+    // The merged store reproduces the single-process report bit for bit.
+    let store = ResultStore::open(&store_dir).expect("open store");
+    let report = grid.report_from_store(&store).expect("covered grid");
+    println!("{}", report.table());
+
+    // 3. Grow the grid by one buffer size: only the delta computes.
+    let grown = campaign_grid(Effort::Fast, all_topologies()).buffers_bdp(vec![1.0, 2.0, 4.0]);
+    let mut store = ResultStore::open(&store_dir).expect("reopen store");
+    let (grown_report, stats) = grown.run_cached(&mut store).expect("incremental run");
+    println!(
+        "grown grid: {} cells, computed {} new engine runs, {} from cache",
+        grown_report.len(),
+        stats.computed,
+        stats.cached
+    );
+    assert!(stats.computed > 0 && stats.cached == cold.entries);
+
+    let _ = std::fs::remove_dir_all(&store_dir);
+}

@@ -17,8 +17,11 @@
 //! * [`scenario`] — the backend-agnostic layer both simulators implement:
 //!   shared `CcaKind`/`QdiscKind`/`ScenarioSpec`/`RunOutcome` types and
 //!   the `SimBackend` trait.
+//! * [`campaign`] — resumable sharded sweep campaigns: content-addressed
+//!   result store, deterministic shard planner, multi-process runner.
 
 pub use bbr_analysis as analysis;
+pub use bbr_campaign as campaign;
 pub use bbr_experiments as experiments;
 pub use bbr_fluid_core as fluid;
 pub use bbr_linalg as linalg;

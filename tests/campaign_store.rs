@@ -1,0 +1,160 @@
+//! Integration tests of the campaign subsystem through the umbrella
+//! crate: store round-trip fidelity against live backends, cache-key
+//! stability pins, and the `run_cached` equivalence/resume/delta
+//! semantics the CI smoke step relies on.
+
+use std::path::PathBuf;
+
+use bbr_repro::campaign::{CellKey, ResultStore};
+use bbr_repro::experiments::scenarios::COMBOS;
+use bbr_repro::experiments::sweep::{Backend, ScenarioGrid, TopologyKind};
+use bbr_repro::experiments::Effort;
+use bbr_repro::fluid::backend::FluidBackend;
+use bbr_repro::packetsim::backend::PacketBackend;
+use bbr_repro::scenario::{run_seed, CcaKind, QdiscKind, ScenarioSpec, SimBackend};
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bbr-campaign-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small mixed-topology grid: 2 combos × 2 buffers × {dumbbell,
+/// chain} = 8 cells, with 2 packet repetitions per supported cell.
+fn small_grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .effort(Effort::Fast)
+        .backend(Backend::Both)
+        .capacity(30.0)
+        .combos(vec![COMBOS[0], COMBOS[4]])
+        .flow_counts(vec![2])
+        .buffers_bdp(vec![1.0, 4.0])
+        .qdiscs(vec![QdiscKind::DropTail])
+        .topologies(vec![TopologyKind::Dumbbell, TopologyKind::Chain])
+        .duration(1.0)
+        .warmup(0.25)
+        .runs(2)
+        .seed(42)
+}
+
+#[test]
+fn store_round_trips_live_outcomes_bit_for_bit() {
+    // Write → close → reopen → read must reproduce real simulator output
+    // exactly (not approximately): resume correctness is bit-level.
+    let dir = temp_store("fidelity");
+    let spec = ScenarioSpec::dumbbell(2, 30.0, 0.010, 2.0)
+        .ccas(vec![CcaKind::BbrV1, CcaKind::Cubic])
+        .duration(1.0)
+        .warmup(0.25);
+    let fluid = FluidBackend::coarse().run(&spec, 7);
+    let packet = PacketBackend::new(1).run(&spec, run_seed(7, 1));
+    let key = |backend: &str, run_index| CellKey {
+        spec_hash: spec.stable_hash(),
+        seed: 7,
+        backend: backend.into(),
+        run_index,
+    };
+    {
+        let mut store = ResultStore::open(&dir).unwrap();
+        store.insert(key("fluid", 0), fluid.clone()).unwrap();
+        store.insert(key("packet", 1), packet.clone()).unwrap();
+    }
+    let store = ResultStore::open(&dir).unwrap();
+    assert_eq!(store.len(), 2);
+    // `RunOutcome: PartialEq` compares every f64 exactly.
+    assert_eq!(store.get(&key("fluid", 0)), Some(&fluid));
+    assert_eq!(store.get(&key("packet", 1)), Some(&packet));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stable_hash_pins_guard_cache_keys() {
+    // Pinned constants: if any of these move, every existing result
+    // store silently stops matching — treat a failure here as an
+    // on-disk-format break, not a test to update casually.
+    assert_eq!(
+        ScenarioSpec::dumbbell(10, 100.0, 0.010, 2.0)
+            .ccas(vec![CcaKind::BbrV1, CcaKind::Reno])
+            .qdisc(QdiscKind::Red)
+            .stable_hash(),
+        0x24258fa806dfd2f1
+    );
+    assert_eq!(
+        ScenarioSpec::parking_lot(100.0, 80.0, 0.010, 3.0)
+            .ccas(vec![CcaKind::BbrV2])
+            .stable_hash(),
+        0xf7b49a597d8fdd0e
+    );
+    assert_eq!(
+        ScenarioSpec::chain(3, 100.0, 0.010, 1.0)
+            .ccas(vec![CcaKind::Cubic])
+            .stable_hash(),
+        0x1c52e2a383db6b83
+    );
+}
+
+#[test]
+fn run_cached_is_byte_identical_to_run_and_resumes_for_free() {
+    let grid = small_grid();
+    let reference = grid.run();
+
+    // Cold pass: every supported entry computes.
+    let dir = temp_store("cached");
+    let mut store = ResultStore::open(&dir).unwrap();
+    let (cold_report, cold) = grid.run_cached(&mut store).unwrap();
+    assert_eq!(cold.cached, 0);
+    // Dumbbell cells: 1 fluid + 2 packet runs; chain cells fluid-only.
+    assert_eq!(cold.computed, 4 * 3 + 4);
+    assert_eq!(cold_report.csv(), reference.csv());
+
+    // Same per-cell metrics to the last bit, not merely same rendering.
+    for (a, b) in cold_report.cells.iter().zip(&reference.cells) {
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    // Warm pass through a *reopened* store (exercises the disk format):
+    // zero cells recomputed, still byte-identical.
+    drop(store);
+    let mut store = ResultStore::open(&dir).unwrap();
+    let (warm_report, warm) = grid.run_cached(&mut store).unwrap();
+    assert_eq!(warm.computed, 0, "resume must be 100% cache hits");
+    assert_eq!(warm.cached, cold.computed);
+    assert_eq!(warm_report.csv(), reference.csv());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn growing_the_grid_computes_only_the_delta() {
+    let dir = temp_store("delta");
+    let mut store = ResultStore::open(&dir).unwrap();
+    let (_, cold) = small_grid().run_cached(&mut store).unwrap();
+
+    // A new qdisc axis value doubles the grid; the original half must
+    // be served from the store even though the grid object is new.
+    let grown = small_grid().qdiscs(vec![QdiscKind::DropTail, QdiscKind::Red]);
+    let (report, stats) = grown.run_cached(&mut store).unwrap();
+    assert_eq!(report.len(), 16);
+    assert_eq!(stats.cached, cold.computed, "old cells all hit");
+    assert_eq!(stats.computed, cold.computed, "new cells all computed");
+
+    // Changing the packet repetition count only adds the extra run.
+    let more_runs = small_grid().runs(3);
+    let (_, extra) = more_runs.run_cached(&mut store).unwrap();
+    assert_eq!(extra.computed, 4, "one extra packet run per dumbbell cell");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn report_from_store_fails_loudly_on_missing_cells() {
+    let dir = temp_store("missing");
+    let mut store = ResultStore::open(&dir).unwrap();
+    let grid = small_grid();
+    grid.run_cached(&mut store).unwrap();
+    // A different seed means different keys: nothing in the store
+    // matches, and the reader must say which key is missing rather than
+    // fabricate metrics.
+    let err = small_grid().seed(43).report_from_store(&store).unwrap_err();
+    assert!(err.contains("missing"), "unhelpful error: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -144,3 +144,37 @@ fn mixed_topology_grid_is_deterministic() {
     let b = grid.run();
     assert_eq!(a.csv(), b.csv());
 }
+
+#[test]
+fn chain_cells_run_fluid_only_through_the_sweep() {
+    // The ≥3-hop chain family: fluid cells produce the multi-bottleneck
+    // story, packet columns stay empty (unsupported, not zeroed).
+    let report = small_grid()
+        .topologies(vec![TopologyKind::Chain])
+        .chain_hops(3)
+        .qdiscs(vec![QdiscKind::DropTail])
+        .buffers_bdp(vec![3.0])
+        .duration(1.5)
+        .run();
+    assert_eq!(report.len(), 2); // 2 combos, collapsed flow/RTT axes
+    for cell in &report.cells {
+        assert_eq!(cell.point.topology, TopologyKind::Chain);
+        assert_eq!(cell.point.n, 4); // hops + 1 flows
+        let f = report.metrics(cell, "fluid").unwrap();
+        assert!(
+            f.utilization_percent > 40.0,
+            "chain idle at {:?}",
+            cell.point
+        );
+        assert!((0.0..=100.0).contains(&f.loss_percent));
+        assert!(report.metrics(cell, "packet").is_none());
+    }
+    assert!(report.table().contains("chain"));
+    // Determinism holds for the mixed all-topology grid too.
+    let all = small_grid()
+        .with_parking_lot()
+        .with_chain()
+        .qdiscs(vec![QdiscKind::DropTail]);
+    assert_eq!(all.len(), 4 + 4 + 4);
+    assert_eq!(all.run().csv(), all.run().csv());
+}
