@@ -72,4 +72,4 @@ pub use runner::{
     WORKER_SUBCOMMAND,
 };
 pub use shard::ShardPlan;
-pub use store::{CellKey, ResultStore, ShardWriter, RESULTS_FILE};
+pub use store::{CellKey, CompactStats, ResultStore, ShardWriter, RESULTS_FILE};

@@ -31,6 +31,12 @@ use crate::store::{CellKey, ResultStore, ShardWriter};
 /// The hidden argv[1] that switches a host binary into worker mode.
 pub const WORKER_SUBCOMMAND: &str = "campaign-worker";
 
+/// How many entries a worker hands a batch backend per `run_batch`
+/// call before flushing them to its shard file — the crash-recovery
+/// granularity of batched workers (an interrupted worker loses at most
+/// this much compute; everything flushed is absorbed on the next run).
+pub const BATCH_FLUSH_CHUNK: usize = 32;
+
 /// Builds a backend from a plan's selector, or `None` if the name is
 /// unknown to this host. The same factory must be used by the parent
 /// (for entry counting) and the workers (for computing) — it is the one
@@ -79,6 +85,18 @@ impl CampaignSummary {
 /// The per-shard work loop, run inside a worker process: compute every
 /// planned entry of `shard` that the store does not already hold and
 /// append it to the shard's private record file.
+///
+/// Backends exposing a batch view ([`SimBackend::as_batch`]) receive
+/// their missing entries in lockstep `run_batch` chunks — a sharded
+/// campaign's workers integrate their shard batched — while plain
+/// backends compute entry by entry. Records are appended to the shard
+/// file as they are produced (per entry, or per batch chunk of at most
+/// [`BATCH_FLUSH_CHUNK`]), preserving PR 3's crash-recovery granularity:
+/// a worker killed mid-shard loses at most one chunk of compute, and
+/// everything already flushed is absorbed by the next run. The file is
+/// therefore backend-major (each backend's records in planned cell
+/// order) — a fixed, deterministic order, independent of which path
+/// computed a record.
 pub fn run_worker(
     store_dir: &Path,
     shard: usize,
@@ -90,12 +108,20 @@ pub fn run_worker(
     let backends = build_backends(&plan, factory)?;
     let splan = ShardPlan::new(shards);
     let mut writer = ShardWriter::create(store_dir, shard)?;
-    let mut computed = 0;
+    // Pass 1: plan this shard's missing entries, in the canonical
+    // cell-major order.
+    struct Item {
+        cell_index: usize,
+        backend_index: usize,
+        run_index: u32,
+        key: CellKey,
+    }
+    let mut items: Vec<Item> = Vec::new();
     let mut cached = 0;
     for index in splan.cells_of(shard, plan.cells.len()) {
         let cell = &plan.cells[index];
         let spec_hash = cell.spec.stable_hash();
-        for (sel, backend) in &backends {
+        for (backend_index, (sel, backend)) in backends.iter().enumerate() {
             if !backend.supports(&cell.spec) {
                 continue;
             }
@@ -108,11 +134,53 @@ pub fn run_worker(
                 };
                 if store.contains(&key) {
                     cached += 1;
-                    continue;
+                } else {
+                    items.push(Item {
+                        cell_index: index,
+                        backend_index,
+                        run_index,
+                        key,
+                    });
                 }
-                let outcome = backend.run(&cell.spec, run_seed(cell.seed, run_index));
-                writer.append(&key, &outcome)?;
-                computed += 1;
+            }
+        }
+    }
+    // Pass 2: compute and persist, batching where the backend can,
+    // flushing to the shard file as results are produced.
+    // (`ScenarioGrid::run_cached` in bbr-experiments implements the same
+    // partition-by-backend / run_batch-or-scalar dispatch with in-memory
+    // result placement instead of incremental flushing — keep the two in
+    // step when changing either.)
+    for (backend_index, (_, backend)) in backends.iter().enumerate() {
+        let mine: Vec<usize> = (0..items.len())
+            .filter(|&i| items[i].backend_index == backend_index)
+            .collect();
+        if mine.is_empty() {
+            continue;
+        }
+        match backend.as_batch() {
+            Some(batch) => {
+                for chunk in mine.chunks(BATCH_FLUSH_CHUNK) {
+                    let jobs: Vec<(&bbr_scenario::ScenarioSpec, u64)> = chunk
+                        .iter()
+                        .map(|&i| {
+                            let item = &items[i];
+                            let cell = &plan.cells[item.cell_index];
+                            (&cell.spec, run_seed(cell.seed, item.run_index))
+                        })
+                        .collect();
+                    for (&i, out) in chunk.iter().zip(batch.run_batch(&jobs)) {
+                        writer.append(&items[i].key, &out)?;
+                    }
+                }
+            }
+            None => {
+                for &i in &mine {
+                    let item = &items[i];
+                    let cell = &plan.cells[item.cell_index];
+                    let out = backend.run(&cell.spec, run_seed(cell.seed, item.run_index));
+                    writer.append(&item.key, &out)?;
+                }
             }
         }
     }
@@ -120,7 +188,7 @@ pub fn run_worker(
     Ok(WorkerSummary {
         shard,
         shards,
-        computed,
+        computed: items.len(),
         cached,
     })
 }
@@ -222,6 +290,18 @@ pub fn maybe_worker(args: &[String], factory: &BackendFactory) -> Option<i32> {
             return Some(2);
         }
     };
+    // Shards are the parallelism unit of a campaign: `shards` worker
+    // processes run concurrently, so each worker gets an equal slice of
+    // the cores for its own intra-process parallelism (batch backends
+    // fan lockstep waves over the rayon pool). Without this, every
+    // worker would default to a full-size pool and a `--shards 8` run
+    // on 8 cores would contend with 64 compute threads.
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads((cores / shards.max(1)).max(1))
+        .build_global();
     match run_worker(Path::new(&store), shard, shards, factory) {
         Ok(s) => {
             eprintln!(

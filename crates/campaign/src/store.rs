@@ -82,7 +82,11 @@ impl ResultStore {
                 .and_then(|mut f| f.read_to_string(&mut text))
                 .map_err(|e| format!("cannot read {}: {e}", results.display()))?;
             for (key, outcome) in parse_lines(&text, &results)? {
-                store.map.insert(key, outcome);
+                // First line wins, matching `insert`'s documented
+                // "first write of a content-addressed record wins" — a
+                // shadowed duplicate line (merged shard history) must
+                // not overturn the record readers already saw.
+                store.map.entry(key).or_insert(outcome);
             }
             if let Some(keep) = torn_tail_offset(&text, &results) {
                 let file = OpenOptions::new()
@@ -196,6 +200,52 @@ impl ResultStore {
         Ok(added)
     }
 
+    /// Dedup-rewrite `results.jsonl` in sorted key order.
+    ///
+    /// An append-only store accumulates history: records land in
+    /// whatever order campaigns computed them, and a line can be
+    /// shadowed by an earlier one with the same key (e.g. merged shard
+    /// files of a re-planned campaign). Compaction rewrites the file as
+    /// the canonical form — exactly one line per key, ordered by
+    /// [`CellKey`]'s `Ord` — via a temp file + atomic rename, so a crash
+    /// mid-compaction leaves the original intact. The in-memory map is
+    /// unchanged; compacting is invisible to readers.
+    ///
+    /// Two compacted stores holding the same records are byte-identical
+    /// files regardless of insertion order — the property that makes
+    /// store files diffable and keeps rewrites idempotent, and the first
+    /// step toward the periodic compaction a 10^6-record store needs.
+    pub fn compact(&mut self) -> Result<CompactStats, String> {
+        let results = self.results_path();
+        let bytes_before = std::fs::metadata(&results).map(|m| m.len()).unwrap_or(0);
+        // Order by key: sort the map's entries.
+        let mut keys: Vec<&CellKey> = self.map.keys().collect();
+        keys.sort();
+        let tmp = self.dir.join("results.jsonl.compact");
+        {
+            let file =
+                File::create(&tmp).map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+            let mut w = BufWriter::new(file);
+            for key in &keys {
+                writeln!(w, "{}", record_to_line(key, &self.map[*key]))
+                    .map_err(|e| format!("write to {}: {e}", tmp.display()))?;
+            }
+            w.flush()
+                .map_err(|e| format!("flush {}: {e}", tmp.display()))?;
+        }
+        // Drop the append handle before replacing the file it points to;
+        // the next insert reopens the compacted file.
+        self.writer = None;
+        std::fs::rename(&tmp, &results)
+            .map_err(|e| format!("cannot replace {}: {e}", results.display()))?;
+        let bytes_after = std::fs::metadata(&results).map(|m| m.len()).unwrap_or(0);
+        Ok(CompactStats {
+            records: keys.len(),
+            bytes_before,
+            bytes_after,
+        })
+    }
+
     /// Merge every leftover shard file into the canonical store and
     /// delete it — crash recovery for interrupted sharded campaigns.
     /// Returns how many records were recovered.
@@ -215,6 +265,26 @@ impl ResultStore {
             std::fs::remove_file(&f).map_err(|e| format!("remove {}: {e}", f.display()))?;
         }
         Ok(added)
+    }
+}
+
+/// What a [`ResultStore::compact`] rewrite did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Distinct records the compacted file holds.
+    pub records: usize,
+    /// File size before / after the rewrite (bytes).
+    pub bytes_before: u64,
+    pub bytes_after: u64,
+}
+
+impl CompactStats {
+    /// One stable log line for CLIs.
+    pub fn log_line(&self) -> String {
+        format!(
+            "store compact: records={} bytes={} -> {}",
+            self.records, self.bytes_before, self.bytes_after
+        )
     }
 }
 
@@ -566,6 +636,66 @@ mod tests {
         broken.insert_str(0, "{not json}\n");
         std::fs::write(&results, &broken).unwrap();
         assert!(ResultStore::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_round_trips_dedups_and_orders() {
+        let dir = std::env::temp_dir().join(format!("bbr-compact-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut s = ResultStore::open(&dir).unwrap();
+            // Insert out of key order.
+            s.insert(key(3, 0), outcome(30.0)).unwrap();
+            s.insert(key(1, 1), outcome(11.0)).unwrap();
+            s.insert(key(1, 0), outcome(10.0)).unwrap();
+        }
+        // Shadowed duplicate lines in the file (as merged shard history
+        // would leave behind): append a stale copy of an existing key.
+        let results = dir.join(RESULTS_FILE);
+        let mut text = std::fs::read_to_string(&results).unwrap();
+        let dupe = record_to_line(&key(1, 0), &outcome(99.0));
+        text.push_str(&dupe);
+        text.push('\n');
+        std::fs::write(&results, &text).unwrap();
+
+        let mut s = ResultStore::open(&dir).unwrap();
+        assert_eq!(s.len(), 3, "first write wins; the dupe is shadowed");
+        let before = std::fs::metadata(&results).unwrap().len();
+        let stats = s.compact().unwrap();
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.bytes_before, before);
+        assert!(stats.bytes_after < stats.bytes_before, "dupe dropped");
+        assert!(stats.log_line().contains("records=3"));
+
+        // Round trip: same records, now in sorted key order, one line
+        // per key.
+        let reopened = ResultStore::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.get(&key(1, 0)).unwrap(), &outcome(10.0));
+        assert_eq!(reopened.get(&key(1, 1)).unwrap(), &outcome(11.0));
+        assert_eq!(reopened.get(&key(3, 0)).unwrap(), &outcome(30.0));
+        let lines: Vec<String> = std::fs::read_to_string(&results)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        assert_eq!(lines.len(), 3);
+        let keys: Vec<CellKey> = lines.iter().map(|l| parse_record(l).unwrap().0).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "compacted file is in key order");
+
+        // Idempotent: compacting a compacted store changes no bytes.
+        let bytes = std::fs::read(&results).unwrap();
+        let stats2 = s.compact().unwrap();
+        assert_eq!(stats2.bytes_before, stats2.bytes_after);
+        assert_eq!(std::fs::read(&results).unwrap(), bytes);
+
+        // The store still appends correctly after compaction (the
+        // writer handle was re-opened against the new file).
+        s.insert(key(2, 0), outcome(20.0)).unwrap();
+        assert_eq!(ResultStore::open(&dir).unwrap().len(), 4);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

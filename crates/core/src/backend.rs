@@ -57,54 +57,63 @@ impl SimBackend for FluidBackend {
 
     fn run(&self, spec: &ScenarioSpec, _seed: u64) -> RunOutcome {
         spec.validate().expect("invalid scenario spec");
-        let metrics = match spec.topology {
-            Topology::Dumbbell {
-                n,
-                capacity,
-                bottleneck_delay,
-                buffer_bdp,
-                rtt_lo,
-                rtt_hi,
-            } => {
-                let scenario =
-                    Scenario::dumbbell(n, capacity, bottleneck_delay, buffer_bdp, spec.qdisc)
-                        .rtt_range(rtt_lo, rtt_hi)
-                        .config(self.cfg.clone());
-                let mut sim = scenario
-                    .build(&spec.ccas)
-                    .expect("validated spec must build");
-                sim.run(spec.duration).metrics
-            }
-            Topology::ParkingLot { .. } => self.run_network(spec, parking_lot_network(spec)),
-            Topology::Chain { .. } => self.run_network(spec, chain_network(spec)),
-        };
-        outcome(spec, &metrics)
+        let net = network_for_spec(spec);
+        let agents = agents_for_spec(spec, &net, &self.cfg);
+        let mut sim =
+            Simulator::new(net, self.cfg.clone(), agents).expect("validated spec must build");
+        let metrics = sim.run(spec.duration).metrics;
+        outcome_from_metrics(spec, &metrics)
     }
 }
 
-impl FluidBackend {
-    /// Run the spec's flows over an explicit multi-link [`Network`]: each
-    /// agent is initialized against the bottleneck of *its own* path
-    /// (capacity, competitor count, buffer), which is what makes the same
-    /// code serve the parking lot, chains, and any future topology.
-    fn run_network(&self, spec: &ScenarioSpec, net: Network) -> AggregateMetrics {
-        let agents: Vec<Box<dyn FluidCca>> = (0..spec.n_flows())
-            .map(|i| {
-                let pos = net.bottleneck_pos(i);
-                let link = &net.links[net.paths[i].links[pos].0];
-                let hint = ScenarioHint {
-                    capacity: link.capacity,
-                    prop_rtt: net.prop_rtt(i),
-                    n_agents: net.users_of(net.paths[i].links[pos]).len(),
-                    buffer: link.buffer,
-                    agent_index: i,
-                };
-                build(spec.cca_of(i), &hint, &self.cfg)
-            })
-            .collect();
-        let mut sim =
-            Simulator::new(net, self.cfg.clone(), agents).expect("validated spec must build");
-        sim.run(spec.duration).metrics
+/// The [`Network`] a [`ScenarioSpec`] describes — the one shared
+/// translation both the scalar [`FluidBackend`] and the batched
+/// integrator (`bbr-fluidbatch`) build from, which is what makes their
+/// results bit-identical by construction rather than by accident.
+pub fn network_for_spec(spec: &ScenarioSpec) -> Network {
+    match spec.topology {
+        Topology::Dumbbell {
+            n,
+            capacity,
+            bottleneck_delay,
+            buffer_bdp,
+            rtt_lo,
+            rtt_hi,
+        } => Scenario::dumbbell(n, capacity, bottleneck_delay, buffer_bdp, spec.qdisc)
+            .rtt_range(rtt_lo, rtt_hi)
+            .network(),
+        Topology::ParkingLot { .. } => parking_lot_network(spec),
+        Topology::Chain { .. } => chain_network(spec),
+    }
+}
+
+/// One freshly initialized CCA model per flow of `spec` over `net`: each
+/// agent is initialized against the bottleneck of *its own* path
+/// (capacity, competitor count, buffer), which is what makes the same
+/// code serve dumbbells, the parking lot, chains, and any future
+/// topology. Shared with the batched integrator.
+pub fn agents_for_spec(
+    spec: &ScenarioSpec,
+    net: &Network,
+    cfg: &ModelConfig,
+) -> Vec<Box<dyn FluidCca>> {
+    (0..spec.n_flows())
+        .map(|i| build(spec.cca_of(i), &hint_for_flow(net, i), cfg))
+        .collect()
+}
+
+/// The initial-condition hint of flow `i` over `net` — the one
+/// derivation behind [`agents_for_spec`] and the batched integrator's
+/// unboxed agent construction.
+pub fn hint_for_flow(net: &Network, i: usize) -> ScenarioHint {
+    let pos = net.bottleneck_pos(i);
+    let link = &net.links[net.paths[i].links[pos].0];
+    ScenarioHint {
+        capacity: link.capacity,
+        prop_rtt: net.prop_rtt(i),
+        n_agents: net.users_of(net.paths[i].links[pos]).len(),
+        buffer: link.buffer,
+        agent_index: i,
     }
 }
 
@@ -200,7 +209,10 @@ fn chain_network(spec: &ScenarioSpec) -> Network {
     Network { links, paths }
 }
 
-fn outcome(spec: &ScenarioSpec, m: &AggregateMetrics) -> RunOutcome {
+/// Reshape fluid [`AggregateMetrics`] into the backend-agnostic
+/// [`RunOutcome`] (labelled `"fluid"`; shared with `bbr-fluidbatch`,
+/// whose outcomes are bit-identical and therefore carry the same name).
+pub fn outcome_from_metrics(spec: &ScenarioSpec, m: &AggregateMetrics) -> RunOutcome {
     let flows = m
         .mean_rates
         .iter()

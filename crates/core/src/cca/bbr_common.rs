@@ -34,6 +34,7 @@ impl ProbeRtt {
     }
 
     /// Current timer period `T_prt` (Eq. (12)).
+    #[inline]
     pub fn period(&self, cfg: &ModelConfig) -> f64 {
         if self.active {
             cfg.probe_rtt_duration
@@ -44,6 +45,7 @@ impl ProbeRtt {
 
     /// Advance by `dt` given the RTT sample `tau_fb` arriving now.
     /// Returns `true` if the ProbeRTT mode was toggled in this step.
+    #[inline(always)]
     pub fn step(&mut self, dt: f64, tau_fb: f64, cfg: &ModelConfig) -> bool {
         // Eq. (9): τ̇_min = −Γ(τ_min − τ(t − d_p)); downward only.
         let gap = self.tau_min - tau_fb;

@@ -70,16 +70,19 @@ impl BbrV1 {
     }
 
     /// Estimated bandwidth-delay product `w̄ = x_btl·τ_min` (Mbit).
+    #[inline]
     pub fn bdp_estimate(&self) -> f64 {
         self.x_btl * self.probe_rtt.tau_min
     }
 
     /// ProbeBW period duration `T_pbw = 8·τ_min`.
+    #[inline]
     pub fn period(&self) -> f64 {
         8.0 * self.probe_rtt.tau_min
     }
 
     /// Pacing rate `x_pcg` from the phase pulses, Eqs. (21)–(22).
+    #[inline(always)]
     pub fn pacing_rate(&self, cfg: &ModelConfig) -> f64 {
         let tm = self.probe_rtt.tau_min;
         let up = pulse(
@@ -98,12 +101,14 @@ impl BbrV1 {
     }
 
     /// Minimum rate floor: one segment per RTprop.
+    #[inline]
     fn min_rate(&self, cfg: &ModelConfig) -> f64 {
         cfg.mss / self.probe_rtt.tau_min.max(1e-6)
     }
 }
 
 impl FluidCca for BbrV1 {
+    #[inline(always)]
     fn rate(&self, tau: f64, cfg: &ModelConfig) -> f64 {
         let tau = tau.max(1e-6);
         if self.probe_rtt.active {
@@ -124,6 +129,7 @@ impl FluidCca for BbrV1 {
         }
     }
 
+    #[inline(always)]
     fn step(&mut self, inp: &AgentInputs, cfg: &ModelConfig) {
         // RTprop filter + ProbeRTT state machine.
         let toggled = self.probe_rtt.step(inp.dt, inp.tau_fb, cfg);

@@ -127,22 +127,26 @@ impl BbrV2 {
     }
 
     /// Estimated BDP `w̄ = x_btl·τ_min` (Mbit).
+    #[inline]
     pub fn bdp_estimate(&self) -> f64 {
         self.x_btl * self.probe_rtt.tau_min
     }
 
     /// Drain target `w⁻ = min(w̄, 0.85·w_hi)` (Mbit).
+    #[inline]
     pub fn drain_target(&self, cfg: &ModelConfig) -> f64 {
         self.bdp_estimate().min(cfg.bbr2_headroom * self.w_hi)
     }
 
     /// Probing-period duration `T_pbw = min(63·τ_min, 2 + i/N)`, Eq. (24).
+    #[inline]
     pub fn period(&self) -> f64 {
         (63.0 * self.probe_rtt.tau_min).min(2.0 + self.agent_index as f64 / self.n_agents as f64)
     }
 
     /// Pacing rate, Eq. (25): `5/4·x_btl` once the refill RTT has passed
     /// and the flow is not draining; `3/4·x_btl` while draining.
+    #[inline]
     pub fn pacing_rate(&self, cfg: &ModelConfig) -> f64 {
         let up_gate = sigmoid(cfg.k_time, self.t_pbw - self.probe_rtt.tau_min);
         let dwn = self.m_dwn as u8 as f64;
@@ -153,6 +157,7 @@ impl BbrV2 {
     /// §3.1 summary: outside cruising `min(2·w̄, w_hi)`; while cruising
     /// `min(2·w̄, 0.85·w_hi, w_lo)` (with the paper's Eq. (30) default,
     /// `w_lo = w⁻ ≤ 0.85·w_hi`, this reduces to Eq. (31) as printed).
+    #[inline]
     pub fn window(&self) -> f64 {
         let two_bdp = 2.0 * self.bdp_estimate();
         if self.m_crs {
@@ -167,12 +172,14 @@ impl BbrV2 {
         }
     }
 
+    #[inline]
     fn min_rate(&self, cfg: &ModelConfig) -> f64 {
         cfg.mss / self.probe_rtt.tau_min.max(1e-6)
     }
 }
 
 impl FluidCca for BbrV2 {
+    #[inline(always)]
     fn rate(&self, tau: f64, cfg: &ModelConfig) -> f64 {
         let tau = tau.max(1e-6);
         if self.probe_rtt.active {
@@ -190,6 +197,7 @@ impl FluidCca for BbrV2 {
         }
     }
 
+    #[inline(always)]
     fn step(&mut self, inp: &AgentInputs, cfg: &ModelConfig) {
         let toggled = self.probe_rtt.step(inp.dt, inp.tau_fb, cfg);
         if toggled && !self.probe_rtt.active {

@@ -12,6 +12,8 @@
 //! default to RFC semantics; `ModelConfig::cubic_literal_b` restores the
 //! paper's literal formula.
 
+use std::cell::Cell;
+
 use crate::cca::{AgentInputs, CcaKind, FluidCca, ScenarioHint};
 use crate::config::ModelConfig;
 
@@ -27,6 +29,13 @@ pub struct Cubic {
     pub s: f64,
     /// Window at the moment of the last loss `w_max_i` (segments).
     pub w_max: f64,
+    /// Memoized inflection offset: `(w_max, shrink) → K`. `K` depends
+    /// only on those inputs, and `cbrt` is deterministic on input bits,
+    /// so replaying the cached value is bit-identical to recomputing —
+    /// it just skips a cube root in the (hot) loss-free phases where
+    /// `w_max` sits still, and on the second `window()` evaluation of
+    /// every step (`rate` and `step` both need it).
+    k_memo: Cell<(f64, f64, f64)>,
 }
 
 impl Cubic {
@@ -38,13 +47,18 @@ impl Cubic {
         Self {
             s: 0.0,
             w_max: 0.8 * bdp_pkts / hint.n_agents.max(1) as f64,
+            k_memo: Cell::new((f64::NAN, 0.0, 0.0)),
         }
     }
 
     /// Explicit initial conditions.
     pub fn with_state(s: f64, w_max: f64) -> Self {
         assert!(s >= 0.0 && w_max >= 1.0);
-        Self { s, w_max }
+        Self {
+            s,
+            w_max,
+            k_memo: Cell::new((f64::NAN, 0.0, 0.0)),
+        }
     }
 
     /// The inflection-point offset `K` of the growth function (s).
@@ -54,7 +68,13 @@ impl Cubic {
         } else {
             1.0 - CUBIC_BETA // RFC 8312: (1 − β) = 0.3
         };
-        (self.w_max * shrink / CUBIC_C).cbrt()
+        let (w, s, k) = self.k_memo.get();
+        if w == self.w_max && s == shrink {
+            return k;
+        }
+        let k = (self.w_max * shrink / CUBIC_C).cbrt();
+        self.k_memo.set((self.w_max, shrink, k));
+        k
     }
 
     /// Current window (segments) from the CUBIC growth function, Eq. (41).
@@ -66,10 +86,12 @@ impl Cubic {
 }
 
 impl FluidCca for Cubic {
+    #[inline(always)]
     fn rate(&self, tau: f64, cfg: &ModelConfig) -> f64 {
         self.window(cfg) * cfg.mss / tau.max(1e-6)
     }
 
+    #[inline(always)]
     fn step(&mut self, inp: &AgentInputs, cfg: &ModelConfig) {
         let x_pkts = inp.x_fb / cfg.mss;
         let p = inp.loss_fb.clamp(0.0, 1.0);

@@ -105,11 +105,70 @@ pub trait FluidCca: Send {
 /// Construct a boxed fluid model of the given kind with default initial
 /// conditions derived from the scenario hint.
 pub fn build(kind: CcaKind, hint: &ScenarioHint, cfg: &ModelConfig) -> Box<dyn FluidCca> {
+    match build_any(kind, hint, cfg) {
+        AnyCca::Reno(a) => Box::new(a),
+        AnyCca::Cubic(a) => Box::new(a),
+        AnyCca::BbrV1(a) => Box::new(a),
+        AnyCca::BbrV2(a) => Box::new(a),
+    }
+}
+
+/// A concrete (unboxed) fluid model of any kind — the statically
+/// dispatched counterpart of `Box<dyn FluidCca>`, for engines whose hot
+/// loop cannot afford virtual calls (the batched integrator steps tens
+/// of millions of agents per sweep; the enum match inlines the model
+/// arithmetic where a vtable call cannot). Built by [`build_any`], the
+/// single construction site [`build`] also goes through, so both
+/// representations start from identical state.
+#[derive(Debug, Clone)]
+pub enum AnyCca {
+    Reno(Reno),
+    Cubic(Cubic),
+    BbrV1(BbrV1),
+    BbrV2(BbrV2),
+}
+
+/// Construct a concrete fluid model of the given kind (see [`AnyCca`]).
+pub fn build_any(kind: CcaKind, hint: &ScenarioHint, cfg: &ModelConfig) -> AnyCca {
     match kind {
-        CcaKind::Reno => Box::new(Reno::new(hint, cfg)),
-        CcaKind::Cubic => Box::new(Cubic::new(hint, cfg)),
-        CcaKind::BbrV1 => Box::new(BbrV1::new(hint, cfg)),
-        CcaKind::BbrV2 => Box::new(BbrV2::new(hint, cfg)),
+        CcaKind::Reno => AnyCca::Reno(Reno::new(hint, cfg)),
+        CcaKind::Cubic => AnyCca::Cubic(Cubic::new(hint, cfg)),
+        CcaKind::BbrV1 => AnyCca::BbrV1(BbrV1::new(hint, cfg)),
+        CcaKind::BbrV2 => AnyCca::BbrV2(BbrV2::new(hint, cfg)),
+    }
+}
+
+impl AnyCca {
+    /// Statically dispatched [`FluidCca::rate`].
+    #[inline(always)]
+    pub fn rate(&self, tau: f64, cfg: &ModelConfig) -> f64 {
+        match self {
+            AnyCca::Reno(a) => a.rate(tau, cfg),
+            AnyCca::Cubic(a) => a.rate(tau, cfg),
+            AnyCca::BbrV1(a) => a.rate(tau, cfg),
+            AnyCca::BbrV2(a) => a.rate(tau, cfg),
+        }
+    }
+
+    /// Statically dispatched [`FluidCca::step`].
+    #[inline(always)]
+    pub fn step(&mut self, inp: &AgentInputs, cfg: &ModelConfig) {
+        match self {
+            AnyCca::Reno(a) => a.step(inp, cfg),
+            AnyCca::Cubic(a) => a.step(inp, cfg),
+            AnyCca::BbrV1(a) => a.step(inp, cfg),
+            AnyCca::BbrV2(a) => a.step(inp, cfg),
+        }
+    }
+
+    /// Statically dispatched [`FluidCca::kind`].
+    pub fn kind(&self) -> CcaKind {
+        match self {
+            AnyCca::Reno(a) => a.kind(),
+            AnyCca::Cubic(a) => a.kind(),
+            AnyCca::BbrV1(a) => a.kind(),
+            AnyCca::BbrV2(a) => a.kind(),
+        }
     }
 }
 

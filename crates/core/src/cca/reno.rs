@@ -31,10 +31,12 @@ impl Reno {
 }
 
 impl FluidCca for Reno {
+    #[inline(always)]
     fn rate(&self, tau: f64, cfg: &ModelConfig) -> f64 {
         self.w * cfg.mss / tau.max(1e-6)
     }
 
+    #[inline(always)]
     fn step(&mut self, inp: &AgentInputs, cfg: &ModelConfig) {
         // Feedback arrives as a rate in Mbit/s; the per-ACK dynamics of
         // Eq. (39) operate in packets, so convert.

@@ -55,11 +55,13 @@ impl StartupState {
     }
 
     /// Whether the agent is still in Startup or Drain.
+    #[inline(always)]
     pub fn active(&self) -> bool {
         self.phase != StartupPhase::Done
     }
 
     /// Pacing-gain multiplier for the current phase (1 when done).
+    #[inline]
     pub fn gain(&self) -> f64 {
         match self.phase {
             StartupPhase::Startup => STARTUP_GAIN,
@@ -73,6 +75,7 @@ impl StartupState {
     /// estimated BDP, and `excess_loss` whether path loss exceeds the
     /// threshold. Returns `true` in the step where Startup→Drain or
     /// Drain→Done transitions fire.
+    #[inline]
     pub fn step(
         &mut self,
         dt: f64,

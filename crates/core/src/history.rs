@@ -24,12 +24,19 @@ impl History {
     pub fn new(max_delay: f64, dt: f64, initial: f64) -> Self {
         assert!(dt > 0.0, "dt must be positive");
         assert!(max_delay >= 0.0, "max_delay must be non-negative");
-        let capacity = (max_delay / dt).ceil() as usize + 2;
         Self {
             dt,
-            buf: vec![initial; capacity],
+            buf: vec![initial; Self::capacity_for(max_delay, dt)],
             head: 0,
         }
+    }
+
+    /// The number of samples a history retains for lookups up to
+    /// `max_delay` at step `dt` — exposed so alternative storage layouts
+    /// (the batched integrator's sliding arena) retain exactly as much
+    /// and clamp deep lookups at exactly the same horizon.
+    pub fn capacity_for(max_delay: f64, dt: f64) -> usize {
+        (max_delay / dt).ceil() as usize + 2
     }
 
     /// Number of retained samples.

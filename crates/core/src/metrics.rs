@@ -93,6 +93,7 @@ impl MetricsAccumulator {
     /// * per link: arrival rate `y`, loss prob `p`, queue `q` (Mbit),
     ///   relative queue `q/B`, service rate (Mbit/s)
     #[allow(clippy::too_many_arguments)]
+    #[inline]
     pub fn record(
         &mut self,
         t: f64,

@@ -8,15 +8,30 @@ use crate::topology::{LinkSpec, QdiscKind};
 ///
 /// Drop-tail (Eq. (4)): `σ(y − C) · (1 − C/y) · (q/B)^L` — the relative
 /// excess rate once the queue is (nearly) full. RED (Eq. (6)): `q/B`.
+#[inline]
 pub fn loss_probability(link: &LinkSpec, y: f64, q: f64, cfg: &ModelConfig) -> f64 {
     match link.qdisc {
         QdiscKind::DropTail => {
             if y <= 0.0 {
                 return 0.0;
             }
+            let fill_ratio = (q / link.buffer).clamp(0.0, 1.0);
+            // Exact short-circuits at the clamp endpoints — `0^L` zeroes
+            // the whole product (`gate·excess` is finite and
+            // non-negative, so `· +0.0` is exactly `+0.0`) and `1^L = 1`
+            // drops out of it — skipping `powf`, and with an empty
+            // queue the sigmoid too, in the empty- and pinned-full-queue
+            // regimes where drop-tail links spend most of their time.
+            if fill_ratio == 0.0 {
+                return 0.0;
+            }
+            let fill = if fill_ratio == 1.0 {
+                1.0
+            } else {
+                fill_ratio.powf(cfg.drop_exp_l)
+            };
             let gate = sigmoid(cfg.k_rate, y - link.capacity);
             let excess = (1.0 - link.capacity / y).max(0.0);
-            let fill = (q / link.buffer).clamp(0.0, 1.0).powf(cfg.drop_exp_l);
             (gate * excess * fill).clamp(0.0, 1.0)
         }
         QdiscKind::Red => (q / link.buffer).clamp(0.0, 1.0),
@@ -25,6 +40,7 @@ pub fn loss_probability(link: &LinkSpec, y: f64, q: f64, cfg: &ModelConfig) -> f
 
 /// One Euler step of the queue dynamics, Eq. (2):
 /// `q̇ = (1 − p)·y − C`, with `q` clamped to `[0, B]`.
+#[inline]
 pub fn step_queue(link: &LinkSpec, q: f64, y: f64, p: f64, dt: f64) -> f64 {
     let dq = (1.0 - p) * y - link.capacity;
     (q + dt * dq).clamp(0.0, link.buffer)
@@ -33,6 +49,7 @@ pub fn step_queue(link: &LinkSpec, q: f64, y: f64, p: f64, dt: f64) -> f64 {
 /// Instantaneous service (departure) rate of the link: `C` while a queue
 /// exists, otherwise the (post-loss) arrival rate capped at `C`. Used for
 /// the utilization metric and the delivery-rate model.
+#[inline]
 pub fn service_rate(link: &LinkSpec, q: f64, y: f64, p: f64) -> f64 {
     if q > 1e-12 {
         link.capacity

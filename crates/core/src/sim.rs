@@ -19,6 +19,27 @@ pub struct RunReport {
     pub trace: Option<Trace>,
 }
 
+/// The link whose occupancy/utilization become a run's headline metrics:
+/// the minimum-capacity link of the network. Shared by [`Simulator`] and
+/// the batched integrator (`bbr-fluidbatch`) so both observe the same
+/// link (including the same tie-breaking on equal capacities).
+pub fn observed_link(net: &Network) -> usize {
+    (0..net.links.len())
+        .min_by(|a, b| {
+            net.links[*a]
+                .capacity
+                .partial_cmp(&net.links[*b].capacity)
+                .unwrap()
+        })
+        .unwrap()
+}
+
+/// Virtual packet interval for the jitter metric (§4.3.5): `g·N/C` at
+/// the observed link. One definition shared by every fluid integrator.
+pub fn jitter_interval(cfg: &ModelConfig, n_agents: usize, observed_capacity: f64) -> f64 {
+    cfg.mss * n_agents as f64 / observed_capacity
+}
+
 /// The fluid-model simulator.
 pub struct Simulator {
     net: Network,
@@ -91,14 +112,7 @@ impl Simulator {
             })
             .collect();
         let bneck_pos: Vec<usize> = (0..n).map(|i| net.bottleneck_pos(i)).collect();
-        let observed_link = (0..m)
-            .min_by(|a, b| {
-                net.links[*a]
-                    .capacity
-                    .partial_cmp(&net.links[*b].capacity)
-                    .unwrap()
-            })
-            .unwrap();
+        let observed_link = observed_link(&net);
 
         // Initial histories: agents send at their initial rate, queues are
         // empty, RTTs equal the propagation delay.
@@ -122,10 +136,12 @@ impl Simulator {
             .map(|l| History::new(max_rtt, cfg.dt, y0[l]))
             .collect();
 
-        // Virtual packet interval for jitter (§4.3.5): g·N/C at the
-        // observed link.
-        let jitter_interval = cfg.mss * n as f64 / net.links[observed_link].capacity;
-        let metrics = MetricsAccumulator::new(n, m, observed_link, jitter_interval);
+        let metrics = MetricsAccumulator::new(
+            n,
+            m,
+            observed_link,
+            jitter_interval(&cfg, n, net.links[observed_link].capacity),
+        );
 
         Ok(Self {
             q: vec![0.0; m],

@@ -3,10 +3,12 @@
 //! ```text
 //! figures <id>... [--fast] [--out DIR]
 //! figures all [--fast]
-//! figures sweep [--fast] [--threads N] [--backend fluid|packet|both]
+//! figures sweep [--fast] [--threads N] [--backend fluid|fluid-batch|packet|both]
 //!               [--topology dumbbell|parking|chain|both|all] [--out DIR]
 //! figures campaign [--fast] [--shards N] [--store DIR] [--resume]
 //!                  [--topology dumbbell|parking|chain|both|all]
+//! figures store compact [--store DIR]
+//! figures bench-sweep [--out FILE] [--reps N]
 //! figures list
 //! ```
 //!
@@ -27,7 +29,7 @@ use bbr_experiments::aggregate::buffer_sizes;
 use bbr_experiments::campaign::{all_topologies, build_backend, campaign_grid};
 use bbr_experiments::figures::{all_ids, run_figure};
 use bbr_experiments::scenarios::CampaignParams;
-use bbr_experiments::sweep::{Backend, ScenarioGrid, TopologyKind};
+use bbr_experiments::sweep::{bench_grid, Backend, ScenarioGrid, TopologyKind};
 use bbr_experiments::Effort;
 use bbr_fluid_core::topology::QdiscKind;
 
@@ -72,6 +74,7 @@ fn main() {
         "--topology",
         "--shards",
         "--store",
+        "--reps",
     ]
     .iter()
     .filter_map(|flag| args.iter().position(|a| a == *flag).map(|i| i + 1))
@@ -90,6 +93,14 @@ fn main() {
     }
     if ids.first().map(String::as_str) == Some("campaign") {
         run_campaign(&args, effort);
+        return;
+    }
+    if ids.first().map(String::as_str) == Some("store") {
+        run_store(&args, ids.get(1).map(String::as_str));
+        return;
+    }
+    if ids.first().map(String::as_str) == Some("bench-sweep") {
+        run_bench_sweep(&args);
         return;
     }
     if ids.iter().any(|i| i == "list") {
@@ -146,6 +157,120 @@ fn parse_topologies(args: &[String], default: Vec<TopologyKind>) -> Vec<Topology
             std::process::exit(2);
         }
     }
+}
+
+/// The `bench-sweep` subcommand: the machine-readable perf trajectory.
+///
+/// Times fluid sweep throughput (cells/sec) on the pinned 24- and
+/// 96-cell grids ([`bench_grid`]), scalar engine vs the batched SoA
+/// engine, best of `--reps` (default 3) timed runs each, asserts the
+/// two engines' CSVs agree byte for byte, and writes the result as JSON
+/// to `--out` (default `BENCH_sweep.json`) so future PRs can track
+/// speedups against a recorded baseline.
+///
+/// Unless `--threads` was given, the pool is pinned to **one** thread:
+/// both engines use the rayon pool (scalar fans out cells, batch fans
+/// out waves), so unpinned numbers would track the host's core count
+/// rather than per-core engine throughput and be incomparable across
+/// machines. The thread count used is recorded in the JSON.
+fn run_bench_sweep(args: &[String]) {
+    if flag_value(args, "--threads").is_none() {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global()
+            .expect("thread pool configuration");
+    }
+    let threads = rayon::current_num_threads();
+    let out = PathBuf::from(flag_value(args, "--out").unwrap_or("BENCH_sweep.json"));
+    let reps: usize = match flag_value(args, "--reps").map(str::parse) {
+        None => 3,
+        Some(Ok(n)) if n > 0 => n,
+        _ => {
+            eprintln!("invalid --reps value (expected a positive number)");
+            std::process::exit(2);
+        }
+    };
+    let mut entries = Vec::new();
+    for cells in [24usize, 96] {
+        let scalar_grid = bench_grid(cells); // Backend::Fluid
+        let batch_grid = bench_grid(cells).backend(Backend::FluidBatch);
+        let best = |grid: &bbr_experiments::sweep::ScenarioGrid| {
+            let mut secs = f64::INFINITY;
+            let mut csv = String::new();
+            for _ in 0..reps {
+                let report = grid.run();
+                secs = secs.min(report.wall_seconds);
+                csv = report.csv();
+            }
+            (secs, csv)
+        };
+        let (scalar_secs, scalar_csv) = best(&scalar_grid);
+        let (batch_secs, batch_csv) = best(&batch_grid);
+        assert_eq!(
+            scalar_csv, batch_csv,
+            "batched fluid must stay byte-identical to scalar fluid"
+        );
+        let scalar_cps = cells as f64 / scalar_secs;
+        let batch_cps = cells as f64 / batch_secs;
+        eprintln!(
+            "bench-sweep {cells:3} cells: scalar {scalar_cps:8.1} cells/s, \
+             batch {batch_cps:8.1} cells/s, speedup {:.2}x",
+            batch_cps / scalar_cps
+        );
+        entries.push(format!(
+            concat!(
+                "    {{\"cells\": {}, \"grid\": \"{}\", ",
+                "\"scalar_cells_per_sec\": {:.2}, \"batch_cells_per_sec\": {:.2}, ",
+                "\"speedup\": {:.3}, \"csv_byte_identical\": true}}"
+            ),
+            cells,
+            if cells == 24 {
+                "mixed-topology"
+            } else {
+                "dumbbell-4.3"
+            },
+            scalar_cps,
+            batch_cps,
+            batch_cps / scalar_cps,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"fluid-sweep-throughput\",\n  \"unit\": \"cells/sec\",\n  \
+         \"reps\": {reps},\n  \"threads\": {threads},\n  \"grids\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out, &json).expect("cannot write bench JSON");
+    eprintln!("wrote {}", out.display());
+}
+
+/// The `store` subcommand: maintenance of campaign result stores.
+/// `store compact --store DIR` dedup-rewrites the JSONL record file in
+/// sorted key order (one line per key, temp-file + rename).
+fn run_store(args: &[String], action: Option<&str>) {
+    match action {
+        Some("compact") => {}
+        other => {
+            eprintln!(
+                "usage: figures store compact --store DIR (got action {:?})",
+                other.unwrap_or("<none>")
+            );
+            std::process::exit(2);
+        }
+    }
+    let store_dir = PathBuf::from(flag_value(args, "--store").unwrap_or("results/campaign"));
+    if !store_dir.join(bbr_campaign::RESULTS_FILE).exists() {
+        eprintln!("no store at {} (nothing to compact)", store_dir.display());
+        std::process::exit(2);
+    }
+    let mut store = ResultStore::open(&store_dir).unwrap_or_else(|e| {
+        eprintln!("cannot open store: {e}");
+        std::process::exit(1);
+    });
+    let stats = store.compact().unwrap_or_else(|e| {
+        eprintln!("compaction failed: {e}");
+        std::process::exit(1);
+    });
+    println!("{}", stats.log_line());
 }
 
 /// The `campaign` subcommand: a resumable sharded sweep over worker
@@ -205,10 +330,11 @@ fn run_campaign(args: &[String], effort: Effort) {
 fn run_sweep(args: &[String], effort: Effort) {
     let backend = match flag_value(args, "--backend") {
         Some("fluid") => Backend::Fluid,
+        Some("fluid-batch") => Backend::FluidBatch,
         Some("packet") => Backend::Packet,
         Some("both") | None => Backend::Both,
         Some(other) => {
-            eprintln!("unknown backend: {other} (expected fluid|packet|both)");
+            eprintln!("unknown backend: {other} (expected fluid|fluid-batch|packet|both)");
             std::process::exit(2);
         }
     };

@@ -10,7 +10,7 @@
 //! `main`.
 
 use bbr_campaign::{BackendFactory, BackendSel, CampaignPlan};
-use bbr_fluid_core::backend::FluidBackend;
+use bbr_fluidbatch::BatchedFluidBackend;
 use bbr_packetsim::backend::PacketBackend;
 use bbr_scenario::SimBackend;
 
@@ -24,10 +24,17 @@ use crate::Effort;
 /// the plan's effort tag picks the fluid integration step. Packet
 /// backends are built with `runs = 1` — campaigns persist every
 /// repetition under its own `run_index` key and average at read time.
+///
+/// `"fluid"` is served by the batched SoA integrator
+/// ([`BatchedFluidBackend`]): campaign workers hand it their whole
+/// shard in one lockstep batch, and since its outcomes are
+/// byte-identical to the scalar `FluidBackend`, stores written by
+/// either engine (including every pre-existing store) remain
+/// interchangeable.
 pub fn build_backend(plan: &CampaignPlan, sel: &BackendSel) -> Option<Box<dyn SimBackend>> {
     let effort = Effort::from_tag(&plan.effort)?;
     match sel.name.as_str() {
-        "fluid" => Some(Box::new(FluidBackend::new(model_config(effort)))),
+        "fluid" => Some(Box::new(BatchedFluidBackend::new(model_config(effort)))),
         "packet" => Some(Box::new(PacketBackend::new(1))),
         _ => None,
     }

@@ -36,6 +36,7 @@ use std::time::Instant;
 
 use bbr_campaign::{BackendSel, CampaignPlan, CellKey, PlannedCell, ResultStore};
 use bbr_fluid_core::backend::FluidBackend;
+use bbr_fluidbatch::BatchedFluidBackend;
 use bbr_packetsim::backend::PacketBackend;
 use bbr_scenario::{run_seed, QdiscKind, RunOutcome, ScenarioSpec, SimBackend};
 use rayon::prelude::*;
@@ -50,11 +51,20 @@ use crate::Effort;
 /// constructs, and everything downstream is backend-generic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
-    /// Fluid model only (fast; the paper's "Model" columns).
+    /// Fluid model only (fast; the paper's "Model" columns), integrated
+    /// one cell at a time by the scalar engine.
     Fluid,
+    /// Fluid model only, integrated by the batched SoA engine
+    /// (`bbr-fluidbatch`): every cell of the grid advances in lockstep
+    /// through one step loop. Outcomes (and therefore reports, CSVs,
+    /// and store records) are byte-identical to [`Backend::Fluid`] —
+    /// this selects an execution strategy, not a different model — so
+    /// the column is still named `"fluid"`.
+    FluidBatch,
     /// Packet-level simulator only (the paper's "Experiment" columns).
     Packet,
-    /// Both, for model-vs-experiment comparison tables.
+    /// Both models, for model-vs-experiment comparison tables (fluid on
+    /// the batched engine — identical numbers, faster sweeps).
     Both,
 }
 
@@ -397,10 +407,14 @@ impl ScenarioGrid {
     /// The trait objects the [`Backend`] selector stands for.
     fn backends(&self) -> Vec<Box<dyn SimBackend>> {
         let mut backends: Vec<Box<dyn SimBackend>> = Vec::new();
-        if self.backend != Backend::Packet {
-            backends.push(Box::new(FluidBackend::new(model_config(self.effort))));
+        match self.backend {
+            Backend::Fluid => backends.push(Box::new(FluidBackend::new(model_config(self.effort)))),
+            Backend::FluidBatch | Backend::Both => backends.push(Box::new(
+                BatchedFluidBackend::new(model_config(self.effort)),
+            )),
+            Backend::Packet => {}
         }
-        if self.backend != Backend::Fluid {
+        if matches!(self.backend, Backend::Packet | Backend::Both) {
             backends.push(Box::new(PacketBackend::new(self.runs)));
         }
         backends
@@ -415,10 +429,17 @@ impl ScenarioGrid {
     /// [`run_seed`], same averaging arithmetic).
     fn backend_plan(&self) -> Vec<(Box<dyn SimBackend>, u32)> {
         let mut plan: Vec<(Box<dyn SimBackend>, u32)> = Vec::new();
-        if self.backend != Backend::Packet {
-            plan.push((Box::new(FluidBackend::new(model_config(self.effort))), 1));
+        match self.backend {
+            Backend::Fluid => {
+                plan.push((Box::new(FluidBackend::new(model_config(self.effort))), 1))
+            }
+            Backend::FluidBatch | Backend::Both => plan.push((
+                Box::new(BatchedFluidBackend::new(model_config(self.effort))),
+                1,
+            )),
+            Backend::Packet => {}
         }
-        if self.backend != Backend::Fluid {
+        if matches!(self.backend, Backend::Packet | Backend::Both) {
             plan.push((Box::new(PacketBackend::new(1)), self.runs as u32));
         }
         plan
@@ -434,24 +455,50 @@ impl ScenarioGrid {
     /// itself is fully backend-generic, so third-party `SimBackend`
     /// implementations plug in here. Cells a backend does not support
     /// (`SimBackend::supports`) get `None` in that backend's column.
+    ///
+    /// Backends exposing a batch view ([`SimBackend::as_batch`]) receive
+    /// *all* of their supported cells in one `run_batch` call — the
+    /// whole grid integrates in lockstep — instead of the per-cell loop.
+    /// Since `run_batch` is bit-identical to the scalar loop by
+    /// contract, the report never depends on which path ran.
     pub fn run_with(&self, backends: &[Box<dyn SimBackend>]) -> SweepReport {
         let t0 = Instant::now();
-        let cells: Vec<SweepCell> = self
-            .tasks()
-            .into_par_iter()
-            .map(|(pt, spec, seed)| {
-                let outcomes = backends
-                    .iter()
-                    .map(|b| {
-                        b.supports(&spec)
-                            .then(|| CellMetrics::from(&b.run(&spec, seed)))
-                    })
-                    .collect();
-                SweepCell {
-                    point: pt,
-                    seed,
-                    outcomes,
+        let tasks = self.tasks();
+        // One column of outcomes per backend, then transpose into cells.
+        let columns: Vec<Vec<Option<CellMetrics>>> = backends
+            .iter()
+            .map(|b| match b.as_batch() {
+                Some(batch) => {
+                    let supported: Vec<usize> = (0..tasks.len())
+                        .filter(|&i| b.supports(&tasks[i].1))
+                        .collect();
+                    let jobs: Vec<(&ScenarioSpec, u64)> = supported
+                        .iter()
+                        .map(|&i| (&tasks[i].1, tasks[i].2))
+                        .collect();
+                    let outs = batch.run_batch(&jobs);
+                    let mut col = vec![None; tasks.len()];
+                    for (&i, out) in supported.iter().zip(&outs) {
+                        col[i] = Some(CellMetrics::from(out));
+                    }
+                    col
                 }
+                None => tasks
+                    .par_iter()
+                    .map(|(_, spec, seed)| {
+                        b.supports(spec)
+                            .then(|| CellMetrics::from(&b.run(spec, *seed)))
+                    })
+                    .collect(),
+            })
+            .collect();
+        let cells: Vec<SweepCell> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, (pt, _, seed))| SweepCell {
+                point: pt,
+                seed,
+                outcomes: columns.iter().map(|col| col[i]).collect(),
             })
             .collect();
         SweepReport {
@@ -586,18 +633,61 @@ impl ScenarioGrid {
                 }
             }
         }
+        // Fill the missing entries backend by backend: batch-capable
+        // backends integrate all of their missing cells in lockstep, the
+        // rest fan out per cell. Results land back in `missing` order,
+        // so the store's append order (and thus its bytes) is the same
+        // whichever path computed an entry.
+        // (`bbr_campaign::run_worker` implements the same
+        // partition-by-backend dispatch with incremental shard-file
+        // flushing — keep the two in step when changing either.)
+        let mut outcomes: Vec<Option<RunOutcome>> = vec![None; missing.len()];
+        for (backend_index, (backend, _)) in plan.iter().enumerate() {
+            let mine: Vec<usize> = (0..missing.len())
+                .filter(|&i| missing[i].backend_index == backend_index)
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            match backend.as_batch() {
+                Some(batch) => {
+                    let jobs: Vec<(&ScenarioSpec, u64)> = mine
+                        .iter()
+                        .map(|&i| {
+                            let item = &missing[i];
+                            (&item.spec, run_seed(item.seed, item.run_index))
+                        })
+                        .collect();
+                    for (&i, out) in mine.iter().zip(batch.run_batch(&jobs)) {
+                        outcomes[i] = Some(out);
+                    }
+                }
+                None => {
+                    let outs: Vec<RunOutcome> = mine
+                        .par_iter()
+                        .map(|&i| {
+                            let item = &missing[i];
+                            backend.run(&item.spec, run_seed(item.seed, item.run_index))
+                        })
+                        .collect();
+                    for (&i, out) in mine.iter().zip(outs) {
+                        outcomes[i] = Some(out);
+                    }
+                }
+            }
+        }
         let computed: Vec<(CellKey, RunOutcome)> = missing
-            .par_iter()
-            .map(|item| {
+            .iter()
+            .zip(outcomes)
+            .map(|(item, outcome)| {
                 let (backend, _) = &plan[item.backend_index];
-                let outcome = backend.run(&item.spec, run_seed(item.seed, item.run_index));
                 let key = CellKey {
                     spec_hash: item.spec.stable_hash(),
                     seed: item.seed,
                     backend: backend.name().to_string(),
                     run_index: item.run_index,
                 };
-                (key, outcome)
+                (key, outcome.expect("every missing entry was computed"))
             })
             .collect();
         let stats = CacheStats {
@@ -610,6 +700,51 @@ impl ScenarioGrid {
         let report = self.report_from_store(store)?;
         Ok((report, stats))
     }
+}
+
+/// The pinned benchmark grids of the sweep-throughput perf trajectory
+/// (`figures bench-sweep`, `BENCH_sweep.json`, and the criterion bench
+/// in `crates/bench`). Fixed definitions so cells/sec numbers stay
+/// comparable across PRs:
+///
+/// * **24** — mixed-topology coverage: 2 mixes × 2 buffers × 2 qdiscs ×
+///   {dumbbell, parking lot, chain}, 4/3/4 flows per cell. Exercises
+///   every lane family the batch integrator supports.
+/// * **96** — the §4.3-shaped dumbbell campaign: 6 mixes × 4 buffers ×
+///   2 qdiscs × 2 RTT bands at N = 10 flows — the grid family the
+///   paper's fluid results (Figs. 6–10, 13–17) are swept on, and the
+///   acceptance gauge for batched-vs-scalar fluid throughput.
+///
+/// Both use 1 s measurement windows so a full scalar-vs-batch
+/// comparison stays in benchmark territory (seconds, not minutes).
+pub fn bench_grid(cells: usize) -> ScenarioGrid {
+    let base = ScenarioGrid::new()
+        .effort(Effort::Fast)
+        .backend(Backend::Fluid)
+        .qdiscs(vec![QdiscKind::DropTail, QdiscKind::Red])
+        .duration(1.0)
+        .warmup(0.25)
+        .seed(42);
+    let grid = match cells {
+        24 => base
+            .topologies(vec![
+                TopologyKind::Dumbbell,
+                TopologyKind::ParkingLot,
+                TopologyKind::Chain,
+            ])
+            .combos(vec![COMBOS[0], COMBOS[4]])
+            .flow_counts(vec![4])
+            .buffers_bdp(vec![1.0, 4.0])
+            .rtt_ranges(vec![(0.030, 0.040)]),
+        96 => base
+            .combos(COMBOS[..6].to_vec())
+            .flow_counts(vec![10])
+            .buffers_bdp(vec![1.0, 2.0, 4.0, 7.0])
+            .rtt_ranges(vec![(0.030, 0.040), (0.010, 0.020)]),
+        other => panic!("no pinned bench grid with {other} cells (have 24, 96)"),
+    };
+    assert_eq!(grid.len(), cells, "pinned bench grid definition drifted");
+    grid
 }
 
 /// How much of a cached sweep was served from the store.

@@ -1,0 +1,261 @@
+//! Batched structure-of-arrays fluid backend: whole sweep grids
+//! integrated in lockstep, bit-identical to the scalar `FluidBackend`.
+//!
+//! The paper's fluid-model results come from sweeping many (CCA, qdisc,
+//! topology, RTT, flow-count) configurations; the scalar backend
+//! integrates one scenario at a time, so the dominant sweep cost is the
+//! per-scenario stepper overhead repeated once per cell. This crate
+//! packs N scenarios into contiguous per-flow/per-link lanes
+//! ([`sim::BatchedFluidSim`]) and advances them all through one shared
+//! step loop, with per-lane termination masks so heterogeneous specs —
+//! different flow counts, durations, and topologies across the
+//! dumbbell/parking-lot/chain families — batch together.
+//!
+//! # Identity contract
+//!
+//! [`BatchedFluidBackend`] reports the name `"fluid"`: it is an
+//! *execution strategy* over the same fluid model, not a different
+//! simulator. For every spec the sweep grid can emit, its outcomes are
+//! **byte-identical** to `FluidBackend` with the same `ModelConfig`, so
+//! result-store keys, campaign caches, and pinned hashes produced by
+//! either engine are interchangeable (`tests/fluidbatch_equivalence.rs`
+//! holds the equivalence test-matrix).
+//!
+//! ```
+//! use bbr_fluid_core::backend::FluidBackend;
+//! use bbr_fluidbatch::BatchedFluidBackend;
+//! use bbr_scenario::{BatchSimBackend, CcaKind, ScenarioSpec, SimBackend};
+//!
+//! let a = ScenarioSpec::dumbbell(2, 50.0, 0.010, 2.0)
+//!     .ccas(vec![CcaKind::BbrV1, CcaKind::Reno])
+//!     .duration(1.0);
+//! let b = ScenarioSpec::parking_lot(50.0, 40.0, 0.010, 2.0)
+//!     .ccas(vec![CcaKind::Cubic])
+//!     .duration(0.5);
+//! let batch = BatchedFluidBackend::coarse().run_batch(&[(&a, 1), (&b, 2)]);
+//! assert_eq!(batch[0], FluidBackend::coarse().run(&a, 1));
+//! assert_eq!(batch[1], FluidBackend::coarse().run(&b, 2));
+//! ```
+
+pub mod sim;
+
+use bbr_fluid_core::backend::outcome_from_metrics;
+use bbr_fluid_core::config::ModelConfig;
+use bbr_scenario::{BatchSimBackend, RunOutcome, ScenarioSpec, SimBackend};
+use rayon::prelude::*;
+
+use crate::sim::BatchedFluidSim;
+
+/// Default cap on the summed flow count of one lockstep wave.
+///
+/// A wave's working set (histories, agents, lookup tables) should stay
+/// cache-resident across steps; bounding the summed flow count bounds
+/// it. Purely an execution knob — wave splitting cannot change results,
+/// since every lane is independent. Measured on the pinned bench grids,
+/// small waves win on a single cache-bound core (throughput is flat up
+/// to ~24 summed flows and decays ~10% by 96), so the default keeps a
+/// wave at a couple of typical lanes; widen it for SIMD/multicore
+/// experiments where cross-lane parallelism pays.
+pub const DEFAULT_WAVE_FLOW_BUDGET: usize = 16;
+
+/// The batched fluid integrator as a [`SimBackend`] /
+/// [`BatchSimBackend`].
+#[derive(Debug, Clone)]
+pub struct BatchedFluidBackend {
+    cfg: ModelConfig,
+    wave_flow_budget: usize,
+}
+
+impl BatchedFluidBackend {
+    /// Backend with an explicit integration configuration.
+    pub fn new(cfg: ModelConfig) -> Self {
+        Self {
+            cfg,
+            wave_flow_budget: DEFAULT_WAVE_FLOW_BUDGET,
+        }
+    }
+
+    /// Backend with the coarse (fast) integration step — the usual
+    /// choice for sweeps and tests, and the one matching
+    /// `FluidBackend::coarse()`.
+    pub fn coarse() -> Self {
+        Self::new(ModelConfig::coarse())
+    }
+
+    /// Override the summed-flow budget of one lockstep wave (execution
+    /// knob only; results are invariant). Values below 1 mean one lane
+    /// per wave.
+    pub fn wave_flow_budget(mut self, flows: usize) -> Self {
+        self.wave_flow_budget = flows.max(1);
+        self
+    }
+
+    /// Split jobs into waves whose summed flow counts stay within the
+    /// budget (every wave holds at least one job).
+    fn waves<'a>(&self, jobs: &'a [(&'a ScenarioSpec, u64)]) -> Vec<&'a [(&'a ScenarioSpec, u64)]> {
+        let mut waves = Vec::new();
+        let mut start = 0;
+        let mut flows = 0;
+        for (idx, (spec, _)) in jobs.iter().enumerate() {
+            let f = spec.n_flows();
+            if idx > start && flows + f > self.wave_flow_budget {
+                waves.push(&jobs[start..idx]);
+                start = idx;
+                flows = 0;
+            }
+            flows += f;
+        }
+        if start < jobs.len() {
+            waves.push(&jobs[start..]);
+        }
+        waves
+    }
+}
+
+impl SimBackend for BatchedFluidBackend {
+    /// `"fluid"`, deliberately: outcomes are bit-identical to the scalar
+    /// fluid backend, so stores and reports treat them as the same
+    /// column (see the crate docs' identity contract).
+    fn name(&self) -> &'static str {
+        "fluid"
+    }
+
+    fn run(&self, spec: &ScenarioSpec, seed: u64) -> RunOutcome {
+        self.run_batch(&[(spec, seed)])
+            .pop()
+            .expect("one job in, one outcome out")
+    }
+
+    fn as_batch(&self) -> Option<&dyn BatchSimBackend> {
+        Some(self)
+    }
+}
+
+impl BatchSimBackend for BatchedFluidBackend {
+    /// Integrate every job's scenario in lockstep waves, waves fanned
+    /// out across the rayon pool (each wave is an independent batch, so
+    /// parallelizing them cannot change a bit of any outcome — and a
+    /// multi-core sweep keeps its thread-level speedup on top of the
+    /// batch engine's per-core one). The fluid model is deterministic,
+    /// so the seeds are ignored (as in the scalar backend); outcomes
+    /// come back in job order.
+    fn run_batch(&self, jobs: &[(&ScenarioSpec, u64)]) -> Vec<RunOutcome> {
+        // The scalar engine's entry points validate both the specs and
+        // the integration config (`Simulator::new` rejects e.g. a zero
+        // step size); the batch engine must refuse exactly the same
+        // inputs to keep the bit-identity contract meaningful at its
+        // boundary.
+        self.cfg.validate().expect("invalid model configuration");
+        for (spec, _) in jobs {
+            spec.validate().expect("invalid scenario spec");
+        }
+        self.waves(jobs)
+            .par_iter()
+            .map(|wave| {
+                let specs: Vec<&ScenarioSpec> = wave.iter().map(|(s, _)| *s).collect();
+                let metrics = BatchedFluidSim::new(&specs, self.cfg.clone()).run();
+                specs
+                    .iter()
+                    .zip(&metrics)
+                    .map(|(spec, m)| outcome_from_metrics(spec, m))
+                    .collect::<Vec<RunOutcome>>()
+            })
+            .collect::<Vec<Vec<RunOutcome>>>()
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbr_fluid_core::backend::FluidBackend;
+    use bbr_scenario::CcaKind;
+
+    fn specs() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::dumbbell(2, 50.0, 0.010, 2.0)
+                .ccas(vec![CcaKind::BbrV1, CcaKind::Reno])
+                .duration(1.0),
+            ScenarioSpec::dumbbell(4, 100.0, 0.010, 1.0)
+                .ccas(vec![CcaKind::Cubic])
+                .duration(0.8),
+            ScenarioSpec::parking_lot(100.0, 80.0, 0.010, 3.0)
+                .ccas(vec![CcaKind::BbrV2])
+                .duration(0.6),
+            ScenarioSpec::chain(3, 100.0, 0.010, 2.0)
+                .ccas(vec![CcaKind::BbrV1])
+                .duration(0.5),
+        ]
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_scalar_across_families() {
+        let specs = specs();
+        let jobs: Vec<(&ScenarioSpec, u64)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s, i as u64))
+            .collect();
+        let batch = BatchedFluidBackend::coarse().run_batch(&jobs);
+        let scalar = FluidBackend::coarse();
+        for ((spec, seed), out) in jobs.iter().zip(&batch) {
+            assert_eq!(out, &scalar.run(spec, *seed), "{:?}", spec.topology);
+        }
+    }
+
+    #[test]
+    fn ragged_durations_terminate_lanes_independently() {
+        // Same spec at three window lengths in one batch: the masks end
+        // each lane on its own step count, and every lane still matches
+        // its scalar run exactly.
+        let base = ScenarioSpec::dumbbell(2, 50.0, 0.010, 1.0).ccas(vec![CcaKind::BbrV1]);
+        let specs: Vec<ScenarioSpec> = [0.3, 1.1, 0.7]
+            .iter()
+            .map(|d| base.clone().duration(*d))
+            .collect();
+        let jobs: Vec<(&ScenarioSpec, u64)> = specs.iter().map(|s| (s, 0)).collect();
+        let batch = BatchedFluidBackend::coarse().run_batch(&jobs);
+        let scalar = FluidBackend::coarse();
+        for (spec, out) in specs.iter().zip(&batch) {
+            assert_eq!(out, &scalar.run(spec, 0), "duration {}", spec.duration);
+        }
+        // Durations differ, so the outcomes must too (the masks really
+        // stopped integrating, rather than sharing one window).
+        assert_ne!(batch[0], batch[1]);
+    }
+
+    #[test]
+    fn wave_splitting_is_invisible_in_results() {
+        let specs = specs();
+        let jobs: Vec<(&ScenarioSpec, u64)> = specs.iter().map(|s| (s, 0)).collect();
+        let one_wave = BatchedFluidBackend::coarse()
+            .wave_flow_budget(1000)
+            .run_batch(&jobs);
+        let lane_per_wave = BatchedFluidBackend::coarse()
+            .wave_flow_budget(1)
+            .run_batch(&jobs);
+        assert_eq!(one_wave, lane_per_wave);
+    }
+
+    #[test]
+    fn scalar_entry_point_and_batch_view() {
+        let spec = ScenarioSpec::dumbbell(2, 50.0, 0.010, 1.0)
+            .ccas(vec![CcaKind::Reno])
+            .duration(0.5);
+        let b = BatchedFluidBackend::coarse();
+        assert_eq!(b.name(), "fluid");
+        assert!(b.as_batch().is_some());
+        assert_eq!(b.run(&spec, 3), FluidBackend::coarse().run(&spec, 3));
+        // The fluid model ignores seeds, batched or not.
+        assert_eq!(b.run(&spec, 1), b.run(&spec, 999));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario spec")]
+    fn invalid_specs_are_rejected_before_any_integration() {
+        let bad = ScenarioSpec::dumbbell(0, 50.0, 0.010, 1.0);
+        let _ = BatchedFluidBackend::coarse().run_batch(&[(&bad, 0)]);
+    }
+}

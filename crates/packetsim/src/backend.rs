@@ -94,9 +94,16 @@ impl PacketBackend {
                 run_parking_lot(&lot, &self.config(spec, seed))
             }
             Topology::Chain { .. } => {
-                // Kept out of `supports`-respecting sweep paths; a direct
-                // call is a caller bug, not a scenario-data state.
-                panic!("PacketBackend does not support Topology::Chain (fluid-only family)")
+                // `run`'s documented contract is that callers consult
+                // `supports()` first (every sweep/campaign path does, and
+                // `try_run` is the checked entry point that turns this
+                // into a `RunError::Unsupported` value instead) — so a
+                // direct call landing here is a caller bug, reported
+                // loudly rather than answered with fabricated metrics.
+                panic!(
+                    "PacketBackend does not support Topology::Chain (fluid-only family); \
+                     check supports() or use try_run()"
+                )
             }
         }
     }
@@ -208,6 +215,42 @@ mod tests {
         assert!(!b.supports(&chain));
         assert!(b.supports(&ScenarioSpec::dumbbell(2, 50.0, 0.010, 1.0)));
         assert!(b.supports(&ScenarioSpec::parking_lot(50.0, 40.0, 0.010, 1.0)));
+    }
+
+    #[test]
+    fn chain_try_run_is_a_defined_error_not_a_panic() {
+        // The regression this pins: an unsupported spec through the
+        // checked entry point must come back as a `RunError` value —
+        // callers that skipped the `supports()` check get a typed error
+        // naming the backend, never a panic or fabricated metrics.
+        let b = PacketBackend::new(1);
+        let chain = ScenarioSpec::chain(3, 50.0, 0.010, 2.0);
+        match b.try_run(&chain, 7) {
+            Err(bbr_scenario::RunError::Unsupported { backend, reason }) => {
+                assert_eq!(backend, "packet");
+                assert!(reason.contains("Chain"), "unhelpful reason: {reason}");
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        // Malformed specs are also a defined error through try_run.
+        let bad = ScenarioSpec::dumbbell(0, 50.0, 0.010, 1.0);
+        assert!(matches!(
+            b.try_run(&bad, 0),
+            Err(bbr_scenario::RunError::InvalidSpec(_))
+        ));
+        // Supported specs pass through to `run` unchanged.
+        let ok = ScenarioSpec::dumbbell(2, 20.0, 0.010, 1.0)
+            .duration(0.5)
+            .warmup(0.1);
+        assert_eq!(b.try_run(&ok, 5).unwrap(), b.run(&ok, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support Topology::Chain")]
+    fn chain_direct_run_panics_per_contract() {
+        // The unchecked path keeps its documented loud failure.
+        let chain = ScenarioSpec::chain(3, 50.0, 0.010, 2.0);
+        let _ = PacketBackend::new(1).run(&chain, 0);
     }
 
     #[test]

@@ -573,16 +573,51 @@ pub fn jain_index(values: &[f64]) -> f64 {
     }
 }
 
+/// Why a backend could not produce a [`RunOutcome`] for a spec — the
+/// defined, non-panicking counterpart of the [`SimBackend::run`]
+/// contract (see [`SimBackend::try_run`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The backend does not implement this scenario family (e.g. chain
+    /// topologies on the packet simulator). Callers that consulted
+    /// [`SimBackend::supports`] first never see this.
+    Unsupported {
+        backend: &'static str,
+        reason: String,
+    },
+    /// The spec itself is malformed ([`ScenarioSpec::validate`] failed).
+    InvalidSpec(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Unsupported { backend, reason } => {
+                write!(
+                    f,
+                    "backend `{backend}` does not support this spec: {reason}"
+                )
+            }
+            RunError::InvalidSpec(e) => write!(f, "invalid scenario spec: {e}"),
+        }
+    }
+}
+
 /// A simulator that can evaluate any [`ScenarioSpec`].
 ///
 /// Implementations: `FluidBackend` (`bbr-fluid-core`) integrates the
 /// paper's §2/§3 fluid model; `PacketBackend` (`bbr-packetsim`) runs the
-/// packet-level discrete-event simulator. Sweep engines hold
-/// `Vec<Box<dyn SimBackend>>` and fire every grid cell through each
-/// backend — adding a simulator is a single-site change.
+/// packet-level discrete-event simulator; `BatchedFluidBackend`
+/// (`bbr-fluidbatch`) integrates whole batches of fluid scenarios in
+/// lockstep. Sweep engines hold `Vec<Box<dyn SimBackend>>` and fire
+/// every grid cell through each backend — adding a simulator is a
+/// single-site change.
 pub trait SimBackend: Send + Sync {
     /// Short stable identifier (`"fluid"`, `"packet"`), used as a column
-    /// key in reports.
+    /// key in reports and as the backend component of result-store keys.
+    /// Backends that are pure execution strategies over the same model
+    /// (and byte-identical to it) share the model's name, so their
+    /// results are interchangeable in stores.
     fn name(&self) -> &'static str;
 
     /// Whether this backend can evaluate the spec. Sweep engines skip
@@ -596,7 +631,59 @@ pub trait SimBackend: Send + Sync {
 
     /// Evaluate the spec. `seed` drives any randomized choices; fully
     /// deterministic backends may ignore it.
+    ///
+    /// # Contract
+    ///
+    /// Callers must hand `run` only specs the backend [`supports`] and
+    /// that pass [`ScenarioSpec::validate`]; anything else is a caller
+    /// bug and may panic. [`SimBackend::try_run`] is the checked
+    /// entry point that turns both violations into a [`RunError`]
+    /// instead.
+    ///
+    /// [`supports`]: SimBackend::supports
     fn run(&self, spec: &ScenarioSpec, seed: u64) -> RunOutcome;
+
+    /// Checked evaluation: validates the spec and consults
+    /// [`SimBackend::supports`] before running, so unsupported or
+    /// malformed specs become a defined error value rather than a panic
+    /// from inside the engine.
+    fn try_run(&self, spec: &ScenarioSpec, seed: u64) -> Result<RunOutcome, RunError> {
+        spec.validate().map_err(RunError::InvalidSpec)?;
+        if !self.supports(spec) {
+            return Err(RunError::Unsupported {
+                backend: self.name(),
+                reason: format!("{:?} is outside this backend's family", spec.topology),
+            });
+        }
+        Ok(self.run(spec, seed))
+    }
+
+    /// The batch-capable view of this backend, if it has one. Sweep
+    /// engines use this to hand a batch backend *all* of a grid's cells
+    /// in one [`BatchSimBackend::run_batch`] call instead of looping;
+    /// plain backends keep the default `None`.
+    fn as_batch(&self) -> Option<&dyn BatchSimBackend> {
+        None
+    }
+}
+
+/// A simulator that can evaluate many `(spec, seed)` jobs in one call —
+/// e.g. by packing them into a structure-of-arrays state and advancing
+/// every scenario in lockstep (`bbr-fluidbatch`).
+///
+/// `run_batch` must be *observationally identical* to calling
+/// [`SimBackend::run`] per job: outcome `i` is exactly what
+/// `self.run(jobs[i].0, jobs[i].1)` would return, bit for bit. Batching
+/// is an execution strategy, never a different model.
+pub trait BatchSimBackend: SimBackend {
+    /// Evaluate every job and return one outcome per job, in order. The
+    /// default implementation is the scalar loop; batch integrators
+    /// override it.
+    fn run_batch(&self, jobs: &[(&ScenarioSpec, u64)]) -> Vec<RunOutcome> {
+        jobs.iter()
+            .map(|(spec, seed)| self.run(spec, *seed))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -794,6 +881,72 @@ mod tests {
             assert_eq!(QdiscKind::from_name(q.name()), Some(q));
         }
         assert_eq!(QdiscKind::from_name("codel"), None);
+    }
+
+    /// A stub backend for trait-default tests: reports a fixed
+    /// throughput equal to the seed, supports dumbbells only.
+    struct Stub;
+
+    impl SimBackend for Stub {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+
+        fn supports(&self, spec: &ScenarioSpec) -> bool {
+            matches!(spec.topology, Topology::Dumbbell { .. })
+        }
+
+        fn run(&self, spec: &ScenarioSpec, seed: u64) -> RunOutcome {
+            RunOutcome {
+                backend: "stub",
+                flows: vec![FlowMetrics {
+                    cca: spec.cca_of(0),
+                    throughput_mbps: seed as f64,
+                }],
+                jain: 1.0,
+                loss_percent: 0.0,
+                occupancy_percent: 0.0,
+                utilization_percent: 0.0,
+                jitter_ms: 0.0,
+                per_link_occupancy: vec![0.0],
+                per_link_utilization: vec![0.0],
+            }
+        }
+    }
+
+    impl BatchSimBackend for Stub {}
+
+    #[test]
+    fn try_run_turns_contract_violations_into_errors() {
+        let b = Stub;
+        let ok = ScenarioSpec::dumbbell(2, 100.0, 0.010, 1.0);
+        assert_eq!(b.try_run(&ok, 7).unwrap(), b.run(&ok, 7));
+        // Unsupported family: a defined error naming the backend.
+        let chain = ScenarioSpec::chain(3, 100.0, 0.010, 1.0);
+        match b.try_run(&chain, 0) {
+            Err(RunError::Unsupported { backend, .. }) => assert_eq!(backend, "stub"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        // Malformed spec: reported before `supports` is even consulted.
+        let bad = ScenarioSpec::dumbbell(0, 100.0, 0.010, 1.0);
+        assert!(matches!(b.try_run(&bad, 0), Err(RunError::InvalidSpec(_))));
+        // Errors render as readable messages.
+        let msg = b.try_run(&chain, 0).unwrap_err().to_string();
+        assert!(msg.contains("stub"), "{msg}");
+    }
+
+    #[test]
+    fn default_run_batch_is_the_scalar_loop() {
+        let b = Stub;
+        let s1 = ScenarioSpec::dumbbell(2, 100.0, 0.010, 1.0);
+        let s2 = ScenarioSpec::dumbbell(4, 100.0, 0.010, 2.0);
+        let jobs = [(&s1, 3u64), (&s2, 9u64)];
+        let batch = b.run_batch(&jobs);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], b.run(&s1, 3));
+        assert_eq!(batch[1], b.run(&s2, 9));
+        // Plain backends expose no batch view by default.
+        assert!(Stub.as_batch().is_none());
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub use bbr_analysis as analysis;
 pub use bbr_campaign as campaign;
 pub use bbr_experiments as experiments;
 pub use bbr_fluid_core as fluid;
+pub use bbr_fluidbatch as fluidbatch;
 pub use bbr_linalg as linalg;
 pub use bbr_packetsim as packetsim;
 pub use bbr_scenario as scenario;
