@@ -19,9 +19,13 @@
 /// output is deterministic.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// A string value.
     Str(String),
+    /// A number (always an `f64`; see the module's exactness rules).
     Num(f64),
+    /// An array of values.
     Arr(Vec<Json>),
+    /// An object: ordered `(key, value)` fields.
     Obj(Vec<(String, Json)>),
 }
 
@@ -65,6 +69,7 @@ impl Json {
         (v.fract() == 0.0 && v >= 0.0 && v <= u32::MAX as f64).then_some(v as usize)
     }
 
+    /// String value, if this is a [`Json::Str`].
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -77,6 +82,7 @@ impl Json {
         u64::from_str_radix(self.as_str()?, 16).ok()
     }
 
+    /// Array items, if this is a [`Json::Arr`].
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),

@@ -60,6 +60,8 @@
 //! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod json;
 pub mod plan;
 pub mod runner;

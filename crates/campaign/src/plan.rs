@@ -12,7 +12,7 @@
 
 use std::path::Path;
 
-use bbr_scenario::{CcaKind, QdiscKind, ScenarioSpec, Topology};
+use bbr_scenario::{CcaKind, FlowWindow, QdiscKind, ScenarioSpec, Topology};
 
 use crate::json::Json;
 
@@ -24,7 +24,10 @@ pub const PLAN_FILE: &str = "plan.json";
 /// backends use 1; the packet simulator averages several).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BackendSel {
+    /// Stable backend name (`"fluid"`, `"packet"`, ...), resolved by
+    /// the host's backend factory.
     pub name: String,
+    /// Repetitions stored per cell under distinct `run_index` keys.
     pub runs: u32,
 }
 
@@ -33,7 +36,9 @@ pub struct BackendSel {
 /// hash by the sweep layer).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlannedCell {
+    /// The backend-agnostic scenario of this cell.
     pub spec: ScenarioSpec,
+    /// The cell's base seed.
     pub seed: u64,
 }
 
@@ -43,11 +48,14 @@ pub struct CampaignPlan {
     /// Opaque effort tag the backend factory interprets (`"fast"` /
     /// `"full"` for the built-in backends).
     pub effort: String,
+    /// The backends every cell runs on, with per-backend repetitions.
     pub backends: Vec<BackendSel>,
+    /// Every cell of the campaign, in planned order.
     pub cells: Vec<PlannedCell>,
 }
 
 impl CampaignPlan {
+    /// Serialize the plan as one compact JSON document.
     pub fn to_json_string(&self) -> String {
         Json::Obj(vec![
             ("effort".into(), Json::str(&self.effort)),
@@ -83,6 +91,7 @@ impl CampaignPlan {
         .to_compact_string()
     }
 
+    /// Parse a plan from [`CampaignPlan::to_json_string`]'s form.
     pub fn from_json_str(text: &str) -> Result<Self, String> {
         let doc = Json::parse(text)?;
         let backends = doc
@@ -182,7 +191,7 @@ pub fn spec_to_json(spec: &ScenarioSpec) -> Json {
             ("buffer_bdp".into(), Json::Num(buffer_bdp)),
         ]),
     };
-    Json::Obj(vec![
+    let mut fields = vec![
         ("topology".into(), topology),
         (
             "ccas".into(),
@@ -191,7 +200,23 @@ pub fn spec_to_json(spec: &ScenarioSpec) -> Json {
         ("qdisc".into(), Json::str(spec.qdisc.name())),
         ("duration".into(), Json::Num(spec.duration)),
         ("warmup".into(), Json::Num(spec.warmup)),
-    ])
+    ];
+    // Churn windows, verbatim (so the spec round-trips field-exactly) —
+    // emitted only when windows are present, so churn-free plans (and
+    // every plan written before churn existed) keep the exact
+    // historical byte format.
+    if !spec.churn.is_empty() {
+        fields.push((
+            "churn".into(),
+            Json::Arr(
+                spec.churn
+                    .iter()
+                    .map(|w| Json::Arr(vec![Json::Num(w.start), Json::Num(w.stop)]))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(fields)
 }
 
 /// JSON → [`ScenarioSpec`] (exact inverse of [`spec_to_json`]).
@@ -239,6 +264,25 @@ pub fn spec_from_json(j: &Json) -> Result<ScenarioSpec, String> {
     if ccas.is_empty() {
         return Err("spec has no CCA kinds".into());
     }
+    // Optional churn block (absent in churn-free and pre-churn plans).
+    let churn = match j.get("churn") {
+        None => Vec::new(),
+        Some(c) => c
+            .as_arr()
+            .ok_or("churn is not an array")?
+            .iter()
+            .map(|w| {
+                let pair = w
+                    .as_arr()
+                    .filter(|a| a.len() == 2)
+                    .ok_or("bad churn window pair")?;
+                Ok(FlowWindow {
+                    start: pair[0].as_f64().ok_or("bad churn start")?,
+                    stop: pair[1].as_f64().ok_or("bad churn stop")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
     Ok(ScenarioSpec {
         topology,
         ccas,
@@ -249,6 +293,7 @@ pub fn spec_from_json(j: &Json) -> Result<ScenarioSpec, String> {
             .ok_or("unknown qdisc")?,
         duration: num(j, "duration")?,
         warmup: num(j, "warmup")?,
+        churn,
     })
 }
 
@@ -266,7 +311,23 @@ mod tests {
             ScenarioSpec::dumbbell(3, 1.0 / 3.0, 0.012_345, 0.1 + 0.2),
             ScenarioSpec::parking_lot(100.0, 80.0, 0.010, 3.0).ccas(vec![CcaKind::BbrV2]),
             ScenarioSpec::chain(5, 60.0, 0.007, 1.5).ccas(vec![CcaKind::Cubic, CcaKind::BbrV2]),
+            // Churn: a late joiner with an exact-binary start, a flow
+            // that never starts in-window, and an infinite stop.
+            ScenarioSpec::dumbbell(4, 50.0, 0.010, 2.0)
+                .flow_window(1, 0.1 + 0.2, 4.5)
+                .flow_window(3, 2.0, f64::INFINITY),
         ]
+    }
+
+    #[test]
+    fn churn_free_spec_json_keeps_the_pre_churn_format() {
+        // Plans written before churn existed must stay parseable and
+        // new churn-free plans must serialize byte-identically to them.
+        let spec = ScenarioSpec::parking_lot(100.0, 80.0, 0.010, 3.0);
+        let json = spec_to_json(&spec).to_compact_string();
+        assert!(!json.contains("churn"), "unexpected churn block: {json}");
+        let back = spec_from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(spec, back);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::plan::{BackendSel, CampaignPlan};
 use crate::shard::ShardPlan;
 use crate::store::{CellKey, ResultStore, ShardWriter};
 
-/// The hidden argv[1] that switches a host binary into worker mode.
+/// The hidden `argv[1]` that switches a host binary into worker mode.
 pub const WORKER_SUBCOMMAND: &str = "campaign-worker";
 
 /// How many entries a worker hands a batch backend per `run_batch`
@@ -51,7 +51,9 @@ type PlanBackends = Vec<(BackendSel, Box<dyn SimBackend>)>;
 /// What one worker did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerSummary {
+    /// This worker's shard index.
     pub shard: usize,
+    /// Total shard count of the campaign run.
     pub shards: usize,
     /// Engine runs this worker computed and wrote to its shard file.
     pub computed: usize,
@@ -68,6 +70,7 @@ pub struct CampaignSummary {
     pub computed: usize,
     /// Entries served from the store.
     pub cached: usize,
+    /// Worker processes the campaign ran with.
     pub shards: usize,
 }
 

@@ -120,14 +120,17 @@ impl ResultStore {
         self.map.len()
     }
 
+    /// Whether the store holds no records.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
 
+    /// Whether a record exists for `key`.
     pub fn contains(&self, key: &CellKey) -> bool {
         self.map.contains_key(key)
     }
 
+    /// The stored outcome for `key`, if present.
     pub fn get(&self, key: &CellKey) -> Option<&RunOutcome> {
         self.map.get(key)
     }
@@ -275,6 +278,7 @@ pub struct CompactStats {
     pub records: usize,
     /// File size before / after the rewrite (bytes).
     pub bytes_before: u64,
+    /// File size after the rewrite (bytes).
     pub bytes_after: u64,
 }
 
@@ -311,10 +315,12 @@ impl ShardWriter {
         })
     }
 
+    /// Path of this shard's record file.
     pub fn path(&self) -> &Path {
         &self.path
     }
 
+    /// Append one record and flush it (one record = one durable line).
     pub fn append(&mut self, key: &CellKey, outcome: &RunOutcome) -> Result<(), String> {
         writeln!(self.writer, "{}", record_to_line(key, outcome))
             .and_then(|_| self.writer.flush())

@@ -2,11 +2,14 @@
 //! [`SimBackend`] trait.
 //!
 //! Translates a [`ScenarioSpec`] into a [`Network`] + CCA agents, runs
-//! the method-of-steps integration, and reshapes the aggregate metrics
-//! into the shared [`RunOutcome`]. The fluid model is deterministic and
-//! starts from near-equilibrium initial conditions, so it ignores both
-//! the seed and the warm-up window (packet-level start-up phases have no
-//! fluid counterpart).
+//! the method-of-steps integration (honoring the spec's per-flow
+//! activity windows via [`Simulator::with_activity`]), and reshapes the
+//! aggregate metrics into the shared [`RunOutcome`]. The fluid model is
+//! deterministic and starts from near-equilibrium initial conditions,
+//! so it ignores both the seed and the warm-up window (packet-level
+//! start-up phases have no fluid counterpart); churn times are measured
+//! from `t = 0` of the fluid run, matching the packet backend's
+//! measurement window.
 //!
 //! ```
 //! use bbr_fluid_core::backend::FluidBackend;
@@ -59,8 +62,8 @@ impl SimBackend for FluidBackend {
         spec.validate().expect("invalid scenario spec");
         let net = network_for_spec(spec);
         let agents = agents_for_spec(spec, &net, &self.cfg);
-        let mut sim =
-            Simulator::new(net, self.cfg.clone(), agents).expect("validated spec must build");
+        let mut sim = Simulator::with_activity(net, self.cfg.clone(), agents, &spec.churn)
+            .expect("validated spec must build");
         let metrics = sim.run(spec.duration).metrics;
         outcome_from_metrics(spec, &metrics)
     }

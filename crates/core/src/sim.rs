@@ -2,6 +2,8 @@
 //! equations of the network (§2) and the per-agent CCA models (§3) with
 //! the method of steps at a fixed step size (§4.1.1).
 
+use bbr_scenario::FlowWindow;
+
 use crate::cca::{AgentInputs, FluidCca};
 use crate::config::ModelConfig;
 use crate::history::History;
@@ -40,6 +42,21 @@ pub fn jitter_interval(cfg: &ModelConfig, n_agents: usize, observed_capacity: f6
     cfg.mss * n_agents as f64 / observed_capacity
 }
 
+/// A [`FlowWindow`] as integration-step bounds: the flow is active on
+/// steps `start_step <= step < stop_step`. Uses the same
+/// `(time / dt).round()` convention as the run-length computation, and
+/// the one shared decomposition keeps the scalar [`Simulator`] and the
+/// batched integrator (`bbr-fluidbatch`) bit-identical under churn.
+pub fn activity_steps(w: &FlowWindow, dt: f64) -> (u64, u64) {
+    let start = (w.start / dt).round() as u64;
+    let stop = if w.stop.is_finite() {
+        (w.stop / dt).round() as u64
+    } else {
+        u64::MAX
+    };
+    (start, stop)
+}
+
 /// The fluid-model simulator.
 pub struct Simulator {
     net: Network,
@@ -60,6 +77,10 @@ pub struct Simulator {
     fwd: Vec<Vec<f64>>,
     bwd: Vec<Vec<f64>>,
     bneck_pos: Vec<usize>,
+    /// Per-agent activity window as (start_step, stop_step); the flow
+    /// sends (and its CCA model steps) only within it. `(0, u64::MAX)`
+    /// — the churn-free default — takes the exact historical code path.
+    activity: Vec<(u64, u64)>,
     metrics: MetricsAccumulator,
     trace: Option<Trace>,
     trace_stride: usize,
@@ -75,11 +96,26 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Build a simulator for `net` with one CCA model per path.
+    /// Build a simulator for `net` with one CCA model per path, every
+    /// flow active for the whole run.
     pub fn new(
         net: Network,
         cfg: ModelConfig,
         agents: Vec<Box<dyn FluidCca>>,
+    ) -> Result<Self, String> {
+        Self::with_activity(net, cfg, agents, &[])
+    }
+
+    /// Build a simulator with per-flow activity windows (flow churn).
+    /// `windows` may be shorter than the agent count; missing flows get
+    /// [`FlowWindow::ALWAYS`]. An inactive flow sends at rate zero and
+    /// its CCA model is frozen; its initial history is zero rather than
+    /// the model's equilibrium rate.
+    pub fn with_activity(
+        net: Network,
+        cfg: ModelConfig,
+        agents: Vec<Box<dyn FluidCca>>,
+        windows: &[FlowWindow],
     ) -> Result<Self, String> {
         net.validate()?;
         cfg.validate()?;
@@ -114,12 +150,26 @@ impl Simulator {
         let bneck_pos: Vec<usize> = (0..n).map(|i| net.bottleneck_pos(i)).collect();
         let observed_link = observed_link(&net);
 
-        // Initial histories: agents send at their initial rate, queues are
-        // empty, RTTs equal the propagation delay.
+        let activity: Vec<(u64, u64)> = (0..n)
+            .map(|i| {
+                let w = windows.get(i).copied().unwrap_or(FlowWindow::ALWAYS);
+                activity_steps(&w, cfg.dt)
+            })
+            .collect();
+
+        // Initial histories: agents send at their initial rate (zero for
+        // flows that have not started yet), queues are empty, RTTs equal
+        // the propagation delay.
         let x0: Vec<f64> = agents
             .iter()
             .enumerate()
-            .map(|(i, a)| a.rate(prop_rtt[i], &cfg))
+            .map(|(i, a)| {
+                if activity[i].0 == 0 {
+                    a.rate(prop_rtt[i], &cfg)
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let x_hist: Vec<History> = (0..n)
             .map(|i| History::new(max_rtt, cfg.dt, x0[i]))
@@ -156,6 +206,7 @@ impl Simulator {
             fwd,
             bwd,
             bneck_pos,
+            activity,
             metrics,
             trace: None,
             trace_stride: 1,
@@ -246,6 +297,14 @@ impl Simulator {
         }
     }
 
+    /// Whether agent `i` is inside its activity window at the current
+    /// integration step.
+    #[inline]
+    fn is_active(&self, i: usize) -> bool {
+        let (start, stop) = self.activity[i];
+        start <= self.step_count && self.step_count < stop
+    }
+
     /// One integration step of the coupled system.
     pub fn step_once(&mut self) {
         let n = self.agents.len();
@@ -280,9 +339,14 @@ impl Simulator {
             self.scratch_tau[i] = tau;
         }
 
-        // 4. Current sending rates from pre-step CCA state.
+        // 4. Current sending rates from pre-step CCA state (zero
+        // outside a flow's activity window).
         for i in 0..n {
-            self.scratch_x[i] = self.agents[i].rate(self.scratch_tau[i], &self.cfg);
+            self.scratch_x[i] = if self.is_active(i) {
+                self.agents[i].rate(self.scratch_tau[i], &self.cfg)
+            } else {
+                0.0
+            };
         }
 
         // 5. Metrics and trace.
@@ -300,8 +364,13 @@ impl Simulator {
             self.record_trace_sample();
         }
 
-        // 6. Assemble delayed feedback and step the agents.
+        // 6. Assemble delayed feedback and step the agents (inactive
+        // flows' models stay frozen; they resume — or start — with
+        // whatever state they hold when their window opens).
         for i in 0..n {
+            if !self.is_active(i) {
+                continue;
+            }
             let d_p = self.prop_rtt[i];
             let tau_fb = self.tau_hist[i].at_delay(d_p);
             let x_fb = self.x_hist[i].at_delay(d_p);

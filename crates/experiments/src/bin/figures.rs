@@ -4,7 +4,7 @@
 //! figures <id>... [--fast] [--out DIR]
 //! figures all [--fast]
 //! figures sweep [--fast] [--threads N] [--backend fluid|fluid-batch|packet|both]
-//!               [--topology dumbbell|parking|chain|both|all] [--out DIR]
+//!               [--topology dumbbell|parking|chain|both|all] [--churn] [--out DIR]
 //! figures campaign [--fast] [--shards N] [--store DIR] [--resume]
 //!                  [--topology dumbbell|parking|chain|both|all]
 //! figures store compact [--store DIR]
@@ -346,13 +346,18 @@ fn run_sweep(args: &[String], effort: Effort) {
     } else {
         CampaignParams::default_rtt()
     };
-    let grid = ScenarioGrid::from_campaign(&campaign)
+    let mut grid = ScenarioGrid::from_campaign(&campaign)
         .effort(effort)
         .backend(backend)
         .topologies(topologies)
         .all_combos()
         .buffers_bdp(buffer_sizes(effort))
         .qdiscs(vec![QdiscKind::DropTail, QdiscKind::Red]);
+    // `--churn` adds the flow-churn axis: every cell additionally swept
+    // with late-start and early-stop activity windows.
+    if args.iter().any(|a| a == "--churn") {
+        grid = grid.with_churn();
+    }
     eprintln!(
         "sweeping {} points on {} thread(s)...",
         grid.len(),

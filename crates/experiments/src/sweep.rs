@@ -3,7 +3,8 @@
 //!
 //! The paper's evaluation is a grid: CCA mixes × buffer sizes × RTT
 //! ranges × queuing disciplines × sender counts — and, since the
-//! backend unification, × topologies (dumbbell and parking lot) — each
+//! backend unification, × topologies (dumbbell, parking lot, chain) ×
+//! flow-churn patterns ([`ChurnPattern`]) — each
 //! cell evaluated on the fluid model and/or the packet simulator
 //! (§4.3's Figs. 6–10 sweep, §5's stability grids, Appendix C's
 //! short-RTT replica all have this shape). [`ScenarioGrid`] is the
@@ -38,7 +39,7 @@ use bbr_campaign::{BackendSel, CampaignPlan, CellKey, PlannedCell, ResultStore};
 use bbr_fluid_core::backend::FluidBackend;
 use bbr_fluidbatch::BatchedFluidBackend;
 use bbr_packetsim::backend::PacketBackend;
-use bbr_scenario::{run_seed, QdiscKind, RunOutcome, ScenarioSpec, SimBackend};
+use bbr_scenario::{run_seed, FlowWindow, QdiscKind, RunOutcome, ScenarioSpec, SimBackend};
 use rayon::prelude::*;
 
 use crate::aggregate::{model_config, CellMetrics};
@@ -78,9 +79,9 @@ pub enum TopologyKind {
     /// both), so the expansion emits each parking-lot combination once.
     ParkingLot,
     /// `chain_hops` equal bottlenecks in series with one end-to-end flow
-    /// plus per-hop cross traffic (fluid-only so far; packet cells are
-    /// skipped via `SimBackend::supports`). Collapses the flow-count and
-    /// RTT axes like the parking lot.
+    /// plus per-hop cross traffic, on both backends (the packet engine
+    /// runs chains as general multi-link paths). Collapses the
+    /// flow-count and RTT axes like the parking lot.
     Chain,
 }
 
@@ -90,6 +91,69 @@ impl TopologyKind {
             TopologyKind::Dumbbell => "dumbbell",
             TopologyKind::ParkingLot => "parklot",
             TopologyKind::Chain => "chain",
+        }
+    }
+}
+
+/// Flow-churn pattern of a grid cell — how the cell's flows' activity
+/// windows ([`FlowWindow`]) are laid out. Patterns are defined relative
+/// to the cell's flow count and measurement window, so one axis value
+/// applies meaningfully across topologies and durations. Flow 0 (the
+/// multi-hop flow in parking-lot/chain cells) always stays active, so a
+/// churned cell never goes fully idle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnPattern {
+    /// No churn: every flow active for the whole window (the default —
+    /// cells with this pattern are byte-identical to pre-churn sweeps,
+    /// including their seeds and store keys).
+    None,
+    /// Every odd-indexed flow joins late, at 25 % of the window.
+    LateStart,
+    /// Every odd-indexed flow leaves early, at 75 % of the window.
+    EarlyStop,
+}
+
+impl ChurnPattern {
+    /// Every pattern, in the order the `--churn` axis sweeps them.
+    pub const ALL: [ChurnPattern; 3] = [
+        ChurnPattern::None,
+        ChurnPattern::LateStart,
+        ChurnPattern::EarlyStop,
+    ];
+
+    /// Stable display label (also the report/CSV column value).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChurnPattern::None => "none",
+            ChurnPattern::LateStart => "late",
+            ChurnPattern::EarlyStop => "early",
+        }
+    }
+
+    /// The per-flow windows this pattern assigns to a cell with
+    /// `n_flows` flows and a `duration`-second measurement window.
+    /// Empty for [`ChurnPattern::None`].
+    pub fn windows(&self, n_flows: usize, duration: f64) -> Vec<FlowWindow> {
+        match self {
+            ChurnPattern::None => Vec::new(),
+            ChurnPattern::LateStart => (0..n_flows)
+                .map(|i| {
+                    if i % 2 == 1 {
+                        FlowWindow::starting_at(0.25 * duration)
+                    } else {
+                        FlowWindow::ALWAYS
+                    }
+                })
+                .collect(),
+            ChurnPattern::EarlyStop => (0..n_flows)
+                .map(|i| {
+                    if i % 2 == 1 {
+                        FlowWindow::stopping_at(0.75 * duration)
+                    } else {
+                        FlowWindow::ALWAYS
+                    }
+                })
+                .collect(),
         }
     }
 }
@@ -107,6 +171,8 @@ pub struct ScenarioPoint {
     /// (min, max) propagation RTT in seconds (dumbbell only).
     pub rtt: (f64, f64),
     pub qdisc: QdiscKind,
+    /// Flow-churn pattern applied to the cell's activity windows.
+    pub churn: ChurnPattern,
 }
 
 /// Builder for a scenario grid. Defaults mirror the §4.3 campaign
@@ -128,6 +194,7 @@ pub struct ScenarioGrid {
     buffers_bdp: Vec<f64>,
     rtt_ranges: Vec<(f64, f64)>,
     qdiscs: Vec<QdiscKind>,
+    churn: Vec<ChurnPattern>,
     /// Second-bottleneck capacity of parking-lot cells, as a fraction of
     /// `capacity`.
     parking_c2_ratio: f64,
@@ -153,6 +220,7 @@ impl Default for ScenarioGrid {
             buffers_bdp: vec![1.0, 4.0],
             rtt_ranges: vec![(p.rtt_lo, p.rtt_hi)],
             qdiscs: vec![QdiscKind::DropTail],
+            churn: vec![ChurnPattern::None],
             parking_c2_ratio: 0.8,
             chain_hops: 3,
         }
@@ -285,11 +353,25 @@ impl ScenarioGrid {
         self
     }
 
+    /// Flow-churn patterns to sweep (default: [`ChurnPattern::None`]
+    /// only, which leaves every cell byte-identical to a churn-free
+    /// grid).
+    pub fn churn_patterns(mut self, churn: Vec<ChurnPattern>) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Sweep every churn pattern (the CLI's `--churn`).
+    pub fn with_churn(self) -> Self {
+        self.churn_patterns(ChurnPattern::ALL.to_vec())
+    }
+
     /// Number of grid points. Dumbbell cells span every axis; parking-lot
     /// cells collapse the flow-count and RTT axes (fixed by the
     /// topology).
     pub fn len(&self) -> usize {
-        let per_qdisc_combo_buffer = self.combos.len() * self.buffers_bdp.len() * self.qdiscs.len();
+        let per_qdisc_combo_buffer =
+            self.combos.len() * self.buffers_bdp.len() * self.qdiscs.len() * self.churn.len();
         self.topologies
             .iter()
             .map(|t| match t {
@@ -306,9 +388,9 @@ impl ScenarioGrid {
     }
 
     /// The cartesian expansion, in the fixed deterministic order
-    /// topology → combo → flows → buffer → RTT range → qdisc (innermost
-    /// last). Parking-lot cells iterate only topology → combo → buffer →
-    /// qdisc.
+    /// topology → combo → flows → buffer → RTT range → qdisc → churn
+    /// (innermost last). Parking-lot and chain cells iterate only
+    /// topology → combo → buffer → qdisc → churn.
     pub fn points(&self) -> Vec<ScenarioPoint> {
         let mut pts = Vec::with_capacity(self.len());
         let mut index = 0;
@@ -326,16 +408,19 @@ impl ScenarioGrid {
                     for &buffer_bdp in &self.buffers_bdp {
                         for &rtt in rtt_ranges {
                             for &qdisc in &self.qdiscs {
-                                pts.push(ScenarioPoint {
-                                    index,
-                                    topology,
-                                    combo: *combo,
-                                    n,
-                                    buffer_bdp,
-                                    rtt,
-                                    qdisc,
-                                });
-                                index += 1;
+                                for &churn in &self.churn {
+                                    pts.push(ScenarioPoint {
+                                        index,
+                                        topology,
+                                        combo: *combo,
+                                        n,
+                                        buffer_bdp,
+                                        rtt,
+                                        qdisc,
+                                        churn,
+                                    });
+                                    index += 1;
+                                }
                             }
                         }
                     }
@@ -376,7 +461,8 @@ impl ScenarioGrid {
             .ccas(pt.combo.kinds.to_vec())
             .qdisc(pt.qdisc)
             .duration(self.duration)
-            .warmup(self.warmup);
+            .warmup(self.warmup)
+            .churn(pt.churn.windows(pt.n, self.duration));
         if let Err(e) = spec.validate() {
             panic!("invalid grid cell {pt:?}: {e}");
         }
@@ -811,10 +897,12 @@ impl SweepReport {
     }
 
     fn header(&self) -> Vec<String> {
-        let mut h: Vec<String> = ["topo", "combo", "N", "buf[BDP]", "RTT[ms]", "qdisc"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let mut h: Vec<String> = [
+            "topo", "combo", "N", "buf[BDP]", "RTT[ms]", "qdisc", "churn",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         for b in &self.backends {
             for metric in ["jain", "loss%", "occ%", "util%"] {
                 h.push(format!("{metric}[{b}]"));
@@ -841,6 +929,7 @@ impl SweepReport {
                     table::f1(p.buffer_bdp),
                     rtt,
                     format!("{:?}", p.qdisc),
+                    p.churn.label().to_string(),
                 ];
                 for m in &c.outcomes {
                     match m {
@@ -1002,7 +1091,7 @@ mod tests {
     }
 
     #[test]
-    fn chain_cells_collapse_axes_and_skip_packet() {
+    fn chain_cells_collapse_axes_and_run_on_both_backends() {
         let grid = tiny_grid()
             .topologies(vec![TopologyKind::Chain])
             .chain_hops(4);
@@ -1013,18 +1102,75 @@ mod tests {
             assert_eq!(pt.n, 5); // hops + 1 flows
             assert!(grid.spec_for(&pt).validate().is_ok());
         }
+        // Since the packet engine learned general multi-link paths,
+        // chain cells fill *both* backend columns — the last
+        // fluid-only scenario family is gone.
         let r = grid.backend(Backend::Both).duration(0.5).run();
         assert_eq!(r.backends, vec!["fluid", "packet"]);
         for cell in &r.cells {
             assert!(r.metrics(cell, "fluid").is_some(), "fluid ran the chain");
             assert!(
-                r.metrics(cell, "packet").is_none(),
-                "packet must skip unsupported chain cells"
+                r.metrics(cell, "packet").is_some(),
+                "packet must run chain cells since the path refactor"
             );
         }
-        // Unsupported columns render as dashes, not NaNs or zeros.
-        assert!(r.table().contains('-'));
-        assert!(r.mean_utilization_gap().is_none());
+        assert!(r.mean_utilization_gap().is_some());
+    }
+
+    #[test]
+    fn churn_axis_multiplies_cells_and_default_stays_identical() {
+        let base = tiny_grid().backend(Backend::Fluid);
+        let churned = tiny_grid().backend(Backend::Fluid).with_churn();
+        assert_eq!(churned.len(), base.len() * ChurnPattern::ALL.len());
+        // The None-pattern cells of a churned grid are the base grid's
+        // cells: same specs, same seeds (stable store keys).
+        let base_specs: Vec<ScenarioSpec> =
+            base.points().iter().map(|p| base.spec_for(p)).collect();
+        for pt in churned.points() {
+            let spec = churned.spec_for(&pt);
+            match pt.churn {
+                ChurnPattern::None => {
+                    assert!(base_specs.contains(&spec), "None cell drifted: {pt:?}");
+                    assert!(!spec.has_churn());
+                }
+                _ => {
+                    assert!(spec.has_churn());
+                    assert!(
+                        !base_specs.contains(&spec),
+                        "churned cell must be a distinct spec"
+                    );
+                }
+            }
+        }
+        // Churned cells carry distinct seeds (hash includes the windows).
+        let seeds: std::collections::HashSet<u64> = churned
+            .points()
+            .iter()
+            .map(|p| churned.cell_seed(&churned.spec_for(p)))
+            .collect();
+        assert_eq!(seeds.len(), churned.len());
+    }
+
+    #[test]
+    fn churned_sweep_reports_lower_throughput_for_churned_flows() {
+        let r = tiny_grid()
+            .backend(Backend::Fluid)
+            .combos(vec![COMBOS[0]])
+            .buffers_bdp(vec![2.0])
+            .churn_patterns(vec![ChurnPattern::None, ChurnPattern::EarlyStop])
+            .run();
+        assert_eq!(r.len(), 2);
+        let util = |i: usize| r.cells[i].outcomes[0].unwrap().utilization_percent;
+        // Stopping a flow for a quarter of the window costs utilization.
+        assert!(
+            util(1) < util(0),
+            "early-stop {:.1} must trail none {:.1}",
+            util(1),
+            util(0)
+        );
+        // The churn column renders in both table and CSV.
+        assert!(r.csv().contains("early"));
+        assert!(r.table().contains("early"));
     }
 
     #[test]
@@ -1072,6 +1218,6 @@ mod tests {
         assert!(t.contains("BBRv1") && t.contains("BBRv2"));
         let csv = r.csv();
         assert_eq!(csv.lines().count(), 5); // header + 4 cells
-        assert!(csv.starts_with("topo,combo,N,buf[BDP],RTT[ms],qdisc,jain[fluid]"));
+        assert!(csv.starts_with("topo,combo,N,buf[BDP],RTT[ms],qdisc,churn,jain[fluid]"));
     }
 }

@@ -7,8 +7,9 @@
 //! per-scenario stepper overhead repeated once per cell. This crate
 //! packs N scenarios into contiguous per-flow/per-link lanes
 //! ([`sim::BatchedFluidSim`]) and advances them all through one shared
-//! step loop, with per-lane termination masks so heterogeneous specs —
-//! different flow counts, durations, and topologies across the
+//! step loop, with per-lane termination masks and per-flow activation
+//! masks (flow churn) so heterogeneous specs — different flow counts,
+//! durations, churn windows, and topologies across the
 //! dumbbell/parking-lot/chain families — batch together.
 //!
 //! # Identity contract

@@ -23,8 +23,8 @@
 //! * every delayed lookup in the hot loop uses a *constant* delay, so
 //!   the `delay/dt → (whole steps, fraction)` decomposition that
 //!   `History::at_delay` recomputes every step is resolved once at
-//!   construction ([`Lookup`]) — the interpolation arithmetic on the two
-//!   retained samples is unchanged.
+//!   construction (the private `Lookup` type) — the interpolation
+//!   arithmetic on the two retained samples is unchanged.
 //!
 //! This is also where the batch speedup comes from on a single core:
 //! the scalar stepper spends most of its time on per-lookup index math
@@ -40,7 +40,7 @@ use bbr_fluid_core::config::ModelConfig;
 use bbr_fluid_core::history::History;
 use bbr_fluid_core::metrics::{AggregateMetrics, MetricsAccumulator};
 use bbr_fluid_core::queue::{loss_probability, service_rate, step_queue};
-use bbr_fluid_core::sim::{jitter_interval, observed_link};
+use bbr_fluid_core::sim::{activity_steps, jitter_interval, observed_link};
 use bbr_fluid_core::topology::{LinkId, LinkSpec};
 use bbr_scenario::ScenarioSpec;
 
@@ -134,6 +134,14 @@ struct FlowFeedback {
     /// Arena offsets of this flow's x and τ histories (for the pushes).
     x_off: u32,
     tau_off: u32,
+    /// Activity window as step bounds (flow churn): the flow sends and
+    /// its agent steps only while `start_step <= step < stop_step`.
+    /// `(0, u64::MAX)` — the churn-free default — is the historical
+    /// always-active path. Resolved by the same `activity_steps`
+    /// decomposition as the scalar `Simulator`, which is part of the
+    /// bit-identity contract.
+    start_step: u64,
+    stop_step: u64,
 }
 
 /// Per-lane bookkeeping: where the lane's flows/links live in the flat
@@ -286,13 +294,26 @@ impl BatchedFluidSim {
         // amortized copy under one sample per push.
         let region = 2 * cap;
 
-        // Initial conditions, exactly as `Simulator::new`: agents send at
-        // their initial rate, queues are empty, RTTs equal the
+        // Per-flow activity windows, resolved exactly as the scalar
+        // `Simulator::with_activity` resolves them.
+        let activity: Vec<(u64, u64)> = (0..n)
+            .map(|i| activity_steps(&spec.window_of(i), dt))
+            .collect();
+
+        // Initial conditions, exactly as `Simulator::with_activity`:
+        // agents send at their initial rate (zero for flows that have
+        // not started yet), queues are empty, RTTs equal the
         // propagation delay.
         let x0: Vec<f64> = agents
             .iter()
             .enumerate()
-            .map(|(i, a)| a.rate(prop_rtt[i], &cfg))
+            .map(|(i, a)| {
+                if activity[i].0 == 0 {
+                    a.rate(prop_rtt[i], &cfg)
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let users: Vec<Vec<(usize, usize)>> = (0..m).map(|l| net.users_of(LinkId(l))).collect();
         let y0: Vec<f64> = (0..m)
@@ -360,6 +381,8 @@ impl BatchedFluidSim {
                 prop_rtt: d_p,
                 x_off: x_offs[i] as u32,
                 tau_off: tau_offs[i] as u32,
+                start_step: activity[i].0,
+                stop_step: activity[i].1,
             });
             let start = self.lk_loss.len();
             for (pos, link_id) in net.paths[i].links.iter().enumerate() {
@@ -396,6 +419,11 @@ impl BatchedFluidSim {
     /// flat ranges of each lane.
     fn step_once(&mut self) {
         let dt = self.cfg.dt;
+        // Lane-local step index == the global count: every lane starts
+        // at step 0 and the active set only ever shrinks. This is the
+        // same value the scalar stepper's `step_count` holds, so the
+        // churn masks fire on identical steps.
+        let step = self.step_count;
         for &ln in &self.active {
             let lane = &mut self.lanes[ln];
             let cur = lane.cur;
@@ -428,9 +456,15 @@ impl BatchedFluidSim {
                 self.tau[i] = tau;
             }
 
-            // 4. Current sending rates from pre-step CCA state.
+            // 4. Current sending rates from pre-step CCA state (zero
+            // outside a flow's activity window).
             for i in fr.clone() {
-                self.x[i] = self.agents[i].rate(self.tau[i], &self.cfg);
+                let fb = &self.feedback[i];
+                self.x[i] = if fb.start_step <= step && step < fb.stop_step {
+                    self.agents[i].rate(self.tau[i], &self.cfg)
+                } else {
+                    0.0
+                };
             }
 
             // 5. Metrics.
@@ -445,9 +479,14 @@ impl BatchedFluidSim {
                 &self.service[lr.clone()],
             );
 
-            // 6. Assemble delayed feedback and step the agents.
+            // 6. Assemble delayed feedback and step the agents
+            // (inactive flows' models stay frozen, as in the scalar
+            // stepper).
             for i in fr.clone() {
                 let fb = &self.feedback[i];
+                if !(fb.start_step <= step && step < fb.stop_step) {
+                    continue;
+                }
                 let tau_fb = fb.tau_fb.read(&self.arena, cur);
                 let x_fb = fb.x_fb.read(&self.arena, cur);
                 let mut loss_fb = 0.0;

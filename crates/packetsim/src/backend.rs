@@ -1,12 +1,15 @@
 //! [`PacketBackend`] — the packet-level discrete-event simulator behind
 //! the backend-agnostic [`SimBackend`] trait.
 //!
-//! Translates a [`ScenarioSpec`] into a [`DumbbellSpec`] or
-//! [`ParkingLotSpec`], runs the engine for `warmup + duration` seconds
-//! (metrics collected after the warm-up, which covers the packet-level
-//! start-up phase the fluid model idealizes away), and averages `runs`
-//! seeds per evaluation as the paper does for its experiment columns
-//! (§4.3).
+//! Translates a [`ScenarioSpec`] into a [`PathNetwork`] (dumbbells and
+//! parking lots as degenerate paths, chains as genuine multi-link
+//! paths), applies the spec's per-flow activity windows (churn), runs
+//! the engine for `warmup + duration` seconds (metrics collected after
+//! the warm-up, which covers the packet-level start-up phase the fluid
+//! model idealizes away), and averages `runs` seeds per evaluation as
+//! the paper does for its experiment columns (§4.3). Every scenario
+//! family the spec language can express is supported — `supports()`
+//! no longer excludes anything.
 //!
 //! ```
 //! use bbr_packetsim::backend::PacketBackend;
@@ -21,11 +24,14 @@
 //! assert!(outcome.utilization_percent > 70.0);
 //! ```
 
-use bbr_scenario::{run_seed, FlowMetrics, RunOutcome, ScenarioSpec, SimBackend, Topology};
+use bbr_scenario::{
+    run_seed, FlowMetrics, RunOutcome, ScenarioSpec, SimBackend, Topology, CHAIN_ACCESS_DELAY,
+};
 
-use crate::dumbbell::{run_dumbbell, DumbbellSpec, PacketSimReport};
+use crate::dumbbell::{DumbbellSpec, PacketSimReport};
 use crate::engine::SimConfig;
-use crate::parking_lot::{run_parking_lot, ParkingLotSpec};
+use crate::parking_lot::ParkingLotSpec;
+use crate::path::{run_path, PathFlowSpec, PathLinkSpec, PathNetwork};
 
 /// The packet simulator as a [`SimBackend`].
 #[derive(Debug, Clone)]
@@ -62,49 +68,132 @@ impl PacketBackend {
     }
 
     fn run_once(&self, spec: &ScenarioSpec, seed: u64) -> PacketSimReport {
-        match spec.topology {
-            Topology::Dumbbell {
-                n,
-                capacity,
-                bottleneck_delay,
-                buffer_bdp,
-                rtt_lo,
-                rtt_hi,
-            } => {
-                let dumbbell =
-                    DumbbellSpec::new(n, capacity, bottleneck_delay, buffer_bdp, spec.qdisc)
-                        .rtt_range(rtt_lo, rtt_hi)
-                        .ccas(spec.ccas.clone());
-                run_dumbbell(&dumbbell, &self.config(spec, seed))
-            }
-            Topology::ParkingLot {
-                c1,
-                c2,
-                link_delay,
-                buffer_bdp,
-            } => {
-                let lot = ParkingLotSpec {
-                    c1_mbps: c1,
-                    c2_mbps: c2,
-                    link_delay,
-                    buffer_bytes: buffer_bdp * c1 * 1e6 / 8.0 * link_delay,
-                    qdisc: spec.qdisc,
-                    ccas: [spec.cca_of(0), spec.cca_of(1), spec.cca_of(2)],
-                };
-                run_parking_lot(&lot, &self.config(spec, seed))
-            }
-            Topology::Chain { .. } => {
-                // `run`'s documented contract is that callers consult
-                // `supports()` first (every sweep/campaign path does, and
-                // `try_run` is the checked entry point that turns this
-                // into a `RunError::Unsupported` value instead) — so a
-                // direct call landing here is a caller bug, reported
-                // loudly rather than answered with fabricated metrics.
-                panic!(
-                    "PacketBackend does not support Topology::Chain (fluid-only family); \
-                     check supports() or use try_run()"
-                )
-            }
+        let mut net = path_network_for_spec(spec);
+        apply_churn(&mut net, spec);
+        run_path(&net, &self.config(spec, seed))
+    }
+}
+
+/// The [`PathNetwork`] a [`ScenarioSpec`] describes — the packet-side
+/// counterpart of `bbr_fluid_core::backend::network_for_spec`, so both
+/// simulators derive their wiring from the same declarative topology.
+/// Dumbbells and parking lots are degenerate paths (byte-identical to
+/// the historical hand-wired runners); chains are genuine multi-link
+/// paths mirroring the fluid model's chain network hop for hop.
+pub fn path_network_for_spec(spec: &ScenarioSpec) -> PathNetwork {
+    match spec.topology {
+        Topology::Dumbbell {
+            n,
+            capacity,
+            bottleneck_delay,
+            buffer_bdp,
+            rtt_lo,
+            rtt_hi,
+        } => DumbbellSpec::new(n, capacity, bottleneck_delay, buffer_bdp, spec.qdisc)
+            .rtt_range(rtt_lo, rtt_hi)
+            .ccas(spec.ccas.clone())
+            .path_network(),
+        Topology::ParkingLot {
+            c1,
+            c2,
+            link_delay,
+            buffer_bdp,
+        } => ParkingLotSpec {
+            c1_mbps: c1,
+            c2_mbps: c2,
+            link_delay,
+            buffer_bytes: buffer_bdp * c1 * 1e6 / 8.0 * link_delay,
+            qdisc: spec.qdisc,
+            ccas: [spec.cca_of(0), spec.cca_of(1), spec.cca_of(2)],
+        }
+        .path_network(),
+        Topology::Chain {
+            hops,
+            capacity,
+            link_delay,
+            buffer_bdp,
+        } => chain_path_network(spec, hops, capacity, link_delay, buffer_bdp),
+    }
+}
+
+/// The chain as a path network, mirroring the fluid model's
+/// `chain_network`: `hops` equal bottlenecks in series, flow 0 end to
+/// end, one cross flow per hop, and pure delays distributed so every
+/// flow's propagation RTT is `2·access + hops·link_delay` (upstream
+/// hops contribute forward access delay, downstream hops return-path
+/// delay). Starts are staggered (i · 5 ms) like every other family.
+fn chain_path_network(
+    spec: &ScenarioSpec,
+    hops: usize,
+    capacity: f64,
+    link_delay: f64,
+    buffer_bdp: f64,
+) -> PathNetwork {
+    let rate = capacity * 1e6 / 8.0; // bytes/s
+    let buffer = buffer_bdp * rate * link_delay;
+    let access = CHAIN_ACCESS_DELAY;
+    let links = (0..hops)
+        .map(|_| PathLinkSpec {
+            rate,
+            prop_delay: link_delay,
+            buffer,
+            qdisc: spec.qdisc,
+        })
+        .collect();
+    let mut flows = vec![PathFlowSpec {
+        links: (0..hops as u32).collect(),
+        access_delay: access,
+        bwd_delay: access,
+        cca: spec.cca_of(0),
+        start: 0.0,
+        stop: f64::INFINITY,
+    }];
+    for j in 0..hops {
+        flows.push(PathFlowSpec {
+            links: vec![j as u32],
+            access_delay: access + j as f64 * link_delay,
+            bwd_delay: access + (hops - 1 - j) as f64 * link_delay,
+            cca: spec.cca_of(j + 1),
+            start: (j + 1) as f64 * 0.005,
+            stop: f64::INFINITY,
+        });
+    }
+    PathNetwork {
+        links,
+        flows,
+        // All hops have equal capacity; observe the first, matching the
+        // fluid model's observed_link tie-break (first minimum).
+        headline: 0,
+    }
+}
+
+/// Apply the spec's per-flow activity windows to an already-built path
+/// network. Spec times are measured from the start of the measurement
+/// window, engine times from the start of the warm-up, so both shift by
+/// `spec.warmup`. Default windows are left untouched: those flows keep
+/// the historical staggered starts (during warm-up) and never stop, so
+/// churn-free specs simulate bit-for-bit as before.
+///
+/// Churned flows keep a staggered entry too — flows sharing a window
+/// start (e.g. the sweep's late-start pattern) must not enter slow
+/// start in lockstep, or the phase lock the default stagger exists to
+/// prevent would silently return for churned cells. The stagger is
+/// capped at a tenth of the window's length so that even a window
+/// shorter than the flow's nominal `i·5 ms` offset stays non-empty
+/// (engine start strictly before engine stop, as `PathNetwork`
+/// validation requires).
+fn apply_churn(net: &mut PathNetwork, spec: &ScenarioSpec) {
+    for (i, flow) in net.flows.iter_mut().enumerate() {
+        let w = spec.window_of(i);
+        if w.is_always() {
+            continue;
+        }
+        // `w.stop - w.start` is +inf for open-ended windows, giving the
+        // plain i·5 ms stagger; spec validation guarantees it positive.
+        let stagger = (i as f64 * 0.005).min(0.1 * (w.stop - w.start));
+        flow.start = spec.warmup + w.start + stagger;
+        if w.stop.is_finite() {
+            flow.stop = spec.warmup + w.stop;
         }
     }
 }
@@ -114,11 +203,9 @@ impl SimBackend for PacketBackend {
         "packet"
     }
 
-    fn supports(&self, spec: &ScenarioSpec) -> bool {
-        // The discrete-event engine models dumbbells and parking lots;
-        // ≥3-hop chains are fluid-only so far.
-        !matches!(spec.topology, Topology::Chain { .. })
-    }
+    // `supports` keeps its permissive default: since the path-network
+    // refactor the engine runs every topology family the spec language
+    // can express (dumbbell, parking lot, chain), with churn.
 
     fn run(&self, spec: &ScenarioSpec, seed: u64) -> RunOutcome {
         spec.validate().expect("invalid scenario spec");
@@ -157,6 +244,7 @@ fn outcome(r: &PacketSimReport) -> RunOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dumbbell::run_dumbbell;
     use bbr_scenario::CcaKind;
 
     #[test]
@@ -209,30 +297,71 @@ mod tests {
     }
 
     #[test]
-    fn chain_is_unsupported_not_miscomputed() {
+    fn every_topology_family_is_supported() {
+        // The regression the path-network refactor closes: chains used
+        // to be fluid-only; `supports()` no longer excludes anything.
         let b = PacketBackend::new(1);
-        let chain = ScenarioSpec::chain(3, 50.0, 0.010, 2.0);
-        assert!(!b.supports(&chain));
+        assert!(b.supports(&ScenarioSpec::chain(3, 50.0, 0.010, 2.0)));
         assert!(b.supports(&ScenarioSpec::dumbbell(2, 50.0, 0.010, 1.0)));
         assert!(b.supports(&ScenarioSpec::parking_lot(50.0, 40.0, 0.010, 1.0)));
     }
 
     #[test]
-    fn chain_try_run_is_a_defined_error_not_a_panic() {
-        // The regression this pins: an unsupported spec through the
-        // checked entry point must come back as a `RunError` value —
-        // callers that skipped the `supports()` check get a typed error
-        // naming the backend, never a panic or fabricated metrics.
-        let b = PacketBackend::new(1);
-        let chain = ScenarioSpec::chain(3, 50.0, 0.010, 2.0);
-        match b.try_run(&chain, 7) {
-            Err(bbr_scenario::RunError::Unsupported { backend, reason }) => {
-                assert_eq!(backend, "packet");
-                assert!(reason.contains("Chain"), "unhelpful reason: {reason}");
-            }
-            other => panic!("expected Unsupported, got {other:?}"),
+    fn chain_runs_on_the_packet_backend() {
+        let spec = ScenarioSpec::chain(3, 30.0, 0.010, 2.0)
+            .ccas(vec![CcaKind::Cubic])
+            .duration(3.0)
+            .warmup(1.0);
+        let out = PacketBackend::new(1).run(&spec, 5);
+        assert_eq!(out.flows.len(), 4); // end-to-end + 3 cross flows
+        assert_eq!(out.per_link_utilization.len(), 3);
+        for (j, u) in out.per_link_utilization.iter().enumerate() {
+            assert!(*u > 50.0, "hop {j} idle: {u:.1} %");
         }
-        // Malformed specs are also a defined error through try_run.
+        // The end-to-end flow loses against every single-hop cross flow.
+        let t = out.throughputs();
+        for j in 1..4 {
+            assert!(t[0] < t[j], "e2e {:.1} vs cross-{j} {:.1}", t[0], t[j]);
+        }
+        // And try_run serves it like any other supported family.
+        assert_eq!(
+            PacketBackend::new(1).try_run(&spec, 5).unwrap(),
+            out,
+            "try_run must pass chains straight through"
+        );
+    }
+
+    #[test]
+    fn chain_path_network_mirrors_the_fluid_chain() {
+        let spec = ScenarioSpec::chain(4, 100.0, 0.010, 2.0);
+        let net = path_network_for_spec(&spec);
+        net.validate().unwrap();
+        assert_eq!(net.links.len(), 4);
+        assert_eq!(net.flows.len(), 5);
+        // Every flow's propagation RTT is 2·access + hops·link_delay.
+        for (i, f) in net.flows.iter().enumerate() {
+            let link_prop: f64 = f
+                .links
+                .iter()
+                .map(|&l| net.links[l as usize].prop_delay)
+                .sum();
+            let rtt = f.access_delay + link_prop + f.bwd_delay;
+            assert!((rtt - 0.050).abs() < 1e-12, "flow {i}: RTT {rtt}");
+        }
+        // Each hop carries the end-to-end flow plus its own cross flow.
+        for j in 0..4u32 {
+            let users = net.flows.iter().filter(|f| f.links.contains(&j)).count();
+            assert_eq!(users, 2, "hop {j}");
+        }
+        // 2 BDP buffer per hop = 2 × (100e6/8 B/s × 10 ms) = 250 kB.
+        for l in &net.links {
+            assert!((l.buffer - 250_000.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn invalid_specs_stay_typed_errors_through_try_run() {
+        let b = PacketBackend::new(1);
         let bad = ScenarioSpec::dumbbell(0, 50.0, 0.010, 1.0);
         assert!(matches!(
             b.try_run(&bad, 0),
@@ -246,11 +375,84 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not support Topology::Chain")]
-    fn chain_direct_run_panics_per_contract() {
-        // The unchecked path keeps its documented loud failure.
-        let chain = ScenarioSpec::chain(3, 50.0, 0.010, 2.0);
-        let _ = PacketBackend::new(1).run(&chain, 0);
+    fn churn_windows_move_packet_flow_activity() {
+        // Flow 1 only exists in the middle half of the window; its
+        // throughput must drop accordingly, and the spec hash must move
+        // (distinct store keys for distinct churn).
+        let base = ScenarioSpec::dumbbell(2, 20.0, 0.010, 2.0)
+            .ccas(vec![CcaKind::Reno])
+            .duration(4.0)
+            .warmup(0.5);
+        let churned = base.clone().flow_window(1, 1.0, 3.0);
+        assert_ne!(base.stable_hash(), churned.stable_hash());
+        let b = PacketBackend::new(1);
+        let full = b.run(&base, 9);
+        let part = b.run(&churned, 9);
+        let (f, p) = (full.flows[1].throughput_mbps, part.flows[1].throughput_mbps);
+        assert!(
+            p < 0.75 * f,
+            "flow active 2 s of 4 s must deliver well under full: {p:.2} vs {f:.2}"
+        );
+        // Flow 0 picks up the freed capacity.
+        assert!(part.flows[0].throughput_mbps > full.flows[0].throughput_mbps);
+    }
+
+    #[test]
+    fn tiny_window_on_a_staggered_flow_is_defined_not_a_panic() {
+        // Regression: flow 2's historical staggered start is 10 ms of
+        // engine time; a valid window closing before that (warmup 0,
+        // stop 8 ms) used to produce an inverted start/stop pair and
+        // panic inside run_path. The stagger must shrink with the
+        // window instead.
+        let spec = ScenarioSpec::dumbbell(3, 20.0, 0.010, 2.0)
+            .ccas(vec![CcaKind::Reno])
+            .duration(1.0)
+            .warmup(0.0)
+            .flow_window(2, 0.0, 0.008);
+        spec.validate().unwrap();
+        let out = PacketBackend::new(1)
+            .try_run(&spec, 3)
+            .expect("valid tiny window must simulate, not panic");
+        assert!(out.flows[2].throughput_mbps < 1.0, "8 ms of activity");
+        assert!(out.flows[0].throughput_mbps > 5.0);
+    }
+
+    #[test]
+    fn churned_flows_sharing_a_start_stay_staggered() {
+        // Flows given the same window start must not enter the engine
+        // at the same instant (phase lock); the per-flow stagger
+        // applies to churned starts too.
+        let spec = ScenarioSpec::dumbbell(4, 20.0, 0.010, 2.0)
+            .duration(2.0)
+            .warmup(0.5)
+            .flow_window(1, 0.5, f64::INFINITY)
+            .flow_window(2, 0.5, f64::INFINITY)
+            .flow_window(3, 0.5, f64::INFINITY);
+        let mut net = path_network_for_spec(&spec);
+        apply_churn(&mut net, &spec);
+        let starts: Vec<f64> = net.flows.iter().map(|f| f.start).collect();
+        for pair in starts.windows(2) {
+            assert!(
+                (pair[0] - pair[1]).abs() > 1e-9,
+                "adjacent flows start in lockstep: {starts:?}"
+            );
+        }
+        // And the stagger stays inside each flow's window.
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn flow_starting_after_the_deadline_delivers_nothing() {
+        let spec = ScenarioSpec::dumbbell(2, 20.0, 0.010, 2.0)
+            .ccas(vec![CcaKind::Reno])
+            .duration(1.0)
+            .warmup(0.25)
+            .flow_window(1, 5.0, f64::INFINITY); // after the run ends
+        let out = PacketBackend::new(1).run(&spec, 3);
+        assert_eq!(out.flows[1].throughput_mbps, 0.0);
+        assert!(out.flows[0].throughput_mbps > 10.0, "flow 0 unaffected");
+        // No NaNs anywhere despite the dead flow.
+        assert!(out.jain.is_finite() && out.jitter_ms.is_finite());
     }
 
     #[test]

@@ -3,8 +3,9 @@
 
 use bbr_scenario::jain_index;
 
-use crate::cca::{build, CcaKind};
-use crate::engine::{Engine, Flow, Link, PacketTrace, SimConfig};
+use crate::cca::CcaKind;
+use crate::engine::{Engine, PacketTrace, SimConfig};
+use crate::path::{run_path, PathFlowSpec, PathLinkSpec, PathNetwork};
 use crate::qdisc::QdiscKind;
 
 /// The dumbbell of the paper's Fig. 3 at packet level.
@@ -185,34 +186,39 @@ pub(crate) fn collect_report(
     }
 }
 
-/// Run one dumbbell simulation.
+impl DumbbellSpec {
+    /// The dumbbell as a degenerate [`PathNetwork`]: one queued link,
+    /// every flow routing over it, staggered starts (i · 5 ms) avoiding
+    /// artificial phase lock.
+    pub fn path_network(&self) -> PathNetwork {
+        let rate = self.capacity_mbps * 1e6 / 8.0; // bytes/s
+        let buffer = self.buffer_bytes();
+        PathNetwork {
+            links: vec![PathLinkSpec {
+                rate,
+                prop_delay: self.bottleneck_delay,
+                buffer,
+                qdisc: self.qdisc,
+            }],
+            flows: (0..self.n)
+                .map(|i| PathFlowSpec {
+                    links: vec![0],
+                    access_delay: self.access[i],
+                    bwd_delay: self.access[i] + self.bottleneck_delay,
+                    cca: self.kind_of(i),
+                    start: i as f64 * 0.005,
+                    stop: f64::INFINITY,
+                })
+                .collect(),
+            headline: 0,
+        }
+    }
+}
+
+/// Run one dumbbell simulation (a degenerate path network; see
+/// [`DumbbellSpec::path_network`]).
 pub fn run_dumbbell(spec: &DumbbellSpec, cfg: &SimConfig) -> PacketSimReport {
-    let rate = spec.capacity_mbps * 1e6 / 8.0; // bytes/s
-    let buffer = spec.buffer_bytes();
-    let link = Link::new(rate, spec.bottleneck_delay, buffer, spec.qdisc);
-    let flows: Vec<Flow> = (0..spec.n)
-        .map(|i| {
-            let cca = build(
-                spec.kind_of(i),
-                cfg.mss,
-                cfg.seed.wrapping_add(i as u64 * 7919),
-            );
-            // Staggered starts avoid artificial phase lock.
-            let start = i as f64 * 0.005;
-            Flow::new(
-                vec![0],
-                spec.access[i],
-                spec.access[i] + spec.bottleneck_delay,
-                start,
-                cca,
-                cfg.mss,
-            )
-        })
-        .collect();
-    let mut engine = Engine::new(cfg.clone(), vec![link], flows, 0);
-    engine.run();
-    let kinds: Vec<CcaKind> = (0..spec.n).map(|i| spec.kind_of(i)).collect();
-    collect_report(&engine, &kinds, &[(rate, buffer)], 0)
+    run_path(&spec.path_network(), cfg)
 }
 
 #[cfg(test)]

@@ -118,6 +118,10 @@ pub struct Flow {
     pub bwd_delay: f64,
     /// Flow start time (s).
     pub start: f64,
+    /// Time after which the flow transmits nothing — no new data, no
+    /// retransmissions (s; `f64::INFINITY` = runs to the end).
+    /// In-flight packets still drain and their ACKs are still counted.
+    pub stop: f64,
     cca: Box<dyn PacketCca>,
     mss: f64,
     // Sender state.
@@ -164,6 +168,7 @@ impl Flow {
             access_delay,
             bwd_delay,
             start,
+            stop: f64::INFINITY,
             cca,
             mss,
             next_seq: 0,
@@ -190,6 +195,12 @@ impl Flow {
             rtt_cnt: 0,
             bin_delivered: 0.0,
         }
+    }
+
+    /// Builder-style stop time (see [`Flow::stop`]).
+    pub fn stop_at(mut self, stop: f64) -> Self {
+        self.stop = stop;
+        self
     }
 
     fn rto_interval(&self) -> f64 {
@@ -299,6 +310,9 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn try_send(&mut self, f: usize) {
+        if self.now >= self.flows[f].stop {
+            return; // the flow's activity window is over: full silence
+        }
         loop {
             // Drop stale retransmission entries (acked in the meantime or
             // already retransmitted).
@@ -661,6 +675,10 @@ impl Engine {
             let flow = &mut self.flows[f];
             if token != flow.rto_token || !flow.rto_armed {
                 return; // stale timer
+            }
+            if now >= flow.stop {
+                flow.rto_armed = false;
+                return; // stopped flows neither retransmit nor re-arm
             }
             if flow.inflight.is_empty() {
                 flow.rto_armed = false;

@@ -8,7 +8,10 @@
 //! RED disciplines, ACK clocking, SACK-style loss detection with fast
 //! retransmit and RTO, pacing, and packet-level implementations of Reno,
 //! CUBIC, BBRv1, and BBRv2 written from the paper's §3.1 behavioural
-//! description and the cited BBR material.
+//! description and the cited BBR material. Scenarios are expressed as
+//! general multi-link [`path::PathNetwork`]s — dumbbells and parking
+//! lots are degenerate paths, ≥3-hop chains genuine ones — with
+//! per-flow start/stop activity windows (flow churn).
 //!
 //! Unlike the fluid model, this simulator exhibits the discrete phenomena
 //! the fluid model idealizes away: EWMA-averaged RED, packet-granularity
@@ -37,6 +40,7 @@ pub mod dumbbell;
 pub mod engine;
 pub mod event;
 pub mod parking_lot;
+pub mod path;
 pub mod qdisc;
 
 pub mod prelude {
@@ -44,6 +48,7 @@ pub mod prelude {
     pub use crate::cca::CcaKind;
     pub use crate::dumbbell::{run_dumbbell, DumbbellSpec, PacketSimReport};
     pub use crate::engine::SimConfig;
+    pub use crate::path::{run_path, PathFlowSpec, PathLinkSpec, PathNetwork};
     pub use crate::qdisc::QdiscKind;
     pub use bbr_scenario::{RunOutcome, ScenarioSpec, SimBackend};
 }

@@ -7,9 +7,10 @@
 //! produces (headline metrics at the minimum-capacity link, per-link
 //! vectors for both bottlenecks).
 
-use crate::cca::{build, CcaKind};
-use crate::dumbbell::{collect_report, PacketSimReport};
-use crate::engine::{Engine, Flow, Link, SimConfig};
+use crate::cca::CcaKind;
+use crate::dumbbell::PacketSimReport;
+use crate::engine::SimConfig;
+use crate::path::{run_path, PathFlowSpec, PathLinkSpec, PathNetwork};
 use crate::qdisc::QdiscKind;
 
 // The access delay is part of the shared topology definition, so both
@@ -55,45 +56,49 @@ impl ParkingLotSpec {
     }
 }
 
-/// Run the parking lot.
+impl ParkingLotSpec {
+    /// The parking lot as a [`PathNetwork`]: two queued links; flow 0
+    /// routes over both, flows 1 and 2 over one each, with return-path
+    /// delays completing symmetric 30 ms-class RTTs.
+    pub fn path_network(&self) -> PathNetwork {
+        let r1 = self.c1_mbps * 1e6 / 8.0;
+        let r2 = self.c2_mbps * 1e6 / 8.0;
+        let routes: [Vec<u32>; 3] = [vec![0, 1], vec![0], vec![1]];
+        // Return-path delays complete symmetric RTTs.
+        let bwd = [
+            ACCESS_DELAY + 2.0 * self.link_delay,
+            ACCESS_DELAY + self.link_delay,
+            ACCESS_DELAY + self.link_delay,
+        ];
+        PathNetwork {
+            links: [r1, r2]
+                .iter()
+                .map(|&rate| PathLinkSpec {
+                    rate,
+                    prop_delay: self.link_delay,
+                    buffer: self.buffer_bytes,
+                    qdisc: self.qdisc,
+                })
+                .collect(),
+            flows: (0..3)
+                .map(|i| PathFlowSpec {
+                    links: routes[i].clone(),
+                    access_delay: ACCESS_DELAY,
+                    bwd_delay: bwd[i],
+                    cca: self.ccas[i],
+                    start: i as f64 * 0.005,
+                    stop: f64::INFINITY,
+                })
+                .collect(),
+            headline: self.bottleneck(),
+        }
+    }
+}
+
+/// Run the parking lot (a two-link path network; see
+/// [`ParkingLotSpec::path_network`]).
 pub fn run_parking_lot(spec: &ParkingLotSpec, cfg: &SimConfig) -> PacketSimReport {
-    let r1 = spec.c1_mbps * 1e6 / 8.0;
-    let r2 = spec.c2_mbps * 1e6 / 8.0;
-    let l1 = Link::new(r1, spec.link_delay, spec.buffer_bytes, spec.qdisc);
-    let l2 = Link::new(r2, spec.link_delay, spec.buffer_bytes, spec.qdisc);
-    let routes: [Vec<u32>; 3] = [vec![0, 1], vec![0], vec![1]];
-    // Return-path delays complete symmetric RTTs.
-    let bwd = [
-        ACCESS_DELAY + 2.0 * spec.link_delay,
-        ACCESS_DELAY + spec.link_delay,
-        ACCESS_DELAY + spec.link_delay,
-    ];
-    let flows: Vec<Flow> = (0..3)
-        .map(|i| {
-            let cca = build(
-                spec.ccas[i],
-                cfg.mss,
-                cfg.seed.wrapping_add(i as u64 * 7919),
-            );
-            Flow::new(
-                routes[i].clone(),
-                ACCESS_DELAY,
-                bwd[i],
-                i as f64 * 0.005,
-                cca,
-                cfg.mss,
-            )
-        })
-        .collect();
-    let headline = spec.bottleneck();
-    let mut engine = Engine::new(cfg.clone(), vec![l1, l2], flows, headline);
-    engine.run();
-    collect_report(
-        &engine,
-        &spec.ccas,
-        &[(r1, spec.buffer_bytes), (r2, spec.buffer_bytes)],
-        headline,
-    )
+    run_path(&spec.path_network(), cfg)
 }
 
 #[cfg(test)]

@@ -1,0 +1,282 @@
+//! [`PathNetwork`] — the general multi-link path description every
+//! packet-level scenario is expressed in.
+//!
+//! Historically the dumbbell and parking-lot runners each hand-wired
+//! their own links and flows straight into the [`Engine`]; chains (or
+//! any other layout) would have meant a third copy. This module turns
+//! the wiring into data: a scenario is a list of queued links plus, per
+//! flow, the ordered links its packets traverse, the pure-delay
+//! segments around them, a CCA, and an activity window. [`run_path`]
+//! assembles the engine from that description and collects the shared
+//! [`PacketSimReport`].
+//!
+//! The dumbbell and parking lot are *degenerate paths* of this model
+//! (one queued link per route, or two) — `run_dumbbell` and
+//! `run_parking_lot` build their [`PathNetwork`] and call [`run_path`],
+//! producing byte-identical results to the pre-refactor hand-wired
+//! runners (pinned in `tests/packet_path_pins.rs`). Chains are the
+//! first scenario family that *only* exists as paths.
+
+use crate::cca::{build, CcaKind};
+use crate::dumbbell::{collect_report, PacketSimReport};
+use crate::engine::{Engine, Flow, Link, SimConfig};
+use crate::qdisc::QdiscKind;
+
+/// One queued, rate-limited link of a [`PathNetwork`].
+#[derive(Debug, Clone)]
+pub struct PathLinkSpec {
+    /// Service rate (bytes/s).
+    pub rate: f64,
+    /// Propagation delay towards the next hop (s).
+    pub prop_delay: f64,
+    /// Buffer size (bytes).
+    pub buffer: f64,
+    /// Queuing discipline at this link.
+    pub qdisc: QdiscKind,
+}
+
+/// One flow of a [`PathNetwork`]: its route, the pure-delay segments
+/// around it, its CCA, and its activity window.
+#[derive(Debug, Clone)]
+pub struct PathFlowSpec {
+    /// Ordered queued links the flow's packets traverse (indices into
+    /// [`PathNetwork::links`]).
+    pub links: Vec<u32>,
+    /// One-way delay before the first queued link (s).
+    pub access_delay: f64,
+    /// Return-path delay, receiver → sender (s).
+    pub bwd_delay: f64,
+    /// Congestion-control algorithm of this flow.
+    pub cca: CcaKind,
+    /// Engine time at which the flow starts sending (s).
+    pub start: f64,
+    /// Engine time at which the flow stops sending new data and
+    /// retransmissions (s; `f64::INFINITY` = runs to the end).
+    pub stop: f64,
+}
+
+/// A complete packet-level scenario as data: queued links, per-flow
+/// paths with cross-traffic expressed as further flows, and the link
+/// whose occupancy/utilization become the headline metrics.
+#[derive(Debug, Clone)]
+pub struct PathNetwork {
+    /// The queued links.
+    pub links: Vec<PathLinkSpec>,
+    /// The flows, each an ordered walk over a subset of `links`.
+    pub flows: Vec<PathFlowSpec>,
+    /// Index of the headline (bottleneck) link.
+    pub headline: usize,
+}
+
+impl PathNetwork {
+    /// Structural sanity: at least one link and one flow, every route
+    /// non-empty and in range, the headline link in range, and every
+    /// flow's activity window non-empty.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.links.is_empty() {
+            return Err("path network has no links".into());
+        }
+        if self.flows.is_empty() {
+            return Err("path network has no flows".into());
+        }
+        if self.headline >= self.links.len() {
+            return Err(format!(
+                "headline link {} out of range ({} links)",
+                self.headline,
+                self.links.len()
+            ));
+        }
+        for (i, f) in self.flows.iter().enumerate() {
+            if f.links.is_empty() {
+                return Err(format!("flow {i} has an empty route"));
+            }
+            if let Some(&l) = f.links.iter().find(|&&l| l as usize >= self.links.len()) {
+                return Err(format!(
+                    "flow {i} routes over link {l}, but there are only {} links",
+                    self.links.len()
+                ));
+            }
+            // NaN bounds fail the ordering check too: undefined windows
+            // never reach the engine.
+            let ordered = f.stop > f.start;
+            if !ordered {
+                return Err(format!(
+                    "flow {i} stops ({}) at or before it starts ({})",
+                    f.stop, f.start
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run one packet-level simulation of an arbitrary [`PathNetwork`].
+///
+/// Per-flow CCA seeds derive from `cfg.seed` exactly as the historical
+/// dumbbell/parking-lot runners derived them (`seed + i·7919`), so a
+/// degenerate path network reproduces the hand-wired runners bit for
+/// bit.
+pub fn run_path(net: &PathNetwork, cfg: &SimConfig) -> PacketSimReport {
+    net.validate().expect("invalid path network");
+    let links: Vec<Link> = net
+        .links
+        .iter()
+        .map(|l| Link::new(l.rate, l.prop_delay, l.buffer, l.qdisc))
+        .collect();
+    let flows: Vec<Flow> = net
+        .flows
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let cca = build(f.cca, cfg.mss, cfg.seed.wrapping_add(i as u64 * 7919));
+            Flow::new(
+                f.links.clone(),
+                f.access_delay,
+                f.bwd_delay,
+                f.start,
+                cca,
+                cfg.mss,
+            )
+            .stop_at(f.stop)
+        })
+        .collect();
+    let mut engine = Engine::new(cfg.clone(), links, flows, net.headline);
+    engine.run();
+    let kinds: Vec<CcaKind> = net.flows.iter().map(|f| f.cca).collect();
+    let link_stats: Vec<(f64, f64)> = net.links.iter().map(|l| (l.rate, l.buffer)).collect();
+    collect_report(&engine, &kinds, &link_stats, net.headline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_link_net(stop: f64) -> PathNetwork {
+        PathNetwork {
+            links: vec![PathLinkSpec {
+                rate: 20.0 * 1e6 / 8.0,
+                prop_delay: 0.010,
+                buffer: 50_000.0,
+                qdisc: QdiscKind::DropTail,
+            }],
+            flows: vec![PathFlowSpec {
+                links: vec![0],
+                access_delay: 0.0056,
+                bwd_delay: 0.0156,
+                cca: CcaKind::Reno,
+                start: 0.0,
+                stop,
+            }],
+            headline: 0,
+        }
+    }
+
+    #[test]
+    fn validate_catches_structural_errors() {
+        let ok = one_link_net(f64::INFINITY);
+        ok.validate().unwrap();
+        let mut no_links = ok.clone();
+        no_links.links.clear();
+        assert!(no_links.validate().is_err());
+        let mut bad_route = ok.clone();
+        bad_route.flows[0].links = vec![3];
+        assert!(bad_route.validate().is_err());
+        let mut empty_route = ok.clone();
+        empty_route.flows[0].links.clear();
+        assert!(empty_route.validate().is_err());
+        let mut bad_headline = ok.clone();
+        bad_headline.headline = 9;
+        assert!(bad_headline.validate().is_err());
+        let mut empty_window = ok.clone();
+        empty_window.flows[0].stop = 0.0;
+        assert!(empty_window.validate().is_err());
+    }
+
+    #[test]
+    fn single_flow_path_fills_the_link() {
+        let cfg = SimConfig {
+            duration: 3.0,
+            warmup: 0.5,
+            seed: 1,
+            ..Default::default()
+        };
+        let r = run_path(&one_link_net(f64::INFINITY), &cfg);
+        assert!(r.utilization_percent > 70.0, "{}", r.utilization_percent);
+    }
+
+    #[test]
+    fn stopping_a_flow_halves_its_delivery() {
+        let cfg = SimConfig {
+            duration: 4.0,
+            warmup: 0.0,
+            seed: 1,
+            ..Default::default()
+        };
+        let full = run_path(&one_link_net(f64::INFINITY), &cfg);
+        let half = run_path(&one_link_net(2.0), &cfg);
+        let (f, h) = (full.flows[0].throughput_mbps, half.flows[0].throughput_mbps);
+        assert!(
+            h < 0.65 * f && h > 0.25 * f,
+            "stopped at half time: {h:.2} vs {f:.2} Mbit/s"
+        );
+    }
+
+    #[test]
+    fn three_hop_chain_runs_and_loads_every_hop() {
+        // A minimal chain as a path network: one end-to-end flow plus a
+        // cross flow per hop, equal propagation RTTs all around.
+        let hops = 3;
+        let ld = 0.010;
+        let access = 0.005;
+        let rate = 30.0 * 1e6 / 8.0;
+        let links: Vec<PathLinkSpec> = (0..hops)
+            .map(|_| PathLinkSpec {
+                rate,
+                prop_delay: ld,
+                buffer: 2.0 * rate * ld,
+                qdisc: QdiscKind::DropTail,
+            })
+            .collect();
+        let mut flows = vec![PathFlowSpec {
+            links: (0..hops as u32).collect(),
+            access_delay: access,
+            bwd_delay: access,
+            cca: CcaKind::Cubic,
+            start: 0.0,
+            stop: f64::INFINITY,
+        }];
+        for j in 0..hops {
+            flows.push(PathFlowSpec {
+                links: vec![j as u32],
+                access_delay: access + j as f64 * ld,
+                bwd_delay: access + (hops - 1 - j) as f64 * ld,
+                cca: CcaKind::Cubic,
+                start: (j + 1) as f64 * 0.005,
+                stop: f64::INFINITY,
+            });
+        }
+        let net = PathNetwork {
+            links,
+            flows,
+            headline: 0,
+        };
+        let cfg = SimConfig {
+            duration: 4.0,
+            warmup: 1.0,
+            seed: 3,
+            ..Default::default()
+        };
+        let r = run_path(&net, &cfg);
+        assert_eq!(r.flows.len(), 4);
+        assert_eq!(r.per_link_utilization.len(), 3);
+        for (j, u) in r.per_link_utilization.iter().enumerate() {
+            assert!(*u > 50.0, "hop {j} idle: {u:.1} %");
+        }
+        // The end-to-end flow crosses three bottlenecks and loses to
+        // every single-hop cross flow — the parking-lot story, longer.
+        let t: Vec<f64> = r.flows.iter().map(|f| f.throughput_mbps).collect();
+        for j in 1..4 {
+            assert!(t[0] < t[j], "e2e {:.1} vs cross-{j} {:.1}", t[0], t[j]);
+        }
+    }
+}

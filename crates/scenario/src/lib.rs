@@ -10,10 +10,12 @@
 //!   queuing disciplines, shared by both backends (the per-backend state
 //!   machines stay in `bbr-fluid-core` and `bbr-packetsim`);
 //! * [`ScenarioSpec`] / [`Topology`] — one declarative description of
-//!   topology (dumbbell or parking lot), flows, buffer, qdisc, and
-//!   measurement window;
+//!   topology (dumbbell, parking lot, or multi-hop chain), flows,
+//!   buffer, qdisc, and measurement window;
 //! * [`FlowMetrics`] / [`RunOutcome`] — one result shape both backends
 //!   populate, so aggregation code never pattern-matches on the backend;
+//! * [`FlowWindow`] — optional per-flow start/stop times (flow churn),
+//!   honored identically by every backend;
 //! * [`SimBackend`] — the trait every simulator implements:
 //!   `run(&ScenarioSpec, seed) -> RunOutcome`.
 //!
@@ -42,15 +44,21 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+
 /// Which congestion-control algorithm a flow runs (shared by the fluid
 /// model and the packet simulator; the per-backend state machines are
 /// built from this tag by `bbr_fluid_core::cca::build` and
 /// `bbr_packetsim::cca::build`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CcaKind {
+    /// TCP Reno (AIMD; the paper's loss-based baseline).
     Reno,
+    /// TCP CUBIC (the default loss-based CCA of Linux).
     Cubic,
+    /// BBR version 1 (rate-based, loss-agnostic).
     BbrV1,
+    /// BBR version 2 (rate-based with loss/ECN reaction).
     BbrV2,
 }
 
@@ -97,7 +105,10 @@ impl std::fmt::Display for CcaKind {
 /// (EWMA-averaged RED) counterparts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QdiscKind {
+    /// Tail drop: packets are dropped only when the buffer is full.
     DropTail,
+    /// Random Early Detection: probabilistic drops as the (averaged)
+    /// queue grows.
     Red,
 }
 
@@ -129,11 +140,17 @@ pub enum Topology {
     /// paper's Fig. 3). Total propagation RTTs are spread evenly over
     /// `[rtt_lo, rtt_hi]`.
     Dumbbell {
+        /// Number of senders sharing the bottleneck.
         n: usize,
+        /// Bottleneck capacity (Mbit/s).
         capacity: f64,
+        /// One-way bottleneck propagation delay (s).
         bottleneck_delay: f64,
+        /// Buffer in multiples of the bottleneck BDP.
         buffer_bdp: f64,
+        /// Smallest total propagation RTT across senders (s).
         rtt_lo: f64,
+        /// Largest total propagation RTT across senders (s).
         rtt_hi: f64,
     },
     /// Two bottlenecks in series (the paper's stated future work): flow 0
@@ -141,9 +158,13 @@ pub enum Topology {
     /// Always three flows; `buffer_bdp` is measured in BDP of the first
     /// link (`c1 · link_delay`) and applied to both links.
     ParkingLot {
+        /// Capacity of the first bottleneck (Mbit/s).
         c1: f64,
+        /// Capacity of the second bottleneck (Mbit/s).
         c2: f64,
+        /// One-way propagation delay of each bottleneck link (s).
         link_delay: f64,
+        /// Buffer per link, in multiples of the first link's BDP.
         buffer_bdp: f64,
     },
     /// `hops` (≥ 3) equal-capacity bottlenecks in series: flow 0 crosses
@@ -153,9 +174,13 @@ pub enum Topology {
     /// (`2·access + hops·link_delay`); `buffer_bdp` is measured in BDP of
     /// one hop (`capacity · link_delay`) and applied at every hop.
     Chain {
+        /// Number of bottleneck hops in series (≥ 3).
         hops: usize,
+        /// Capacity of every hop (Mbit/s).
         capacity: f64,
+        /// One-way propagation delay of each hop (s).
         link_delay: f64,
+        /// Buffer per hop, in multiples of one hop's BDP.
         buffer_bdp: f64,
     },
 }
@@ -168,6 +193,73 @@ impl Topology {
             Topology::ParkingLot { .. } => 3,
             Topology::Chain { hops, .. } => hops + 1,
         }
+    }
+
+    /// The topology family name without its parameters (`"Dumbbell"`,
+    /// `"ParkingLot"`, `"Chain"`) — what error messages about
+    /// unsupported scenario families should name.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Topology::Dumbbell { .. } => "Dumbbell",
+            Topology::ParkingLot { .. } => "ParkingLot",
+            Topology::Chain { .. } => "Chain",
+        }
+    }
+}
+
+/// Activity window of one flow — the per-flow churn primitive.
+///
+/// The flow sends only while `start <= t < stop`, with `t` measured in
+/// seconds from the start of the *measurement window* (`t = 0` is where
+/// metrics collection begins; the packet simulator's warm-up runs
+/// before it, the fluid model has no warm-up). [`FlowWindow::ALWAYS`]
+/// (`start = 0`, `stop = ∞`) is the non-churn default and means "active
+/// for the whole run, exactly as before churn existed" — backends
+/// treat it specially so churn-free specs keep their historical
+/// behaviour bit for bit (including the packet simulator's staggered
+/// flow starts during warm-up).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowWindow {
+    /// Time the flow starts sending (s into the measurement window).
+    pub start: f64,
+    /// Time the flow stops sending (s; `f64::INFINITY` = never stops).
+    pub stop: f64,
+}
+
+impl FlowWindow {
+    /// The non-churn default: active for the whole run.
+    pub const ALWAYS: FlowWindow = FlowWindow {
+        start: 0.0,
+        stop: f64::INFINITY,
+    };
+
+    /// A window active over `[start, stop)`.
+    pub fn new(start: f64, stop: f64) -> Self {
+        Self { start, stop }
+    }
+
+    /// A flow joining late: active from `start` to the end of the run.
+    pub fn starting_at(start: f64) -> Self {
+        Self {
+            start,
+            stop: f64::INFINITY,
+        }
+    }
+
+    /// A flow leaving early: active from the beginning until `stop`.
+    pub fn stopping_at(stop: f64) -> Self {
+        Self { start: 0.0, stop }
+    }
+
+    /// Whether this is the non-churn default ([`FlowWindow::ALWAYS`]).
+    pub fn is_always(&self) -> bool {
+        self.start == 0.0 && self.stop == f64::INFINITY
+    }
+}
+
+impl Default for FlowWindow {
+    fn default() -> Self {
+        Self::ALWAYS
     }
 }
 
@@ -185,6 +277,7 @@ pub const CHAIN_ACCESS_DELAY: f64 = 0.005;
 /// every [`SimBackend`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
+    /// The link layout (dumbbell, parking lot, or chain).
     pub topology: Topology,
     /// CCA kinds assigned round-robin across flows (the paper's
     /// heterogeneous settings use N/2 senders per CCA, which the
@@ -198,6 +291,12 @@ pub struct ScenarioSpec {
     /// start-up phase (slow start / BBR-Startup) the fluid model
     /// idealizes away, so the fluid backend ignores this field.
     pub warmup: f64,
+    /// Per-flow activity windows (flow churn), indexed by flow. May be
+    /// shorter than the flow count; flows without an entry get
+    /// [`FlowWindow::ALWAYS`]. Empty (the default) means no churn, and
+    /// such specs hash ([`ScenarioSpec::stable_hash`]) and simulate
+    /// exactly as they did before churn existed.
+    pub churn: Vec<FlowWindow>,
 }
 
 impl ScenarioSpec {
@@ -219,6 +318,7 @@ impl ScenarioSpec {
             qdisc: QdiscKind::DropTail,
             duration: 5.0,
             warmup: 1.0,
+            churn: Vec::new(),
         }
     }
 
@@ -236,6 +336,7 @@ impl ScenarioSpec {
             qdisc: QdiscKind::DropTail,
             duration: 5.0,
             warmup: 1.0,
+            churn: Vec::new(),
         }
     }
 
@@ -253,6 +354,7 @@ impl ScenarioSpec {
             qdisc: QdiscKind::DropTail,
             duration: 5.0,
             warmup: 1.0,
+            churn: Vec::new(),
         }
     }
 
@@ -263,6 +365,7 @@ impl ScenarioSpec {
         self
     }
 
+    /// Set the queuing discipline of every queued link.
     pub fn qdisc(mut self, qdisc: QdiscKind) -> Self {
         self.qdisc = qdisc;
         self
@@ -290,6 +393,38 @@ impl ScenarioSpec {
         self
     }
 
+    /// Set all per-flow activity windows at once (see [`FlowWindow`]).
+    /// The vector may be shorter than the flow count; missing flows get
+    /// [`FlowWindow::ALWAYS`].
+    pub fn churn(mut self, windows: Vec<FlowWindow>) -> Self {
+        self.churn = windows;
+        self
+    }
+
+    /// Restrict flow `flow` to the activity window `[start, stop)`
+    /// (seconds into the measurement window; `f64::INFINITY` for a flow
+    /// that never stops). Other flows keep their current windows.
+    pub fn flow_window(mut self, flow: usize, start: f64, stop: f64) -> Self {
+        if self.churn.len() <= flow {
+            self.churn.resize(flow + 1, FlowWindow::ALWAYS);
+        }
+        self.churn[flow] = FlowWindow::new(start, stop);
+        self
+    }
+
+    /// The activity window of flow `i` ([`FlowWindow::ALWAYS`] when the
+    /// spec assigns none).
+    pub fn window_of(&self, i: usize) -> FlowWindow {
+        self.churn.get(i).copied().unwrap_or(FlowWindow::ALWAYS)
+    }
+
+    /// Whether any flow has a non-default activity window. Churn-free
+    /// specs take the exact pre-churn code paths in every backend (and
+    /// keep their pre-churn [`ScenarioSpec::stable_hash`]).
+    pub fn has_churn(&self) -> bool {
+        self.churn.iter().any(|w| !w.is_always())
+    }
+
     /// Number of flows.
     pub fn n_flows(&self) -> usize {
         self.topology.n_flows()
@@ -310,6 +445,30 @@ impl ScenarioSpec {
         }
         if self.warmup < 0.0 {
             return Err("negative warmup".into());
+        }
+        if self.churn.len() > self.n_flows() {
+            return Err(format!(
+                "{} churn windows given for {} flows",
+                self.churn.len(),
+                self.n_flows()
+            ));
+        }
+        for (i, w) in self.churn.iter().enumerate() {
+            // NaN starts fail the finiteness check; NaN stops fail the
+            // ordering check — undefined windows never pass validation.
+            if !(w.start.is_finite() && w.start >= 0.0) {
+                return Err(format!(
+                    "flow {i}: start_time {} must be finite and non-negative",
+                    w.start
+                ));
+            }
+            let ordered = w.stop > w.start;
+            if !ordered {
+                return Err(format!(
+                    "flow {i}: stop_time {} must be greater than start_time {}",
+                    w.stop, w.start
+                ));
+            }
         }
         match self.topology {
             Topology::Dumbbell {
@@ -422,6 +581,19 @@ impl ScenarioSpec {
         });
         h.f64(self.duration);
         h.f64(self.warmup);
+        // Churn-free specs (the overwhelmingly common case, and every
+        // spec that existed before churn) hash exactly as they always
+        // did, so persisted store keys and pinned seeds stay valid. The
+        // windows are hashed in canonical per-flow form, so a padded
+        // all-default suffix does not move the hash either.
+        if self.has_churn() {
+            h.word(0x30);
+            for i in 0..self.n_flows() {
+                let w = self.window_of(i);
+                h.f64(w.start);
+                h.f64(w.stop);
+            }
+        }
         h.finish()
     }
 }
@@ -454,6 +626,7 @@ impl Fnv {
 /// Per-flow results both backends can populate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowMetrics {
+    /// The congestion-control algorithm the flow ran.
     pub cca: CcaKind,
     /// Mean goodput over the measurement window (Mbit/s).
     pub throughput_mbps: f64,
@@ -466,6 +639,7 @@ pub struct RunOutcome {
     /// Name of the backend that produced this outcome (e.g. `"fluid"`,
     /// `"packet"`).
     pub backend: &'static str,
+    /// Per-flow results, in flow order.
     pub flows: Vec<FlowMetrics>,
     /// Jain fairness index over the per-flow throughputs.
     pub jain: f64,
@@ -578,11 +752,14 @@ pub fn jain_index(values: &[f64]) -> f64 {
 /// contract (see [`SimBackend::try_run`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunError {
-    /// The backend does not implement this scenario family (e.g. chain
-    /// topologies on the packet simulator). Callers that consulted
-    /// [`SimBackend::supports`] first never see this.
+    /// The backend does not implement this scenario family. Callers
+    /// that consulted [`SimBackend::supports`] first never see this.
     Unsupported {
+        /// Name of the backend that rejected the spec — kept in the
+        /// error itself (not only in the `Display` rendering) so grids
+        /// mixing backends can report *which* engine refused a cell.
         backend: &'static str,
+        /// What was unsupported, naming the offending topology kind.
         reason: String,
     },
     /// The spec itself is malformed ([`ScenarioSpec::validate`] failed).
@@ -621,9 +798,11 @@ pub trait SimBackend: Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Whether this backend can evaluate the spec. Sweep engines skip
-    /// unsupported (backend, cell) pairs instead of failing mid-grid —
-    /// e.g. chain topologies are currently fluid-only. Defaults to
-    /// supporting everything.
+    /// unsupported (backend, cell) pairs instead of failing mid-grid.
+    /// The built-in backends support every topology family since the
+    /// packet engine learned general multi-link paths; the hook remains
+    /// for partial third-party backends. Defaults to supporting
+    /// everything.
     fn supports(&self, spec: &ScenarioSpec) -> bool {
         let _ = spec;
         true
@@ -652,7 +831,11 @@ pub trait SimBackend: Send + Sync {
         if !self.supports(spec) {
             return Err(RunError::Unsupported {
                 backend: self.name(),
-                reason: format!("{:?} is outside this backend's family", spec.topology),
+                reason: format!(
+                    "topology {} is outside backend `{}`'s supported scenario families",
+                    spec.topology.kind_name(),
+                    self.name()
+                ),
             });
         }
         Ok(self.run(spec, seed))
@@ -869,6 +1052,79 @@ mod tests {
                 .ccas(vec![CcaKind::BbrV2])
                 .stable_hash()
         );
+    }
+
+    #[test]
+    fn flow_windows_default_always_and_pad() {
+        let w = FlowWindow::default();
+        assert!(w.is_always());
+        assert!(!FlowWindow::starting_at(0.5).is_always());
+        assert!(!FlowWindow::stopping_at(2.0).is_always());
+        let s = ScenarioSpec::dumbbell(4, 50.0, 0.010, 1.0).flow_window(2, 1.0, 3.0);
+        // Flows 0..2 were padded with ALWAYS; flow 3 has no entry.
+        assert!(s.window_of(0).is_always());
+        assert!(s.window_of(1).is_always());
+        assert_eq!(s.window_of(2), FlowWindow::new(1.0, 3.0));
+        assert!(s.window_of(3).is_always());
+        assert!(s.has_churn());
+        assert!(!ScenarioSpec::dumbbell(4, 50.0, 0.010, 1.0).has_churn());
+        // An all-default vector is not churn.
+        assert!(!ScenarioSpec::dumbbell(2, 50.0, 0.010, 1.0)
+            .churn(vec![FlowWindow::ALWAYS; 2])
+            .has_churn());
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn churn_moves_the_stable_hash_but_defaults_do_not() {
+        let base = ScenarioSpec::dumbbell(3, 50.0, 0.010, 2.0);
+        // Padding with defaults keeps the pre-churn hash: persisted
+        // store keys and pinned seeds stay valid.
+        assert_eq!(
+            base.stable_hash(),
+            base.clone()
+                .churn(vec![FlowWindow::ALWAYS; 3])
+                .stable_hash()
+        );
+        // Real windows move it, per flow and per bound.
+        let a = base.clone().flow_window(1, 0.5, 2.0);
+        assert_ne!(base.stable_hash(), a.stable_hash());
+        assert_ne!(
+            a.stable_hash(),
+            base.clone().flow_window(1, 0.5, 2.5).stable_hash()
+        );
+        assert_ne!(
+            a.stable_hash(),
+            base.clone().flow_window(2, 0.5, 2.0).stable_hash()
+        );
+        // Canonicalization: the same windows via a padded explicit
+        // vector hash identically.
+        let b = base.clone().churn(vec![
+            FlowWindow::ALWAYS,
+            FlowWindow::new(0.5, 2.0),
+            FlowWindow::ALWAYS,
+        ]);
+        assert_eq!(a.stable_hash(), b.stable_hash());
+    }
+
+    #[test]
+    fn churn_validation_rejects_impossible_windows() {
+        let base = ScenarioSpec::dumbbell(2, 50.0, 0.010, 1.0);
+        assert!(base.clone().flow_window(0, 1.0, 0.5).validate().is_err());
+        assert!(base.clone().flow_window(0, 1.0, 1.0).validate().is_err());
+        assert!(base.clone().flow_window(0, -1.0, 1.0).validate().is_err());
+        assert!(base
+            .clone()
+            .churn(vec![FlowWindow::ALWAYS; 3])
+            .validate()
+            .is_err());
+        // Open-ended and beyond-deadline windows are fine.
+        assert!(base
+            .clone()
+            .flow_window(1, 0.5, f64::INFINITY)
+            .validate()
+            .is_ok());
+        assert!(base.clone().flow_window(1, 100.0, 101.0).validate().is_ok());
     }
 
     #[test]

@@ -81,6 +81,81 @@ fn parking_lot_story_matches_across_backends() {
 }
 
 #[test]
+fn chain_story_matches_across_backends_within_tolerance() {
+    // The last fluid-only scenario family, now on both engines: a
+    // 3-hop chain must tell the same story on the fluid model and the
+    // packet simulator — every hop busy, the end-to-end flow losing to
+    // each single-hop cross flow — with the headline utilization inside
+    // a quantitative tolerance band.
+    let spec = ScenarioSpec::chain(3, 30.0, 0.010, 3.0)
+        .ccas(vec![CcaKind::BbrV1])
+        .duration(3.0)
+        .warmup(1.0);
+    let fluid = FluidBackend::coarse().run(&spec, 5);
+    let packet = PacketBackend::new(1).run(&spec, 5);
+    for o in [&fluid, &packet] {
+        assert_eq!(o.flows.len(), 4);
+        assert_eq!(o.per_link_utilization.len(), 3);
+        let t = o.throughputs();
+        for j in 1..4 {
+            assert!(
+                t[0] < t[j],
+                "{}: e2e {:.1} vs cross-{j} {:.1}",
+                o.backend,
+                t[0],
+                t[j]
+            );
+        }
+        for (j, u) in o.per_link_utilization.iter().enumerate() {
+            assert!(*u > 50.0, "{}: hop {j} idle ({u:.1} %)", o.backend);
+        }
+    }
+    let gap = (fluid.utilization_percent - packet.utilization_percent).abs();
+    assert!(
+        gap < 25.0,
+        "chain utilization gap {gap:.1} pp (fluid {:.1} vs packet {:.1})",
+        fluid.utilization_percent,
+        packet.utilization_percent
+    );
+    let jain_gap = (fluid.jain - packet.jain).abs();
+    assert!(
+        jain_gap < 0.35,
+        "chain Jain gap {jain_gap:.3} (fluid {:.3} vs packet {:.3})",
+        fluid.jain,
+        packet.jain
+    );
+}
+
+#[test]
+fn churn_is_honored_consistently_across_backends() {
+    // A flow that exists for only the middle half of the window must
+    // lose throughput on *both* engines, and the always-on competitor
+    // must gain on both — churn is a scenario property, not a
+    // backend-specific feature.
+    let base = ScenarioSpec::dumbbell(2, 30.0, 0.010, 2.0)
+        .ccas(vec![CcaKind::Reno])
+        .duration(4.0)
+        .warmup(1.0);
+    let churned = base.clone().flow_window(1, 1.0, 3.0);
+    for backend in backends() {
+        let full = backend.run(&base, 17);
+        let part = backend.run(&churned, 17);
+        assert!(
+            part.flows[1].throughput_mbps < 0.8 * full.flows[1].throughput_mbps,
+            "{}: churned flow kept its throughput ({:.2} vs {:.2})",
+            backend.name(),
+            part.flows[1].throughput_mbps,
+            full.flows[1].throughput_mbps
+        );
+        assert!(
+            part.flows[0].throughput_mbps > full.flows[0].throughput_mbps,
+            "{}: always-on flow failed to absorb freed capacity",
+            backend.name()
+        );
+    }
+}
+
+#[test]
 fn pinned_cell_seeds_are_stable() {
     // Regression pin for the seed-derivation scheme: seeds are a pure
     // function of (grid seed, spec contents). If this test fails, the
@@ -138,8 +213,7 @@ proptest! {
             .topologies(vec![match topo {
                 0 => TopologyKind::Dumbbell,
                 1 => TopologyKind::ParkingLot,
-                // Fluid-only: the packet backend reports !supports() and
-                // is skipped below, exactly as the sweep engine does.
+                // Runs on both backends since the path-network refactor.
                 _ => TopologyKind::Chain,
             }])
             .duration(0.4)

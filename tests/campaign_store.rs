@@ -103,8 +103,9 @@ fn run_cached_is_byte_identical_to_run_and_resumes_for_free() {
     let mut store = ResultStore::open(&dir).unwrap();
     let (cold_report, cold) = grid.run_cached(&mut store).unwrap();
     assert_eq!(cold.cached, 0);
-    // Dumbbell cells: 1 fluid + 2 packet runs; chain cells fluid-only.
-    assert_eq!(cold.computed, 4 * 3 + 4);
+    // Every cell (dumbbell and chain alike, since the packet engine
+    // learned multi-link paths): 1 fluid + 2 packet runs.
+    assert_eq!(cold.computed, 8 * 3);
     assert_eq!(cold_report.csv(), reference.csv());
 
     // Same per-cell metrics to the last bit, not merely same rendering.
@@ -141,7 +142,7 @@ fn growing_the_grid_computes_only_the_delta() {
     // Changing the packet repetition count only adds the extra run.
     let more_runs = small_grid().runs(3);
     let (_, extra) = more_runs.run_cached(&mut store).unwrap();
-    assert_eq!(extra.computed, 4, "one extra packet run per dumbbell cell");
+    assert_eq!(extra.computed, 8, "one extra packet run per cell");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

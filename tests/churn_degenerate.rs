@@ -1,0 +1,146 @@
+//! Degenerate flow-churn specs: windows that reject at plan time,
+//! flows that never run, and scenarios where every flow is stopped.
+//! The contract: impossible windows are a *validation* error (caught
+//! when a grid/campaign is planned, before any simulation), while
+//! merely-useless windows simulate to defined, NaN-free metrics on
+//! every backend.
+
+use bbr_repro::fluid::backend::FluidBackend;
+use bbr_repro::fluidbatch::BatchedFluidBackend;
+use bbr_repro::packetsim::backend::PacketBackend;
+use bbr_repro::scenario::{CcaKind, FlowWindow, RunError, RunOutcome, ScenarioSpec, SimBackend};
+
+fn backends() -> Vec<Box<dyn SimBackend>> {
+    vec![
+        Box::new(FluidBackend::coarse()),
+        Box::new(BatchedFluidBackend::coarse()),
+        Box::new(PacketBackend::new(1)),
+    ]
+}
+
+#[test]
+fn impossible_windows_are_rejected_at_plan_time() {
+    let base = ScenarioSpec::dumbbell(2, 30.0, 0.010, 2.0).duration(1.0);
+    // stop_time <= start_time: an empty window is a spec bug, not a
+    // silent no-op.
+    let backwards = base.clone().flow_window(1, 2.0, 1.0);
+    let err = backwards.validate().unwrap_err();
+    assert!(err.contains("stop_time"), "unhelpful error: {err}");
+    assert!(base.clone().flow_window(1, 1.5, 1.5).validate().is_err());
+    // Negative and non-finite starts, NaN stops.
+    assert!(base.clone().flow_window(0, -0.1, 1.0).validate().is_err());
+    assert!(base
+        .clone()
+        .flow_window(0, f64::INFINITY, f64::INFINITY)
+        .validate()
+        .is_err());
+    assert!(base
+        .clone()
+        .flow_window(0, 0.0, f64::NAN)
+        .validate()
+        .is_err());
+    // More windows than flows.
+    assert!(base
+        .clone()
+        .churn(vec![FlowWindow::ALWAYS; 5])
+        .validate()
+        .is_err());
+    // Every backend's checked entry point refuses them as InvalidSpec —
+    // the plan-time contract, not a mid-simulation panic.
+    for b in backends() {
+        assert!(
+            matches!(b.try_run(&backwards, 0), Err(RunError::InvalidSpec(_))),
+            "{} accepted an empty window",
+            b.name()
+        );
+    }
+    // A start beyond the run deadline is degenerate but *valid*: the
+    // flow simply never sends (covered below).
+    assert!(base.clone().flow_window(1, 99.0, 100.0).validate().is_ok());
+}
+
+#[test]
+fn flow_starting_after_the_deadline_is_inert_on_every_backend() {
+    let spec = ScenarioSpec::dumbbell(2, 30.0, 0.010, 2.0)
+        .ccas(vec![CcaKind::Reno])
+        .duration(1.0)
+        .warmup(0.25)
+        .flow_window(1, 50.0, f64::INFINITY);
+    for b in backends() {
+        let out = b.run(&spec, 11);
+        assert_eq!(
+            out.flows[1].throughput_mbps,
+            0.0,
+            "{}: a flow starting after the deadline must deliver nothing",
+            b.name()
+        );
+        assert!(
+            out.flows[0].throughput_mbps > 10.0,
+            "{}: the always-on flow must be unaffected",
+            b.name()
+        );
+        assert_no_nan(&out, b.name());
+    }
+}
+
+#[test]
+fn all_flows_stopped_metrics_are_defined_not_nan() {
+    // Every flow leaves almost immediately: the measurement window is
+    // overwhelmingly dead air. All aggregate metrics must come back as
+    // their *defined* degenerate values — Jain's index 1.0 (the exact
+    // all-zero guard), zero loss (nothing arrived), zero jitter — and
+    // never NaN from a 0/0.
+    let spec = ScenarioSpec::dumbbell(2, 30.0, 0.010, 2.0)
+        .ccas(vec![CcaKind::Reno])
+        .duration(2.0)
+        .warmup(0.0)
+        .churn(vec![
+            FlowWindow::stopping_at(0.01),
+            FlowWindow::stopping_at(0.01),
+        ]);
+    for b in backends() {
+        let out = b.run(&spec, 3);
+        assert_no_nan(&out, b.name());
+        assert!(
+            out.flows.iter().all(|f| f.throughput_mbps < 1.0),
+            "{}: stopped flows kept sending",
+            b.name()
+        );
+        assert!(
+            out.utilization_percent < 5.0,
+            "{}: dead scenario shows a busy link ({:.1} %)",
+            b.name(),
+            out.utilization_percent
+        );
+    }
+    // The fluid engines agree to the bit even on dead air.
+    assert_eq!(
+        FluidBackend::coarse().run(&spec, 3),
+        BatchedFluidBackend::coarse().run(&spec, 3)
+    );
+    // And the zero-outcome aggregate stays `None`, never a NaN-filled
+    // RunOutcome — the averaging convention degenerate cells rely on.
+    assert!(RunOutcome::average(&[]).is_none());
+}
+
+fn assert_no_nan(out: &RunOutcome, backend: &str) {
+    for (name, v) in [
+        ("jain", out.jain),
+        ("loss", out.loss_percent),
+        ("occupancy", out.occupancy_percent),
+        ("utilization", out.utilization_percent),
+        ("jitter", out.jitter_ms),
+    ] {
+        assert!(v.is_finite(), "{backend}: {name} is {v}");
+    }
+    for f in &out.flows {
+        assert!(f.throughput_mbps.is_finite(), "{backend}: flow throughput");
+    }
+    for v in out
+        .per_link_occupancy
+        .iter()
+        .chain(&out.per_link_utilization)
+    {
+        assert!(v.is_finite(), "{backend}: per-link metric is {v}");
+    }
+}

@@ -168,6 +168,86 @@ fn store_cache_interchangeability() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Churn (lane activation masks): batched integration of specs with
+/// per-flow start/stop windows must stay byte-identical to the scalar
+/// engine — including lanes mixing churned and churn-free specs, late
+/// starters, early stoppers, flows that never run, and windows that
+/// outlive the measurement window.
+#[test]
+fn churned_lanes_byte_identical_to_scalar() {
+    let specs = [
+        // Late joiner + early leaver in one dumbbell.
+        ScenarioSpec::dumbbell(3, 50.0, 0.010, 2.0)
+            .ccas(vec![CcaKind::BbrV1, CcaKind::Reno])
+            .duration(0.8)
+            .flow_window(1, 0.2, f64::INFINITY)
+            .flow_window(2, 0.0, 0.5),
+        // Same spec churn-free, sharing the wave with churned lanes.
+        ScenarioSpec::dumbbell(3, 50.0, 0.010, 2.0)
+            .ccas(vec![CcaKind::BbrV1, CcaKind::Reno])
+            .duration(0.8),
+        // Chain whose end-to-end flow exists only mid-window.
+        ScenarioSpec::chain(3, 60.0, 0.010, 2.0)
+            .ccas(vec![CcaKind::Cubic])
+            .duration(0.6)
+            .flow_window(0, 0.1, 0.4),
+        // Parking lot with a cross flow that never starts in-window.
+        ScenarioSpec::parking_lot(80.0, 60.0, 0.010, 2.0)
+            .ccas(vec![CcaKind::BbrV2])
+            .duration(0.5)
+            .flow_window(2, 5.0, f64::INFINITY),
+        // Window extending past the run: active from mid-window to a
+        // stop the integration never reaches.
+        ScenarioSpec::dumbbell(2, 40.0, 0.010, 1.0)
+            .duration(0.5)
+            .flow_window(1, 0.25, 9.0),
+    ];
+    let jobs: Vec<(&ScenarioSpec, u64)> = specs.iter().map(|s| (s, 77)).collect();
+    let scalar = FluidBackend::coarse();
+    // One wave and lane-per-wave must both match the scalar engine.
+    for budget in [1usize, 1000] {
+        let batch = BatchedFluidBackend::coarse()
+            .wave_flow_budget(budget)
+            .run_batch(&jobs);
+        for ((spec, seed), out) in jobs.iter().zip(&batch) {
+            assert_eq!(
+                out,
+                &scalar.run(spec, *seed),
+                "churned lane diverged (budget {budget}): {:?} churn {:?}",
+                spec.topology,
+                spec.churn
+            );
+        }
+    }
+    // Churn really changed the churned cells (the masks are live).
+    let churned = BatchedFluidBackend::coarse().run(&specs[0], 77);
+    let free = BatchedFluidBackend::coarse().run(&specs[1], 77);
+    assert_ne!(churned, free);
+}
+
+/// The grid engine's churn axis: batch vs scalar CSV byte-identity must
+/// survive churned cells (activation masks inside lockstep waves).
+#[test]
+fn churned_grid_csv_byte_identity() {
+    let grid = ScenarioGrid::new()
+        .capacity(40.0)
+        .combos(vec![COMBOS[0], COMBOS[5]])
+        .flow_counts(vec![3])
+        .buffers_bdp(vec![2.0])
+        .qdiscs(vec![QdiscKind::DropTail])
+        .topologies(vec![
+            TopologyKind::Dumbbell,
+            TopologyKind::ParkingLot,
+            TopologyKind::Chain,
+        ])
+        .with_churn()
+        .duration(0.4)
+        .warmup(0.1);
+    let scalar = grid.clone().backend(Backend::Fluid).run();
+    let batched = grid.clone().backend(Backend::FluidBatch).run();
+    assert_eq!(scalar.csv(), batched.csv());
+}
+
 /// `try_run` on the batch backend behaves like any other backend's.
 #[test]
 fn batch_backend_try_run() {

@@ -1,0 +1,82 @@
+//! Byte-exact pins of packet-simulator outcomes across the path-network
+//! refactor.
+//!
+//! The bit patterns below were captured from the *pre-refactor* packet
+//! backend (hand-wired dumbbell/parking-lot runners, before
+//! `PathNetwork` existed). The refactored engine expresses those
+//! topologies as degenerate path networks; these tests assert it still
+//! produces the exact same bits — the refactor is a re-organization,
+//! never a behaviour change. If a deliberate engine change moves these
+//! numbers, re-pin them in the same commit and say why.
+
+use bbr_repro::packetsim::backend::PacketBackend;
+use bbr_repro::scenario::{CcaKind, QdiscKind, RunOutcome, ScenarioSpec, SimBackend};
+
+fn bits(outcome: &RunOutcome) -> Vec<u64> {
+    let mut v = vec![
+        outcome.jain.to_bits(),
+        outcome.loss_percent.to_bits(),
+        outcome.occupancy_percent.to_bits(),
+        outcome.utilization_percent.to_bits(),
+        outcome.jitter_ms.to_bits(),
+    ];
+    v.extend(outcome.flows.iter().map(|f| f.throughput_mbps.to_bits()));
+    v.extend(outcome.per_link_occupancy.iter().map(|x| x.to_bits()));
+    v.extend(outcome.per_link_utilization.iter().map(|x| x.to_bits()));
+    v
+}
+
+#[test]
+fn dumbbell_outcome_is_byte_identical_to_pre_refactor_pin() {
+    // 3 heterogeneous flows, 2 averaged seeds — exercises the averaging
+    // path and the staggered starts.
+    let spec = ScenarioSpec::dumbbell(3, 40.0, 0.010, 2.0)
+        .ccas(vec![CcaKind::BbrV1, CcaKind::Reno, CcaKind::Cubic])
+        .duration(2.0)
+        .warmup(0.5);
+    let out = PacketBackend::new(2).run(&spec, 7);
+    assert_eq!(
+        bits(&out),
+        vec![
+            0x3fd71f82d2feef46, // jain
+            0x4018cc9c7efe9f78, // loss %
+            0x4054d3ebbece2800, // occupancy %
+            0x4058ffd70a3d70a4, // utilization %
+            0x3fdec09af26544d0, // jitter ms
+            0x404275810624dd2f, // tput flow 0
+            0x3fdf1a9fbe76c8b4, // tput flow 1
+            0x3ff0cccccccccccd, // tput flow 2
+            0x4054d3ebbece2800, // link 0 occupancy
+            0x4058ffd70a3d70a4, // link 0 utilization
+        ],
+        "dumbbell-as-degenerate-path drifted from the pre-refactor engine"
+    );
+}
+
+#[test]
+fn parking_lot_outcome_is_byte_identical_to_pre_refactor_pin() {
+    let spec = ScenarioSpec::parking_lot(40.0, 32.0, 0.010, 3.0)
+        .ccas(vec![CcaKind::BbrV2])
+        .qdisc(QdiscKind::Red)
+        .duration(2.0)
+        .warmup(0.5);
+    let out = PacketBackend::new(1).run(&spec, 11);
+    assert_eq!(
+        bits(&out),
+        vec![
+            0x3fe7d8aec3aa9427, // jain
+            0x3ff26597b7567465, // loss %
+            0x400044ee97b554e2, // occupancy % (headline = slower link 1)
+            0x40390ccccccccccd, // utilization %
+            0x3fb59b52508db098, // jitter ms
+            0x3ff12f1a9fbe76c9, // tput flow 0 (multi-hop)
+            0x402104189374bc6a, // tput flow 1
+            0x401a4dd2f1a9fbe7, // tput flow 2
+            0x3fff17733ef715a9, // link 0 occupancy
+            0x400044ee97b554e2, // link 1 occupancy
+            0x4038b47ae147ae14, // link 0 utilization
+            0x40390ccccccccccd, // link 1 utilization
+        ],
+        "parking-lot-as-path drifted from the pre-refactor engine"
+    );
+}

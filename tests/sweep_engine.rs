@@ -146,9 +146,11 @@ fn mixed_topology_grid_is_deterministic() {
 }
 
 #[test]
-fn chain_cells_run_fluid_only_through_the_sweep() {
-    // The ≥3-hop chain family: fluid cells produce the multi-bottleneck
-    // story, packet columns stay empty (unsupported, not zeroed).
+fn chain_cells_run_on_both_backends_through_the_sweep() {
+    // The ≥3-hop chain family used to be fluid-only; since the packet
+    // engine learned general multi-link paths, chain cells fill both
+    // backend columns and the grid has no unsupported (backend, cell)
+    // pairs left.
     let report = small_grid()
         .topologies(vec![TopologyKind::Chain])
         .chain_hops(3)
@@ -161,13 +163,21 @@ fn chain_cells_run_fluid_only_through_the_sweep() {
         assert_eq!(cell.point.topology, TopologyKind::Chain);
         assert_eq!(cell.point.n, 4); // hops + 1 flows
         let f = report.metrics(cell, "fluid").unwrap();
-        assert!(
-            f.utilization_percent > 40.0,
-            "chain idle at {:?}",
-            cell.point
-        );
-        assert!((0.0..=100.0).contains(&f.loss_percent));
-        assert!(report.metrics(cell, "packet").is_none());
+        let e = report
+            .metrics(cell, "packet")
+            .expect("packet must run chain cells since the path refactor");
+        for (name, m) in [("fluid", f), ("packet", e)] {
+            assert!(
+                m.utilization_percent > 40.0,
+                "{name} chain idle at {:?}: {}",
+                cell.point,
+                m.utilization_percent
+            );
+            assert!((0.0..=100.0).contains(&m.loss_percent), "{name} loss");
+        }
+        // Both engines land in the same utilization regime on chains.
+        let gap = (f.utilization_percent - e.utilization_percent).abs();
+        assert!(gap < 40.0, "chain gap {gap:.1} pp at {:?}", cell.point);
     }
     assert!(report.table().contains("chain"));
     // Determinism holds for the mixed all-topology grid too.
