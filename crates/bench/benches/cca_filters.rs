@@ -1,0 +1,121 @@
+//! Microbenchmarks of the shared BBR windowed filters: the monotonic
+//! deques in `bbr_packetsim::cca::bbr_common` against the naive O(n)
+//! rescans they replace on the per-ACK hot path, plus the two packet
+//! BBRv2 fidelity tiers head-to-head on the same synthetic ACK stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bbr_packetsim::cca::bbrv2::BbrV2Pkt;
+use bbr_packetsim::cca::bbrv2_deploy::BbrV2DeployPkt;
+use bbr_packetsim::cca::{PacketCca, RateSample, WindowedMax, WindowedMin};
+
+/// Deterministic sample stream: (time, value) pairs with enough spread
+/// that the window stays partially full.
+fn samples(n: usize) -> Vec<(f64, f64)> {
+    let mut x = 0x9e3779b97f4a7c15u64;
+    (0..n)
+        .map(|k| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (k as f64 * 0.01, (x >> 33) as f64 / (1u64 << 31) as f64)
+        })
+        .collect()
+}
+
+/// The O(n) shape the deque replaces: retain the window, rescan for the
+/// extremum on every update.
+struct NaiveWindowedMax {
+    samples: Vec<(f64, f64)>,
+}
+
+impl NaiveWindowedMax {
+    fn update(&mut self, t: f64, v: f64, window: f64) -> f64 {
+        self.samples.push((t, v));
+        self.samples.retain(|&(s, _)| s >= t - window);
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+fn filters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cca_filters");
+    let stream = samples(10_000);
+    let window = 1.0; // ~100 samples live at any time
+    g.bench_function("naive_scan_max_10k", |b| {
+        b.iter(|| {
+            let mut f = NaiveWindowedMax {
+                samples: Vec::new(),
+            };
+            let mut acc = 0.0;
+            for &(t, v) in &stream {
+                acc += f.update(t, v, window);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("deque_max_10k", |b| {
+        b.iter(|| {
+            let mut f = WindowedMax::new();
+            let mut acc = 0.0;
+            for &(t, v) in &stream {
+                f.update(t, v, window);
+                acc += f.max();
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("deque_min_10k", |b| {
+        b.iter(|| {
+            let mut f = WindowedMin::new();
+            let mut acc = 0.0;
+            for &(t, v) in &stream {
+                f.update(t, v, window);
+                acc += f.min();
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+/// One synthetic ACK per 10 ms for `acks` steps.
+fn drive(cca: &mut dyn PacketCca, acks: usize) -> f64 {
+    let mut delivered = 0.0;
+    for k in 0..acks {
+        delivered += 12_500.0;
+        cca.on_ack(&RateSample {
+            now: k as f64 * 0.01,
+            delivery_rate: 1.25e6,
+            rtt: 0.04 + 0.002 * (k % 7) as f64,
+            newly_acked: 12_500.0,
+            delivered,
+            pkt_delivered_at_send: delivered - 50_000.0,
+            inflight: 50_000.0,
+            srtt: 0.04,
+            min_rtt: 0.04,
+        });
+    }
+    cca.cwnd()
+}
+
+fn tiers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bbrv2_tiers");
+    g.bench_function("classic_10k_acks", |b| {
+        b.iter(|| {
+            let mut cca = BbrV2Pkt::new(1500.0, 7);
+            black_box(drive(&mut cca, 10_000))
+        })
+    });
+    g.bench_function("deploy_10k_acks", |b| {
+        b.iter(|| {
+            let mut cca = BbrV2DeployPkt::new(1500.0, 7);
+            black_box(drive(&mut cca, 10_000))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, filters, tiers);
+criterion_main!(benches);

@@ -135,6 +135,12 @@ pub fn build_any(kind: CcaKind, hint: &ScenarioHint, cfg: &ModelConfig) -> AnyCc
         CcaKind::Cubic => AnyCca::Cubic(Cubic::new(hint, cfg)),
         CcaKind::BbrV1 => AnyCca::BbrV1(BbrV1::new(hint, cfg)),
         CcaKind::BbrV2 => AnyCca::BbrV2(BbrV2::new(hint, cfg)),
+        // The fluid abstraction has a single BBRv2 model (§3.1); the
+        // deploy tier only diverges on the packet backend, which is
+        // exactly what the `figures drift` audit quantifies. Outcomes
+        // still report `BbrV2Deploy` because `FlowMetrics.cca` comes
+        // from the spec, not from the model.
+        CcaKind::BbrV2Deploy => AnyCca::BbrV2(BbrV2::new(hint, cfg)),
     }
 }
 
@@ -218,5 +224,10 @@ mod tests {
             assert_eq!(m.kind(), kind);
             assert!(m.rate(0.04, &cfg) > 0.0, "{kind} must start sending");
         }
+        // The deploy tier shares the fluid BBRv2 model (one fluid
+        // abstraction, two packet fidelity tiers).
+        let m = build(CcaKind::BbrV2Deploy, &h, &cfg);
+        assert_eq!(m.kind(), CcaKind::BbrV2);
+        assert!(m.rate(0.04, &cfg) > 0.0);
     }
 }

@@ -4,11 +4,13 @@
 //! figures <id>... [--fast] [--out DIR]
 //! figures all [--fast]
 //! figures sweep [--fast] [--threads N] [--backend fluid|fluid-batch|packet|both]
-//!               [--topology dumbbell|parking|chain|both|all] [--churn] [--out DIR]
+//!               [--topology dumbbell|parking|chain|both|all] [--churn]
+//!               [--cca MIX] [--out DIR]
 //! figures campaign [--fast] [--shards N] [--store DIR] [--resume]
 //!                  [--topology dumbbell|parking|chain|both|all]
 //! figures store compact [--store DIR]
 //! figures bench-sweep [--out FILE] [--reps N]
+//! figures drift [--fast] [--threads N] [--out FILE]
 //! figures list
 //! ```
 //!
@@ -75,6 +77,7 @@ fn main() {
         "--shards",
         "--store",
         "--reps",
+        "--cca",
     ]
     .iter()
     .filter_map(|flag| args.iter().position(|a| a == *flag).map(|i| i + 1))
@@ -101,6 +104,10 @@ fn main() {
     }
     if ids.first().map(String::as_str) == Some("bench-sweep") {
         run_bench_sweep(&args);
+        return;
+    }
+    if ids.first().map(String::as_str) == Some("drift") {
+        run_drift_cmd(&args, effort);
         return;
     }
     if ids.iter().any(|i| i == "list") {
@@ -234,12 +241,67 @@ fn run_bench_sweep(args: &[String]) {
             batch_cps / scalar_cps,
         ));
     }
+    // Packet-path throughput on the same pinned 24-cell mixed-topology
+    // grid, both BBRv2 fidelity tiers: the classic tier times the
+    // shared-filter hot path that BBRv1 cells exercise, the deploy-tier
+    // grid times the deque-filtered deployment state machine.
+    let packet_cps = |grid: &bbr_experiments::sweep::ScenarioGrid| {
+        let mut secs = f64::INFINITY;
+        for _ in 0..reps {
+            secs = secs.min(grid.run().wall_seconds);
+        }
+        grid.len() as f64 / secs
+    };
+    let classic_grid = bench_grid(24).backend(Backend::Packet);
+    let deploy_grid = bench_grid(24).backend(Backend::Packet).combos(vec![
+        bbr_experiments::scenarios::DEPLOY_COMBOS[0],
+        bbr_experiments::scenarios::DEPLOY_COMBOS[1],
+    ]);
+    let classic_cps = packet_cps(&classic_grid);
+    let deploy_cps = packet_cps(&deploy_grid);
+    eprintln!(
+        "bench-sweep packet 24 cells: classic tier {classic_cps:8.1} cells/s, \
+         deploy tier {deploy_cps:8.1} cells/s"
+    );
+    let packet = format!(
+        concat!(
+            "    {{\"cells\": 24, \"grid\": \"mixed-topology\", ",
+            "\"classic_cells_per_sec\": {:.2}, \"deploy_cells_per_sec\": {:.2}}}"
+        ),
+        classic_cps, deploy_cps,
+    );
     let json = format!(
         "{{\n  \"bench\": \"fluid-sweep-throughput\",\n  \"unit\": \"cells/sec\",\n  \
-         \"reps\": {reps},\n  \"threads\": {threads},\n  \"grids\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+         \"reps\": {reps},\n  \"threads\": {threads},\n  \"grids\": [\n{}\n  ],\n  \
+         \"packet_grids\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+        packet
     );
     std::fs::write(&out, &json).expect("cannot write bench JSON");
+    eprintln!("wrote {}", out.display());
+}
+
+/// The `drift` subcommand: the fluid-vs-packet divergence audit over
+/// the pinned paper-shaped grid. Prints the human summary and writes
+/// the machine-readable report to `--out`
+/// (default `results/drift.json`).
+fn run_drift_cmd(args: &[String], effort: Effort) {
+    let out = PathBuf::from(flag_value(args, "--out").unwrap_or("results/drift.json"));
+    let grid = bbr_experiments::drift::drift_grid(effort);
+    eprintln!(
+        "drift audit: {} cells on both backends, {} thread(s)...",
+        grid.len(),
+        rayon::current_num_threads()
+    );
+    let report = bbr_experiments::drift::run_drift(effort);
+    print!("{}", report.table());
+    if let Some(parent) = out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("cannot create output directory");
+        }
+    }
+    std::fs::write(&out, report.to_json().to_compact_string())
+        .expect("cannot write drift report JSON");
     eprintln!("wrote {}", out.display());
 }
 
@@ -325,8 +387,33 @@ fn run_campaign(args: &[String], effort: Effort) {
     println!("{}", summary.log_line());
 }
 
+/// The `--cca` selector: a CCA mix label like `BBRv2D` or
+/// `BBRv2D/CUBIC` (names as printed by the sweep's combo column),
+/// resolved through the scenario layer so every `CcaKind` — including
+/// fidelity tiers the default legend predates — is sweepable.
+fn parse_cca_combo(label: &str) -> bbr_experiments::scenarios::Combo {
+    use bbr_fluid_core::cca::CcaKind;
+    let kinds: Vec<CcaKind> = label
+        .split('/')
+        .map(|name| {
+            CcaKind::from_name(name).unwrap_or_else(|| {
+                let known: Vec<&str> = CcaKind::ALL.iter().map(|k| k.name()).collect();
+                eprintln!("unknown CCA: {name} (expected one of {})", known.join(", "));
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    // Combos carry 'static references (they are normally consts); a CLI
+    // selection leaks its one small allocation for the process lifetime.
+    bbr_experiments::scenarios::Combo {
+        label: Box::leak(label.to_string().into_boxed_str()),
+        kinds: Box::leak(kinds.into_boxed_slice()),
+    }
+}
+
 /// The `sweep` subcommand: the paper-shaped grid (all seven CCA mixes ×
-/// buffer sizes × both qdiscs) fanned out over the cores.
+/// buffer sizes × both qdiscs, or a single `--cca` mix) fanned out over
+/// the cores.
 fn run_sweep(args: &[String], effort: Effort) {
     let backend = match flag_value(args, "--backend") {
         Some("fluid") => Backend::Fluid,
@@ -350,9 +437,14 @@ fn run_sweep(args: &[String], effort: Effort) {
         .effort(effort)
         .backend(backend)
         .topologies(topologies)
-        .all_combos()
         .buffers_bdp(buffer_sizes(effort))
         .qdiscs(vec![QdiscKind::DropTail, QdiscKind::Red]);
+    // `--cca MIX` narrows the combo axis to one mix (any CcaKind,
+    // including BBRv2D); the default is the paper's full legend.
+    grid = match flag_value(args, "--cca") {
+        Some(label) => grid.combos(vec![parse_cca_combo(label)]),
+        None => grid.all_combos(),
+    };
     // `--churn` adds the flow-churn axis: every cell additionally swept
     // with late-start and early-stop activity windows.
     if args.iter().any(|a| a == "--churn") {

@@ -1,0 +1,299 @@
+//! Fluid-vs-packet drift audit: quantifies exactly where the fluid
+//! abstraction departs from faithful packet dynamics.
+//!
+//! The audit runs both backends over a pinned paper-shaped grid (all
+//! three topology families, BBR-centric CCA mixes including both BBRv2
+//! fidelity tiers) and reduces every cell to a per-metric divergence —
+//! utilization, Jain fairness, and loss deltas — plus a normalized
+//! divergence score used to rank the worst cells. The report is emitted
+//! as machine-readable JSON (the campaign crate's deterministic
+//! hand-rolled writer, so floats round-trip exactly) and is exercised in
+//! CI through `figures drift --fast`.
+//!
+//! The score normalizes each delta by the corresponding cross-backend
+//! consistency tolerance (`tests/backend_consistency.rs`: 25 pp
+//! utilization, 0.35 Jain), so `score ≈ 1` means "a cell at the edge of
+//! what the consistency suite tolerates" and the worst-cell ranking is
+//! directly comparable across metrics.
+
+use crate::scenarios::{COMBOS, DEPLOY_COMBOS};
+use crate::sweep::{Backend, ScenarioGrid, SweepReport, TopologyKind};
+use crate::Effort;
+use bbr_campaign::json::Json;
+use bbr_scenario::QdiscKind;
+
+/// Utilization tolerance (percentage points) the consistency suite
+/// allows; used as the score normalizer.
+pub const UTIL_TOLERANCE_PP: f64 = 25.0;
+/// Jain-index tolerance used as the score normalizer.
+pub const JAIN_TOLERANCE: f64 = 0.35;
+/// Loss normalizer (percentage points): no consistency bound exists for
+/// loss, so the score weighs 5 pp of loss disagreement like a
+/// full-tolerance utilization gap.
+pub const LOSS_NORM_PP: f64 = 5.0;
+
+/// The pinned paper-shaped audit grid. Fixed seed, fixed axes: the
+/// report is a deterministic function of the effort preset, so two
+/// audits of the same tree are diffable cell-by-cell.
+pub fn drift_grid(effort: Effort) -> ScenarioGrid {
+    let base = ScenarioGrid::new()
+        .effort(effort)
+        .backend(Backend::Both)
+        .topologies(vec![
+            TopologyKind::Dumbbell,
+            TopologyKind::ParkingLot,
+            TopologyKind::Chain,
+        ])
+        .seed(1889);
+    match effort {
+        // Paper-scale: the BBR-centric legend plus the deploy tier,
+        // two buffer regimes, both qdiscs.
+        Effort::Full => base
+            .combos(
+                [COMBOS[0], COMBOS[4], COMBOS[5]]
+                    .into_iter()
+                    .chain(DEPLOY_COMBOS)
+                    .collect(),
+            )
+            .flow_counts(vec![10])
+            .buffers_bdp(vec![1.0, 4.0])
+            .qdiscs(vec![QdiscKind::DropTail, QdiscKind::Red]),
+        // CI smoke: both BBRv2 tiers head-to-head, small cells.
+        Effort::Fast => base
+            .combos(vec![COMBOS[4], DEPLOY_COMBOS[0], DEPLOY_COMBOS[1]])
+            .flow_counts(vec![4])
+            .buffers_bdp(vec![1.0, 4.0])
+            .qdiscs(vec![QdiscKind::DropTail])
+            .duration(1.5)
+            .warmup(0.5),
+    }
+}
+
+/// One audited cell: scenario coordinates, both backends' headline
+/// metrics, and the packet-minus-fluid deltas.
+#[derive(Debug, Clone)]
+pub struct DriftCell {
+    pub topology: &'static str,
+    pub combo: &'static str,
+    pub n: usize,
+    pub buffer_bdp: f64,
+    pub qdisc: QdiscKind,
+    pub seed: u64,
+    /// (utilization %, Jain, loss %) under the fluid model.
+    pub fluid: (f64, f64, f64),
+    /// (utilization %, Jain, loss %) under the packet simulator.
+    pub packet: (f64, f64, f64),
+    /// packet − fluid utilization gap (percentage points).
+    pub util_delta_pp: f64,
+    /// packet − fluid Jain-index gap.
+    pub jain_delta: f64,
+    /// packet − fluid loss gap (percentage points).
+    pub loss_delta_pp: f64,
+    /// Tolerance-normalized divergence (see module docs).
+    pub score: f64,
+}
+
+/// The audit result: every cell in grid order plus a worst-first
+/// ranking.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    pub effort: Effort,
+    pub capacity: f64,
+    pub duration: f64,
+    pub cells: Vec<DriftCell>,
+    /// Indices into `cells`, sorted by descending score.
+    pub ranking: Vec<usize>,
+}
+
+/// Run the pinned audit grid on both backends and reduce it.
+pub fn run_drift(effort: Effort) -> DriftReport {
+    let grid = drift_grid(effort);
+    from_sweep(&grid.run(), effort)
+}
+
+/// Reduce an already-evaluated sweep (must contain `fluid` and `packet`
+/// columns) into a drift report. Cells where either backend did not run
+/// are skipped.
+pub fn from_sweep(report: &SweepReport, effort: Effort) -> DriftReport {
+    let mut cells = Vec::new();
+    for cell in &report.cells {
+        let (Some(f), Some(p)) = (
+            report.metrics(cell, "fluid"),
+            report.metrics(cell, "packet"),
+        ) else {
+            continue;
+        };
+        let util_delta_pp = p.utilization_percent - f.utilization_percent;
+        let jain_delta = p.jain - f.jain;
+        let loss_delta_pp = p.loss_percent - f.loss_percent;
+        let score = util_delta_pp.abs() / UTIL_TOLERANCE_PP
+            + jain_delta.abs() / JAIN_TOLERANCE
+            + loss_delta_pp.abs() / LOSS_NORM_PP;
+        cells.push(DriftCell {
+            topology: cell.point.topology.label(),
+            combo: cell.point.combo.label,
+            n: cell.point.n,
+            buffer_bdp: cell.point.buffer_bdp,
+            qdisc: cell.point.qdisc,
+            seed: cell.seed,
+            fluid: (f.utilization_percent, f.jain, f.loss_percent),
+            packet: (p.utilization_percent, p.jain, p.loss_percent),
+            util_delta_pp,
+            jain_delta,
+            loss_delta_pp,
+            score,
+        });
+    }
+    let mut ranking: Vec<usize> = (0..cells.len()).collect();
+    ranking.sort_by(|&a, &b| {
+        cells[b]
+            .score
+            .partial_cmp(&cells[a].score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    DriftReport {
+        effort,
+        capacity: report.capacity,
+        duration: report.duration,
+        cells,
+        ranking,
+    }
+}
+
+impl DriftReport {
+    /// Mean absolute utilization gap over all audited cells (pp).
+    pub fn mean_abs_util_gap_pp(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        self.cells
+            .iter()
+            .map(|c| c.util_delta_pp.abs())
+            .sum::<f64>()
+            / self.cells.len() as f64
+    }
+
+    /// The worst `k` cells by score, worst first.
+    pub fn worst(&self, k: usize) -> Vec<&DriftCell> {
+        self.ranking
+            .iter()
+            .take(k)
+            .map(|&i| &self.cells[i])
+            .collect()
+    }
+
+    /// Machine-readable form (schema `drift-report/v1`).
+    pub fn to_json(&self) -> Json {
+        let metric_obj = |(util, jain, loss): (f64, f64, f64)| {
+            Json::Obj(vec![
+                ("utilization_percent".into(), Json::Num(util)),
+                ("jain".into(), Json::Num(jain)),
+                ("loss_percent".into(), Json::Num(loss)),
+            ])
+        };
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("topology".into(), Json::str(c.topology)),
+                    ("combo".into(), Json::str(c.combo)),
+                    ("n".into(), Json::Num(c.n as f64)),
+                    ("buffer_bdp".into(), Json::Num(c.buffer_bdp)),
+                    ("qdisc".into(), Json::str(format!("{:?}", c.qdisc))),
+                    ("seed".into(), Json::hex(c.seed)),
+                    ("fluid".into(), metric_obj(c.fluid)),
+                    ("packet".into(), metric_obj(c.packet)),
+                    (
+                        "delta".into(),
+                        Json::Obj(vec![
+                            ("utilization_pp".into(), Json::Num(c.util_delta_pp)),
+                            ("jain".into(), Json::Num(c.jain_delta)),
+                            ("loss_pp".into(), Json::Num(c.loss_delta_pp)),
+                        ]),
+                    ),
+                    ("score".into(), Json::Num(c.score)),
+                ])
+            })
+            .collect();
+        let ranking: Vec<Json> = self.ranking.iter().map(|&i| Json::Num(i as f64)).collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::str("drift-report/v1")),
+            ("effort".into(), Json::str(self.effort.tag())),
+            ("capacity_mbps".into(), Json::Num(self.capacity)),
+            ("duration_s".into(), Json::Num(self.duration)),
+            (
+                "summary".into(),
+                Json::Obj(vec![
+                    ("cells".into(), Json::Num(self.cells.len() as f64)),
+                    (
+                        "mean_abs_utilization_gap_pp".into(),
+                        Json::Num(self.mean_abs_util_gap_pp()),
+                    ),
+                ]),
+            ),
+            ("cells".into(), Json::Arr(cells)),
+            ("worst_cells".into(), Json::Arr(ranking)),
+        ])
+    }
+
+    /// Human-readable summary: headline gap plus the worst cells.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "Drift audit ({} mode): {} cells, mean |Δutil| = {:.2} pp\n",
+            self.effort.tag(),
+            self.cells.len(),
+            self.mean_abs_util_gap_pp(),
+        );
+        out.push_str("worst cells (score = tolerance-normalized divergence):\n");
+        for c in self.worst(5) {
+            out.push_str(&format!(
+                "  {:>8} {:<13} buf={:.0} {:?}: Δutil {:+.1} pp, Δjain {:+.3}, Δloss {:+.2} pp (score {:.2})\n",
+                c.topology, c.combo, c.buffer_bdp, c.qdisc,
+                c.util_delta_pp, c.jain_delta, c.loss_delta_pp, c.score,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_grid_is_pinned_and_covers_both_tiers() {
+        let g = drift_grid(Effort::Fast);
+        // 3 combos × 2 buffers × 3 topologies (parking-lot and chain
+        // collapse the flow/RTT axes like every sweep does).
+        assert_eq!(g.len(), 18);
+        let labels: Vec<&str> = g.points().iter().map(|p| p.combo.label).collect();
+        assert!(labels.contains(&"BBRv2"));
+        assert!(labels.contains(&"BBRv2D"));
+        assert!(labels.contains(&"BBRv2D/BBRv2"));
+    }
+
+    #[test]
+    fn fast_audit_runs_and_serializes() {
+        let report = run_drift(Effort::Fast);
+        assert_eq!(report.cells.len(), 18);
+        assert_eq!(report.ranking.len(), 18);
+        // Ranking is worst-first.
+        for w in report.ranking.windows(2) {
+            assert!(report.cells[w[0]].score >= report.cells[w[1]].score);
+        }
+        // The JSON round-trips through the campaign parser.
+        let text = report.to_json().to_compact_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed.field("schema").unwrap().as_str(),
+            Some("drift-report/v1")
+        );
+        let cells = parsed.field("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells.len(), 18);
+        let seed = cells[0].field("seed").unwrap().as_hex_u64().unwrap();
+        assert_eq!(seed, report.cells[0].seed);
+        let score = cells[0].field("score").unwrap().as_f64().unwrap();
+        assert_eq!(score.to_bits(), report.cells[0].score.to_bits());
+    }
+}

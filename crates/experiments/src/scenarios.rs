@@ -44,6 +44,26 @@ pub const COMBOS: [Combo; 7] = [
     },
 ];
 
+/// The combinations the drift audit adds on top of [`COMBOS`]: the
+/// deployment-grade BBRv2 tier, alone and against its paper-simplified
+/// sibling and loss-based cross traffic. Kept out of [`COMBOS`] on
+/// purpose — default sweeps and campaigns (and their recorded stable
+/// hashes) predate the tier and must not grow cells.
+pub const DEPLOY_COMBOS: [Combo; 3] = [
+    Combo {
+        label: "BBRv2D",
+        kinds: &[CcaKind::BbrV2Deploy],
+    },
+    Combo {
+        label: "BBRv2D/BBRv2",
+        kinds: &[CcaKind::BbrV2Deploy, CcaKind::BbrV2],
+    },
+    Combo {
+        label: "BBRv2D/CUBIC",
+        kinds: &[CcaKind::BbrV2Deploy, CcaKind::Cubic],
+    },
+];
+
 /// Network parameters of one validation campaign (§4.3 default vs the
 /// Appendix C short-RTT replica).
 #[derive(Debug, Clone, Copy)]
@@ -122,6 +142,15 @@ mod tests {
         for c in &COMBOS {
             let expected = if c.label.contains('/') { 2 } else { 1 };
             assert_eq!(c.kinds.len(), expected, "{}", c.label);
+        }
+    }
+
+    #[test]
+    fn deploy_combos_are_additive() {
+        // The drift-audit combos never leak into the default legend.
+        for d in &DEPLOY_COMBOS {
+            assert!(d.kinds.contains(&CcaKind::BbrV2Deploy), "{}", d.label);
+            assert!(!COMBOS.iter().any(|c| c.label == d.label));
         }
     }
 

@@ -86,7 +86,8 @@ pub enum TopologyKind {
 }
 
 impl TopologyKind {
-    fn label(&self) -> &'static str {
+    /// Stable display label (also the report/CSV/drift-report value).
+    pub fn label(&self) -> &'static str {
         match self {
             TopologyKind::Dumbbell => "dumbbell",
             TopologyKind::ParkingLot => "parklot",

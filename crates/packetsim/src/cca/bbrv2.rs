@@ -58,6 +58,9 @@ pub struct BbrV2Pkt {
     full_bw: f64,
     full_bw_count: u32,
     probe_rtt_done: f64,
+    /// Min RTT observed *during* the current ProbeRTT window; adopted as
+    /// the new RTprop at exit (even if higher than the old estimate).
+    probe_rtt_min: f64,
     state_stamp: f64,
     pacing_gain: f64,
     /// inflight_hi growth amount per round during Up (segments).
@@ -90,6 +93,7 @@ impl BbrV2Pkt {
             full_bw: 0.0,
             full_bw_count: 0,
             probe_rtt_done: 0.0,
+            probe_rtt_min: f64::INFINITY,
             state_stamp: 0.0,
             pacing_gain: STARTUP_GAIN,
             up_growth: 1.0,
@@ -192,6 +196,7 @@ impl PacketCca for BbrV2Pkt {
             {
                 self.enter(State::ProbeRtt, rs.now);
                 self.probe_rtt_done = rs.now + PROBE_RTT_DURATION;
+                self.probe_rtt_min = f64::INFINITY;
             }
         }
 
@@ -278,8 +283,21 @@ impl PacketCca for BbrV2Pkt {
             }
             State::ProbeRtt => {
                 self.pacing_gain = 1.0;
-                if rs.now >= self.probe_rtt_done && rs.rtt.is_finite() {
-                    self.rtprop = self.rtprop.min(rs.rtt);
+                // Re-measure RTprop from the samples observed during the
+                // probe window itself. Adopting their min at exit — even
+                // when it is *higher* than the old estimate — is what lets
+                // a path whose base RTT stepped up (reroute, churn) shed a
+                // stale RTprop instead of keeping the lifetime min forever.
+                if rs.rtt.is_finite() {
+                    self.probe_rtt_min = self.probe_rtt_min.min(rs.rtt);
+                }
+                // Exit on the deadline unconditionally; a non-finite RTT on
+                // the deadline ack (retransmit) must not strand the flow in
+                // ProbeRTT's halved window.
+                if rs.now >= self.probe_rtt_done {
+                    if self.probe_rtt_min.is_finite() {
+                        self.rtprop = self.probe_rtt_min;
+                    }
                     self.rtprop_stamp = rs.now;
                     self.enter(State::Cruise, rs.now);
                 }
@@ -288,6 +306,17 @@ impl PacketCca for BbrV2Pkt {
     }
 
     fn on_congestion_event(&mut self, _now: f64, inflight: f64) {
+        // Contract: this simplified tier maintains the short-term bound
+        // only in Cruise, per the paper's §3.1 description where
+        // `inflight_lo` constrains the cruising window. During Down the
+        // flow is already draining toward the headroom target, and
+        // Refill/Up losses β-cut `inflight_hi` through the in-state loss
+        // accounting, so folding `inflight_lo` in there would
+        // double-penalize the probe. Deployment BBRv2 maintains the bound
+        // across the whole ProbeBW cycle — that semantics lives in
+        // `CcaKind::BbrV2Deploy` (`bbrv2_deploy.rs`). This narrowing is
+        // pinned by `losses_outside_cruise_leave_inflight_lo_alone` and
+        // by the byte-exact packet-path pins.
         if self.state == State::Cruise {
             // inflight_lo starts from the window at the moment of loss and
             // shrinks by β per loss event (paper §3.1).
@@ -471,6 +500,68 @@ mod tests {
         b.force_btlbw(1e6);
         b.enter(State::ProbeRtt, 0.0);
         assert!((b.cwnd() - 0.5 * 1e6 * 0.04).abs() < 1e-6);
+    }
+
+    #[test]
+    fn probe_rtt_remeasures_rtprop_upward_after_step_rtt() {
+        // Regression: rtprop used to be a lifetime min folded with
+        // `rtprop.min(rs.rtt)` at ProbeRTT exit, so a base-RTT step from
+        // 40 ms to 80 ms (multi-link reroute, churn) left the estimate at
+        // 40 ms forever.
+        let mut b = BbrV2Pkt::new(1500.0, 3);
+        b.force_btlbw(1e6);
+        b.enter(State::Cruise, 0.0);
+        b.probe_stamp = 0.0;
+        b.rtprop = 0.04;
+        b.rtprop_stamp = 0.0;
+        // The base RTT has stepped to 80 ms; once the 10 s window expires
+        // the flow enters ProbeRTT...
+        let mut rs = sample(10.5, 1e6, 0.08, 1e6, 5_000.0);
+        rs.pkt_delivered_at_send = -1.0;
+        b.on_ack(&rs);
+        assert_eq!(b.state(), State::ProbeRtt);
+        assert_eq!(b.rtprop, 0.04, "probe window not over yet");
+        // ...and at the deadline adopts the 80 ms samples observed during
+        // the probe window, re-measuring *upward*.
+        let mut rs2 = sample(10.5 + PROBE_RTT_DURATION, 1e6, 0.08, 1e6, 5_000.0);
+        rs2.pkt_delivered_at_send = -1.0;
+        b.on_ack(&rs2);
+        assert_eq!(b.state(), State::Cruise);
+        assert_eq!(b.rtprop, 0.08);
+    }
+
+    #[test]
+    fn probe_rtt_exits_on_deadline_even_with_non_finite_rtt() {
+        // Regression: the exit gate was `now >= deadline && rtt.is_finite()`,
+        // so a retransmit's NaN RTT on the deadline ack stranded the flow
+        // in ProbeRTT's halved window indefinitely.
+        let mut b = BbrV2Pkt::new(1500.0, 3);
+        b.rtprop = 0.04;
+        b.force_btlbw(1e6);
+        b.enter(State::ProbeRtt, 0.0);
+        b.probe_rtt_done = 0.2;
+        let mut rs = sample(0.25, 1e6, f64::NAN, 1e6, 5_000.0);
+        rs.pkt_delivered_at_send = -1.0;
+        b.on_ack(&rs);
+        assert_eq!(b.state(), State::Cruise);
+        // No finite sample was seen during the probe window, so the old
+        // estimate stands rather than being clobbered.
+        assert_eq!(b.rtprop, 0.04);
+    }
+
+    #[test]
+    fn losses_outside_cruise_leave_inflight_lo_alone() {
+        // Explicit contract (see on_congestion_event): the simplified tier
+        // maintains the short-term bound only in Cruise. The deploy tier
+        // (`BbrV2Deploy`) maintains it across the whole ProbeBW cycle.
+        for st in [State::Down, State::Refill, State::Up, State::Startup] {
+            let mut b = BbrV2Pkt::new(1500.0, 3);
+            b.rtprop = 0.04;
+            b.force_btlbw(1e6);
+            b.enter(st, 0.0);
+            b.on_congestion_event(1.0, 30_000.0);
+            assert!(b.inflight_lo.is_infinite(), "inflight_lo moved in {st:?}");
+        }
     }
 
     #[test]

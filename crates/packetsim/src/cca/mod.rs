@@ -5,13 +5,17 @@
 //! sample") plus loss and timeout notifications; the CCA answers with a
 //! congestion window (bytes) and a pacing rate (bytes/s).
 
+pub mod bbr_common;
 pub mod bbrv1;
 pub mod bbrv2;
+pub mod bbrv2_deploy;
 pub mod cubic;
 pub mod reno;
 
+pub use bbr_common::{WindowedMax, WindowedMin};
 pub use bbrv1::BbrV1Pkt;
 pub use bbrv2::BbrV2Pkt;
+pub use bbrv2_deploy::BbrV2DeployPkt;
 pub use cubic::CubicPkt;
 pub use reno::RenoPkt;
 
@@ -69,70 +73,13 @@ pub fn build(kind: CcaKind, mss: f64, seed: u64) -> Box<dyn PacketCca> {
         CcaKind::Cubic => Box::new(CubicPkt::new(mss)),
         CcaKind::BbrV1 => Box::new(BbrV1Pkt::new(mss, seed)),
         CcaKind::BbrV2 => Box::new(BbrV2Pkt::new(mss, seed)),
-    }
-}
-
-/// Windowed max filter over (time, value) samples, used for BBR's
-/// bottleneck-bandwidth estimate.
-#[derive(Debug, Clone, Default)]
-pub struct WindowedMax {
-    samples: std::collections::VecDeque<(f64, f64)>,
-}
-
-impl WindowedMax {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Insert a sample and evict everything older than `window` seconds.
-    pub fn update(&mut self, t: f64, v: f64, window: f64) {
-        // Monotonic deque: drop smaller trailing samples.
-        while let Some(&(_, back)) = self.samples.back() {
-            if back <= v {
-                self.samples.pop_back();
-            } else {
-                break;
-            }
-        }
-        self.samples.push_back((t, v));
-        while let Some(&(front_t, _)) = self.samples.front() {
-            if front_t < t - window {
-                self.samples.pop_front();
-            } else {
-                break;
-            }
-        }
-    }
-
-    /// Current windowed maximum (0 if empty).
-    pub fn max(&self) -> f64 {
-        self.samples.front().map(|&(_, v)| v).unwrap_or(0.0)
+        CcaKind::BbrV2Deploy => Box::new(BbrV2DeployPkt::new(mss, seed)),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn windowed_max_tracks_maximum() {
-        let mut f = WindowedMax::new();
-        f.update(0.0, 5.0, 1.0);
-        f.update(0.1, 3.0, 1.0);
-        assert_eq!(f.max(), 5.0);
-        f.update(0.2, 8.0, 1.0);
-        assert_eq!(f.max(), 8.0);
-    }
-
-    #[test]
-    fn windowed_max_evicts_old_samples() {
-        let mut f = WindowedMax::new();
-        f.update(0.0, 10.0, 1.0);
-        f.update(0.5, 4.0, 1.0);
-        // At t = 1.5 the sample from t = 0 is outside the 1 s window.
-        f.update(1.5, 1.0, 1.0);
-        assert_eq!(f.max(), 4.0);
-    }
 
     #[test]
     fn build_all() {

@@ -60,15 +60,24 @@ pub enum CcaKind {
     BbrV1,
     /// BBR version 2 (rate-based with loss/ECN reaction).
     BbrV2,
+    /// Deployment-grade BBRv2 packet state machine (the high-fidelity
+    /// tier of the packet backend: windowed max-bandwidth / min-RTT
+    /// deque filters, the full ProbeBW Down/Cruise/Refill/Up cycle with
+    /// `inflight_hi/lo` + `bw_hi/lo` bounds, idle restart). The fluid
+    /// backend maps it to the same §3.1 BBRv2 fluid model as
+    /// [`CcaKind::BbrV2`] — the fluid abstraction has exactly one BBRv2,
+    /// which is what the `figures drift` audit quantifies.
+    BbrV2Deploy,
 }
 
 impl CcaKind {
     /// Every kind, in a fixed order (handy for property tests and CLIs).
-    pub const ALL: [CcaKind; 4] = [
+    pub const ALL: [CcaKind; 5] = [
         CcaKind::Reno,
         CcaKind::Cubic,
         CcaKind::BbrV1,
         CcaKind::BbrV2,
+        CcaKind::BbrV2Deploy,
     ];
 
     /// Short display name matching the paper's legends.
@@ -78,6 +87,7 @@ impl CcaKind {
             CcaKind::Cubic => "CUBIC",
             CcaKind::BbrV1 => "BBRv1",
             CcaKind::BbrV2 => "BBRv2",
+            CcaKind::BbrV2Deploy => "BBRv2D",
         }
     }
 
@@ -573,6 +583,10 @@ impl ScenarioSpec {
                 CcaKind::Cubic => 0x11,
                 CcaKind::BbrV1 => 0x12,
                 CcaKind::BbrV2 => 0x13,
+                // New tier word: specs without BbrV2Deploy (everything
+                // that existed before it) hash exactly as they always
+                // did, so recorded seeds and store keys stay valid.
+                CcaKind::BbrV2Deploy => 0x14,
             });
         }
         h.word(match self.qdisc {
@@ -879,8 +893,10 @@ mod tests {
         assert!(CcaKind::Reno.loss_sensitive());
         assert!(CcaKind::Cubic.loss_sensitive());
         assert!(CcaKind::BbrV2.loss_sensitive());
+        assert!(CcaKind::BbrV2Deploy.loss_sensitive());
+        assert_eq!(CcaKind::BbrV2Deploy.name(), "BBRv2D");
         assert!(!CcaKind::BbrV1.loss_sensitive());
-        assert_eq!(CcaKind::ALL.len(), 4);
+        assert_eq!(CcaKind::ALL.len(), 5);
     }
 
     #[test]
@@ -952,6 +968,12 @@ mod tests {
         assert_ne!(
             a.stable_hash(),
             a.clone().ccas(vec![CcaKind::BbrV2]).stable_hash()
+        );
+        // The deploy tier is a distinct hash word (0x14), so deploy
+        // cells never collide with classic-BBRv2 cells in stores.
+        assert_ne!(
+            a.clone().ccas(vec![CcaKind::BbrV2]).stable_hash(),
+            a.clone().ccas(vec![CcaKind::BbrV2Deploy]).stable_hash()
         );
         assert_ne!(
             a.stable_hash(),

@@ -3,7 +3,7 @@
 //! the seed-derivation regression pins, and a property test that every
 //! spec the sweep grid can emit runs on both backends.
 
-use bbr_repro::experiments::scenarios::COMBOS;
+use bbr_repro::experiments::scenarios::{COMBOS, DEPLOY_COMBOS};
 use bbr_repro::experiments::sweep::{ScenarioGrid, TopologyKind};
 use bbr_repro::fluid::prelude::*;
 use bbr_repro::packetsim::backend::PacketBackend;
@@ -124,6 +124,77 @@ fn chain_story_matches_across_backends_within_tolerance() {
         fluid.jain,
         packet.jain
     );
+}
+
+#[test]
+fn bbrv2_deploy_dumbbell_agrees_across_backends() {
+    // The deployment-grade tier maps to the same fluid BBRv2 model, so
+    // its fluid-vs-packet gap must stay inside the same §4.3-style
+    // tolerances as the classic tier — the `figures drift` audit
+    // measures *where* inside that band each tier sits.
+    let spec = ScenarioSpec::dumbbell(2, 50.0, 0.010, 2.0)
+        .ccas(vec![CcaKind::BbrV2Deploy, CcaKind::Cubic])
+        .duration(3.0)
+        .warmup(1.0);
+    let fluid = FluidBackend::coarse().run(&spec, 11);
+    let packet = PacketBackend::new(1).run(&spec, 11);
+    for o in [&fluid, &packet] {
+        assert!(
+            o.utilization_percent > 60.0,
+            "{} idle: {:.1} %",
+            o.backend,
+            o.utilization_percent
+        );
+        // Outcomes report the spec's CCA tag, not the fluid model that
+        // backs it.
+        assert_eq!(o.flows[0].cca, CcaKind::BbrV2Deploy);
+        assert_eq!(o.flows[1].cca, CcaKind::Cubic);
+    }
+    let util_gap = (fluid.utilization_percent - packet.utilization_percent).abs();
+    assert!(
+        util_gap < 25.0,
+        "utilization gap {util_gap:.1} pp (fluid {:.1} vs packet {:.1})",
+        fluid.utilization_percent,
+        packet.utilization_percent
+    );
+    let jain_gap = (fluid.jain - packet.jain).abs();
+    assert!(
+        jain_gap < 0.35,
+        "Jain gap {jain_gap:.3} (fluid {:.3} vs packet {:.3})",
+        fluid.jain,
+        packet.jain
+    );
+}
+
+#[test]
+fn bbrv2_deploy_runs_on_every_topology_family() {
+    // Packet-backend coverage of the new tier across all three families
+    // (the sweepability half is covered by the drift grid tests).
+    for topo in [
+        TopologyKind::Dumbbell,
+        TopologyKind::ParkingLot,
+        TopologyKind::Chain,
+    ] {
+        let grid = ScenarioGrid::new()
+            .capacity(20.0)
+            .combos(vec![DEPLOY_COMBOS[0]])
+            .flow_counts(vec![3])
+            .buffers_bdp(vec![2.0])
+            .topologies(vec![topo])
+            .duration(0.6)
+            .warmup(0.2)
+            .runs(1);
+        for pt in grid.points() {
+            let spec = grid.spec_for(&pt);
+            spec.validate().unwrap();
+            let o = PacketBackend::new(1).run(&spec, grid.cell_seed(&spec));
+            assert_eq!(o.flows.len(), spec.n_flows());
+            assert!(o.utilization_percent > 0.0, "{topo:?} moved no traffic");
+            for f in &o.flows {
+                assert_eq!(f.cca, CcaKind::BbrV2Deploy);
+            }
+        }
+    }
 }
 
 #[test]
