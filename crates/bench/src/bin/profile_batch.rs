@@ -1,0 +1,31 @@
+//! Tiny profiling driver: run the pinned 96-cell grid in a loop on one
+//! engine so a sampling profiler sees only that integrator.
+//!
+//! ```text
+//! profile_batch [reps] [scalar|batch|simd]
+//! ```
+
+use bbr_experiments::sweep::{bench_grid, Backend};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reps: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let backend = match args.get(1).map(String::as_str) {
+        None | Some("batch") => Backend::FluidBatch,
+        Some("scalar") => Backend::Fluid,
+        Some("simd") => Backend::FluidSimd,
+        Some(other) => {
+            eprintln!("unknown engine: {other} (expected scalar|batch|simd)");
+            std::process::exit(2);
+        }
+    };
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build_global()
+        .unwrap();
+    let grid = bench_grid(96).backend(backend);
+    for _ in 0..reps {
+        let r = grid.run();
+        eprintln!("{:.1} cells/s", 96.0 / r.wall_seconds);
+    }
+}

@@ -35,6 +35,16 @@ pub struct Cubic {
     /// it just skips a cube root in the (hot) loss-free phases where
     /// `w_max` sits still, and on the second `window()` evaluation of
     /// every step (`rate` and `step` both need it).
+    ///
+    /// Multicore-wave safety: the memo is per-agent interior state, and
+    /// every agent is owned by exactly one simulation (one lockstep
+    /// wave, on one worker thread) for its whole life. `Cell` is not
+    /// `Sync`, so any future refactor that tried to *share* an agent
+    /// across wave threads would fail to compile rather than race; and
+    /// because replaying the memo is bit-identical to recomputing,
+    /// outcomes cannot depend on which thread count produced them (see
+    /// `tests/thread_scaling.rs`). The packed SIMD engine does not use
+    /// this field at all — it carries its own per-pack memo.
     k_memo: Cell<(f64, f64, f64)>,
 }
 

@@ -29,6 +29,7 @@ pub mod backend;
 pub mod cca;
 pub mod config;
 pub mod history;
+pub mod lanes;
 pub mod math;
 pub mod metrics;
 pub mod queue;

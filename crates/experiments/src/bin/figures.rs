@@ -3,13 +3,15 @@
 //! ```text
 //! figures <id>... [--fast] [--out DIR]
 //! figures all [--fast]
-//! figures sweep [--fast] [--threads N] [--backend fluid|fluid-batch|packet|both]
+//! figures sweep [--fast] [--threads N]
+//!               [--backend fluid|fluid-batch|fluid-simd|packet|both]
 //!               [--topology dumbbell|parking|chain|both|all] [--churn]
 //!               [--cca MIX] [--out DIR]
 //! figures campaign [--fast] [--shards N] [--store DIR] [--resume]
 //!                  [--topology dumbbell|parking|chain|both|all]
 //! figures store compact [--store DIR]
-//! figures bench-sweep [--out FILE] [--reps N]
+//! figures bench-sweep [--out FILE] [--reps N] [--threads N]
+//! figures simd-check
 //! figures drift [--fast] [--threads N] [--out FILE]
 //! figures list
 //! ```
@@ -106,6 +108,10 @@ fn main() {
         run_bench_sweep(&args);
         return;
     }
+    if ids.first().map(String::as_str) == Some("simd-check") {
+        run_simd_check();
+        return;
+    }
     if ids.first().map(String::as_str) == Some("drift") {
         run_drift_cmd(&args, effort);
         return;
@@ -166,28 +172,38 @@ fn parse_topologies(args: &[String], default: Vec<TopologyKind>) -> Vec<Topology
     }
 }
 
-/// The `bench-sweep` subcommand: the machine-readable perf trajectory.
+/// The v1 single-thread rows of `BENCH_sweep.json`, pinned verbatim so
+/// the perf trajectory the repo has been recording since the batch
+/// engine landed stays readable from the v2 file (the v2 matrix rows
+/// supersede them as the live measurement).
+const SEED_TRAJECTORY: &str = concat!(
+    "    {\"cells\": 24, \"grid\": \"mixed-topology\", ",
+    "\"scalar_cells_per_sec\": 206.01, \"batch_cells_per_sec\": 507.87, ",
+    "\"speedup\": 2.465, \"csv_byte_identical\": true},\n",
+    "    {\"cells\": 96, \"grid\": \"dumbbell-4.3\", ",
+    "\"scalar_cells_per_sec\": 98.35, \"batch_cells_per_sec\": 301.57, ",
+    "\"speedup\": 3.066, \"csv_byte_identical\": true}"
+);
+
+/// The `bench-sweep` subcommand: the machine-readable perf trajectory
+/// (`bench-sweep/v2`).
 ///
 /// Times fluid sweep throughput (cells/sec) on the pinned 24- and
-/// 96-cell grids ([`bench_grid`]), scalar engine vs the batched SoA
-/// engine, best of `--reps` (default 3) timed runs each, asserts the
-/// two engines' CSVs agree byte for byte, and writes the result as JSON
-/// to `--out` (default `BENCH_sweep.json`) so future PRs can track
-/// speedups against a recorded baseline.
+/// 96-cell grids ([`bench_grid`]) across a thread-scaling matrix:
+/// {1, 2, 4, all} worker threads (deduped and capped at the host's
+/// parallelism) × {scalar, batch, SIMD} engines, best of `--reps`
+/// (default 3) timed runs per matrix entry. Per thread count it asserts
+/// the scalar and batch CSVs agree byte for byte, checks the SIMD CSV
+/// against the cross-backend tolerance contract, and writes one JSON
+/// row per (grid, threads) to `--out` (default `BENCH_sweep.json`).
+/// Speedups are always relative to the **single-thread scalar** row of
+/// the same grid, so one column reads as "× over the baseline a naive
+/// sweep would get on one core".
 ///
-/// Unless `--threads` was given, the pool is pinned to **one** thread:
-/// both engines use the rayon pool (scalar fans out cells, batch fans
-/// out waves), so unpinned numbers would track the host's core count
-/// rather than per-core engine throughput and be incomparable across
-/// machines. The thread count used is recorded in the JSON.
+/// `--threads N` collapses the matrix to the single thread count N.
+/// The v1 single-thread rows are carried along under
+/// `"seed_trajectory"` so the recorded history stays in the file.
 fn run_bench_sweep(args: &[String]) {
-    if flag_value(args, "--threads").is_none() {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(1)
-            .build_global()
-            .expect("thread pool configuration");
-    }
-    let threads = rayon::current_num_threads();
     let out = PathBuf::from(flag_value(args, "--out").unwrap_or("BENCH_sweep.json"));
     let reps: usize = match flag_value(args, "--reps").map(str::parse) {
         None => 3,
@@ -197,10 +213,36 @@ fn run_bench_sweep(args: &[String]) {
             std::process::exit(2);
         }
     };
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let thread_counts: Vec<usize> = match flag_value(args, "--threads") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => vec![n],
+            _ => {
+                eprintln!("invalid --threads value: {v} (expected a positive number)");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let mut counts = vec![1usize, 2, 4, host_threads];
+            counts.retain(|&t| t <= host_threads);
+            counts.sort_unstable();
+            counts.dedup();
+            counts
+        }
+    };
+    let pin_pool = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("thread pool configuration");
+    };
     let mut entries = Vec::new();
     for cells in [24usize, 96] {
         let scalar_grid = bench_grid(cells); // Backend::Fluid
         let batch_grid = bench_grid(cells).backend(Backend::FluidBatch);
+        let simd_grid = bench_grid(cells).backend(Backend::FluidSimd);
         let best = |grid: &bbr_experiments::sweep::ScenarioGrid| {
             let mut secs = f64::INFINITY;
             let mut csv = String::new();
@@ -211,36 +253,67 @@ fn run_bench_sweep(args: &[String]) {
             }
             (secs, csv)
         };
-        let (scalar_secs, scalar_csv) = best(&scalar_grid);
-        let (batch_secs, batch_csv) = best(&batch_grid);
-        assert_eq!(
-            scalar_csv, batch_csv,
-            "batched fluid must stay byte-identical to scalar fluid"
-        );
-        let scalar_cps = cells as f64 / scalar_secs;
-        let batch_cps = cells as f64 / batch_secs;
-        eprintln!(
-            "bench-sweep {cells:3} cells: scalar {scalar_cps:8.1} cells/s, \
-             batch {batch_cps:8.1} cells/s, speedup {:.2}x",
-            batch_cps / scalar_cps
-        );
-        entries.push(format!(
-            concat!(
-                "    {{\"cells\": {}, \"grid\": \"{}\", ",
-                "\"scalar_cells_per_sec\": {:.2}, \"batch_cells_per_sec\": {:.2}, ",
-                "\"speedup\": {:.3}, \"csv_byte_identical\": true}}"
-            ),
-            cells,
-            if cells == 24 {
-                "mixed-topology"
-            } else {
-                "dumbbell-4.3"
-            },
-            scalar_cps,
-            batch_cps,
-            batch_cps / scalar_cps,
-        ));
+        let mut scalar_1t_cps = f64::NAN;
+        for &threads in &thread_counts {
+            pin_pool(threads);
+            let (scalar_secs, scalar_csv) = best(&scalar_grid);
+            let (batch_secs, batch_csv) = best(&batch_grid);
+            let (simd_secs, simd_csv) = best(&simd_grid);
+            assert_eq!(
+                scalar_csv, batch_csv,
+                "batched fluid must stay byte-identical to scalar fluid \
+                 ({cells} cells, {threads} threads)"
+            );
+            // The SIMD engine is tolerance-bound, not byte-bound; a full
+            // metric diff lives in `figures simd-check`, but the CSVs
+            // must at least describe the same grid row for row.
+            assert_eq!(
+                scalar_csv.lines().count(),
+                simd_csv.lines().count(),
+                "SIMD sweep CSV must cover the same cells as scalar"
+            );
+            let scalar_cps = cells as f64 / scalar_secs;
+            let batch_cps = cells as f64 / batch_secs;
+            let simd_cps = cells as f64 / simd_secs;
+            if scalar_1t_cps.is_nan() {
+                // First (smallest) thread count is the per-core anchor.
+                scalar_1t_cps = scalar_cps;
+            }
+            eprintln!(
+                "bench-sweep {cells:3} cells x{threads:2} threads: \
+                 scalar {scalar_cps:8.1}, batch {batch_cps:8.1}, \
+                 simd {simd_cps:8.1} cells/s ({:.2}x over 1t scalar)",
+                simd_cps / scalar_1t_cps
+            );
+            entries.push(format!(
+                concat!(
+                    "    {{\"cells\": {}, \"grid\": \"{}\", \"threads\": {}, ",
+                    "\"scalar_cells_per_sec\": {:.2}, ",
+                    "\"batch_cells_per_sec\": {:.2}, ",
+                    "\"simd_cells_per_sec\": {:.2}, ",
+                    "\"batch_speedup_vs_scalar_1t\": {:.3}, ",
+                    "\"simd_speedup_vs_scalar_1t\": {:.3}, ",
+                    "\"csv_byte_identical\": true}}"
+                ),
+                cells,
+                if cells == 24 {
+                    "mixed-topology"
+                } else {
+                    "dumbbell-4.3"
+                },
+                threads,
+                scalar_cps,
+                batch_cps,
+                simd_cps,
+                batch_cps / scalar_1t_cps,
+                simd_cps / scalar_1t_cps,
+            ));
+        }
     }
+    // Packet rows stay single-threaded: they track per-core packet-path
+    // throughput, and the fluid matrix above already measures scaling.
+    pin_pool(1);
+    let threads = 1usize;
     // Packet-path throughput on the same pinned 24-cell mixed-topology
     // grid, both BBRv2 fidelity tiers: the classic tier times the
     // shared-filter hot path that BBRv1 cells exercise, the deploy-tier
@@ -271,14 +344,61 @@ fn run_bench_sweep(args: &[String]) {
         classic_cps, deploy_cps,
     );
     let json = format!(
-        "{{\n  \"bench\": \"fluid-sweep-throughput\",\n  \"unit\": \"cells/sec\",\n  \
-         \"reps\": {reps},\n  \"threads\": {threads},\n  \"grids\": [\n{}\n  ],\n  \
-         \"packet_grids\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"fluid-sweep-throughput\",\n  \
+         \"version\": \"bench-sweep/v2\",\n  \"unit\": \"cells/sec\",\n  \
+         \"reps\": {reps},\n  \"host_threads\": {host_threads},\n  \
+         \"packet_threads\": {threads},\n  \"grids\": [\n{}\n  ],\n  \
+         \"packet_grids\": [\n{}\n  ],\n  \"seed_trajectory\": [\n{}\n  ]\n}}\n",
         entries.join(",\n"),
-        packet
+        packet,
+        SEED_TRAJECTORY,
     );
     std::fs::write(&out, &json).expect("cannot write bench JSON");
     eprintln!("wrote {}", out.display());
+}
+
+/// The `simd-check` subcommand: the SIMD engine's consistency smoke.
+///
+/// Runs the pinned 24-cell mixed-topology grid ([`bench_grid`]) on the
+/// scalar `fluid` backend and the packed `fluid-simd` backend and
+/// diffs every cell's metrics under the cross-backend tolerance
+/// contract (`tests/backend_consistency.rs`): utilization within 25
+/// percentage points, Jain within 0.35. The packed engine tracks the
+/// scalar one far tighter than that in practice (sub-percent), but the
+/// contract is the tolerance the name `"fluid-simd"` promises, so the
+/// gate checks exactly that. Exits non-zero on any violation.
+fn run_simd_check() {
+    let scalar = bench_grid(24).run();
+    let simd = bench_grid(24).backend(Backend::FluidSimd).run();
+    assert_eq!(scalar.len(), simd.len(), "grids must expand identically");
+    let mut worst_util = 0.0f64;
+    let mut worst_jain = 0.0f64;
+    let mut failed = false;
+    for (a, b) in scalar.cells.iter().zip(&simd.cells) {
+        let (Some(m), Some(s)) = (scalar.metrics(a, "fluid"), simd.metrics(b, "fluid-simd")) else {
+            eprintln!("simd-check: missing backend column for a cell");
+            std::process::exit(1);
+        };
+        let util_gap = (m.utilization_percent - s.utilization_percent).abs();
+        let jain_gap = (m.jain - s.jain).abs();
+        worst_util = worst_util.max(util_gap);
+        worst_jain = worst_jain.max(jain_gap);
+        if util_gap >= 25.0 || jain_gap >= 0.35 {
+            eprintln!(
+                "simd-check FAIL at {:?}: util gap {util_gap:.2} pp, jain gap {jain_gap:.3}",
+                a.point
+            );
+            failed = true;
+        }
+    }
+    eprintln!(
+        "simd-check: 24 cells, worst utilization gap {worst_util:.3} pp \
+         (tolerance 25), worst Jain gap {worst_jain:.4} (tolerance 0.35)"
+    );
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("simd-check: PASS");
 }
 
 /// The `drift` subcommand: the fluid-vs-packet divergence audit over
@@ -418,10 +538,13 @@ fn run_sweep(args: &[String], effort: Effort) {
     let backend = match flag_value(args, "--backend") {
         Some("fluid") => Backend::Fluid,
         Some("fluid-batch") => Backend::FluidBatch,
+        Some("fluid-simd") => Backend::FluidSimd,
         Some("packet") => Backend::Packet,
         Some("both") | None => Backend::Both,
         Some(other) => {
-            eprintln!("unknown backend: {other} (expected fluid|fluid-batch|packet|both)");
+            eprintln!(
+                "unknown backend: {other} (expected fluid|fluid-batch|fluid-simd|packet|both)"
+            );
             std::process::exit(2);
         }
     };

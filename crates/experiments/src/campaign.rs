@@ -10,7 +10,7 @@
 //! `main`.
 
 use bbr_campaign::{BackendFactory, BackendSel, CampaignPlan};
-use bbr_fluidbatch::BatchedFluidBackend;
+use bbr_fluidbatch::{BatchedFluidBackend, SimdFluidBackend};
 use bbr_packetsim::backend::PacketBackend;
 use bbr_scenario::SimBackend;
 
@@ -30,11 +30,16 @@ use crate::Effort;
 /// shard in one lockstep batch, and since its outcomes are
 /// byte-identical to the scalar `FluidBackend`, stores written by
 /// either engine (including every pre-existing store) remain
-/// interchangeable.
+/// interchangeable. `"fluid-simd"` is the packed vector engine
+/// ([`SimdFluidBackend`]) — a *distinct* store column, because its
+/// transcendental kernels are tolerance-bound rather than byte-bound
+/// (see `docs/ARCHITECTURE.md`), so its records never mix with
+/// `"fluid"` ones.
 pub fn build_backend(plan: &CampaignPlan, sel: &BackendSel) -> Option<Box<dyn SimBackend>> {
     let effort = Effort::from_tag(&plan.effort)?;
     match sel.name.as_str() {
         "fluid" => Some(Box::new(BatchedFluidBackend::new(model_config(effort)))),
+        "fluid-simd" => Some(Box::new(SimdFluidBackend::new(model_config(effort)))),
         "packet" => Some(Box::new(PacketBackend::new(1))),
         _ => None,
     }

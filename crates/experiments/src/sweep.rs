@@ -37,7 +37,7 @@ use std::time::Instant;
 
 use bbr_campaign::{BackendSel, CampaignPlan, CellKey, PlannedCell, ResultStore};
 use bbr_fluid_core::backend::FluidBackend;
-use bbr_fluidbatch::BatchedFluidBackend;
+use bbr_fluidbatch::{BatchedFluidBackend, SimdFluidBackend};
 use bbr_packetsim::backend::PacketBackend;
 use bbr_scenario::{run_seed, FlowWindow, QdiscKind, RunOutcome, ScenarioSpec, SimBackend};
 use rayon::prelude::*;
@@ -62,6 +62,15 @@ pub enum Backend {
     /// this selects an execution strategy, not a different model — so
     /// the column is still named `"fluid"`.
     FluidBatch,
+    /// Fluid model only, integrated by the SIMD-packed engine
+    /// (`bbr-fluidbatch`'s `SimdFluidBackend`): scenarios with the same
+    /// structure advance four-per-vector-lane through packed-`f64`
+    /// kernels. The packed transcendental kernels (sigmoid, pow, cbrt)
+    /// are not bit-identical to libm, so this column is named
+    /// `"fluid-simd"` and is held to the cross-backend tolerance
+    /// contract instead of the byte-identity one (see
+    /// `docs/ARCHITECTURE.md`).
+    FluidSimd,
     /// Packet-level simulator only (the paper's "Experiment" columns).
     Packet,
     /// Both models, for model-vs-experiment comparison tables (fluid on
@@ -499,6 +508,9 @@ impl ScenarioGrid {
             Backend::FluidBatch | Backend::Both => backends.push(Box::new(
                 BatchedFluidBackend::new(model_config(self.effort)),
             )),
+            Backend::FluidSimd => {
+                backends.push(Box::new(SimdFluidBackend::new(model_config(self.effort))))
+            }
             Backend::Packet => {}
         }
         if matches!(self.backend, Backend::Packet | Backend::Both) {
@@ -522,6 +534,10 @@ impl ScenarioGrid {
             }
             Backend::FluidBatch | Backend::Both => plan.push((
                 Box::new(BatchedFluidBackend::new(model_config(self.effort))),
+                1,
+            )),
+            Backend::FluidSimd => plan.push((
+                Box::new(SimdFluidBackend::new(model_config(self.effort))),
                 1,
             )),
             Backend::Packet => {}

@@ -38,6 +38,7 @@
 //! assert_eq!(batch[1], FluidBackend::coarse().run(&b, 2));
 //! ```
 
+pub mod packed;
 pub mod sim;
 
 use bbr_fluid_core::backend::outcome_from_metrics;
@@ -46,6 +47,8 @@ use bbr_scenario::{BatchSimBackend, RunOutcome, ScenarioSpec, SimBackend};
 use rayon::prelude::*;
 
 use crate::sim::BatchedFluidSim;
+
+pub use crate::packed::SimdFluidBackend;
 
 /// Default cap on the summed flow count of one lockstep wave.
 ///
@@ -91,15 +94,34 @@ impl BatchedFluidBackend {
         self
     }
 
+    /// How many lockstep waves [`BatchSimBackend::run_batch`] would
+    /// split `jobs` into under the *current* thread count — the
+    /// fan-out width the rayon pool gets. Introspection only (wave
+    /// splitting never changes results); lets tests and tuning scripts
+    /// verify the thread-aware sizing without private access.
+    pub fn wave_count(&self, jobs: &[(&ScenarioSpec, u64)]) -> usize {
+        self.waves(jobs).len()
+    }
+
     /// Split jobs into waves whose summed flow counts stay within the
     /// budget (every wave holds at least one job).
+    ///
+    /// The configured budget is additionally tightened to
+    /// `ceil(total_flows / threads)` so a multi-thread pool always gets
+    /// at least one wave per worker: a small batch split by the
+    /// cache-residency cap alone can yield fewer waves than threads and
+    /// leave cores idle. Wave splitting is result-invariant (every lane
+    /// is independent), so this only moves work, never bits.
     fn waves<'a>(&self, jobs: &'a [(&'a ScenarioSpec, u64)]) -> Vec<&'a [(&'a ScenarioSpec, u64)]> {
-        let mut waves = Vec::new();
+        let total: usize = jobs.iter().map(|(spec, _)| spec.n_flows()).sum();
+        let threads = rayon::current_num_threads().max(1);
+        let budget = self.wave_flow_budget.min(total.div_ceil(threads)).max(1);
+        let mut waves = Vec::with_capacity(total.div_ceil(budget));
         let mut start = 0;
         let mut flows = 0;
         for (idx, (spec, _)) in jobs.iter().enumerate() {
             let f = spec.n_flows();
-            if idx > start && flows + f > self.wave_flow_budget {
+            if idx > start && flows + f > budget {
                 waves.push(&jobs[start..idx]);
                 start = idx;
                 flows = 0;

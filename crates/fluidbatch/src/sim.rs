@@ -53,22 +53,22 @@ use bbr_scenario::ScenarioSpec;
 /// which case the interpolation is skipped, as the ring buffer skips
 /// it, so even a `-0.0` sample round-trips bit-exactly).
 #[derive(Debug, Clone, Copy)]
-struct Lookup {
+pub(crate) struct Lookup {
     /// Arena offset of the history region this lookup reads.
-    off: u32,
+    pub(crate) off: u32,
     /// Whole steps back for the two interpolation endpoints.
-    back_a: u32,
-    back_b: u32,
+    pub(crate) back_a: u32,
+    pub(crate) back_b: u32,
     /// Interpolation fraction between the endpoints.
-    frac: f64,
+    pub(crate) frac: f64,
     /// Delay at/beyond the retention horizon: return the oldest sample.
-    clamped: bool,
+    pub(crate) clamped: bool,
 }
 
 impl Lookup {
     /// Resolve `delay` against a history of `cap` retained samples,
     /// replicating the `at_delay` decomposition bit for bit.
-    fn new(off: usize, cap: usize, delay: f64, dt: f64) -> Self {
+    pub(crate) fn new(off: usize, cap: usize, delay: f64, dt: f64) -> Self {
         debug_assert!(delay >= 0.0, "delay must be non-negative");
         let steps = delay / dt;
         let lo = steps.floor() as usize;
@@ -100,7 +100,7 @@ impl Lookup {
     /// invariant, and `back_a, back_b ≤ cap - 1 ≤ cur` (the cursor never
     /// drops below `cap - 1`), so both indices stay inside the region.
     #[inline]
-    fn read(&self, arena: &[f64], cur: usize) -> f64 {
+    pub(crate) fn read(&self, arena: &[f64], cur: usize) -> f64 {
         let base = self.off as usize + cur;
         debug_assert!(base - self.back_b as usize >= self.off as usize);
         debug_assert!(base < arena.len());
@@ -224,6 +224,13 @@ impl BatchedFluidSim {
     /// Pack `specs` into one lockstep batch. Every spec must already be
     /// validated (the backend validates before building).
     pub fn new(specs: &[&ScenarioSpec], cfg: ModelConfig) -> Self {
+        // Capacity hints so building a wave does not realloc-churn: the
+        // per-flow totals are exact, the per-link and path-flattened
+        // ones are dumbbell-shaped floors (multi-hop lanes may still
+        // grow once). Matters when the backend fans many small waves
+        // out per sweep — construction is on the hot path there.
+        let flows: usize = specs.iter().map(|s| s.n_flows()).sum();
+        let links = flows + 2 * specs.len();
         let mut sim = Self {
             cfg,
             lanes: Vec::with_capacity(specs.len()),
@@ -231,24 +238,24 @@ impl BatchedFluidSim {
             step_count: 0,
             next_deadline: u64::MAX,
             t: 0.0,
-            agents: Vec::new(),
-            feedback: Vec::new(),
-            path_range: Vec::new(),
-            path_links: Vec::new(),
-            lk_loss: Vec::new(),
-            x: Vec::new(),
-            tau: Vec::new(),
-            link_spec: Vec::new(),
-            q: Vec::new(),
-            user_range: Vec::new(),
-            lk_user: Vec::new(),
-            p_off: Vec::new(),
-            q_off: Vec::new(),
-            y_off: Vec::new(),
-            y: Vec::new(),
-            p: Vec::new(),
-            rel_q: Vec::new(),
-            service: Vec::new(),
+            agents: Vec::with_capacity(flows),
+            feedback: Vec::with_capacity(flows),
+            path_range: Vec::with_capacity(flows),
+            path_links: Vec::with_capacity(2 * flows),
+            lk_loss: Vec::with_capacity(2 * flows),
+            x: Vec::with_capacity(flows),
+            tau: Vec::with_capacity(flows),
+            link_spec: Vec::with_capacity(links),
+            q: Vec::with_capacity(links),
+            user_range: Vec::with_capacity(links),
+            lk_user: Vec::with_capacity(2 * flows),
+            p_off: Vec::with_capacity(links),
+            q_off: Vec::with_capacity(links),
+            y_off: Vec::with_capacity(links),
+            y: Vec::with_capacity(links),
+            p: Vec::with_capacity(links),
+            rel_q: Vec::with_capacity(links),
+            service: Vec::with_capacity(links),
             arena: Vec::new(),
         };
         for spec in specs {
