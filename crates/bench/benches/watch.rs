@@ -1,0 +1,133 @@
+//! Benchmarks of the `figures watch` workbench — the polling hot path a
+//! live watcher pays every `--interval`.
+//!
+//! * `render_36_cell_frame` — one `WatchState::render` over a fully
+//!   populated 36-cell campaign store with worker telemetry: the pure
+//!   string-building cost of a redraw.
+//! * `poll_idle` — one `WatchState::poll` when nothing grew: the
+//!   steady-state cost a watcher pays between writer appends (two file
+//!   stats, no reads).
+//! * `attach_and_ingest_36_cells` — `WatchState::new` + first `poll`
+//!   over the same store: the cold attach cost (plan parse, expected-set
+//!   build, full tail of both files).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use bbr_campaign::store::record_to_line;
+use bbr_campaign::{
+    event_to_line, events_path, BackendSel, CampaignPlan, CellKey, PlannedCell, RESULTS_FILE,
+};
+use bbr_experiments::watch::{Axis, WatchState};
+use bbr_scenario::{CcaKind, FlowMetrics, QdiscKind, RunOutcome, ScenarioSpec};
+use bbr_telemetry::Event;
+
+/// A fully-populated synthetic 36-cell store (3 mixes × 2 buffers × 2
+/// qdiscs × 3 flow counts) with two shards' worth of telemetry.
+fn fixture() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bbr-bench-watch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mixes = [
+        vec![CcaKind::BbrV1],
+        vec![CcaKind::Cubic],
+        vec![CcaKind::BbrV1, CcaKind::Cubic],
+    ];
+    let mut cells = Vec::new();
+    for mix in &mixes {
+        for buffer in [1.0, 4.0] {
+            for qdisc in [QdiscKind::DropTail, QdiscKind::Red] {
+                for flows in [2usize, 4, 8] {
+                    let spec = ScenarioSpec::dumbbell(flows, 30.0, 0.010, buffer)
+                        .ccas(mix.clone())
+                        .qdisc(qdisc)
+                        .duration(0.5);
+                    cells.push(PlannedCell {
+                        spec,
+                        seed: 100 + cells.len() as u64,
+                    });
+                }
+            }
+        }
+    }
+    let plan = CampaignPlan {
+        effort: "fast".into(),
+        backends: vec![BackendSel {
+            name: "fluid".into(),
+            runs: 1,
+        }],
+        cells,
+    };
+    plan.save(&dir).unwrap();
+    let mut results = String::new();
+    let mut events = String::new();
+    for (i, cell) in plan.cells.iter().enumerate() {
+        let key = CellKey {
+            spec_hash: cell.spec.stable_hash(),
+            seed: cell.seed,
+            backend: "fluid".into(),
+            run_index: 0,
+        };
+        let util = 40.0 + (i as f64) * 1.5;
+        let outcome = RunOutcome {
+            backend: "fluid",
+            flows: vec![FlowMetrics {
+                cca: CcaKind::BbrV1,
+                throughput_mbps: util * 0.3,
+            }],
+            jain: 1.0,
+            loss_percent: 0.0,
+            occupancy_percent: 50.0,
+            utilization_percent: util,
+            jitter_ms: 0.0,
+            per_link_occupancy: vec![50.0],
+            per_link_utilization: vec![util],
+        };
+        results.push_str(&record_to_line(&key, &outcome));
+        results.push('\n');
+        events.push_str(&event_to_line(&Event::Heartbeat {
+            shard: i % 2,
+            shards: 2,
+            computed: i / 2,
+            planned: 18,
+            cached: 0,
+            wall_ms: i as f64 * 10.0,
+            cells_per_sec: 20.0,
+            spec_hash: cell.spec.stable_hash(),
+        }));
+        events.push('\n');
+    }
+    std::fs::write(dir.join(RESULTS_FILE), results).unwrap();
+    std::fs::write(events_path(&dir), events).unwrap();
+    dir
+}
+
+fn watch_benches(c: &mut Criterion) {
+    let dir = fixture();
+    let mut g = c.benchmark_group("watch");
+    let mut state = WatchState::new(&dir, (Axis::Buffer, Axis::Cca)).unwrap();
+    state.poll().unwrap();
+    assert!(state.finished(), "fixture store must be complete");
+    g.bench_function("render_36_cell_frame", |b| {
+        b.iter(|| black_box(state.render().len()))
+    });
+    g.bench_function("poll_idle", |b| {
+        b.iter(|| {
+            state.poll().unwrap();
+            black_box(state.done_entries())
+        })
+    });
+    g.bench_function("attach_and_ingest_36_cells", |b| {
+        b.iter(|| {
+            let mut s = WatchState::new(black_box(&dir), (Axis::Buffer, Axis::Cca)).unwrap();
+            s.poll().unwrap();
+            black_box(s.done_entries())
+        })
+    });
+    g.finish();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+criterion_group!(benches, watch_benches);
+criterion_main!(benches);

@@ -21,6 +21,13 @@
 //!   uncached cells into a private file, and the parent merges them
 //!   into the canonical store. Re-running a finished campaign computes
 //!   nothing (`computed=0`).
+//! * [`events`] — the `telemetry/v1` JSONL sidecar (`events.jsonl`):
+//!   workers append shard/heartbeat/wave events through the
+//!   `bbr-telemetry` hook; the sidecar is advisory and never affects
+//!   store keys or resume semantics.
+//! * [`tail`] — strictly read-only tailing of growing store files for
+//!   live watchers: skips torn tails without repairing them (repair
+//!   would race a live writer) and resumes from a byte offset.
 //!
 //! The sweep-grid integration (planning a campaign from a
 //! `ScenarioGrid`, reassembling a `SweepReport` from a store) lives in
@@ -62,16 +69,20 @@
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod json;
 pub mod plan;
 pub mod runner;
 pub mod shard;
 pub mod store;
+pub mod tail;
 
+pub use events::{event_to_line, events_path, parse_event, JsonlSink, EVENTS_FILE};
 pub use plan::{BackendSel, CampaignPlan, PlannedCell, PLAN_FILE};
 pub use runner::{
-    maybe_worker, run_sharded, run_worker, BackendFactory, CampaignSummary, WorkerSummary,
-    WORKER_SUBCOMMAND,
+    maybe_worker, planned_entries, run_sharded, run_worker, BackendFactory, CampaignSummary,
+    WorkerSummary, WORKER_SUBCOMMAND,
 };
 pub use shard::ShardPlan;
 pub use store::{CellKey, CompactStats, ResultStore, ShardWriter, RESULTS_FILE};
+pub use tail::TailCursor;

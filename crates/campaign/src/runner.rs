@@ -21,9 +21,13 @@
 
 use std::path::Path;
 use std::process::{Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bbr_scenario::{run_seed, SimBackend};
+use bbr_telemetry::{emit, Event, Sink};
 
+use crate::events::JsonlSink;
 use crate::plan::{BackendSel, CampaignPlan};
 use crate::shard::ShardPlan;
 use crate::store::{CellKey, ResultStore, ShardWriter};
@@ -36,6 +40,13 @@ pub const WORKER_SUBCOMMAND: &str = "campaign-worker";
 /// granularity of batched workers (an interrupted worker loses at most
 /// this much compute; everything flushed is absorbed on the next run).
 pub const BATCH_FLUSH_CHUNK: usize = 32;
+
+/// Minimum wall-clock spacing between two heartbeat events of one
+/// worker. The first completed entry (or chunk) always beats, so every
+/// shard that computes anything leaves at least one heartbeat; after
+/// that, a worker burning through sub-millisecond cells emits at most
+/// ~10 events/sec instead of one per cell.
+pub const HEARTBEAT_MIN_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Builds a backend from a plan's selector, or `None` if the name is
 /// unknown to this host. The same factory must be used by the parent
@@ -62,7 +73,7 @@ pub struct WorkerSummary {
 }
 
 /// What a whole sharded campaign did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CampaignSummary {
     /// Planned entries: supported (cell, backend, run_index) triples.
     pub entries: usize,
@@ -72,16 +83,117 @@ pub struct CampaignSummary {
     pub cached: usize,
     /// Worker processes the campaign ran with.
     pub shards: usize,
+    /// Wall-clock seconds the whole run took (spawn to merge).
+    pub wall_seconds: f64,
 }
 
 impl CampaignSummary {
-    /// One stable log line (`computed=0` is what CI greps for to assert
-    /// a fully-cached resume).
+    /// Aggregate computed entries per wall-clock second (`0.0` for a
+    /// fully-cached resume — cache hits cost no compute).
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.computed as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// One stable log line. The first four `key=value` fields are
+    /// byte-compatible with pre-telemetry output (`computed=0` is what
+    /// CI greps for to assert a fully-cached resume); wall-clock and
+    /// throughput are appended after them.
     pub fn log_line(&self) -> String {
         format!(
-            "campaign summary: entries={} computed={} cached={} shards={}",
-            self.entries, self.computed, self.cached, self.shards
+            "campaign summary: entries={} computed={} cached={} shards={} wall_s={:.2} cells_per_sec={:.1}",
+            self.entries,
+            self.computed,
+            self.cached,
+            self.shards,
+            self.wall_seconds,
+            self.cells_per_sec()
         )
+    }
+}
+
+/// Rate-limited heartbeat state for one worker (see
+/// [`HEARTBEAT_MIN_INTERVAL`]).
+struct ShardProgress {
+    shard: usize,
+    shards: usize,
+    planned: usize,
+    cached: usize,
+    computed: usize,
+    started: Instant,
+    last_beat: Option<Instant>,
+}
+
+impl ShardProgress {
+    fn new(shard: usize, shards: usize, planned: usize, cached: usize) -> Self {
+        Self {
+            shard,
+            shards,
+            planned,
+            cached,
+            computed: 0,
+            started: Instant::now(),
+            last_beat: None,
+        }
+    }
+
+    /// Count `n` freshly computed entries (ending at the cell hashed
+    /// `spec_hash`) and emit a heartbeat unless one fired within
+    /// [`HEARTBEAT_MIN_INTERVAL`].
+    fn advance(&mut self, n: usize, spec_hash: u64) {
+        self.computed += n;
+        if !bbr_telemetry::enabled() {
+            return;
+        }
+        if let Some(last) = self.last_beat {
+            if last.elapsed() < HEARTBEAT_MIN_INTERVAL {
+                return;
+            }
+        }
+        self.last_beat = Some(Instant::now());
+        let wall = self.started.elapsed().as_secs_f64();
+        let (shard, shards) = (self.shard, self.shards);
+        let (computed, planned, cached) = (self.computed, self.planned, self.cached);
+        emit(|| Event::Heartbeat {
+            shard,
+            shards,
+            computed,
+            planned,
+            cached,
+            wall_ms: wall * 1e3,
+            cells_per_sec: if wall > 0.0 {
+                computed as f64 / wall
+            } else {
+                0.0
+            },
+            spec_hash,
+        });
+    }
+
+    fn done(self) {
+        let wall = self.started.elapsed().as_secs_f64();
+        let Self {
+            shard,
+            shards,
+            cached,
+            computed,
+            ..
+        } = self;
+        emit(|| Event::ShardDone {
+            shard,
+            shards,
+            computed,
+            cached,
+            wall_ms: wall * 1e3,
+            cells_per_sec: if wall > 0.0 {
+                computed as f64 / wall
+            } else {
+                0.0
+            },
+        });
     }
 }
 
@@ -148,6 +260,21 @@ pub fn run_worker(
             }
         }
     }
+    // Telemetry: this worker appends heartbeats to the store's
+    // `events.jsonl` sidecar, and — via the process-global hook — the
+    // batch integrator's wave timings land there too. Advisory by
+    // contract: a sidecar that cannot be opened just means no events.
+    let _telemetry = JsonlSink::create(store_dir)
+        .ok()
+        .map(|sink| bbr_telemetry::install(Arc::new(sink)));
+    let planned = items.len();
+    emit(|| Event::ShardStart {
+        shard,
+        shards,
+        planned,
+        cached,
+    });
+    let mut progress = ShardProgress::new(shard, shards, planned, cached);
     // Pass 2: compute and persist, batching where the backend can,
     // flushing to the shard file as results are produced.
     // (`ScenarioGrid::run_cached` in bbr-experiments implements the same
@@ -175,6 +302,8 @@ pub fn run_worker(
                     for (&i, out) in chunk.iter().zip(batch.run_batch(&jobs)) {
                         writer.append(&items[i].key, &out)?;
                     }
+                    let last = *chunk.last().expect("chunks are non-empty");
+                    progress.advance(chunk.len(), items[last].key.spec_hash);
                 }
             }
             None => {
@@ -183,11 +312,13 @@ pub fn run_worker(
                     let cell = &plan.cells[item.cell_index];
                     let out = backend.run(&cell.spec, run_seed(cell.seed, item.run_index));
                     writer.append(&item.key, &out)?;
+                    progress.advance(1, item.key.spec_hash);
                 }
             }
         }
     }
     writer.finish()?;
+    progress.done();
     Ok(WorkerSummary {
         shard,
         shards,
@@ -209,6 +340,7 @@ pub fn run_sharded(
     factory: &BackendFactory,
 ) -> Result<CampaignSummary, String> {
     let shards = shards.max(1);
+    let started = Instant::now();
     let mut store = ResultStore::open(store_dir)?;
     // Recover records from any previously interrupted run before
     // planning, so they count as cached instead of being recomputed.
@@ -251,12 +383,26 @@ pub fn run_sharded(
         computed += store.merge_file(&path)?;
         std::fs::remove_file(&path).map_err(|e| format!("remove {}: {e}", path.display()))?;
     }
-    Ok(CampaignSummary {
+    let summary = CampaignSummary {
         entries,
         computed,
         cached: entries - computed,
         shards,
-    })
+        wall_seconds: started.elapsed().as_secs_f64(),
+    };
+    // The parent closes the run's event stream with one campaign-level
+    // record (written directly — the global hook belongs to workers).
+    if let Ok(sink) = JsonlSink::create(store_dir) {
+        sink.record(&Event::CampaignDone {
+            entries: summary.entries,
+            computed: summary.computed,
+            cached: summary.cached,
+            shards: summary.shards,
+            wall_ms: summary.wall_seconds * 1e3,
+            cells_per_sec: summary.cells_per_sec(),
+        });
+    }
+    Ok(summary)
 }
 
 /// Worker-mode entry point for host binaries. If `args` (argv without
@@ -324,8 +470,10 @@ pub fn maybe_worker(args: &[String], factory: &BackendFactory) -> Option<i32> {
 }
 
 /// How many entries the plan expands to (supported `(cell, backend,
-/// run_index)` triples), independent of what is cached.
-fn planned_entries(plan: &CampaignPlan, factory: &BackendFactory) -> Result<usize, String> {
+/// run_index)` triples), independent of what is cached. Public so that
+/// progress UIs (`figures watch`) can size their "done / total" bars
+/// with exactly the runner's arithmetic.
+pub fn planned_entries(plan: &CampaignPlan, factory: &BackendFactory) -> Result<usize, String> {
     let backends = build_backends(plan, factory)?;
     let mut entries = 0;
     for cell in &plan.cells {

@@ -55,6 +55,9 @@ pub struct ResultStore {
     map: HashMap<CellKey, RunOutcome>,
     /// Lazily opened append handle for [`RESULTS_FILE`].
     writer: Option<BufWriter<File>>,
+    /// Opened via [`ResultStore::open_readonly`]: every mutating method
+    /// fails and the torn-tail repair is skipped (see `open_readonly`).
+    read_only: bool,
 }
 
 impl ResultStore {
@@ -70,10 +73,32 @@ impl ResultStore {
     pub fn open(dir: &Path) -> Result<Self, String> {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create store dir {}: {e}", dir.display()))?;
+        Self::open_inner(dir, false)
+    }
+
+    /// Open the store at `dir` without the ability — or the side
+    /// effects — of writing: no directory creation, no append handle,
+    /// and crucially **no torn-tail truncation**. A torn final line is
+    /// still dropped from the in-memory map, but the file bytes are
+    /// left exactly as found, because on the read-only path a "torn
+    /// tail" may simply be a live writer's append in flight — repairing
+    /// it would race the writer (truncating bytes another process is
+    /// about to complete). This is the open a watcher must use; see
+    /// also [`crate::tail::TailCursor`] for incremental reads.
+    ///
+    /// Every mutating method ([`ResultStore::insert`],
+    /// [`ResultStore::merge_file`], [`ResultStore::compact`],
+    /// [`ResultStore::absorb_shards`]) fails on a read-only store.
+    pub fn open_readonly(dir: &Path) -> Result<Self, String> {
+        Self::open_inner(dir, true)
+    }
+
+    fn open_inner(dir: &Path, read_only: bool) -> Result<Self, String> {
         let mut store = Self {
             dir: dir.to_path_buf(),
             map: HashMap::new(),
             writer: None,
+            read_only,
         };
         let results = store.results_path();
         if results.exists() {
@@ -88,16 +113,33 @@ impl ResultStore {
                 // not overturn the record readers already saw.
                 store.map.entry(key).or_insert(outcome);
             }
-            if let Some(keep) = torn_tail_offset(&text, &results) {
-                let file = OpenOptions::new()
-                    .write(true)
-                    .open(&results)
-                    .map_err(|e| format!("cannot reopen {}: {e}", results.display()))?;
-                file.set_len(keep as u64)
-                    .map_err(|e| format!("cannot truncate {}: {e}", results.display()))?;
+            if !read_only {
+                if let Some(keep) = torn_tail_offset(&text, &results) {
+                    let file = OpenOptions::new()
+                        .write(true)
+                        .open(&results)
+                        .map_err(|e| format!("cannot reopen {}: {e}", results.display()))?;
+                    file.set_len(keep as u64)
+                        .map_err(|e| format!("cannot truncate {}: {e}", results.display()))?;
+                }
             }
         }
         Ok(store)
+    }
+
+    /// Whether this store was opened via [`ResultStore::open_readonly`].
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    fn ensure_writable(&self) -> Result<(), String> {
+        if self.read_only {
+            return Err(format!(
+                "store {} was opened read-only (open_readonly); writes are refused",
+                self.dir.display()
+            ));
+        }
+        Ok(())
     }
 
     /// The store directory.
@@ -161,6 +203,7 @@ impl ResultStore {
     }
 
     fn append_line(&mut self, line: &str) -> Result<(), String> {
+        self.ensure_writable()?;
         if self.writer.is_none() {
             let file = OpenOptions::new()
                 .create(true)
@@ -188,6 +231,7 @@ impl ResultStore {
     /// warning — the record it would have held is simply recomputed —
     /// while malformed lines elsewhere still hard-fail.
     pub fn merge_file(&mut self, path: &Path) -> Result<usize, String> {
+        self.ensure_writable()?;
         let mut text = String::new();
         File::open(path)
             .and_then(|mut f| f.read_to_string(&mut text))
@@ -219,6 +263,7 @@ impl ResultStore {
     /// store files diffable and keeps rewrites idempotent, and the first
     /// step toward the periodic compaction a 10^6-record store needs.
     pub fn compact(&mut self) -> Result<CompactStats, String> {
+        self.ensure_writable()?;
         let results = self.results_path();
         let bytes_before = std::fs::metadata(&results).map(|m| m.len()).unwrap_or(0);
         // Order by key: sort the map's entries.
@@ -253,6 +298,7 @@ impl ResultStore {
     /// delete it — crash recovery for interrupted sharded campaigns.
     /// Returns how many records were recovered.
     pub fn absorb_shards(&mut self) -> Result<usize, String> {
+        self.ensure_writable()?;
         let shards_dir = self.dir.join(SHARDS_DIR);
         let mut files: Vec<PathBuf> = match std::fs::read_dir(&shards_dir) {
             Ok(entries) => entries
@@ -702,6 +748,78 @@ mod tests {
         // writer handle was re-opened against the new file).
         s.insert(key(2, 0), outcome(20.0)).unwrap();
         assert_eq!(ResultStore::open(&dir).unwrap().len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn readonly_open_never_repairs_a_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("bbr-ro-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut s = ResultStore::open(&dir).unwrap();
+            s.insert(key(1, 0), outcome(10.0)).unwrap();
+            s.insert(key(2, 0), outcome(20.0)).unwrap();
+        }
+        // A live writer is mid-append (or a worker crashed): the file
+        // ends in a torn line.
+        let results = dir.join(RESULTS_FILE);
+        let mut text = std::fs::read_to_string(&results).unwrap();
+        text.push_str("{\"key\":{\"spec\":\"3\",\"seed\":\"0\",\"ba");
+        std::fs::write(&results, &text).unwrap();
+        let bytes_before = std::fs::read(&results).unwrap();
+
+        // Read-only open: torn tail dropped from the map, file bytes
+        // untouched (the live writer may yet complete that line).
+        let s = ResultStore::open_readonly(&dir).unwrap();
+        assert!(s.is_read_only());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&key(1, 0)).unwrap(), &outcome(10.0));
+        assert_eq!(std::fs::read(&results).unwrap(), bytes_before);
+
+        // Reading twice is just as harmless.
+        assert_eq!(ResultStore::open_readonly(&dir).unwrap().len(), 2);
+        assert_eq!(std::fs::read(&results).unwrap(), bytes_before);
+
+        // A subsequent *writer* open still performs the usual recovery:
+        // torn tail truncated away, intact records kept, appends work.
+        let mut w = ResultStore::open(&dir).unwrap();
+        assert_eq!(w.len(), 2);
+        assert!(std::fs::read(&results).unwrap().len() < bytes_before.len());
+        w.insert(key(3, 0), outcome(30.0)).unwrap();
+        assert_eq!(ResultStore::open(&dir).unwrap().len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn readonly_store_refuses_every_mutation() {
+        let dir = std::env::temp_dir().join(format!("bbr-ro-mut-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut s = ResultStore::open(&dir).unwrap();
+            s.insert(key(1, 0), outcome(10.0)).unwrap();
+        }
+        // A leftover shard file that absorb would otherwise consume.
+        let mut w = ShardWriter::create(&dir, 0).unwrap();
+        w.append(&key(2, 0), &outcome(20.0)).unwrap();
+        let shard_path = w.path().to_path_buf();
+        w.finish().unwrap();
+
+        let mut s = ResultStore::open_readonly(&dir).unwrap();
+        assert!(s.insert(key(9, 0), outcome(90.0)).is_err());
+        assert!(s.merge_file(&shard_path).is_err());
+        assert!(s.compact().is_err());
+        assert!(s.absorb_shards().is_err());
+        // Nothing moved: the shard file survives for a real writer.
+        assert!(shard_path.exists());
+        assert_eq!(ResultStore::open_readonly(&dir).unwrap().len(), 1);
+
+        // Opening a store dir that does not exist yet is fine read-only
+        // (a watcher attaching before the campaign starts) and creates
+        // nothing.
+        let absent = dir.join("never-created");
+        let empty = ResultStore::open_readonly(&absent).unwrap();
+        assert!(empty.is_empty());
+        assert!(!absent.exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

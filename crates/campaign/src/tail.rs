@@ -1,0 +1,187 @@
+//! Strictly read-only tailing of growing JSONL files.
+//!
+//! Watching a live campaign means reading `results.jsonl` and
+//! `events.jsonl` while workers are still appending to them.
+//! [`crate::store::ResultStore::open`] is the wrong tool for that: it
+//! *repairs* a torn final line by truncating the file, which would race
+//! a writer mid-append. [`TailCursor`] is the reader the watch path
+//! uses instead — it never opens a file for writing, never truncates,
+//! and treats a torn tail as "not finished yet":
+//!
+//! * [`TailCursor::poll`] returns only *complete* lines (terminated by
+//!   `\n`). Bytes after the last newline — a line still being written,
+//!   or a torn append after a crash — are left unconsumed; if the line
+//!   is eventually completed it comes back whole on a later poll.
+//! * The cursor resumes from a byte offset, so each poll reads only
+//!   what grew since the last one.
+//! * A file that shrank below the cursor (a `store compact` rewrite
+//!   replacing `results.jsonl`) resets the cursor to the start — the
+//!   caller sees the whole rewritten file again and must de-duplicate
+//!   by content key, which the content-addressed store makes natural.
+//! * An absent file is simply "no lines yet", so a watcher can attach
+//!   before the campaign's first worker starts.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// A resumable read-only cursor over a growing line-oriented file.
+#[derive(Debug, Clone)]
+pub struct TailCursor {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl TailCursor {
+    /// Cursor at the start of `path` (which need not exist yet).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            offset: 0,
+        }
+    }
+
+    /// The file this cursor tails.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte offset the next [`TailCursor::poll`] resumes from — always
+    /// at a line boundary.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Read every complete line appended since the last poll.
+    ///
+    /// Returns the lines without their terminators and advances the
+    /// cursor past them. A trailing fragment without a newline is left
+    /// for a future poll (see the module docs for the torn-tail
+    /// contract). An absent file yields no lines; any other I/O error
+    /// is returned.
+    pub fn poll(&mut self) -> Result<Vec<String>, String> {
+        let mut file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(format!("cannot open {}: {e}", self.path.display())),
+        };
+        let len = file
+            .metadata()
+            .map_err(|e| format!("cannot stat {}: {e}", self.path.display()))?
+            .len();
+        if len < self.offset {
+            // The file was rewritten underneath us (compaction);
+            // start over from the new beginning.
+            self.offset = 0;
+        }
+        if len == self.offset {
+            return Ok(Vec::new());
+        }
+        file.seek(SeekFrom::Start(self.offset))
+            .map_err(|e| format!("cannot seek {}: {e}", self.path.display()))?;
+        let mut grown = Vec::with_capacity((len - self.offset) as usize);
+        file.read_to_end(&mut grown)
+            .map_err(|e| format!("cannot read {}: {e}", self.path.display()))?;
+        // Consume up to (and including) the last newline; whatever
+        // follows is an in-flight or torn line and stays unread.
+        let Some(last_nl) = grown.iter().rposition(|&b| b == b'\n') else {
+            return Ok(Vec::new());
+        };
+        let complete = &grown[..=last_nl];
+        self.offset += complete.len() as u64;
+        Ok(String::from_utf8_lossy(complete)
+            .lines()
+            .map(str::to_string)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs::OpenOptions;
+    use std::io::Write;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bbr-tail-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn append(path: &Path, bytes: &[u8]) {
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap()
+            .write_all(bytes)
+            .unwrap();
+    }
+
+    #[test]
+    fn absent_file_yields_no_lines_and_no_error() {
+        let dir = tmp("absent");
+        let mut cur = TailCursor::new(dir.join("events.jsonl"));
+        assert_eq!(cur.poll().unwrap(), Vec::<String>::new());
+        assert_eq!(cur.offset(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lines_appended_after_open_arrive_on_the_next_poll() {
+        let dir = tmp("grow");
+        let path = dir.join("f.jsonl");
+        let mut cur = TailCursor::new(&path);
+        append(&path, b"one\n");
+        assert_eq!(cur.poll().unwrap(), vec!["one"]);
+        assert_eq!(cur.poll().unwrap(), Vec::<String>::new());
+        append(&path, b"two\nthree\n");
+        assert_eq!(cur.poll().unwrap(), vec!["two", "three"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_then_returned_whole_once_completed() {
+        let dir = tmp("torn");
+        let path = dir.join("f.jsonl");
+        append(&path, b"done\n{\"half\":");
+        let mut cur = TailCursor::new(&path);
+        assert_eq!(cur.poll().unwrap(), vec!["done"]);
+        let parked = cur.offset();
+        // Polling again consumes nothing while the tail stays torn.
+        assert_eq!(cur.poll().unwrap(), Vec::<String>::new());
+        assert_eq!(cur.offset(), parked);
+        // The writer finishes the line (plus another); both arrive.
+        append(&path, b"1}\nnext\n");
+        assert_eq!(cur.poll().unwrap(), vec!["{\"half\":1}", "next"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn polling_never_mutates_the_file() {
+        let dir = tmp("readonly");
+        let path = dir.join("f.jsonl");
+        append(&path, b"a\nb\ntorn-without-newline");
+        let before = std::fs::read(&path).unwrap();
+        let mut cur = TailCursor::new(&path);
+        assert_eq!(cur.poll().unwrap(), vec!["a", "b"]);
+        assert_eq!(cur.poll().unwrap(), Vec::<String>::new());
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shrunken_file_resets_to_the_start() {
+        let dir = tmp("shrink");
+        let path = dir.join("f.jsonl");
+        append(&path, b"a\nb\nc\n");
+        let mut cur = TailCursor::new(&path);
+        assert_eq!(cur.poll().unwrap().len(), 3);
+        // A compaction-style rewrite: fewer bytes than the cursor has
+        // consumed. The cursor starts over on the new contents.
+        std::fs::write(&path, b"a\n").unwrap();
+        assert_eq!(cur.poll().unwrap(), vec!["a"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

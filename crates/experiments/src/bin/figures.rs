@@ -9,6 +9,7 @@
 //!               [--cca MIX] [--out DIR]
 //! figures campaign [--fast] [--shards N] [--store DIR] [--resume]
 //!                  [--topology dumbbell|parking|chain|both|all]
+//! figures watch [--store DIR] [--once] [--interval MS] [--axes X,Y]
 //! figures store compact [--store DIR]
 //! figures bench-sweep [--out FILE] [--reps N] [--threads N]
 //! figures simd-check
@@ -24,7 +25,11 @@
 //! child worker processes (this binary re-executing itself in a hidden
 //! `campaign-worker` mode), persisted in a content-addressed store
 //! under `--store`, and re-runs with `--resume` skip every cached cell
-//! — an immediate re-run computes nothing.
+//! — an immediate re-run computes nothing. `watch` attaches a *strictly
+//! read-only* live workbench to a campaign store: per-shard progress
+//! bars and throughput from the `events.jsonl` telemetry sidecar, plus
+//! a two-axis utilization heatmap tailed from `results.jsonl`; `--once`
+//! prints a single plain frame and exits (for CI and golden tests).
 
 use std::path::PathBuf;
 
@@ -80,6 +85,8 @@ fn main() {
         "--store",
         "--reps",
         "--cca",
+        "--axes",
+        "--interval",
     ]
     .iter()
     .filter_map(|flag| args.iter().position(|a| a == *flag).map(|i| i + 1))
@@ -98,6 +105,10 @@ fn main() {
     }
     if ids.first().map(String::as_str) == Some("campaign") {
         run_campaign(&args, effort);
+        return;
+    }
+    if ids.first().map(String::as_str) == Some("watch") {
+        run_watch(&args);
         return;
     }
     if ids.first().map(String::as_str) == Some("store") {
@@ -423,6 +434,59 @@ fn run_drift_cmd(args: &[String], effort: Effort) {
     std::fs::write(&out, report.to_json().to_compact_string())
         .expect("cannot write drift report JSON");
     eprintln!("wrote {}", out.display());
+}
+
+/// The `watch` subcommand: the live campaign telemetry workbench.
+///
+/// Attaches to `--store` read-only (plan + tail cursors only — no byte
+/// of the store or sidecar changes, and a watched campaign still
+/// resumes with `computed=0`). `--once` prints one plain frame to
+/// stdout and exits; otherwise the frame redraws under an ANSI
+/// clear-screen every `--interval` milliseconds (default 1000) until
+/// every planned entry is in the store. `--axes X,Y` picks the heatmap
+/// columns and rows from: buffer, cca, qdisc, topo, flows, churn
+/// (default `buffer,cca`).
+fn run_watch(args: &[String]) {
+    use bbr_experiments::watch::{parse_axes, WatchState};
+    let store_dir = PathBuf::from(flag_value(args, "--store").unwrap_or("results/campaign"));
+    let once = args.iter().any(|a| a == "--once");
+    let interval = match flag_value(args, "--interval").map(str::parse::<u64>) {
+        None => std::time::Duration::from_millis(1000),
+        Some(Ok(ms)) if ms > 0 => std::time::Duration::from_millis(ms),
+        _ => {
+            eprintln!("invalid --interval value (expected milliseconds > 0)");
+            std::process::exit(2);
+        }
+    };
+    let axes = parse_axes(flag_value(args, "--axes").unwrap_or("buffer,cca")).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let mut state = WatchState::new(&store_dir, axes).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    // The store path goes to stderr so stdout carries only the frame
+    // (temp-dir paths would otherwise break golden comparisons).
+    eprintln!("watching {}", store_dir.display());
+    loop {
+        if let Err(e) = state.poll() {
+            eprintln!("watch: {e}");
+            std::process::exit(1);
+        }
+        if once {
+            print!("{}", state.render());
+            return;
+        }
+        // Clear + home, then the same deterministic frame `--once` prints.
+        print!("\x1b[2J\x1b[H{}", state.render());
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        if state.finished() {
+            return;
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// The `store` subcommand: maintenance of campaign result stores.

@@ -1,0 +1,918 @@
+//! The `figures watch` workbench: a hand-rolled ANSI terminal view of a
+//! (possibly still-growing) campaign store.
+//!
+//! The watcher is a *strictly read-only* consumer: it loads `plan.json`
+//! once, then tails `results.jsonl` (progress + heatmap, the ground
+//! truth) and `events.jsonl` (worker heartbeats — advisory) through
+//! [`bbr_campaign::TailCursor`], which skips torn tails without ever
+//! repairing them. Watching a live campaign perturbs nothing: no file
+//! is opened for writing, no byte of the store changes, and resume
+//! semantics are untouched (a watched-then-resumed campaign still
+//! reports `computed=0`).
+//!
+//! Rendering is split from the terminal loop so the frame itself is a
+//! deterministic `String` ([`WatchState::render`]): `figures watch
+//! --once` prints one plain-text frame and exits (CI- and
+//! golden-test-friendly), while the live mode redraws the same frame
+//! under an ANSI clear at `--interval` milliseconds. The redraw cost is
+//! tracked by `crates/bench/benches/watch.rs` so a fancier frame never
+//! creeps onto the polling hot path.
+//!
+//! The heatmap bins the sweep over two grid axes ([`Axis`], chosen via
+//! `--axes X,Y`) and shades each bin by the mean `utilization_percent`
+//! of every record whose cell lands in it — all backends and run
+//! repetitions pooled, matching the summary-first spirit of the paper's
+//! sweep figures.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use bbr_campaign::store::parse_record;
+use bbr_campaign::{events_path, parse_event, CampaignPlan, CellKey, TailCursor, RESULTS_FILE};
+use bbr_scenario::{ScenarioSpec, Topology};
+use bbr_telemetry::Event;
+
+use crate::campaign::build_backend;
+
+/// A sweep-grid axis the heatmap can bin over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Bottleneck buffer size in BDP (every topology family has one).
+    Buffer,
+    /// CCA mix label (`"BBRv1"`, `"BBRv1/CUBIC"`, ...).
+    Cca,
+    /// Queueing discipline (`DropTail` / `Red`).
+    Qdisc,
+    /// Topology family (`Dumbbell` / `ParkingLot` / `Chain`).
+    Topology,
+    /// Flow count.
+    Flows,
+    /// Churn pattern (`none` / `late` / `early`).
+    Churn,
+}
+
+impl Axis {
+    /// Parse one axis name as accepted by `--axes X,Y`.
+    pub fn parse(name: &str) -> Option<Axis> {
+        match name {
+            "buffer" => Some(Axis::Buffer),
+            "cca" => Some(Axis::Cca),
+            "qdisc" => Some(Axis::Qdisc),
+            "topo" | "topology" => Some(Axis::Topology),
+            "flows" => Some(Axis::Flows),
+            "churn" => Some(Axis::Churn),
+            _ => None,
+        }
+    }
+
+    /// The axis name as printed in frames and accepted by `--axes`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Axis::Buffer => "buffer",
+            Axis::Cca => "cca",
+            Axis::Qdisc => "qdisc",
+            Axis::Topology => "topo",
+            Axis::Flows => "flows",
+            Axis::Churn => "churn",
+        }
+    }
+
+    /// The bin a spec falls into on this axis.
+    pub fn value_of(&self, spec: &ScenarioSpec) -> String {
+        match self {
+            Axis::Buffer => {
+                let b = match spec.topology {
+                    Topology::Dumbbell { buffer_bdp, .. } => buffer_bdp,
+                    Topology::ParkingLot { buffer_bdp, .. } => buffer_bdp,
+                    Topology::Chain { buffer_bdp, .. } => buffer_bdp,
+                };
+                format!("{b}bdp")
+            }
+            Axis::Cca => {
+                let names: Vec<&str> = spec.ccas.iter().map(|c| c.name()).collect();
+                names.join("/")
+            }
+            Axis::Qdisc => spec.qdisc.name().to_string(),
+            Axis::Topology => spec.topology.kind_name().to_string(),
+            Axis::Flows => format!("{}f", spec.n_flows()),
+            Axis::Churn => {
+                if !spec.has_churn() {
+                    "none".into()
+                } else if spec.churn.iter().any(|w| w.start > 0.0) {
+                    "late".into()
+                } else if spec.churn.iter().any(|w| w.stop.is_finite()) {
+                    "early".into()
+                } else {
+                    "churn".into()
+                }
+            }
+        }
+    }
+}
+
+/// Parse a `--axes X,Y` value (X = heatmap columns, Y = rows).
+pub fn parse_axes(value: &str) -> Result<(Axis, Axis), String> {
+    let err =
+        || format!("bad --axes `{value}` (expected X,Y from: buffer cca qdisc topo flows churn)");
+    let (x, y) = value.split_once(',').ok_or_else(err)?;
+    match (Axis::parse(x.trim()), Axis::parse(y.trim())) {
+        (Some(x), Some(y)) => Ok((x, y)),
+        _ => Err(err()),
+    }
+}
+
+/// Latest known state of one worker shard, folded from its events
+/// (latest event wins, so a resumed campaign's fresh `shard_start`
+/// supersedes the previous run's `shard_done`).
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardView {
+    planned: usize,
+    cached: usize,
+    computed: usize,
+    cells_per_sec: f64,
+    finished: bool,
+}
+
+/// Running totals over the integrator's `wave` events.
+#[derive(Debug, Clone, Copy, Default)]
+struct WaveStats {
+    count: usize,
+    lanes: usize,
+    flows: usize,
+    wall_ms: f64,
+}
+
+/// Counters per event kind, for the frame's telemetry footer.
+#[derive(Debug, Clone, Copy, Default)]
+struct EventCounts {
+    starts: usize,
+    heartbeats: usize,
+    dones: usize,
+    campaigns: usize,
+}
+
+/// Everything `figures watch` knows about a store: the plan-derived
+/// layout (fixed at attach time) plus the tailed, incrementally updated
+/// progress. [`WatchState::poll`] folds in whatever grew since the last
+/// poll; [`WatchState::render`] turns the state into one plain-text
+/// frame.
+pub struct WatchState {
+    store_dir: PathBuf,
+    effort: String,
+    cells: usize,
+    backends_desc: String,
+    /// Entry key → plan cell index, for every supported
+    /// `(cell, backend, run_index)` triple — the same arithmetic as
+    /// `bbr_campaign::planned_entries`, kept per-key so records can be
+    /// matched back to their heatmap bin.
+    expected: HashMap<CellKey, usize>,
+    done: HashSet<CellKey>,
+    stale_records: usize,
+    malformed_records: usize,
+    results_cursor: TailCursor,
+    events_cursor: TailCursor,
+    // Heatmap layout: bins in first-appearance (plan) order.
+    axes: (Axis, Axis),
+    x_bins: Vec<String>,
+    y_bins: Vec<String>,
+    cell_bin: Vec<(usize, usize)>,
+    bin_sum: Vec<f64>,
+    bin_count: Vec<usize>,
+    // Telemetry (advisory).
+    events_seen: usize,
+    malformed_events: usize,
+    counts: EventCounts,
+    shards_total: usize,
+    shard_latest: BTreeMap<usize, ShardView>,
+    waves: WaveStats,
+    campaign_done: Option<(usize, f64, f64)>, // (shards, wall_ms, cells/s)
+}
+
+impl WatchState {
+    /// Attach to the store at `store_dir` (which must hold a
+    /// `plan.json`) without reading any records yet — call
+    /// [`WatchState::poll`] to ingest the current file contents.
+    pub fn new(store_dir: &Path, axes: (Axis, Axis)) -> Result<Self, String> {
+        let plan = CampaignPlan::load(store_dir).map_err(|e| {
+            format!(
+                "cannot watch {}: {e} (a campaign writes plan.json when it starts)",
+                store_dir.display()
+            )
+        })?;
+        type NamedBackend = (String, u32, Option<Box<dyn bbr_scenario::SimBackend>>);
+        let backends: Vec<NamedBackend> = plan
+            .backends
+            .iter()
+            .map(|sel| (sel.name.clone(), sel.runs, build_backend(&plan, sel)))
+            .collect();
+        let backends_desc = plan
+            .backends
+            .iter()
+            .map(|sel| format!("{} x{}", sel.name, sel.runs))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        let mut expected = HashMap::new();
+        let mut x_bins: Vec<String> = Vec::new();
+        let mut y_bins: Vec<String> = Vec::new();
+        let mut cell_bin = Vec::with_capacity(plan.cells.len());
+        let bin_index =
+            |bins: &mut Vec<String>, value: String| match bins.iter().position(|b| *b == value) {
+                Some(i) => i,
+                None => {
+                    bins.push(value);
+                    bins.len() - 1
+                }
+            };
+        for (cell_index, cell) in plan.cells.iter().enumerate() {
+            let xi = bin_index(&mut x_bins, axes.0.value_of(&cell.spec));
+            let yi = bin_index(&mut y_bins, axes.1.value_of(&cell.spec));
+            cell_bin.push((xi, yi));
+            let spec_hash = cell.spec.stable_hash();
+            for (name, runs, backend) in &backends {
+                // A backend this host cannot build (a foreign store) is
+                // assumed to support every cell — the watcher degrades
+                // to an upper-bound entry count instead of refusing.
+                let supports = backend.as_ref().is_none_or(|b| b.supports(&cell.spec));
+                if !supports {
+                    continue;
+                }
+                for run_index in 0..*runs {
+                    expected.insert(
+                        CellKey {
+                            spec_hash,
+                            seed: cell.seed,
+                            backend: name.clone(),
+                            run_index,
+                        },
+                        cell_index,
+                    );
+                }
+            }
+        }
+        let bins = x_bins.len() * y_bins.len();
+        Ok(Self {
+            store_dir: store_dir.to_path_buf(),
+            effort: plan.effort.clone(),
+            cells: plan.cells.len(),
+            backends_desc,
+            expected,
+            done: HashSet::new(),
+            stale_records: 0,
+            malformed_records: 0,
+            results_cursor: TailCursor::new(store_dir.join(RESULTS_FILE)),
+            events_cursor: TailCursor::new(events_path(store_dir)),
+            axes,
+            x_bins,
+            y_bins,
+            cell_bin,
+            bin_sum: vec![0.0; bins],
+            bin_count: vec![0; bins],
+            events_seen: 0,
+            malformed_events: 0,
+            counts: EventCounts::default(),
+            shards_total: 0,
+            shard_latest: BTreeMap::new(),
+            waves: WaveStats::default(),
+            campaign_done: None,
+        })
+    }
+
+    /// Total supported entries of the plan (the "done / total"
+    /// denominator).
+    pub fn total_entries(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// Entries currently present in the store.
+    pub fn done_entries(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Whether every planned entry is in the store.
+    pub fn finished(&self) -> bool {
+        !self.expected.is_empty() && self.done.len() >= self.expected.len()
+    }
+
+    /// Telemetry events ingested so far.
+    pub fn events_seen(&self) -> usize {
+        self.events_seen
+    }
+
+    /// Ingest everything the store files grew since the last poll.
+    /// Strictly read-only; cheap when nothing changed (two stats).
+    pub fn poll(&mut self) -> Result<(), String> {
+        for line in self.results_cursor.poll()? {
+            // A live store's mid-file lines are good by the writer
+            // contract, but a watcher must not die on one bad byte the
+            // way the resume path (rightly) does — count and move on.
+            let Ok((key, outcome)) = parse_record(&line) else {
+                self.malformed_records += 1;
+                continue;
+            };
+            match self.expected.get(&key) {
+                Some(&cell_index) => {
+                    if self.done.insert(key) {
+                        let (xi, yi) = self.cell_bin[cell_index];
+                        let bin = yi * self.x_bins.len() + xi;
+                        self.bin_sum[bin] += outcome.utilization_percent;
+                        self.bin_count[bin] += 1;
+                    }
+                }
+                // Records of another grid generation sharing the store
+                // (content-addressed stores outlive plans).
+                None => self.stale_records += 1,
+            }
+        }
+        for line in self.events_cursor.poll()? {
+            let Ok(event) = parse_event(&line) else {
+                self.malformed_events += 1;
+                continue;
+            };
+            self.events_seen += 1;
+            match event {
+                Event::ShardStart {
+                    shard,
+                    shards,
+                    planned,
+                    cached,
+                } => {
+                    self.counts.starts += 1;
+                    self.shards_total = self.shards_total.max(shards);
+                    self.shard_latest.insert(
+                        shard,
+                        ShardView {
+                            planned,
+                            cached,
+                            ..ShardView::default()
+                        },
+                    );
+                }
+                Event::Heartbeat {
+                    shard,
+                    shards,
+                    computed,
+                    planned,
+                    cached,
+                    cells_per_sec,
+                    ..
+                } => {
+                    self.counts.heartbeats += 1;
+                    self.shards_total = self.shards_total.max(shards);
+                    let view = self.shard_latest.entry(shard).or_default();
+                    *view = ShardView {
+                        planned,
+                        cached,
+                        computed,
+                        cells_per_sec,
+                        finished: false,
+                    };
+                }
+                Event::ShardDone {
+                    shard,
+                    shards,
+                    computed,
+                    cached,
+                    cells_per_sec,
+                    ..
+                } => {
+                    self.counts.dones += 1;
+                    self.shards_total = self.shards_total.max(shards);
+                    let view = self.shard_latest.entry(shard).or_default();
+                    view.computed = computed;
+                    view.cached = cached;
+                    view.cells_per_sec = cells_per_sec;
+                    view.finished = true;
+                }
+                Event::Wave {
+                    lanes,
+                    flows,
+                    wall_ms,
+                } => {
+                    self.waves.count += 1;
+                    self.waves.lanes += lanes;
+                    self.waves.flows += flows;
+                    self.waves.wall_ms += wall_ms;
+                }
+                Event::CampaignDone {
+                    shards,
+                    wall_ms,
+                    cells_per_sec,
+                    ..
+                } => {
+                    self.counts.campaigns += 1;
+                    self.shards_total = self.shards_total.max(shards);
+                    self.campaign_done = Some((shards, wall_ms, cells_per_sec));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Aggregate computed-cells throughput: the campaign-level rate once
+    /// the run closed, else the sum of the live per-shard rates.
+    fn aggregate_rate(&self) -> f64 {
+        if let Some((_, _, rate)) = self.campaign_done {
+            return rate;
+        }
+        // `+ 0.0` normalizes the empty sum, which is -0.0 on current
+        // Rust, so an idle frame prints "0.0" not "-0.0".
+        self.shard_latest
+            .values()
+            .map(|v| v.cells_per_sec)
+            .sum::<f64>()
+            + 0.0
+    }
+
+    /// Cache-hit ratio of the *current run* per its workers' telemetry:
+    /// cached / (cached + planned-to-compute), or `None` before any
+    /// shard reported.
+    fn cache_hit(&self) -> Option<(f64, usize, usize)> {
+        if self.shard_latest.is_empty() {
+            return None;
+        }
+        let cached: usize = self.shard_latest.values().map(|v| v.cached).sum();
+        let planned: usize = self.shard_latest.values().map(|v| v.planned).sum();
+        let total = cached + planned;
+        if total == 0 {
+            return Some((100.0, cached, total));
+        }
+        Some((100.0 * cached as f64 / total as f64, cached, total))
+    }
+
+    /// Render one fixed-width plain-text frame (no ANSI escapes — the
+    /// live loop adds clear/home around it; `--once` prints it as-is).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total = self.total_entries();
+        let done = self.done_entries();
+        writeln!(
+            out,
+            "watch {}: {} cells, backends {}, effort {}",
+            self.store_dir.display(),
+            self.cells,
+            self.backends_desc,
+            self.effort
+        )
+        .unwrap();
+        let frac = if total > 0 {
+            done as f64 / total as f64
+        } else {
+            0.0
+        };
+        writeln!(
+            out,
+            "entries  [{}] {done}/{total} ({:.1}%)",
+            bar(frac, 40),
+            100.0 * frac
+        )
+        .unwrap();
+        match self.cache_hit() {
+            Some((pct, cached, of)) => writeln!(
+                out,
+                "cache    {pct:.1}% hit ({cached} cached of {of} this run)"
+            )
+            .unwrap(),
+            None => writeln!(out, "cache    n/a (no worker telemetry)").unwrap(),
+        }
+        let rate = self.aggregate_rate();
+        let eta = if total > 0 && done >= total {
+            "done".to_string()
+        } else if rate > 0.0 {
+            fmt_eta((total - done) as f64 / rate)
+        } else {
+            "--".to_string()
+        };
+        writeln!(out, "rate     {rate:.1} cells/s aggregate, eta {eta}").unwrap();
+        out.push('\n');
+        if self.shard_latest.is_empty() {
+            writeln!(
+                out,
+                "shards   no telemetry yet (events.jsonl absent or empty)"
+            )
+            .unwrap();
+        } else {
+            for (shard, view) in &self.shard_latest {
+                let frac = if view.planned > 0 {
+                    view.computed as f64 / view.planned as f64
+                } else {
+                    1.0
+                };
+                writeln!(
+                    out,
+                    "shard {shard}/{} [{}] {}/{} computed, {} cached, {:.1} c/s{}",
+                    self.shards_total,
+                    bar(frac, 20),
+                    view.computed,
+                    view.planned,
+                    view.cached,
+                    view.cells_per_sec,
+                    if view.finished { ", done" } else { "" }
+                )
+                .unwrap();
+            }
+        }
+        if self.waves.count > 0 {
+            writeln!(
+                out,
+                "waves    {} fluid waves, {} lanes, {} flows, avg {:.2} ms",
+                self.waves.count,
+                self.waves.lanes,
+                self.waves.flows,
+                self.waves.wall_ms / self.waves.count as f64
+            )
+            .unwrap();
+        }
+        out.push('\n');
+        self.render_heatmap(&mut out);
+        out.push('\n');
+        if self.events_seen == 0 {
+            writeln!(out, "telemetry: none (events.jsonl absent or empty)").unwrap();
+        } else {
+            writeln!(
+                out,
+                "telemetry: {} events ({} shard starts, {} heartbeats, {} shard dones, {} campaign dones, {} waves)",
+                self.events_seen,
+                self.counts.starts,
+                self.counts.heartbeats,
+                self.counts.dones,
+                self.counts.campaigns,
+                self.waves.count
+            )
+            .unwrap();
+        }
+        if self.stale_records + self.malformed_records + self.malformed_events > 0 {
+            writeln!(
+                out,
+                "skipped: {} stale records, {} malformed record lines, {} malformed event lines",
+                self.stale_records, self.malformed_records, self.malformed_events
+            )
+            .unwrap();
+        }
+        out
+    }
+
+    /// The two-axis mean-utilization heatmap (rows = Y bins, cols = X
+    /// bins, both in plan order).
+    fn render_heatmap(&self, out: &mut String) {
+        let records: usize = self.bin_count.iter().sum();
+        writeln!(
+            out,
+            "heatmap  mean utilization %, rows {} x cols {} ({records} records)",
+            self.axes.1.label(),
+            self.axes.0.label()
+        )
+        .unwrap();
+        let row_w = self
+            .y_bins
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(0)
+            .max(5);
+        let col_w = self
+            .x_bins
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(0)
+            .max(6)
+            + 1;
+        let mut header = format!("{:row_w$}", "");
+        for x in &self.x_bins {
+            write!(header, "{x:>col_w$}").unwrap();
+        }
+        writeln!(out, "{header}").unwrap();
+        for (yi, y) in self.y_bins.iter().enumerate() {
+            let mut row = format!("{y:<row_w$}");
+            for xi in 0..self.x_bins.len() {
+                let bin = yi * self.x_bins.len() + xi;
+                if self.bin_count[bin] == 0 {
+                    write!(row, "{:>col_w$}", "--").unwrap();
+                } else {
+                    let mean = self.bin_sum[bin] / self.bin_count[bin] as f64;
+                    write!(row, "{:>col_w$}", format!("{}{mean:.1}", shade(mean))).unwrap();
+                }
+            }
+            writeln!(out, "{row}").unwrap();
+        }
+        writeln!(
+            out,
+            "legend   @>=97 #>=90 *>=80 +>=70 =>=55 ->=40 :>=25 .>=10 util%"
+        )
+        .unwrap();
+    }
+}
+
+/// ASCII progress bar, `width` chars, `#` filled.
+fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0) * width as f64).round() as usize).min(width);
+    format!("{}{}", "#".repeat(filled), "-".repeat(width - filled))
+}
+
+/// Density glyph for a mean utilization percentage.
+fn shade(util: f64) -> char {
+    match util {
+        u if u >= 97.0 => '@',
+        u if u >= 90.0 => '#',
+        u if u >= 80.0 => '*',
+        u if u >= 70.0 => '+',
+        u if u >= 55.0 => '=',
+        u if u >= 40.0 => '-',
+        u if u >= 25.0 => ':',
+        u if u >= 10.0 => '.',
+        _ => ' ',
+    }
+}
+
+/// Short human ETA: seconds under two minutes, minutes beyond.
+fn fmt_eta(secs: f64) -> String {
+    if secs < 120.0 {
+        format!("{secs:.0}s")
+    } else {
+        format!("{:.1}m", secs / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbr_campaign::store::record_to_line;
+    use bbr_campaign::{event_to_line, BackendSel, PlannedCell};
+    use bbr_scenario::{CcaKind, FlowMetrics, QdiscKind, RunOutcome};
+    use std::io::Write as _;
+
+    fn spec(buffer: f64, ccas: Vec<CcaKind>) -> ScenarioSpec {
+        ScenarioSpec::dumbbell(2, 30.0, 0.010, buffer)
+            .ccas(ccas)
+            .duration(0.5)
+    }
+
+    fn outcome(util: f64) -> RunOutcome {
+        RunOutcome {
+            backend: "fluid",
+            flows: vec![FlowMetrics {
+                cca: CcaKind::BbrV1,
+                throughput_mbps: util * 0.3,
+            }],
+            jain: 1.0,
+            loss_percent: 0.0,
+            occupancy_percent: 50.0,
+            utilization_percent: util,
+            jitter_ms: 0.0,
+            per_link_occupancy: vec![50.0],
+            per_link_utilization: vec![util],
+        }
+    }
+
+    fn plan(cells: Vec<ScenarioSpec>) -> CampaignPlan {
+        CampaignPlan {
+            effort: "fast".into(),
+            backends: vec![BackendSel {
+                name: "fluid".into(),
+                runs: 1,
+            }],
+            cells: cells
+                .into_iter()
+                .enumerate()
+                .map(|(i, spec)| PlannedCell {
+                    spec,
+                    seed: 100 + i as u64,
+                })
+                .collect(),
+        }
+    }
+
+    fn store_with(plan: &CampaignPlan, tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bbr-watch-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        plan.save(&dir).unwrap();
+        dir
+    }
+
+    fn append(path: &Path, line: &str) {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap();
+        writeln!(f, "{line}").unwrap();
+    }
+
+    #[test]
+    fn axis_names_round_trip_and_extract_bins() {
+        for axis in [
+            Axis::Buffer,
+            Axis::Cca,
+            Axis::Qdisc,
+            Axis::Topology,
+            Axis::Flows,
+            Axis::Churn,
+        ] {
+            assert_eq!(Axis::parse(axis.label()), Some(axis));
+        }
+        assert_eq!(Axis::parse("voltage"), None);
+        assert_eq!(parse_axes("buffer,cca").unwrap(), (Axis::Buffer, Axis::Cca));
+        assert_eq!(
+            parse_axes("topo, qdisc").unwrap(),
+            (Axis::Topology, Axis::Qdisc)
+        );
+        assert!(parse_axes("buffer").is_err());
+        assert!(parse_axes("buffer,voltage").is_err());
+
+        let s = spec(4.0, vec![CcaKind::BbrV1, CcaKind::Cubic]).qdisc(QdiscKind::Red);
+        assert_eq!(Axis::Buffer.value_of(&s), "4bdp");
+        assert_eq!(Axis::Cca.value_of(&s), "BBRv1/CUBIC");
+        assert_eq!(Axis::Qdisc.value_of(&s), "Red");
+        assert_eq!(Axis::Topology.value_of(&s), "Dumbbell");
+        assert_eq!(Axis::Flows.value_of(&s), "2f");
+        assert_eq!(Axis::Churn.value_of(&s), "none");
+    }
+
+    #[test]
+    fn heatmap_bins_records_by_axis_values() {
+        // 2 buffers x 2 mixes; utilizations chosen so each bin mean is
+        // recognizable.
+        let specs = vec![
+            spec(1.0, vec![CcaKind::BbrV1]),
+            spec(4.0, vec![CcaKind::BbrV1]),
+            spec(1.0, vec![CcaKind::Reno]),
+            spec(4.0, vec![CcaKind::Reno]),
+        ];
+        let plan = plan(specs.clone());
+        let dir = store_with(&plan, "bins");
+        let results = dir.join(RESULTS_FILE);
+        for (i, (cell, util)) in plan.cells.iter().zip([98.7, 91.2, 55.0, 12.5]).enumerate() {
+            let key = CellKey {
+                spec_hash: cell.spec.stable_hash(),
+                seed: cell.seed,
+                backend: "fluid".into(),
+                run_index: 0,
+            };
+            let _ = i;
+            append(&results, &record_to_line(&key, &outcome(util)));
+        }
+        let mut state = WatchState::new(&dir, (Axis::Buffer, Axis::Cca)).unwrap();
+        state.poll().unwrap();
+        assert_eq!(state.total_entries(), 4);
+        assert_eq!(state.done_entries(), 4);
+        assert!(state.finished());
+        let frame = state.render();
+        assert!(frame.contains("4/4 (100.0%)"), "{frame}");
+        // Bin layout in plan order: cols 1bdp,4bdp; rows BBRv1,RENO.
+        assert!(frame.contains("1bdp"), "{frame}");
+        assert!(frame.contains("@98.7"), "{frame}");
+        assert!(frame.contains("#91.2"), "{frame}");
+        assert!(frame.contains("=55.0"), "{frame}");
+        assert!(frame.contains(".12.5"), "{frame}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degenerate_one_cell_grid_renders_a_one_bin_heatmap() {
+        let plan = plan(vec![spec(2.0, vec![CcaKind::Cubic])]);
+        let dir = store_with(&plan, "one");
+        let mut state = WatchState::new(&dir, (Axis::Buffer, Axis::Cca)).unwrap();
+        state.poll().unwrap();
+        let empty = state.render();
+        assert!(empty.contains("0/1 (0.0%)"), "{empty}");
+        assert!(empty.contains("--"), "no-data bins print --: {empty}");
+        assert!(empty.contains("telemetry: none"), "{empty}");
+
+        let cell = &plan.cells[0];
+        let key = CellKey {
+            spec_hash: cell.spec.stable_hash(),
+            seed: cell.seed,
+            backend: "fluid".into(),
+            run_index: 0,
+        };
+        append(
+            &dir.join(RESULTS_FILE),
+            &record_to_line(&key, &outcome(77.7)),
+        );
+        state.poll().unwrap();
+        let frame = state.render();
+        assert!(frame.contains("1/1 (100.0%)"), "{frame}");
+        assert!(frame.contains("+77.7"), "{frame}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn events_feed_shard_bars_rates_and_cache_ratio() {
+        let plan = plan(vec![spec(1.0, vec![CcaKind::BbrV1])]);
+        let dir = store_with(&plan, "events");
+        let events = events_path(&dir);
+        append(
+            &events,
+            &event_to_line(&Event::ShardStart {
+                shard: 0,
+                shards: 2,
+                planned: 10,
+                cached: 2,
+            }),
+        );
+        append(
+            &events,
+            &event_to_line(&Event::Heartbeat {
+                shard: 0,
+                shards: 2,
+                computed: 4,
+                planned: 10,
+                cached: 2,
+                wall_ms: 100.0,
+                cells_per_sec: 40.0,
+                spec_hash: 0xabc,
+            }),
+        );
+        append(
+            &events,
+            &event_to_line(&Event::ShardDone {
+                shard: 1,
+                shards: 2,
+                computed: 12,
+                cached: 0,
+                wall_ms: 240.0,
+                cells_per_sec: 50.0,
+            }),
+        );
+        append(
+            &events,
+            &event_to_line(&Event::Wave {
+                lanes: 3,
+                flows: 6,
+                wall_ms: 4.0,
+            }),
+        );
+        // In-flight torn tail (no trailing newline): ignored for now.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&events)
+            .unwrap();
+        f.write_all(b"{\"torn\":").unwrap();
+        drop(f);
+        let mut state = WatchState::new(&dir, (Axis::Buffer, Axis::Cca)).unwrap();
+        state.poll().unwrap();
+        assert_eq!(state.events_seen(), 4);
+        let frame = state.render();
+        assert!(frame.contains("shard 0/2"), "{frame}");
+        assert!(
+            frame.contains("4/10 computed, 2 cached, 40.0 c/s"),
+            "{frame}"
+        );
+        assert!(
+            frame.contains("12/0 computed, 0 cached, 50.0 c/s, done"),
+            "{frame}"
+        );
+        assert!(frame.contains("rate     90.0 cells/s"), "{frame}");
+        // cached 2 of (2 + 10 + 0 + 0) planned-or-cached = 16.7%
+        assert!(frame.contains("16.7% hit (2 cached of 12"), "{frame}");
+        assert!(
+            frame.contains("waves    1 fluid waves, 3 lanes, 6 flows"),
+            "{frame}"
+        );
+        // The torn tail is not an error and not yet an event...
+        assert!(!frame.contains("malformed"), "{frame}");
+        // ...and arrives whole once the writer finishes the line.
+        // Writer completes the line to {"torn":1} — valid JSON, bad schema.
+        append(&events, "1}");
+        state.poll().unwrap();
+        assert!(state.render().contains("1 malformed event lines"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_view_heals_after_resume_start() {
+        let plan = plan(vec![spec(1.0, vec![CcaKind::BbrV1])]);
+        let dir = store_with(&plan, "resume");
+        let events = events_path(&dir);
+        append(
+            &events,
+            &event_to_line(&Event::ShardDone {
+                shard: 0,
+                shards: 1,
+                computed: 9,
+                cached: 0,
+                wall_ms: 100.0,
+                cells_per_sec: 90.0,
+            }),
+        );
+        // A resume starts the same shard over with everything cached.
+        append(
+            &events,
+            &event_to_line(&Event::ShardStart {
+                shard: 0,
+                shards: 1,
+                planned: 0,
+                cached: 9,
+            }),
+        );
+        let mut state = WatchState::new(&dir, (Axis::Buffer, Axis::Cca)).unwrap();
+        state.poll().unwrap();
+        let frame = state.render();
+        assert!(frame.contains("0/0 computed, 9 cached"), "{frame}");
+        assert!(frame.contains("100.0% hit (9 cached of 9"), "{frame}");
+        assert!(!frame.contains(", done"), "{frame}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,307 @@
+//! Zero-dependency telemetry hooks for long-running campaigns.
+//!
+//! A campaign at production sweep scale is a service, and services need
+//! in-flight observability: which shard is slow, how many cells/sec the
+//! fleet sustains, whether a resume is actually hitting the cache. This
+//! crate is the *emission* half of that story — typed [`Event`]s, a
+//! pluggable [`Sink`], and a process-global hook with a no-op fast
+//! path — deliberately free of any I/O or serialization so that leaf
+//! crates (the batched fluid integrator, the campaign runner) can
+//! depend on it without pulling in file formats. The JSONL sidecar
+//! encoding and the read-only tailer live in `bbr-campaign`
+//! (`events`/`tail` modules); the rendering lives in `bbr-experiments`
+//! (`figures watch`).
+//!
+//! # Cost model
+//!
+//! Instrumented code calls [`emit`] with a *closure* that builds the
+//! event. When no sink is installed (the default), `emit` is one
+//! relaxed atomic load and the closure is never run — no allocation,
+//! no formatting, no lock. Hot loops that need a timestamp only when
+//! telemetry is live can gate on [`enabled`]:
+//!
+//! ```
+//! let t0 = bbr_telemetry::enabled().then(std::time::Instant::now);
+//! // ... hot work ...
+//! if let Some(t0) = t0 {
+//!     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+//!     bbr_telemetry::emit(|| bbr_telemetry::Event::Wave {
+//!         lanes: 4,
+//!         flows: 16,
+//!         wall_ms,
+//!     });
+//! }
+//! ```
+//!
+//! # Schema stability
+//!
+//! [`Event`] is the source of truth for the `telemetry/v1` wire schema
+//! ([`SCHEMA`]); the JSONL field names are pinned by
+//! `bbr_campaign::events` and documented in `docs/OBSERVABILITY.md`.
+//! Events are advisory: losing, duplicating, or interleaving them never
+//! affects campaign results or resume semantics.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Wire-schema tag carried by every serialized event line.
+pub const SCHEMA: &str = "telemetry/v1";
+
+/// One campaign telemetry event.
+///
+/// Counts are entries (one `(spec, backend, run_index)` store cell
+/// each); `wall_ms` is wall-clock milliseconds measured by the emitting
+/// process; `cells_per_sec` is computed entries per wall-clock second
+/// (cache hits cost no compute and are excluded from the rate).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A worker finished planning its shard and is about to compute.
+    ShardStart {
+        /// This worker's shard index, `0..shards`.
+        shard: usize,
+        /// Total shard count of the campaign run.
+        shards: usize,
+        /// Entries this shard must compute (missing from the store).
+        planned: usize,
+        /// Entries this shard found already present (cache hits).
+        cached: usize,
+    },
+    /// Periodic progress from a worker mid-shard (rate-limited).
+    Heartbeat {
+        /// This worker's shard index, `0..shards`.
+        shard: usize,
+        /// Total shard count of the campaign run.
+        shards: usize,
+        /// Entries computed so far by this worker.
+        computed: usize,
+        /// Entries this shard must compute in total.
+        planned: usize,
+        /// Entries this shard found already present (cache hits).
+        cached: usize,
+        /// Wall-clock milliseconds since the shard started computing.
+        wall_ms: f64,
+        /// Computed entries per second so far.
+        cells_per_sec: f64,
+        /// `ScenarioSpec::stable_hash()` of the most recent cell.
+        spec_hash: u64,
+    },
+    /// A worker finished its shard.
+    ShardDone {
+        /// This worker's shard index, `0..shards`.
+        shard: usize,
+        /// Total shard count of the campaign run.
+        shards: usize,
+        /// Entries computed by this worker.
+        computed: usize,
+        /// Entries this shard found already present (cache hits).
+        cached: usize,
+        /// Wall-clock milliseconds the shard spent computing.
+        wall_ms: f64,
+        /// Computed entries per second over the whole shard.
+        cells_per_sec: f64,
+    },
+    /// One lockstep wave of the batched fluid integrator completed.
+    Wave {
+        /// Scenario lanes integrated by this wave.
+        lanes: usize,
+        /// Summed flow count across the wave's lanes.
+        flows: usize,
+        /// Wall-clock milliseconds the wave took.
+        wall_ms: f64,
+    },
+    /// The whole campaign completed (emitted by the parent process).
+    CampaignDone {
+        /// Total entries in the plan.
+        entries: usize,
+        /// Entries computed by this run.
+        computed: usize,
+        /// Entries served from the store (cache hits).
+        cached: usize,
+        /// Worker process count.
+        shards: usize,
+        /// Wall-clock milliseconds for the whole run.
+        wall_ms: f64,
+        /// Computed entries per second over the whole run.
+        cells_per_sec: f64,
+    },
+}
+
+impl Event {
+    /// The event's kind tag as serialized on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::ShardStart { .. } => "shard_start",
+            Event::Heartbeat { .. } => "heartbeat",
+            Event::ShardDone { .. } => "shard_done",
+            Event::Wave { .. } => "wave",
+            Event::CampaignDone { .. } => "campaign_done",
+        }
+    }
+}
+
+/// Destination for emitted events.
+///
+/// Implementations must be cheap and non-blocking in spirit: `record`
+/// is called from worker hot paths (between batch chunks, after each
+/// integrator wave). The store sidecar sink in `bbr-campaign` does one
+/// `write_all` of a whole line per event, which keeps concurrent
+/// multi-process appends atomic per line.
+pub trait Sink: Send + Sync {
+    /// Record one event. Errors are the sink's problem — telemetry is
+    /// advisory and must never fail the instrumented computation.
+    fn record(&self, event: &Event);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+
+/// Install the process-global sink; subsequent [`emit`] calls route to
+/// it. Replaces any previous sink. Returns a guard that uninstalls the
+/// sink when dropped, so scoped instrumentation (a worker's lifetime)
+/// cannot leak into unrelated code running later in the same process.
+#[must_use = "dropping the guard uninstalls the sink immediately"]
+pub fn install(sink: Arc<dyn Sink>) -> SinkGuard {
+    let mut slot = SINK.write().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(sink);
+    ENABLED.store(true, Ordering::Release);
+    SinkGuard { _private: () }
+}
+
+/// Uninstall the global sink (idempotent). [`emit`] returns to the
+/// no-op fast path.
+pub fn clear() {
+    ENABLED.store(false, Ordering::Release);
+    let mut slot = SINK.write().unwrap_or_else(|e| e.into_inner());
+    *slot = None;
+}
+
+/// Whether a sink is currently installed. Use this to gate work that
+/// only exists to feed telemetry (e.g. reading the clock before a hot
+/// loop).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Emit an event to the installed sink, if any. The closure is only
+/// invoked when a sink is installed, so building the event (allocation,
+/// formatting, arithmetic) costs nothing on the no-op path.
+#[inline]
+pub fn emit(build: impl FnOnce() -> Event) {
+    if !enabled() {
+        return;
+    }
+    let sink = {
+        let slot = SINK.read().unwrap_or_else(|e| e.into_inner());
+        slot.clone()
+    };
+    if let Some(sink) = sink {
+        sink.record(&build());
+    }
+}
+
+/// Uninstalls the global sink on drop; returned by [`install`].
+#[derive(Debug)]
+pub struct SinkGuard {
+    _private: (),
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Collects events into a vec for assertions.
+    struct Capture(Mutex<Vec<Event>>);
+
+    impl Sink for Capture {
+        fn record(&self, event: &Event) {
+            self.0.lock().unwrap().push(event.clone());
+        }
+    }
+
+    // The global sink is process-wide state, so the tests that exercise
+    // it run under one lock to stay order-independent.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn emit_without_sink_never_runs_the_closure() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        assert!(!enabled());
+        emit(|| unreachable!("closure must not run on the no-op path"));
+    }
+
+    #[test]
+    fn installed_sink_receives_events_and_guard_uninstalls() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let capture = Arc::new(Capture(Mutex::new(Vec::new())));
+        {
+            let _guard = install(capture.clone());
+            assert!(enabled());
+            emit(|| Event::Wave {
+                lanes: 2,
+                flows: 8,
+                wall_ms: 1.5,
+            });
+            emit(|| Event::ShardStart {
+                shard: 0,
+                shards: 2,
+                planned: 10,
+                cached: 3,
+            });
+        }
+        assert!(!enabled(), "guard drop must uninstall the sink");
+        emit(|| unreachable!("sink was uninstalled"));
+        let got = capture.0.lock().unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].kind(), "wave");
+        assert_eq!(got[1].kind(), "shard_start");
+    }
+
+    #[test]
+    fn kinds_are_stable_wire_tags() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        assert_eq!(SCHEMA, "telemetry/v1");
+        let done = Event::CampaignDone {
+            entries: 1,
+            computed: 1,
+            cached: 0,
+            shards: 1,
+            wall_ms: 2.0,
+            cells_per_sec: 500.0,
+        };
+        assert_eq!(done.kind(), "campaign_done");
+        let hb = Event::Heartbeat {
+            shard: 0,
+            shards: 1,
+            computed: 0,
+            planned: 0,
+            cached: 0,
+            wall_ms: 0.0,
+            cells_per_sec: 0.0,
+            spec_hash: 0xdead_beef,
+        };
+        assert_eq!(hb.kind(), "heartbeat");
+        assert_eq!(
+            Event::ShardDone {
+                shard: 0,
+                shards: 1,
+                computed: 0,
+                cached: 0,
+                wall_ms: 0.0,
+                cells_per_sec: 0.0,
+            }
+            .kind(),
+            "shard_done"
+        );
+    }
+}
