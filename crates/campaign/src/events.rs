@@ -100,10 +100,12 @@ pub fn event_to_line(event: &Event) -> String {
         Event::Wave {
             lanes,
             flows,
+            occupancy,
             wall_ms,
         } => {
             num("lanes", *lanes as f64);
             num("flows", *flows as f64);
+            num("occupancy", *occupancy);
             num("wall_ms", *wall_ms);
         }
         Event::CampaignDone {
@@ -111,6 +113,7 @@ pub fn event_to_line(event: &Event) -> String {
             computed,
             cached,
             shards,
+            failed,
             wall_ms,
             cells_per_sec,
         } => {
@@ -118,6 +121,7 @@ pub fn event_to_line(event: &Event) -> String {
             num("computed", *computed as f64);
             num("cached", *cached as f64);
             num("shards", *shards as f64);
+            num("failed", *failed as f64);
             num("wall_ms", *wall_ms);
             num("cells_per_sec", *cells_per_sec);
         }
@@ -172,12 +176,17 @@ pub fn parse_event(line: &str) -> Result<Event, String> {
             computed: count("computed")?,
             cached: count("cached")?,
             shards: count("shards")?,
+            // Additive in telemetry/v1: sidecars written before the
+            // field existed parse as fully-successful campaigns.
+            failed: doc.get("failed").and_then(|v| v.as_usize()).unwrap_or(0),
             wall_ms: num("wall_ms")?,
             cells_per_sec: num("cells_per_sec")?,
         }),
         "wave" => Ok(Event::Wave {
             lanes: count("lanes")?,
             flows: count("flows")?,
+            // Additive in telemetry/v1: old sidecars report full packs.
+            occupancy: doc.get("occupancy").and_then(|v| v.as_f64()).unwrap_or(1.0),
             wall_ms: num("wall_ms")?,
         }),
         other => Err(format!("unknown event kind `{other}`")),
@@ -264,6 +273,7 @@ mod tests {
             Event::Wave {
                 lanes: 5,
                 flows: 16,
+                occupancy: 0.8125,
                 wall_ms: 3.75,
             },
             Event::CampaignDone {
@@ -271,6 +281,7 @@ mod tests {
                 computed: 108,
                 cached: 36,
                 shards: 4,
+                failed: 1,
                 wall_ms: 2100.0,
                 cells_per_sec: 51.428_571,
             },
@@ -284,6 +295,36 @@ mod tests {
             assert!(!line.contains('\n'));
             assert!(line.contains("\"v\":\"telemetry/v1\""));
             assert_eq!(parse_event(&line).unwrap(), ev, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn pre_additive_lines_parse_with_defaults() {
+        // Lines written before `occupancy` / `failed` existed must
+        // still parse: additive schema evolution within telemetry/v1.
+        let wave = parse_event(
+            "{\"v\":\"telemetry/v1\",\"kind\":\"wave\",\"lanes\":5.0,\
+             \"flows\":16.0,\"wall_ms\":3.75}",
+        )
+        .unwrap();
+        assert_eq!(
+            wave,
+            Event::Wave {
+                lanes: 5,
+                flows: 16,
+                occupancy: 1.0,
+                wall_ms: 3.75,
+            }
+        );
+        let done = parse_event(
+            "{\"v\":\"telemetry/v1\",\"kind\":\"campaign_done\",\
+             \"entries\":144.0,\"computed\":108.0,\"cached\":36.0,\
+             \"shards\":4.0,\"wall_ms\":2100.0,\"cells_per_sec\":51.4}",
+        )
+        .unwrap();
+        match done {
+            Event::CampaignDone { failed, .. } => assert_eq!(failed, 0),
+            other => panic!("wrong kind: {other:?}"),
         }
     }
 

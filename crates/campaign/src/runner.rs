@@ -374,7 +374,21 @@ pub fn run_sharded(
     }
     if !failures.is_empty() {
         // Salvage what finished workers produced before reporting.
-        let _ = store.absorb_shards();
+        let salvaged = store.absorb_shards().unwrap_or(0);
+        // Close the event stream even on failure: a watcher must learn
+        // the run ended and how many shards died, or it tails forever.
+        let wall_seconds = started.elapsed().as_secs_f64();
+        if let Ok(sink) = JsonlSink::create(store_dir) {
+            sink.record(&Event::CampaignDone {
+                entries,
+                computed: salvaged,
+                cached: entries.saturating_sub(salvaged),
+                shards,
+                failed: failures.len(),
+                wall_ms: wall_seconds * 1e3,
+                cells_per_sec: salvaged as f64 / wall_seconds.max(1e-9),
+            });
+        }
         return Err(failures.join("; "));
     }
     let mut computed = 0;
@@ -398,6 +412,7 @@ pub fn run_sharded(
             computed: summary.computed,
             cached: summary.cached,
             shards: summary.shards,
+            failed: 0,
             wall_ms: summary.wall_seconds * 1e3,
             cells_per_sec: summary.cells_per_sec(),
         });
@@ -439,6 +454,19 @@ pub fn maybe_worker(args: &[String], factory: &BackendFactory) -> Option<i32> {
             return Some(2);
         }
     };
+    // Fault injection for tests: if the env var names this worker's
+    // shard index, die before computing anything. The parent's failure
+    // path (salvage surviving shards, close the event stream with a
+    // non-zero `failed` count) is unreachable end-to-end without a way
+    // to make exactly one worker fail deterministically.
+    if std::env::var("BBR_CAMPAIGN_WORKER_FAIL")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        == Some(shard)
+    {
+        eprintln!("campaign worker {shard}/{shards}: injected failure (BBR_CAMPAIGN_WORKER_FAIL)");
+        return Some(1);
+    }
     // Shards are the parallelism unit of a campaign: `shards` worker
     // processes run concurrently, so each worker gets an equal slice of
     // the cores for its own intra-process parallelism (batch backends

@@ -167,6 +167,17 @@ impl AnyCca {
         }
     }
 
+    /// Statically dispatched [`FluidCca::cwnd`].
+    #[inline(always)]
+    pub fn cwnd(&self) -> f64 {
+        match self {
+            AnyCca::Reno(a) => a.cwnd(),
+            AnyCca::Cubic(a) => a.cwnd(),
+            AnyCca::BbrV1(a) => a.cwnd(),
+            AnyCca::BbrV2(a) => a.cwnd(),
+        }
+    }
+
     /// Statically dispatched [`FluidCca::kind`].
     pub fn kind(&self) -> CcaKind {
         match self {

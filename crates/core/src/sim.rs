@@ -363,6 +363,9 @@ impl Simulator {
         if self.trace.is_some() && self.step_count.is_multiple_of(self.trace_stride as u64) {
             self.record_trace_sample();
         }
+        if bbr_trace::enabled() {
+            self.record_flight_recorder();
+        }
 
         // 6. Assemble delayed feedback and step the agents (inactive
         // flows' models stay frozen; they resume — or start — with
@@ -420,6 +423,47 @@ impl Simulator {
 
         self.t += dt;
         self.step_count += 1;
+    }
+
+    /// Advisory flight-recorder samples (`bbr-trace`) on the recorder's
+    /// grid. Pure reads of this step's already-computed scratch state:
+    /// installing a recorder cannot change any run result.
+    fn record_flight_recorder(&self) {
+        let stride = (bbr_trace::interval() / self.cfg.dt).round().max(1.0) as u64;
+        if !self.step_count.is_multiple_of(stride) {
+            return;
+        }
+        let t = self.t;
+        if bbr_trace::flows_enabled() {
+            for i in 0..self.agents.len() {
+                let rate_mbps = self.scratch_x[i];
+                let inflight_pkts = self.agents[i].cwnd() / self.cfg.mss;
+                let rtt_s = self.scratch_tau[i];
+                bbr_trace::emit(|| bbr_trace::TraceEvent::FlowSample {
+                    lane: 0,
+                    flow: i,
+                    t,
+                    rate_mbps,
+                    inflight_pkts,
+                    rtt_s,
+                });
+            }
+        }
+        if bbr_trace::links_enabled() {
+            for l in 0..self.net.links.len() {
+                let queue_frac = self.scratch_rel_q[l];
+                let util_frac = self.scratch_y[l] / self.net.links[l].capacity;
+                let loss_frac = self.scratch_p[l];
+                bbr_trace::emit(|| bbr_trace::TraceEvent::LinkSample {
+                    lane: 0,
+                    link: l,
+                    t,
+                    queue_frac,
+                    util_frac,
+                    loss_frac,
+                });
+            }
+        }
     }
 
     fn record_trace_sample(&mut self) {

@@ -9,11 +9,15 @@
 //!               [--cca MIX] [--out DIR]
 //! figures campaign [--fast] [--shards N] [--store DIR] [--resume]
 //!                  [--topology dumbbell|parking|chain|both|all]
-//! figures watch [--store DIR] [--once] [--interval MS] [--axes X,Y]
+//! figures watch [--store DIR] [--once] [--json] [--interval MS] [--axes X,Y]
 //! figures store compact [--store DIR]
 //! figures bench-sweep [--out FILE] [--reps N] [--threads N]
 //! figures simd-check
-//! figures drift [--fast] [--threads N] [--out FILE]
+//! figures drift [--fast] [--threads N] [--out FILE] [--trace]
+//! figures trace [--topology dumbbell|parking|chain] [--cca MIX]
+//!               [--flows N] [--buffer BDP] [--qdisc droptail|red]
+//!               [--duration S] [--warmup S] [--seed N]
+//!               [--backend fluid|packet] [--interval S] [--out DIR]
 //! figures list
 //! ```
 //!
@@ -44,6 +48,29 @@ use bbr_fluid_core::topology::QdiscKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Campaign-wide tracing: when `BBR_TRACE_DIR` names a directory,
+    // this process appends `trace/v1` lines to `<dir>/trace.jsonl` for
+    // its whole lifetime. Installed before the worker dispatch below so
+    // re-exec'd campaign workers (which inherit the env var) record
+    // too. Strictly advisory: outcomes, store bytes, and cache keys are
+    // unchanged whether the recorder is installed or not (CI diffs a
+    // traced campaign's store against an untraced one byte for byte).
+    if let Ok(dir) = std::env::var("BBR_TRACE_DIR") {
+        let dir = PathBuf::from(dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(bbr_experiments::tracefmt::TRACE_FILE);
+        match bbr_experiments::tracefmt::JsonlTraceSink::append_to(&path) {
+            Ok(sink) => {
+                let guard = bbr_trace::install(
+                    bbr_trace::TraceConfig::default(),
+                    std::sync::Arc::new(sink),
+                );
+                // Process-lifetime recording: never uninstalled.
+                std::mem::forget(guard);
+            }
+            Err(e) => eprintln!("trace: cannot open {}: {e} (not recording)", path.display()),
+        }
+    }
     // Hidden worker mode: campaign parents re-exec this binary with a
     // `campaign-worker` argv. Must run before any other arg handling.
     if let Some(code) = bbr_experiments::campaign::maybe_worker(&args) {
@@ -87,6 +114,12 @@ fn main() {
         "--cca",
         "--axes",
         "--interval",
+        "--flows",
+        "--buffer",
+        "--qdisc",
+        "--duration",
+        "--warmup",
+        "--seed",
     ]
     .iter()
     .filter_map(|flag| args.iter().position(|a| a == *flag).map(|i| i + 1))
@@ -121,6 +154,10 @@ fn main() {
     }
     if ids.first().map(String::as_str) == Some("simd-check") {
         run_simd_check();
+        return;
+    }
+    if ids.first().map(String::as_str) == Some("trace") {
+        run_trace(&args);
         return;
     }
     if ids.first().map(String::as_str) == Some("drift") {
@@ -416,6 +453,14 @@ fn run_simd_check() {
 /// the pinned paper-shaped grid. Prints the human summary and writes
 /// the machine-readable report to `--out`
 /// (default `results/drift.json`).
+///
+/// `--trace` additionally re-runs every cell on both engines under the
+/// flight recorder and diffs the recorded *time series*: per cell, the
+/// first time the bottleneck-utilization traces diverge, which packet
+/// CCA phase the drift concentrates in, and the worst-divergence
+/// window. The trace-diff JSON (`trace-diff/v1`) lands next to the
+/// drift report with a `-trace` suffix (`results/drift-trace.json` by
+/// default).
 fn run_drift_cmd(args: &[String], effort: Effort) {
     let out = PathBuf::from(flag_value(args, "--out").unwrap_or("results/drift.json"));
     let grid = bbr_experiments::drift::drift_grid(effort);
@@ -434,6 +479,150 @@ fn run_drift_cmd(args: &[String], effort: Effort) {
     std::fs::write(&out, report.to_json().to_compact_string())
         .expect("cannot write drift report JSON");
     eprintln!("wrote {}", out.display());
+    if args.iter().any(|a| a == "--trace") {
+        eprintln!(
+            "trace diff: re-running {} cells under the flight recorder...",
+            grid.len()
+        );
+        let audit = bbr_experiments::drift::run_trace_audit(effort);
+        print!("{}", audit.table());
+        let trace_out = match (out.parent(), out.file_stem().and_then(|s| s.to_str())) {
+            (Some(dir), Some(stem)) => dir.join(format!("{stem}-trace.json")),
+            _ => PathBuf::from("drift-trace.json"),
+        };
+        std::fs::write(&trace_out, audit.to_json().to_compact_string())
+            .expect("cannot write trace-diff JSON");
+        eprintln!("wrote {}", trace_out.display());
+    }
+}
+
+/// The `trace` subcommand: the single-cell flight recorder.
+///
+/// Builds one scenario from the flags, runs it on the chosen engine
+/// with an in-memory recorder installed, and renders ASCII sparklines
+/// of every flow's rate, the link queues/utilization, and (on the
+/// packet backend) the per-flow CCA phase timeline. With `--out DIR`
+/// the recording is also written as `trace/v1` JSONL plus a CSV of the
+/// sampled series.
+fn run_trace(args: &[String]) {
+    use bbr_experiments::tracefmt::{CellTrace, JsonlTraceSink, TraceRecord, TRACE_FILE};
+    use bbr_scenario::{ScenarioSpec, SimBackend};
+
+    let flows: usize = match flag_value(args, "--flows").map(str::parse) {
+        None => 4,
+        Some(Ok(n)) if n > 0 => n,
+        _ => {
+            eprintln!("invalid --flows value (expected a positive number)");
+            std::process::exit(2);
+        }
+    };
+    let parse_f64 = |flag: &str, default: f64| match flag_value(args, flag).map(str::parse::<f64>) {
+        None => default,
+        Some(Ok(v)) if v > 0.0 => v,
+        _ => {
+            eprintln!("invalid {flag} value (expected a positive number)");
+            std::process::exit(2);
+        }
+    };
+    let buffer = parse_f64("--buffer", 1.0);
+    let duration = parse_f64("--duration", 2.0);
+    let warmup = match flag_value(args, "--warmup").map(str::parse::<f64>) {
+        None => 0.5,
+        Some(Ok(v)) if v >= 0.0 => v,
+        _ => {
+            eprintln!("invalid --warmup value (expected seconds >= 0)");
+            std::process::exit(2);
+        }
+    };
+    let interval = parse_f64("--interval", bbr_trace::DEFAULT_INTERVAL);
+    let seed: u64 = match flag_value(args, "--seed").map(str::parse) {
+        None => 1889,
+        Some(Ok(s)) => s,
+        Some(Err(_)) => {
+            eprintln!("invalid --seed value (expected a number)");
+            std::process::exit(2);
+        }
+    };
+    let qdisc = match flag_value(args, "--qdisc") {
+        None | Some("droptail") => QdiscKind::DropTail,
+        Some("red") => QdiscKind::Red,
+        Some(other) => {
+            eprintln!("unknown qdisc: {other} (expected droptail|red)");
+            std::process::exit(2);
+        }
+    };
+    let combo = parse_cca_combo(flag_value(args, "--cca").unwrap_or("BBRv2D"));
+    let spec = match flag_value(args, "--topology").unwrap_or("dumbbell") {
+        "dumbbell" => ScenarioSpec::dumbbell(flows, 100.0, 0.010, buffer),
+        "parking" => ScenarioSpec::parking_lot(100.0, 80.0, 0.010, buffer),
+        "chain" => ScenarioSpec::chain(3, 100.0, 0.010, buffer),
+        other => {
+            eprintln!("unknown topology: {other} (expected dumbbell|parking|chain)");
+            std::process::exit(2);
+        }
+    };
+    let spec = spec
+        .ccas(combo.kinds.to_vec())
+        .qdisc(qdisc)
+        .duration(duration)
+        .warmup(warmup);
+    if let Err(e) = spec.validate() {
+        eprintln!("invalid scenario: {e}");
+        std::process::exit(2);
+    }
+    let backend: Box<dyn SimBackend> = match flag_value(args, "--backend") {
+        None | Some("packet") => Box::new(bbr_packetsim::backend::PacketBackend::new(1)),
+        Some("fluid") => Box::new(bbr_fluid_core::backend::FluidBackend::new(
+            bbr_experiments::aggregate::model_config(Effort::Fast),
+        )),
+        Some(other) => {
+            eprintln!("unknown backend: {other} (expected fluid|packet)");
+            std::process::exit(2);
+        }
+    };
+    let sink = std::sync::Arc::new(bbr_trace::MemorySink::new());
+    let outcome = {
+        let _guard = bbr_trace::install(
+            bbr_trace::TraceConfig {
+                interval,
+                ..bbr_trace::TraceConfig::default()
+            },
+            sink.clone(),
+        );
+        backend.run(&spec, seed)
+    };
+    let events = sink.take();
+    let cell = CellTrace::from_events(&events, 0);
+    println!(
+        "trace: {} backend={} seed={seed:x} interval={interval}s ({} events)",
+        spec.describe(),
+        backend.name(),
+        events.len(),
+    );
+    print!("{}", cell.render(64));
+    println!(
+        "outcome: utilization {:.1}%, jain {:.3}, loss {:.2}%",
+        outcome.utilization_percent, outcome.jain, outcome.loss_percent
+    );
+    if let Some(dir) = flag_value(args, "--out") {
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("cannot create output directory");
+        let jsonl = dir.join(TRACE_FILE);
+        let file_sink = JsonlTraceSink::append_to(&jsonl).expect("cannot open trace JSONL");
+        file_sink.write_record(&TraceRecord::Header {
+            spec_hash: spec.stable_hash(),
+            backend: backend.name().to_string(),
+            seed,
+            interval,
+            label: spec.describe(),
+        });
+        for e in &events {
+            file_sink.write_record(&TraceRecord::from_event(e));
+        }
+        let csv = dir.join("trace.csv");
+        std::fs::write(&csv, cell.csv()).expect("cannot write trace CSV");
+        eprintln!("wrote {} and {}", jsonl.display(), csv.display());
+    }
 }
 
 /// The `watch` subcommand: the live campaign telemetry workbench.
@@ -445,11 +634,17 @@ fn run_drift_cmd(args: &[String], effort: Effort) {
 /// clear-screen every `--interval` milliseconds (default 1000) until
 /// every planned entry is in the store. `--axes X,Y` picks the heatmap
 /// columns and rows from: buffer, cca, qdisc, topo, flows, churn
-/// (default `buffer,cca`).
+/// (default `buffer,cca`). `--json` (with `--once`) prints the frame as
+/// one `watch/v1` JSON object instead of text, for scripted consumers.
 fn run_watch(args: &[String]) {
     use bbr_experiments::watch::{parse_axes, WatchState};
     let store_dir = PathBuf::from(flag_value(args, "--store").unwrap_or("results/campaign"));
     let once = args.iter().any(|a| a == "--once");
+    let json = args.iter().any(|a| a == "--json");
+    if json && !once {
+        eprintln!("--json requires --once (the live loop is a terminal UI)");
+        std::process::exit(2);
+    }
     let interval = match flag_value(args, "--interval").map(str::parse::<u64>) {
         None => std::time::Duration::from_millis(1000),
         Some(Ok(ms)) if ms > 0 => std::time::Duration::from_millis(ms),
@@ -475,7 +670,11 @@ fn run_watch(args: &[String]) {
             std::process::exit(1);
         }
         if once {
-            print!("{}", state.render());
+            if json {
+                println!("{}", state.render_json());
+            } else {
+                print!("{}", state.render());
+            }
             return;
         }
         // Clear + home, then the same deterministic frame `--once` prints.

@@ -18,6 +18,7 @@ pub mod figures;
 pub mod scenarios;
 pub mod sweep;
 pub mod table;
+pub mod tracefmt;
 pub mod watch;
 
 /// Speed preset for a generator.

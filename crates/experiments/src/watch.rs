@@ -28,6 +28,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+use bbr_campaign::json::Json;
 use bbr_campaign::store::parse_record;
 use bbr_campaign::{events_path, parse_event, CampaignPlan, CellKey, TailCursor, RESULTS_FILE};
 use bbr_scenario::{ScenarioSpec, Topology};
@@ -140,6 +141,10 @@ struct WaveStats {
     count: usize,
     lanes: usize,
     flows: usize,
+    /// Summed pack occupancy (1.0 per wave from the unpacked engine;
+    /// packed lanes / vector width from the SIMD engine) — divide by
+    /// `count` for the mean.
+    occupancy: f64,
     wall_ms: f64,
 }
 
@@ -186,7 +191,16 @@ pub struct WatchState {
     shards_total: usize,
     shard_latest: BTreeMap<usize, ShardView>,
     waves: WaveStats,
-    campaign_done: Option<(usize, f64, f64)>, // (shards, wall_ms, cells/s)
+    campaign_done: Option<CampaignClose>,
+}
+
+/// The parent's closing `campaign_done` record, if one arrived.
+#[derive(Debug, Clone, Copy)]
+struct CampaignClose {
+    shards: usize,
+    failed: usize,
+    wall_ms: f64,
+    cells_per_sec: f64,
 }
 
 impl WatchState {
@@ -387,22 +401,30 @@ impl WatchState {
                 Event::Wave {
                     lanes,
                     flows,
+                    occupancy,
                     wall_ms,
                 } => {
                     self.waves.count += 1;
                     self.waves.lanes += lanes;
                     self.waves.flows += flows;
+                    self.waves.occupancy += occupancy;
                     self.waves.wall_ms += wall_ms;
                 }
                 Event::CampaignDone {
                     shards,
+                    failed,
                     wall_ms,
                     cells_per_sec,
                     ..
                 } => {
                     self.counts.campaigns += 1;
                     self.shards_total = self.shards_total.max(shards);
-                    self.campaign_done = Some((shards, wall_ms, cells_per_sec));
+                    self.campaign_done = Some(CampaignClose {
+                        shards,
+                        failed,
+                        wall_ms,
+                        cells_per_sec,
+                    });
                 }
             }
         }
@@ -412,8 +434,8 @@ impl WatchState {
     /// Aggregate computed-cells throughput: the campaign-level rate once
     /// the run closed, else the sum of the live per-shard rates.
     fn aggregate_rate(&self) -> f64 {
-        if let Some((_, _, rate)) = self.campaign_done {
-            return rate;
+        if let Some(close) = self.campaign_done {
+            return close.cells_per_sec;
         }
         // `+ 0.0` normalizes the empty sum, which is -0.0 on current
         // Rust, so an idle frame prints "0.0" not "-0.0".
@@ -515,13 +537,24 @@ impl WatchState {
         if self.waves.count > 0 {
             writeln!(
                 out,
-                "waves    {} fluid waves, {} lanes, {} flows, avg {:.2} ms",
+                "waves    {} fluid waves, {} lanes, {} flows, avg {:.2} ms, pack occ {:.2}",
                 self.waves.count,
                 self.waves.lanes,
                 self.waves.flows,
-                self.waves.wall_ms / self.waves.count as f64
+                self.waves.wall_ms / self.waves.count as f64,
+                self.waves.occupancy / self.waves.count as f64
             )
             .unwrap();
+        }
+        if let Some(close) = &self.campaign_done {
+            if close.failed > 0 {
+                writeln!(
+                    out,
+                    "FAILED   {} of {} worker shards exited with errors (store holds survivors only)",
+                    close.failed, close.shards
+                )
+                .unwrap();
+            }
         }
         out.push('\n');
         self.render_heatmap(&mut out);
@@ -550,6 +583,152 @@ impl WatchState {
             .unwrap();
         }
         out
+    }
+
+    /// Render the same frame as one `watch/v1` JSON object (compact,
+    /// one line) for scripted consumers — `figures watch --once --json`.
+    ///
+    /// Schema notes: the encoder has no booleans or nulls, so shard
+    /// completion is `0.0`/`1.0` and optional sections (`cache`,
+    /// `eta_s`, `campaign_done`) are *omitted* rather than null —
+    /// readers must probe with `get`, not `field`. Counts serialize as
+    /// integral `Num`s, consistent with `telemetry/v1`.
+    pub fn render_json(&self) -> String {
+        let num = |v: f64| Json::Num(v);
+        let count = |v: usize| Json::Num(v as f64);
+        let mut fields: Vec<(String, Json)> = vec![
+            ("v".into(), Json::str("watch/v1")),
+            (
+                "store".into(),
+                Json::str(self.store_dir.display().to_string()),
+            ),
+            ("effort".into(), Json::str(&self.effort)),
+            ("cells".into(), count(self.cells)),
+            ("backends".into(), Json::str(&self.backends_desc)),
+            ("entries_done".into(), count(self.done_entries())),
+            ("entries_total".into(), count(self.total_entries())),
+            (
+                "rate_cells_per_sec".into(),
+                num((self.aggregate_rate() * 1e6).round() / 1e6),
+            ),
+        ];
+        if let Some((pct, cached, of)) = self.cache_hit() {
+            fields.push((
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hit_pct".into(), num((pct * 10.0).round() / 10.0)),
+                    ("cached".into(), count(cached)),
+                    ("of".into(), count(of)),
+                ]),
+            ));
+        }
+        let total = self.total_entries();
+        let done = self.done_entries();
+        let rate = self.aggregate_rate();
+        if total > 0 && done >= total {
+            fields.push(("eta_s".into(), num(0.0)));
+        } else if rate > 0.0 {
+            fields.push((
+                "eta_s".into(),
+                num(((total - done) as f64 / rate * 10.0).round() / 10.0),
+            ));
+        }
+        let shards: Vec<Json> = self
+            .shard_latest
+            .iter()
+            .map(|(shard, view)| {
+                Json::Obj(vec![
+                    ("shard".into(), count(*shard)),
+                    ("planned".into(), count(view.planned)),
+                    ("cached".into(), count(view.cached)),
+                    ("computed".into(), count(view.computed)),
+                    ("cells_per_sec".into(), num(view.cells_per_sec)),
+                    ("done".into(), num(if view.finished { 1.0 } else { 0.0 })),
+                ])
+            })
+            .collect();
+        fields.push(("shards_total".into(), count(self.shards_total)));
+        fields.push(("shards".into(), Json::Arr(shards)));
+        fields.push((
+            "waves".into(),
+            Json::Obj(vec![
+                ("count".into(), count(self.waves.count)),
+                ("lanes".into(), count(self.waves.lanes)),
+                ("flows".into(), count(self.waves.flows)),
+                ("wall_ms".into(), num(self.waves.wall_ms)),
+                (
+                    "mean_occupancy".into(),
+                    num(if self.waves.count > 0 {
+                        self.waves.occupancy / self.waves.count as f64
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ));
+        if let Some(close) = &self.campaign_done {
+            fields.push((
+                "campaign_done".into(),
+                Json::Obj(vec![
+                    ("shards".into(), count(close.shards)),
+                    ("failed".into(), count(close.failed)),
+                    ("wall_ms".into(), num(close.wall_ms)),
+                    ("cells_per_sec".into(), num(close.cells_per_sec)),
+                ]),
+            ));
+        }
+        let mut bins: Vec<Json> = Vec::new();
+        for (yi, y) in self.y_bins.iter().enumerate() {
+            for (xi, x) in self.x_bins.iter().enumerate() {
+                let bin = yi * self.x_bins.len() + xi;
+                if self.bin_count[bin] == 0 {
+                    continue;
+                }
+                let mean = self.bin_sum[bin] / self.bin_count[bin] as f64;
+                bins.push(Json::Obj(vec![
+                    ("x".into(), Json::str(x)),
+                    ("y".into(), Json::str(y)),
+                    ("count".into(), count(self.bin_count[bin])),
+                    ("mean_util".into(), num((mean * 10.0).round() / 10.0)),
+                ]));
+            }
+        }
+        fields.push((
+            "heatmap".into(),
+            Json::Obj(vec![
+                ("x_axis".into(), Json::str(self.axes.0.label())),
+                ("y_axis".into(), Json::str(self.axes.1.label())),
+                (
+                    "x_bins".into(),
+                    Json::Arr(self.x_bins.iter().map(Json::str).collect()),
+                ),
+                (
+                    "y_bins".into(),
+                    Json::Arr(self.y_bins.iter().map(Json::str).collect()),
+                ),
+                ("bins".into(), Json::Arr(bins)),
+            ]),
+        ));
+        fields.push((
+            "telemetry".into(),
+            Json::Obj(vec![
+                ("events".into(), count(self.events_seen)),
+                ("shard_starts".into(), count(self.counts.starts)),
+                ("heartbeats".into(), count(self.counts.heartbeats)),
+                ("shard_dones".into(), count(self.counts.dones)),
+                ("campaign_dones".into(), count(self.counts.campaigns)),
+                ("waves".into(), count(self.waves.count)),
+            ]),
+        ));
+        fields.push((
+            "skipped".into(),
+            Json::Obj(vec![
+                ("stale_records".into(), count(self.stale_records)),
+                ("malformed_records".into(), count(self.malformed_records)),
+                ("malformed_events".into(), count(self.malformed_events)),
+            ]),
+        ));
+        Json::Obj(fields).to_compact_string()
     }
 
     /// The two-axis mean-utilization heatmap (rows = Y bins, cols = X
@@ -841,6 +1020,7 @@ mod tests {
             &event_to_line(&Event::Wave {
                 lanes: 3,
                 flows: 6,
+                occupancy: 0.75,
                 wall_ms: 4.0,
             }),
         );
@@ -871,6 +1051,7 @@ mod tests {
             frame.contains("waves    1 fluid waves, 3 lanes, 6 flows"),
             "{frame}"
         );
+        assert!(frame.contains("pack occ 0.75"), "{frame}");
         // The torn tail is not an error and not yet an event...
         assert!(!frame.contains("malformed"), "{frame}");
         // ...and arrives whole once the writer finishes the line.
@@ -878,6 +1059,93 @@ mod tests {
         append(&events, "1}");
         state.poll().unwrap();
         assert!(state.render().contains("1 malformed event lines"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_campaign_close_renders_a_marker_and_json_reports_it() {
+        let plan = plan(vec![spec(1.0, vec![CcaKind::BbrV1])]);
+        let dir = store_with(&plan, "failed");
+        let events = events_path(&dir);
+        append(
+            &events,
+            &event_to_line(&Event::CampaignDone {
+                entries: 4,
+                computed: 1,
+                cached: 3,
+                shards: 2,
+                failed: 1,
+                wall_ms: 500.0,
+                cells_per_sec: 2.0,
+            }),
+        );
+        let mut state = WatchState::new(&dir, (Axis::Buffer, Axis::Cca)).unwrap();
+        state.poll().unwrap();
+        let frame = state.render();
+        assert!(
+            frame.contains("FAILED   1 of 2 worker shards exited with errors"),
+            "{frame}"
+        );
+        let json = state.render_json();
+        let doc = Json::parse(&json).unwrap();
+        let close = doc.field("campaign_done").unwrap();
+        assert_eq!(close.field("failed").unwrap().as_usize(), Some(1));
+        assert_eq!(close.field("shards").unwrap().as_usize(), Some(2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn json_frame_mirrors_the_text_frame() {
+        let specs = vec![
+            spec(1.0, vec![CcaKind::BbrV1]),
+            spec(4.0, vec![CcaKind::BbrV1]),
+        ];
+        let plan = plan(specs);
+        let dir = store_with(&plan, "json");
+        let cell = &plan.cells[0];
+        append(
+            &dir.join(RESULTS_FILE),
+            &record_to_line(
+                &CellKey {
+                    spec_hash: cell.spec.stable_hash(),
+                    seed: cell.seed,
+                    backend: "fluid".into(),
+                    run_index: 0,
+                },
+                &outcome(91.25),
+            ),
+        );
+        append(
+            &events_path(&dir),
+            &event_to_line(&Event::Wave {
+                lanes: 2,
+                flows: 4,
+                occupancy: 0.5,
+                wall_ms: 3.0,
+            }),
+        );
+        let mut state = WatchState::new(&dir, (Axis::Buffer, Axis::Cca)).unwrap();
+        state.poll().unwrap();
+        let json = state.render_json();
+        assert!(!json.contains('\n'), "one line: {json}");
+        let doc = Json::parse(&json).unwrap();
+        assert_eq!(doc.field("v").unwrap().as_str(), Some("watch/v1"));
+        assert_eq!(doc.field("entries_done").unwrap().as_usize(), Some(1));
+        assert_eq!(doc.field("entries_total").unwrap().as_usize(), Some(2));
+        assert_eq!(doc.field("effort").unwrap().as_str(), Some("fast"));
+        // No shard telemetry yet: cache and eta are omitted, not null.
+        assert!(doc.get("cache").is_none());
+        assert!(doc.get("eta_s").is_none());
+        assert!(doc.get("campaign_done").is_none());
+        let waves = doc.field("waves").unwrap();
+        assert_eq!(waves.field("count").unwrap().as_usize(), Some(1));
+        assert_eq!(waves.field("mean_occupancy").unwrap().as_f64(), Some(0.5));
+        let heatmap = doc.field("heatmap").unwrap();
+        assert_eq!(heatmap.field("x_axis").unwrap().as_str(), Some("buffer"));
+        let bins = heatmap.field("bins").unwrap().as_arr().unwrap();
+        assert_eq!(bins.len(), 1, "one populated bin");
+        assert_eq!(bins[0].field("x").unwrap().as_str(), Some("1bdp"));
+        assert_eq!(bins[0].field("mean_util").unwrap().as_f64(), Some(91.3));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -77,3 +77,70 @@ fn sharded_campaign_matches_single_process_run_and_resumes_clean() {
 
     std::fs::remove_dir_all(&store).unwrap();
 }
+
+#[test]
+fn worker_failure_still_closes_the_event_stream_with_a_failed_count() {
+    use bbr_campaign::{events_path, parse_event};
+    use bbr_telemetry::Event;
+
+    let store: PathBuf =
+        std::env::temp_dir().join(format!("bbr-campaign-fail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+
+    // Shard 1 of 2 dies before computing anything (injected fault); the
+    // parent must exit non-zero but still salvage shard 0's results and
+    // close events.jsonl with a campaign_done carrying failed=1.
+    let broken = figures()
+        .args(["campaign", "--fast", "--shards", "2", "--store"])
+        .arg(&store)
+        .env("BBR_CAMPAIGN_WORKER_FAIL", "1")
+        .output()
+        .expect("spawn figures campaign with injected worker failure");
+    assert!(
+        !broken.status.success(),
+        "a campaign with a dead worker must fail:\n{}",
+        String::from_utf8_lossy(&broken.stdout)
+    );
+    let err = String::from_utf8_lossy(&broken.stderr);
+    assert!(err.contains("worker 1 exited"), "{err}");
+
+    let events = std::fs::read_to_string(events_path(&store)).expect("events.jsonl");
+    let last = events.lines().last().expect("at least one event");
+    match parse_event(last).expect("closing event parses") {
+        Event::CampaignDone {
+            failed,
+            shards,
+            computed,
+            entries,
+            ..
+        } => {
+            assert_eq!(failed, 1, "one injected worker failure: {last}");
+            assert_eq!(shards, 2);
+            assert!(computed > 0, "shard 0's results must be salvaged: {last}");
+            assert!(computed < entries, "the dead shard's cells are missing");
+        }
+        other => panic!("last event must be campaign_done, got {other:?}"),
+    }
+
+    // Rerunning with the fault cleared resumes from the salvaged half
+    // and finishes the rest.
+    let healed = figures()
+        .args(["campaign", "--fast", "--shards", "2", "--resume", "--store"])
+        .arg(&store)
+        .output()
+        .expect("spawn figures campaign --resume after failure");
+    assert!(
+        healed.status.success(),
+        "resume after failure must heal:\n{}",
+        String::from_utf8_lossy(&healed.stderr)
+    );
+    let healed_stdout = String::from_utf8_lossy(&healed.stdout);
+    assert!(healed_stdout.contains("cached="), "{healed_stdout}");
+    let events = std::fs::read_to_string(events_path(&store)).expect("events.jsonl");
+    let last = events.lines().last().expect("events survive the rerun");
+    match parse_event(last).expect("closing event parses") {
+        Event::CampaignDone { failed, .. } => assert_eq!(failed, 0, "{last}"),
+        other => panic!("last event must be campaign_done, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&store).unwrap();
+}

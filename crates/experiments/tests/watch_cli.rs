@@ -152,6 +152,7 @@ fn golden_fixture() -> PathBuf {
         &event_to_line(&Event::Wave {
             lanes: 2,
             flows: 4,
+            occupancy: 0.5,
             wall_ms: 3.5,
         }),
     );
@@ -185,7 +186,7 @@ fn golden_frame_for_the_pinned_fixture() {
          \n\
          shard 0/2 [##########----------] 1/2 computed, 0 cached, 20.0 c/s\n\
          shard 1/2 [####################] 2/2 computed, 0 cached, 25.0 c/s, done\n\
-         waves    1 fluid waves, 2 lanes, 4 flows, avg 3.50 ms\n\
+         waves    1 fluid waves, 2 lanes, 4 flows, avg 3.50 ms, pack occ 0.50\n\
          \n\
          heatmap  mean utilization %, rows cca x cols buffer (3 records)\n\
          \u{20}       1bdp   4bdp\n\
@@ -206,6 +207,58 @@ fn golden_frame_for_the_pinned_fixture() {
         "transposed heatmap missing: {frame}"
     );
     assert!(frame.contains("BBRv1"), "{frame}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn json_frame_is_golden_for_the_pinned_fixture() {
+    let dir = golden_fixture();
+    let out = watch_once(&dir, &["--json"]);
+    assert!(
+        out.status.success(),
+        "watch --json failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text.trim_end();
+    assert!(!line.contains('\n'), "one JSON line: {line}");
+    // Golden modulo the temp-dir store path: strip the one
+    // machine-dependent field, then compare the rest verbatim.
+    let expected = format!(
+        "{{\"v\":\"watch/v1\",\"store\":\"{store}\",\"effort\":\"fast\",\"cells\":4.0,\
+         \"backends\":\"fluid x1\",\"entries_done\":3.0,\"entries_total\":4.0,\
+         \"rate_cells_per_sec\":45.0,\
+         \"cache\":{{\"hit_pct\":0.0,\"cached\":0.0,\"of\":4.0}},\
+         \"eta_s\":0.0,\
+         \"shards_total\":2.0,\
+         \"shards\":[{{\"shard\":0.0,\"planned\":2.0,\"cached\":0.0,\"computed\":1.0,\
+         \"cells_per_sec\":20.0,\"done\":0.0}},\
+         {{\"shard\":1.0,\"planned\":2.0,\"cached\":0.0,\"computed\":2.0,\
+         \"cells_per_sec\":25.0,\"done\":1.0}}],\
+         \"waves\":{{\"count\":1.0,\"lanes\":2.0,\"flows\":4.0,\"wall_ms\":3.5,\
+         \"mean_occupancy\":0.5}},\
+         \"heatmap\":{{\"x_axis\":\"buffer\",\"y_axis\":\"cca\",\
+         \"x_bins\":[\"1bdp\",\"4bdp\"],\"y_bins\":[\"BBRv1\",\"RENO\"],\
+         \"bins\":[{{\"x\":\"1bdp\",\"y\":\"BBRv1\",\"count\":1.0,\"mean_util\":98.7}},\
+         {{\"x\":\"4bdp\",\"y\":\"BBRv1\",\"count\":1.0,\"mean_util\":91.2}},\
+         {{\"x\":\"1bdp\",\"y\":\"RENO\",\"count\":1.0,\"mean_util\":55.0}}]}},\
+         \"telemetry\":{{\"events\":5.0,\"shard_starts\":2.0,\"heartbeats\":1.0,\
+         \"shard_dones\":1.0,\"campaign_dones\":0.0,\"waves\":1.0}},\
+         \"skipped\":{{\"stale_records\":0.0,\"malformed_records\":0.0,\
+         \"malformed_events\":0.0}}}}",
+        store = dir.display()
+    );
+    assert_eq!(line, expected);
+
+    // --json without --once is refused: the live loop is a terminal UI.
+    let live = figures()
+        .args(["watch", "--json", "--store"])
+        .arg(&dir)
+        .output()
+        .expect("spawn figures watch --json");
+    assert_eq!(live.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&live.stderr);
+    assert!(err.contains("--json requires --once"), "{err}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

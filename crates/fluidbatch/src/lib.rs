@@ -50,6 +50,12 @@ use crate::sim::BatchedFluidSim;
 
 pub use crate::packed::SimdFluidBackend;
 
+/// The telemetry hook is process-global, so tests that install a sink
+/// (here and in `packed`) serialize on this lock to keep each other's
+/// events out of their captures.
+#[cfg(test)]
+pub(crate) static TELEMETRY_TEST_SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Default cap on the summed flow count of one lockstep wave.
 ///
 /// A wave's working set (histories, agents, lookup tables) should stay
@@ -187,6 +193,9 @@ impl BatchSimBackend for BatchedFluidBackend {
                     bbr_telemetry::emit(|| bbr_telemetry::Event::Wave {
                         lanes: specs.len(),
                         flows: specs.iter().map(|s| s.n_flows()).sum(),
+                        // The unpacked engine runs every lane at full
+                        // width; only the SIMD engine reports < 1.0.
+                        occupancy: 1.0,
                         wall_ms,
                     });
                 }
@@ -296,6 +305,9 @@ mod tests {
                 self.0.lock().unwrap().push(event.clone());
             }
         }
+        let _serial = TELEMETRY_TEST_SERIAL
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         let capture = std::sync::Arc::new(Capture(std::sync::Mutex::new(Vec::new())));
         let specs = specs();
         let jobs: Vec<(&ScenarioSpec, u64)> = specs.iter().map(|s| (s, 0)).collect();
@@ -313,12 +325,17 @@ mod tests {
             let bbr_telemetry::Event::Wave {
                 lanes: l,
                 flows: f,
+                occupancy,
                 wall_ms,
             } = ev
             else {
                 continue;
             };
             assert!(*l >= 1 && *f >= *l && *wall_ms >= 0.0);
+            assert!(
+                (0.0..=1.0).contains(occupancy),
+                "occupancy out of range: {occupancy}"
+            );
             lanes += l;
             flows += f;
         }

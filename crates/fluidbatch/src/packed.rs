@@ -1259,8 +1259,23 @@ impl BatchSimBackend for SimdFluidBackend {
         let done: Vec<Vec<(usize, RunOutcome)>> = packs
             .par_iter()
             .map(|members| {
+                // Pack-level telemetry, mirroring the batch engine's
+                // wave events: free when no sink listens. Occupancy is
+                // the pack's fill fraction — padding lanes replicate
+                // member 0 and burn vector slots without producing
+                // results, so a ragged tail shows up as < 1.0.
+                let t0 = bbr_telemetry::enabled().then(std::time::Instant::now);
                 let specs: Vec<&ScenarioSpec> = members.iter().map(|&i| jobs[i].0).collect();
                 let metrics = PackSim::new(&specs, self.cfg.clone()).run();
+                if let Some(t0) = t0 {
+                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    bbr_telemetry::emit(|| bbr_telemetry::Event::Wave {
+                        lanes: specs.len(),
+                        flows: specs.iter().map(|s| s.n_flows()).sum(),
+                        occupancy: specs.len() as f64 / LANES as f64,
+                        wall_ms,
+                    });
+                }
                 members
                     .iter()
                     .zip(&metrics)
@@ -1418,6 +1433,57 @@ mod tests {
         assert_eq!(simd.backend, "fluid-simd");
         batch.backend = SIMD_BACKEND_NAME;
         assert_eq!(simd, batch, "fallback must be the batch engine verbatim");
+    }
+
+    #[test]
+    fn packs_emit_wave_telemetry_with_occupancy() {
+        struct Capture(std::sync::Mutex<Vec<bbr_telemetry::Event>>);
+        impl bbr_telemetry::Sink for Capture {
+            fn record(&self, event: &bbr_telemetry::Event) {
+                self.0.lock().unwrap().push(event.clone());
+            }
+        }
+        let _serial = crate::TELEMETRY_TEST_SERIAL
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // Three buffer variants of one structural shape: one ragged
+        // pack of 3 members out of LANES = 4 slots.
+        let specs: Vec<ScenarioSpec> = [0.5, 1.0, 2.0]
+            .iter()
+            .map(|b| {
+                ScenarioSpec::dumbbell(2, 50.0, 0.010, *b)
+                    .ccas(vec![CcaKind::BbrV1])
+                    .duration(0.3)
+            })
+            .collect();
+        let jobs: Vec<(&ScenarioSpec, u64)> = specs.iter().map(|s| (s, 0)).collect();
+        let capture = std::sync::Arc::new(Capture(std::sync::Mutex::new(Vec::new())));
+        let without_sink = SimdFluidBackend::coarse().run_batch(&jobs);
+        let with_sink = {
+            let _guard = bbr_telemetry::install(capture.clone());
+            SimdFluidBackend::coarse().run_batch(&jobs)
+        };
+        // Instrumentation is observation only: identical outcomes.
+        assert_eq!(without_sink, with_sink);
+        let events = capture.0.lock().unwrap();
+        let waves: Vec<_> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                bbr_telemetry::Event::Wave {
+                    lanes,
+                    flows,
+                    occupancy,
+                    wall_ms,
+                } => Some((*lanes, *flows, *occupancy, *wall_ms)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(waves.len(), 1, "one pack, one wave: {waves:?}");
+        let (lanes, flows, occupancy, wall_ms) = waves[0];
+        assert_eq!(lanes, 3);
+        assert_eq!(flows, 6);
+        assert_eq!(occupancy, 3.0 / LANES as f64);
+        assert!(wall_ms >= 0.0);
     }
 
     #[test]

@@ -486,6 +486,49 @@ impl BatchedFluidSim {
                 &self.service[lr.clone()],
             );
 
+            // 5b. Advisory flight-recorder samples (`bbr-trace`) on the
+            // recorder's grid. Pure reads of this step's already-computed
+            // flat-array state; indices are lane-local so a lane's trace
+            // matches the scalar stepper's for the same spec.
+            if bbr_trace::enabled() {
+                let stride = (bbr_trace::interval() / dt).round().max(1.0) as u64;
+                if step.is_multiple_of(stride) {
+                    let t = self.t;
+                    if bbr_trace::flows_enabled() {
+                        for i in fr.clone() {
+                            let rate_mbps = self.x[i];
+                            let inflight_pkts = self.agents[i].cwnd() / self.cfg.mss;
+                            let rtt_s = self.tau[i];
+                            let flow = i - fr.start;
+                            bbr_trace::emit(|| bbr_trace::TraceEvent::FlowSample {
+                                lane: ln,
+                                flow,
+                                t,
+                                rate_mbps,
+                                inflight_pkts,
+                                rtt_s,
+                            });
+                        }
+                    }
+                    if bbr_trace::links_enabled() {
+                        for l in lr.clone() {
+                            let queue_frac = self.rel_q[l];
+                            let util_frac = self.y[l] / self.link_spec[l].capacity;
+                            let loss_frac = self.p[l];
+                            let link = l - lr.start;
+                            bbr_trace::emit(|| bbr_trace::TraceEvent::LinkSample {
+                                lane: ln,
+                                link,
+                                t,
+                                queue_frac,
+                                util_frac,
+                                loss_frac,
+                            });
+                        }
+                    }
+                }
+            }
+
             // 6. Assemble delayed feedback and step the agents
             // (inactive flows' models stay frozen, as in the scalar
             // stepper).

@@ -63,7 +63,12 @@ impl PacketBackend {
             warmup: spec.warmup,
             seed,
             mss: self.mss,
-            trace_bin: None,
+            // Advisory flight recorder: with a `bbr-trace` recorder
+            // installed, drive the engine's sample grid at its interval.
+            // `Ev::Sample` dispatch only reads (and resets) trace-only
+            // accumulators, so scheduling it cannot perturb the outcome
+            // (enforced by tests/trace_observer.rs).
+            trace_bin: bbr_trace::enabled().then(bbr_trace::interval),
         }
     }
 

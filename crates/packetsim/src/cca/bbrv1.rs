@@ -23,6 +23,18 @@ pub enum State {
     ProbeRtt,
 }
 
+impl State {
+    /// Stable wire tag for `trace/v1` phase events.
+    pub fn name(self) -> &'static str {
+        match self {
+            State::Startup => "Startup",
+            State::Drain => "Drain",
+            State::ProbeBw => "ProbeBw",
+            State::ProbeRtt => "ProbeRtt",
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct BbrV1Pkt {
     mss: f64,
@@ -47,6 +59,8 @@ pub struct BbrV1Pkt {
     pacing_gain: f64,
     cwnd_gain: f64,
     last_inflight: f64,
+    /// Flow index for trace events only; no control decision reads it.
+    trace_id: usize,
 }
 
 const GAIN_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
@@ -81,7 +95,24 @@ impl BbrV1Pkt {
             pacing_gain: STARTUP_GAIN,
             cwnd_gain: STARTUP_GAIN,
             last_inflight: 0.0,
+            trace_id: 0,
         }
+    }
+
+    /// Switch state, recording the transition as a trace phase event.
+    fn enter(&mut self, state: State, now: f64) {
+        if bbr_trace::cca_enabled() && state != self.state {
+            let (from, to) = (self.state.name(), state.name());
+            let flow = self.trace_id;
+            bbr_trace::emit(|| bbr_trace::TraceEvent::CcaPhase {
+                lane: 0,
+                flow,
+                t: now,
+                from,
+                to,
+            });
+        }
+        self.state = state;
     }
 
     /// Bottleneck-bandwidth estimate (bytes/s).
@@ -150,8 +181,22 @@ impl PacketCca for BbrV1Pkt {
 
         // Bandwidth filter over the last 10 packet-timed rounds.
         if rs.delivery_rate > 0.0 {
+            let before = bbr_trace::cca_enabled().then(|| self.bw_filter.max());
             self.bw_filter
                 .update(self.round_count as f64, rs.delivery_rate, BW_WINDOW_ROUNDS);
+            if let Some(before) = before {
+                let after = self.bw_filter.max();
+                if after != before {
+                    let flow = self.trace_id;
+                    bbr_trace::emit(|| bbr_trace::TraceEvent::CcaSignal {
+                        lane: 0,
+                        flow,
+                        t: rs.now,
+                        signal: "btlbw",
+                        value: after * 8.0 / 1e6,
+                    });
+                }
+            }
         }
 
         // RTprop filter (10 s window).
@@ -159,12 +204,22 @@ impl PacketCca for BbrV1Pkt {
             if rs.rtt < self.rtprop {
                 self.rtprop = rs.rtt;
                 self.rtprop_stamp = rs.now;
+                if bbr_trace::cca_enabled() {
+                    let (flow, value) = (self.trace_id, self.rtprop);
+                    bbr_trace::emit(|| bbr_trace::TraceEvent::CcaSignal {
+                        lane: 0,
+                        flow,
+                        t: rs.now,
+                        signal: "rtprop",
+                        value,
+                    });
+                }
             } else if rs.now - self.rtprop_stamp > MIN_RTT_WINDOW
                 && self.state != State::ProbeRtt
                 && self.state != State::Startup
             {
                 // RTprop expired: enter ProbeRTT.
-                self.state = State::ProbeRtt;
+                self.enter(State::ProbeRtt, rs.now);
                 self.probe_rtt_done = rs.now + PROBE_RTT_DURATION;
             }
         }
@@ -173,7 +228,7 @@ impl PacketCca for BbrV1Pkt {
             State::Startup => {
                 self.check_full_pipe();
                 if self.full_bw_count >= 3 {
-                    self.state = State::Drain;
+                    self.enter(State::Drain, rs.now);
                 }
                 self.pacing_gain = STARTUP_GAIN;
                 self.cwnd_gain = STARTUP_GAIN;
@@ -182,7 +237,7 @@ impl PacketCca for BbrV1Pkt {
                 self.pacing_gain = DRAIN_GAIN;
                 self.cwnd_gain = STARTUP_GAIN;
                 if rs.inflight <= self.bdp() {
-                    self.state = State::ProbeBw;
+                    self.enter(State::ProbeBw, rs.now);
                     self.cycle_stamp = rs.now;
                     self.cwnd_gain = 2.0;
                 }
@@ -196,7 +251,7 @@ impl PacketCca for BbrV1Pkt {
                 if rs.now >= self.probe_rtt_done && rs.rtt.is_finite() {
                     self.rtprop = self.rtprop.min(rs.rtt);
                     self.rtprop_stamp = rs.now;
-                    self.state = State::ProbeBw;
+                    self.enter(State::ProbeBw, rs.now);
                     self.cycle_stamp = rs.now;
                     self.cwnd_gain = 2.0;
                 }
@@ -234,6 +289,10 @@ impl PacketCca for BbrV1Pkt {
 
     fn kind(&self) -> CcaKind {
         CcaKind::BbrV1
+    }
+
+    fn set_trace_id(&mut self, id: usize) {
+        self.trace_id = id;
     }
 }
 

@@ -31,6 +31,21 @@ pub enum State {
     ProbeRtt,
 }
 
+impl State {
+    /// Stable wire tag for `trace/v1` phase events.
+    pub fn name(self) -> &'static str {
+        match self {
+            State::Startup => "Startup",
+            State::Drain => "Drain",
+            State::Refill => "Refill",
+            State::Up => "Up",
+            State::Down => "Down",
+            State::Cruise => "Cruise",
+            State::ProbeRtt => "ProbeRtt",
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 pub struct BbrV2Pkt {
     mss: f64,
@@ -66,6 +81,8 @@ pub struct BbrV2Pkt {
     /// inflight_hi growth amount per round during Up (segments).
     up_growth: f64,
     last_inflight: f64,
+    /// Flow index for trace events only; no control decision reads it.
+    trace_id: usize,
 }
 
 impl BbrV2Pkt {
@@ -98,6 +115,7 @@ impl BbrV2Pkt {
             pacing_gain: STARTUP_GAIN,
             up_growth: 1.0,
             last_inflight: 0.0,
+            trace_id: 0,
         }
     }
 
@@ -163,8 +181,34 @@ impl BbrV2Pkt {
     }
 
     fn enter(&mut self, state: State, now: f64) {
+        if bbr_trace::cca_enabled() && state != self.state {
+            let (from, to) = (self.state.name(), state.name());
+            let flow = self.trace_id;
+            bbr_trace::emit(|| bbr_trace::TraceEvent::CcaPhase {
+                lane: 0,
+                flow,
+                t: now,
+                from,
+                to,
+            });
+        }
         self.state = state;
         self.state_stamp = now;
+    }
+
+    /// Record a bound/filter change as a trace signal event (finite
+    /// values only — resets to +∞ are implied by the phase events).
+    fn signal(&self, now: f64, signal: &'static str, value: f64) {
+        if bbr_trace::cca_enabled() && value.is_finite() {
+            let flow = self.trace_id;
+            bbr_trace::emit(|| bbr_trace::TraceEvent::CcaSignal {
+                lane: 0,
+                flow,
+                t: now,
+                signal,
+                value,
+            });
+        }
     }
 }
 
@@ -183,7 +227,14 @@ impl PacketCca for BbrV2Pkt {
 
         // Bandwidth filter: running max within the current probing cycle.
         if rs.delivery_rate > 0.0 {
+            let before = bbr_trace::cca_enabled().then(|| self.btlbw());
             self.bw_cur = self.bw_cur.max(rs.delivery_rate);
+            if let Some(before) = before {
+                let after = self.btlbw();
+                if after != before {
+                    self.signal(rs.now, "btlbw", after * 8.0 / 1e6);
+                }
+            }
         }
 
         // RTprop.
@@ -191,6 +242,7 @@ impl PacketCca for BbrV2Pkt {
             if rs.rtt < self.rtprop {
                 self.rtprop = rs.rtt;
                 self.rtprop_stamp = rs.now;
+                self.signal(rs.now, "rtprop", self.rtprop);
             } else if rs.now - self.rtprop_stamp > MIN_RTT_WINDOW
                 && !matches!(self.state, State::ProbeRtt | State::Startup)
             {
@@ -211,6 +263,7 @@ impl PacketCca for BbrV2Pkt {
                         // The paper's Insight 5 mechanism: startup loss
                         // materializes the initial inflight_hi.
                         self.inflight_hi = rs.inflight.max(self.bdp());
+                        self.signal(rs.now, "inflight_hi", self.inflight_hi / self.mss);
                     }
                     self.enter(State::Drain, rs.now);
                 }
@@ -243,6 +296,7 @@ impl PacketCca for BbrV2Pkt {
                     }
                     self.inflight_hi +=
                         self.up_growth * self.mss * rs.newly_acked / rs.inflight.max(self.mss);
+                    self.signal(rs.now, "inflight_hi", self.inflight_hi / self.mss);
                 }
                 let inflight_done = rs.inflight >= 1.25 * self.bdp();
                 let loss_done =
@@ -256,9 +310,11 @@ impl PacketCca for BbrV2Pkt {
                             rs.inflight
                         };
                         self.inflight_hi = (BETA * base).max(4.0 * self.mss);
+                        self.signal(rs.now, "inflight_hi", self.inflight_hi / self.mss);
                         self.hi_cut_this_round = true;
                     } else if self.inflight_hi.is_finite() {
                         self.inflight_hi = self.inflight_hi.max(rs.inflight);
+                        self.signal(rs.now, "inflight_hi", self.inflight_hi / self.mss);
                     }
                     self.enter(State::Down, rs.now);
                 }
@@ -297,6 +353,7 @@ impl PacketCca for BbrV2Pkt {
                 if rs.now >= self.probe_rtt_done {
                     if self.probe_rtt_min.is_finite() {
                         self.rtprop = self.probe_rtt_min;
+                        self.signal(rs.now, "rtprop", self.rtprop);
                     }
                     self.rtprop_stamp = rs.now;
                     self.enter(State::Cruise, rs.now);
@@ -305,7 +362,7 @@ impl PacketCca for BbrV2Pkt {
         }
     }
 
-    fn on_congestion_event(&mut self, _now: f64, inflight: f64) {
+    fn on_congestion_event(&mut self, now: f64, inflight: f64) {
         // Contract: this simplified tier maintains the short-term bound
         // only in Cruise, per the paper's §3.1 description where
         // `inflight_lo` constrains the cruising window. During Down the
@@ -326,6 +383,7 @@ impl PacketCca for BbrV2Pkt {
                 self.cwnd().min(inflight.max(4.0 * self.mss))
             };
             self.inflight_lo = (BETA * base).max(4.0 * self.mss);
+            self.signal(now, "inflight_lo", self.inflight_lo / self.mss);
         }
     }
 
@@ -333,8 +391,9 @@ impl PacketCca for BbrV2Pkt {
         self.lost_in_round += bytes;
     }
 
-    fn on_rto(&mut self, _now: f64) {
+    fn on_rto(&mut self, now: f64) {
         self.inflight_lo = 4.0 * self.mss;
+        self.signal(now, "inflight_lo", self.inflight_lo / self.mss);
     }
 
     fn cwnd(&self) -> f64 {
@@ -375,6 +434,10 @@ impl PacketCca for BbrV2Pkt {
 
     fn kind(&self) -> CcaKind {
         CcaKind::BbrV2
+    }
+
+    fn set_trace_id(&mut self, id: usize) {
+        self.trace_id = id;
     }
 }
 

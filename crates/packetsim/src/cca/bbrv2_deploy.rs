@@ -72,6 +72,19 @@ impl State {
             State::ProbeBwDown | State::ProbeBwCruise | State::ProbeBwRefill | State::ProbeBwUp
         )
     }
+
+    /// Stable wire tag for `trace/v1` phase events.
+    pub fn name(self) -> &'static str {
+        match self {
+            State::Startup => "Startup",
+            State::Drain => "Drain",
+            State::ProbeBwDown => "ProbeBwDown",
+            State::ProbeBwCruise => "ProbeBwCruise",
+            State::ProbeBwRefill => "ProbeBwRefill",
+            State::ProbeBwUp => "ProbeBwUp",
+            State::ProbeRtt => "ProbeRtt",
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -116,6 +129,8 @@ pub struct BbrV2DeployPkt {
     up_growth: f64,
     /// Time of the previous ACK (idle-restart detection).
     last_ack: f64,
+    /// Flow index for trace events only; no control decision reads it.
+    trace_id: usize,
 }
 
 impl BbrV2DeployPkt {
@@ -150,6 +165,24 @@ impl BbrV2DeployPkt {
             pacing_gain: STARTUP_GAIN,
             up_growth: 1.0,
             last_ack: 0.0,
+            trace_id: 0,
+        }
+    }
+
+    /// Record a bound/filter change as a trace signal event. Non-finite
+    /// values (bounds reset to +∞) are not serializable and carry no
+    /// information beyond the phase event that caused them, so they are
+    /// skipped.
+    fn signal(&self, now: f64, signal: &'static str, value: f64) {
+        if bbr_trace::cca_enabled() && value.is_finite() {
+            let flow = self.trace_id;
+            bbr_trace::emit(|| bbr_trace::TraceEvent::CcaSignal {
+                lane: 0,
+                flow,
+                t: now,
+                signal,
+                value,
+            });
         }
     }
 
@@ -226,6 +259,17 @@ impl BbrV2DeployPkt {
     }
 
     fn enter(&mut self, state: State, now: f64) {
+        if bbr_trace::cca_enabled() && state != self.state {
+            let (from, to) = (self.state.name(), state.name());
+            let flow = self.trace_id;
+            bbr_trace::emit(|| bbr_trace::TraceEvent::CcaPhase {
+                lane: 0,
+                flow,
+                t: now,
+                from,
+                to,
+            });
+        }
         self.state = state;
         self.state_stamp = now;
     }
@@ -270,8 +314,15 @@ impl PacketCca for BbrV2DeployPkt {
 
         // Windowed bandwidth filter over packet-timed rounds.
         if rs.delivery_rate > 0.0 {
+            let before = bbr_trace::cca_enabled().then(|| self.bw_filter.max());
             self.bw_filter
                 .update(self.round_count as f64, rs.delivery_rate, BW_WINDOW_ROUNDS);
+            if let Some(before) = before {
+                let after = self.bw_filter.max();
+                if after != before {
+                    self.signal(rs.now, "btlbw", after * 8.0 / 1e6);
+                }
+            }
         }
 
         // Windowed RTprop filter over wall time. The stamp tracks when
@@ -282,6 +333,7 @@ impl PacketCca for BbrV2DeployPkt {
         if rs.rtt.is_finite() {
             if rs.rtt < self.rtprop_filter.min() {
                 self.rtprop_stamp = rs.now;
+                self.signal(rs.now, "rtprop", rs.rtt);
             }
             self.rtprop_filter.update(rs.now, rs.rtt, MIN_RTT_WINDOW);
         }
@@ -301,6 +353,7 @@ impl PacketCca for BbrV2DeployPkt {
                 if self.full_bw_count >= FULL_BW_COUNT_REQ || excess_loss {
                     if excess_loss {
                         self.inflight_hi = rs.inflight.max(self.bdp());
+                        self.signal(rs.now, "inflight_hi", self.inflight_hi / self.mss);
                     }
                     self.enter(State::Drain, rs.now);
                 }
@@ -346,6 +399,7 @@ impl PacketCca for BbrV2DeployPkt {
                     }
                     self.inflight_hi +=
                         self.up_growth * self.mss * rs.newly_acked / rs.inflight.max(self.mss);
+                    self.signal(rs.now, "inflight_hi", self.inflight_hi / self.mss);
                 }
                 let inflight_done = rs.inflight >= BW_PROBE_UP_GAIN * self.bdp();
                 let loss_done =
@@ -360,12 +414,15 @@ impl PacketCca for BbrV2DeployPkt {
                             rs.inflight
                         };
                         self.inflight_hi = (BETA * base).max(self.min_cwnd());
+                        self.signal(rs.now, "inflight_hi", self.inflight_hi / self.mss);
                         if self.bw_filter.max() > 0.0 {
                             self.bw_hi = self.bw_filter.max();
+                            self.signal(rs.now, "bw_hi", self.bw_hi * 8.0 / 1e6);
                         }
                         self.hi_cut_this_round = true;
                     } else if self.inflight_hi.is_finite() {
                         self.inflight_hi = self.inflight_hi.max(rs.inflight);
+                        self.signal(rs.now, "inflight_hi", self.inflight_hi / self.mss);
                         // A clean probe that filled the pipe lifts bw_hi.
                         self.bw_hi = f64::INFINITY;
                     }
@@ -387,7 +444,7 @@ impl PacketCca for BbrV2DeployPkt {
         }
     }
 
-    fn on_congestion_event(&mut self, _now: f64, inflight: f64) {
+    fn on_congestion_event(&mut self, now: f64, inflight: f64) {
         // Deployed semantics: the short-term bounds are maintained in
         // *every* ProbeBW sub-state (this is the contract the simplified
         // tier documents away — see `bbrv2.rs::on_congestion_event`).
@@ -398,6 +455,7 @@ impl PacketCca for BbrV2DeployPkt {
                 self.cwnd().min(inflight.max(self.min_cwnd()))
             };
             self.inflight_lo = (BETA * base).max(self.min_cwnd());
+            self.signal(now, "inflight_lo", self.inflight_lo / self.mss);
             let bw_base = if self.bw_lo.is_finite() {
                 self.bw_lo
             } else {
@@ -405,6 +463,7 @@ impl PacketCca for BbrV2DeployPkt {
             };
             if bw_base > 0.0 {
                 self.bw_lo = BETA * bw_base;
+                self.signal(now, "bw_lo", self.bw_lo * 8.0 / 1e6);
             }
         }
     }
@@ -413,8 +472,9 @@ impl PacketCca for BbrV2DeployPkt {
         self.lost_in_round += bytes;
     }
 
-    fn on_rto(&mut self, _now: f64) {
+    fn on_rto(&mut self, now: f64) {
         self.inflight_lo = self.min_cwnd();
+        self.signal(now, "inflight_lo", self.inflight_lo / self.mss);
     }
 
     fn cwnd(&self) -> f64 {
@@ -457,6 +517,10 @@ impl PacketCca for BbrV2DeployPkt {
 
     fn kind(&self) -> CcaKind {
         CcaKind::BbrV2Deploy
+    }
+
+    fn set_trace_id(&mut self, id: usize) {
+        self.trace_id = id;
     }
 }
 

@@ -63,6 +63,10 @@ pub trait PacketCca: Send {
     fn pacing_rate(&self) -> f64;
     /// Algorithm identifier.
     fn kind(&self) -> CcaKind;
+    /// Label this controller with its flow index for `bbr-trace` phase
+    /// and signal events. Advisory only: implementations must store the
+    /// id in a field that no control decision ever reads.
+    fn set_trace_id(&mut self, _id: usize) {}
 }
 
 /// Build a packet CCA. `mss` in bytes; `seed` individualizes randomized

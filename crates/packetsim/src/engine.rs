@@ -240,18 +240,27 @@ pub struct Engine {
     trace: Option<PacketTrace>,
     bin_arrived: f64,
     bin_dropped: f64,
+    /// Bytes the bottleneck served this bin (trace-only accumulator:
+    /// read and reset by `Ev::Sample`, never by any control path).
+    bin_link_delivered: f64,
 }
 
 impl Engine {
     /// Assemble an engine; `bottleneck` is the link whose occupancy and
     /// utilization become the headline metrics.
-    pub fn new(cfg: SimConfig, links: Vec<Link>, flows: Vec<Flow>, bottleneck: usize) -> Self {
+    pub fn new(cfg: SimConfig, links: Vec<Link>, mut flows: Vec<Flow>, bottleneck: usize) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
         let trace = cfg.trace_bin.map(|_| PacketTrace {
             rate_mbps: vec![Vec::new(); flows.len()],
             srtt: vec![Vec::new(); flows.len()],
             ..Default::default()
         });
+        // Label every controller with its flow index so CCA phase /
+        // signal trace events carry the right flow id. Advisory: the id
+        // feeds only `bbr-trace` emission, never a control decision.
+        for (i, f) in flows.iter_mut().enumerate() {
+            f.cca.set_trace_id(i);
+        }
         Self {
             cfg,
             links,
@@ -263,6 +272,7 @@ impl Engine {
             trace,
             bin_arrived: 0.0,
             bin_dropped: 0.0,
+            bin_link_delivered: 0.0,
         }
     }
 
@@ -466,6 +476,9 @@ impl Engine {
         link.queued_bytes -= pkt.size;
         if now >= warmup {
             link.delivered += pkt.size;
+        }
+        if l == self.bottleneck {
+            self.bin_link_delivered += pkt.size;
         }
         let prop = link.prop_delay;
         if let Some(head) = link.queue.front() {
@@ -722,6 +735,45 @@ impl Engine {
     fn on_sample(&mut self) {
         let bin = self.cfg.trace_bin.unwrap();
         let now = self.now;
+        // Advisory flight-recorder samples (`bbr-trace`): pure reads of
+        // the same bin accumulators the stored trace consumes below.
+        if bbr_trace::enabled() {
+            if bbr_trace::flows_enabled() {
+                for (i, flow) in self.flows.iter().enumerate() {
+                    let rate_mbps = flow.bin_delivered * 8.0 / 1e6 / bin;
+                    let inflight_pkts = flow.inflight_bytes / flow.mss;
+                    let rtt_s = flow.srtt;
+                    bbr_trace::emit(|| bbr_trace::TraceEvent::FlowSample {
+                        lane: 0,
+                        flow: i,
+                        t: now,
+                        rate_mbps,
+                        inflight_pkts,
+                        rtt_s,
+                    });
+                }
+            }
+            if bbr_trace::links_enabled() {
+                let link = &self.links[self.bottleneck];
+                let queue_frac = link.queued_bytes / link.buffer;
+                let util_frac = self.bin_link_delivered / (link.rate * bin);
+                let loss_frac = if self.bin_arrived > 0.0 {
+                    self.bin_dropped / self.bin_arrived
+                } else {
+                    0.0
+                };
+                let l = self.bottleneck;
+                bbr_trace::emit(|| bbr_trace::TraceEvent::LinkSample {
+                    lane: 0,
+                    link: l,
+                    t: now,
+                    queue_frac,
+                    util_frac,
+                    loss_frac,
+                });
+            }
+        }
+        self.bin_link_delivered = 0.0;
         if let Some(trace) = &mut self.trace {
             trace.t.push(now);
             for (i, flow) in self.flows.iter_mut().enumerate() {

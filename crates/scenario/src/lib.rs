@@ -529,6 +529,32 @@ impl ScenarioSpec {
         Ok(())
     }
 
+    /// Short human-readable cell label — topology family with its
+    /// headline parameters, the qdisc, and the CCA mix. Used as the
+    /// header line of flight-recorder traces and in walkthrough output;
+    /// purely descriptive (never parsed back, never hashed).
+    pub fn describe(&self) -> String {
+        let topo = match self.topology {
+            Topology::Dumbbell {
+                n,
+                capacity,
+                buffer_bdp,
+                ..
+            } => format!("dumbbell n={n} C={capacity}Mbps buf={buffer_bdp}BDP"),
+            Topology::ParkingLot {
+                c1, c2, buffer_bdp, ..
+            } => format!("parklot C={c1}/{c2}Mbps buf={buffer_bdp}BDP"),
+            Topology::Chain {
+                hops,
+                capacity,
+                buffer_bdp,
+                ..
+            } => format!("chain hops={hops} C={capacity}Mbps buf={buffer_bdp}BDP"),
+        };
+        let ccas: Vec<&str> = self.ccas.iter().map(|c| c.name()).collect();
+        format!("{topo} {} {}", self.qdisc.name(), ccas.join("+"))
+    }
+
     /// Deterministic hash of the spec's *contents* (not of any grid
     /// position). Sweep engines derive per-cell seeds from this, so that
     /// inserting a grid axis does not silently reshuffle the seeds of

@@ -28,6 +28,7 @@
 //!     bbr_telemetry::emit(|| bbr_telemetry::Event::Wave {
 //!         lanes: 4,
 //!         flows: 16,
+//!         occupancy: 1.0,
 //!         wall_ms,
 //!     });
 //! }
@@ -108,6 +109,11 @@ pub enum Event {
         lanes: usize,
         /// Summed flow count across the wave's lanes.
         flows: usize,
+        /// Mean SIMD pack occupancy over the wave's groups (packed
+        /// lanes / vector width). The unpacked batch engine reports
+        /// `1.0`; the packed engine reports < 1.0 whenever a ragged
+        /// tail group runs with idle vector slots.
+        occupancy: f64,
         /// Wall-clock milliseconds the wave took.
         wall_ms: f64,
     },
@@ -121,6 +127,10 @@ pub enum Event {
         cached: usize,
         /// Worker process count.
         shards: usize,
+        /// Worker shards that exited with an error; `0` on success. A
+        /// non-zero count means the store absorbed only the surviving
+        /// shards' results.
+        failed: usize,
         /// Wall-clock milliseconds for the whole run.
         wall_ms: f64,
         /// Computed entries per second over the whole run.
@@ -250,6 +260,7 @@ mod tests {
             emit(|| Event::Wave {
                 lanes: 2,
                 flows: 8,
+                occupancy: 1.0,
                 wall_ms: 1.5,
             });
             emit(|| Event::ShardStart {
@@ -276,6 +287,7 @@ mod tests {
             computed: 1,
             cached: 0,
             shards: 1,
+            failed: 0,
             wall_ms: 2.0,
             cells_per_sec: 500.0,
         };

@@ -1,0 +1,406 @@
+//! Zero-dependency per-flow flight recorder for the simulation engines.
+//!
+//! The paper's methodology is comparing *trajectories* — per-flow rate,
+//! queue, and RTT time-series of the fluid model against packet
+//! simulation — but the engines normally expose only end-of-run scalar
+//! metrics. This crate is the recording half of the missing flight
+//! recorder: typed [`TraceEvent`]s, a pluggable [`TraceSink`], and a
+//! process-global hook with a no-op fast path, following the same
+//! discipline as `bbr-telemetry` (one atomic load when idle,
+//! closure-deferred event construction, strictly advisory). The JSONL
+//! encoding (`trace/v1`), sparkline rendering, and fluid-vs-packet
+//! trace diffing live in `bbr-experiments` — this crate stays free of
+//! I/O and serialization so every engine crate can depend on it.
+//!
+//! # The observer-effect contract
+//!
+//! Recording is **strictly advisory**: whether a sink is installed or
+//! not, every engine must produce bit-identical `RunOutcome`s, store
+//! records, and cache keys. Recorders therefore only *read* engine
+//! state (plus trace-only counters that feed nothing back), never
+//! schedule work, never touch an engine's RNG, and never fail the
+//! computation they observe. `tests/trace_observer.rs` enforces this
+//! byte-for-byte on all backends, including under flow churn.
+//!
+//! # Cost model
+//!
+//! Instrumented code calls [`emit`] with a closure that builds the
+//! event; with no sink installed (the default) `emit` is one atomic
+//! load and the closure never runs. Per-signal gates ([`flows_enabled`],
+//! [`links_enabled`], [`cca_enabled`]) and the sample [`interval`] are
+//! plain atomics too, so hot loops can skip whole recording blocks
+//! without taking a lock.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Wire-schema tag of the JSONL encoding (`bbr_experiments::tracefmt`).
+pub const SCHEMA: &str = "trace/v1";
+
+/// Default sample interval (s) — 10 ms resolves BBR's probing pulses
+/// at the RTT scales the paper sweeps without drowning a run in lines.
+pub const DEFAULT_INTERVAL: f64 = 0.01;
+
+/// What to record, and how often. Signal selection lets a caller
+/// record, say, only CCA state transitions without paying for per-flow
+/// samples on every grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Sampling grid (s) for flow and link series. Discrete CCA events
+    /// are recorded when they happen, not on the grid.
+    pub interval: f64,
+    /// Record per-flow rate/inflight/RTT samples.
+    pub flows: bool,
+    /// Record per-link queue/utilization samples.
+    pub links: bool,
+    /// Record CCA state-machine transitions and signal updates
+    /// (packet engines only — the fluid CCA models have no discrete
+    /// state machine to observe).
+    pub cca: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            interval: DEFAULT_INTERVAL,
+            flows: true,
+            links: true,
+            cca: true,
+        }
+    }
+}
+
+/// One recorded observation.
+///
+/// `lane` distinguishes scenarios when a batched engine integrates many
+/// in lockstep (the lane's position in the wave); single-scenario
+/// engines use lane 0. `flow` and `link` are scenario-local indices,
+/// `t` is engine time in seconds (0 = start of warm-up on every
+/// backend, so fluid and packet series align without shifting).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Per-flow sample on the configured grid.
+    FlowSample {
+        /// Batch lane of the scenario (0 outside batched runs).
+        lane: usize,
+        /// Flow index within the scenario.
+        flow: usize,
+        /// Engine time (s).
+        t: f64,
+        /// Sending rate (fluid) / delivery rate over the last bin
+        /// (packet), Mbit/s.
+        rate_mbps: f64,
+        /// In-flight data in packets (fluid: model window; packet:
+        /// `inflight_bytes / mss`).
+        inflight_pkts: f64,
+        /// RTT estimate (s): the fluid model's instantaneous path RTT,
+        /// the packet engine's smoothed RTT.
+        rtt_s: f64,
+    },
+    /// Per-link sample on the configured grid.
+    LinkSample {
+        /// Batch lane of the scenario (0 outside batched runs).
+        lane: usize,
+        /// Link index within the scenario.
+        link: usize,
+        /// Engine time (s).
+        t: f64,
+        /// Queue occupancy as a fraction of the buffer, 0..=1.
+        queue_frac: f64,
+        /// Offered utilization as a fraction of capacity (may briefly
+        /// exceed 1 while a queue builds).
+        util_frac: f64,
+        /// Loss: the fluid model's drop probability, the packet
+        /// engine's per-bin drop fraction.
+        loss_frac: f64,
+    },
+    /// A CCA state-machine transition (packet engines).
+    CcaPhase {
+        /// Batch lane of the scenario (0 outside batched runs).
+        lane: usize,
+        /// Flow index within the scenario.
+        flow: usize,
+        /// Engine time (s).
+        t: f64,
+        /// State being left.
+        from: &'static str,
+        /// State being entered.
+        to: &'static str,
+    },
+    /// A CCA estimator/bound update (windowed-filter outputs,
+    /// `inflight_hi/lo`, `bw_hi/lo`), recorded on change.
+    CcaSignal {
+        /// Batch lane of the scenario (0 outside batched runs).
+        lane: usize,
+        /// Flow index within the scenario.
+        flow: usize,
+        /// Engine time (s).
+        t: f64,
+        /// Signal name (stable wire tag, e.g. `"btlbw"`, `"inflight_hi"`).
+        signal: &'static str,
+        /// New value, in the signal's natural unit.
+        value: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's kind tag as serialized on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::FlowSample { .. } => "flow",
+            TraceEvent::LinkSample { .. } => "link",
+            TraceEvent::CcaPhase { .. } => "phase",
+            TraceEvent::CcaSignal { .. } => "signal",
+        }
+    }
+
+    /// Engine time of the observation (s).
+    pub fn t(&self) -> f64 {
+        match self {
+            TraceEvent::FlowSample { t, .. }
+            | TraceEvent::LinkSample { t, .. }
+            | TraceEvent::CcaPhase { t, .. }
+            | TraceEvent::CcaSignal { t, .. } => *t,
+        }
+    }
+}
+
+/// Destination for recorded events. `record` runs on engine hot paths
+/// (once per sample grid crossing per flow/link), so implementations
+/// must be cheap and must swallow their own errors — recording never
+/// fails the run it observes.
+pub trait TraceSink: Send + Sync {
+    /// Record one observation.
+    fn record(&self, event: &TraceEvent);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static FLOWS: AtomicBool = AtomicBool::new(false);
+static LINKS: AtomicBool = AtomicBool::new(false);
+static CCA: AtomicBool = AtomicBool::new(false);
+static INTERVAL_BITS: AtomicU64 = AtomicU64::new(0);
+static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+
+/// Install the process-global recorder; subsequent [`emit`] calls route
+/// to `sink` under `config`. Replaces any previous recorder. Returns a
+/// guard that uninstalls it on drop, so a scoped recording (one cell,
+/// one campaign worker) cannot leak into unrelated runs later in the
+/// same process.
+#[must_use = "dropping the guard uninstalls the recorder immediately"]
+pub fn install(config: TraceConfig, sink: Arc<dyn TraceSink>) -> TraceGuard {
+    let mut slot = SINK.write().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(sink);
+    INTERVAL_BITS.store(config.interval.max(1e-6).to_bits(), Ordering::Release);
+    FLOWS.store(config.flows, Ordering::Release);
+    LINKS.store(config.links, Ordering::Release);
+    CCA.store(config.cca, Ordering::Release);
+    ENABLED.store(true, Ordering::Release);
+    TraceGuard { _private: () }
+}
+
+/// Uninstall the global recorder (idempotent). [`emit`] returns to the
+/// no-op fast path.
+pub fn clear() {
+    ENABLED.store(false, Ordering::Release);
+    FLOWS.store(false, Ordering::Release);
+    LINKS.store(false, Ordering::Release);
+    CCA.store(false, Ordering::Release);
+    let mut slot = SINK.write().unwrap_or_else(|e| e.into_inner());
+    *slot = None;
+}
+
+/// Whether a recorder is installed. One atomic load — the gate for any
+/// work that exists only to feed the trace.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Whether per-flow samples are wanted (recorder installed and the
+/// config selected flows).
+#[inline]
+pub fn flows_enabled() -> bool {
+    FLOWS.load(Ordering::Acquire)
+}
+
+/// Whether per-link samples are wanted.
+#[inline]
+pub fn links_enabled() -> bool {
+    LINKS.load(Ordering::Acquire)
+}
+
+/// Whether CCA state-machine events are wanted.
+#[inline]
+pub fn cca_enabled() -> bool {
+    CCA.load(Ordering::Acquire)
+}
+
+/// The configured sample interval (s). Meaningful only while
+/// [`enabled`] — callers derive their sampling stride from it at run
+/// start.
+#[inline]
+pub fn interval() -> f64 {
+    let bits = INTERVAL_BITS.load(Ordering::Acquire);
+    if bits == 0 {
+        DEFAULT_INTERVAL
+    } else {
+        f64::from_bits(bits)
+    }
+}
+
+/// Emit an observation to the installed recorder, if any. The closure
+/// only runs when a recorder is installed, so building the event costs
+/// nothing on the no-op path.
+#[inline]
+pub fn emit(build: impl FnOnce() -> TraceEvent) {
+    if !enabled() {
+        return;
+    }
+    let sink = {
+        let slot = SINK.read().unwrap_or_else(|e| e.into_inner());
+        slot.clone()
+    };
+    if let Some(sink) = sink {
+        sink.record(&build());
+    }
+}
+
+/// Uninstalls the global recorder on drop; returned by [`install`].
+#[derive(Debug)]
+pub struct TraceGuard {
+    _private: (),
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+/// A [`TraceSink`] collecting events into memory — the capture side of
+/// `figures trace`, the drift differ, and the tests.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take every event recorded so far, leaving the sink empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global; tests touching it serialize.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn emit_without_recorder_never_runs_the_closure() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        clear();
+        assert!(!enabled() && !flows_enabled() && !links_enabled() && !cca_enabled());
+        emit(|| unreachable!("closure must not run on the no-op path"));
+    }
+
+    #[test]
+    fn config_gates_and_interval_are_visible_while_installed() {
+        let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let sink = Arc::new(MemorySink::new());
+        {
+            let _guard = install(
+                TraceConfig {
+                    interval: 0.05,
+                    flows: true,
+                    links: false,
+                    cca: true,
+                },
+                sink.clone(),
+            );
+            assert!(enabled() && flows_enabled() && cca_enabled());
+            assert!(!links_enabled());
+            assert_eq!(interval(), 0.05);
+            emit(|| TraceEvent::FlowSample {
+                lane: 0,
+                flow: 1,
+                t: 0.25,
+                rate_mbps: 42.0,
+                inflight_pkts: 12.0,
+                rtt_s: 0.031,
+            });
+            emit(|| TraceEvent::CcaPhase {
+                lane: 0,
+                flow: 1,
+                t: 0.26,
+                from: "Startup",
+                to: "Drain",
+            });
+        }
+        assert!(!enabled(), "guard drop must uninstall the recorder");
+        emit(|| unreachable!("recorder was uninstalled"));
+        let got = sink.take();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].kind(), "flow");
+        assert_eq!(got[1].kind(), "phase");
+        assert_eq!(got[1].t(), 0.26);
+        assert!(sink.is_empty(), "take drains the sink");
+    }
+
+    #[test]
+    fn kinds_and_schema_are_stable_wire_tags() {
+        assert_eq!(SCHEMA, "trace/v1");
+        let link = TraceEvent::LinkSample {
+            lane: 2,
+            link: 0,
+            t: 1.0,
+            queue_frac: 0.5,
+            util_frac: 0.98,
+            loss_frac: 0.0,
+        };
+        assert_eq!(link.kind(), "link");
+        let sig = TraceEvent::CcaSignal {
+            lane: 0,
+            flow: 3,
+            t: 0.5,
+            signal: "inflight_hi",
+            value: 64.0,
+        };
+        assert_eq!(sig.kind(), "signal");
+    }
+
+    #[test]
+    fn default_config_records_everything_at_ten_ms() {
+        let cfg = TraceConfig::default();
+        assert_eq!(cfg.interval, DEFAULT_INTERVAL);
+        assert!(cfg.flows && cfg.links && cfg.cca);
+    }
+}
