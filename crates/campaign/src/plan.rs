@@ -12,7 +12,9 @@
 
 use std::path::Path;
 
-use bbr_scenario::{CcaKind, FlowWindow, QdiscKind, ScenarioSpec, Topology};
+use bbr_scenario::{
+    CcaKind, CustomLink, CustomRoute, FlowSchedule, FlowWindow, QdiscKind, ScenarioSpec, Topology,
+};
 
 use crate::json::Json;
 
@@ -149,8 +151,8 @@ impl CampaignPlan {
 /// keep [`ScenarioSpec::stable_hash`] identical across the serialization
 /// boundary — the property the content-addressed store keys rely on.
 pub fn spec_to_json(spec: &ScenarioSpec) -> Json {
-    let topology = match spec.topology {
-        Topology::Dumbbell {
+    let topology = match &spec.topology {
+        &Topology::Dumbbell {
             n,
             capacity,
             bottleneck_delay,
@@ -166,7 +168,7 @@ pub fn spec_to_json(spec: &ScenarioSpec) -> Json {
             ("rtt_lo".into(), Json::Num(rtt_lo)),
             ("rtt_hi".into(), Json::Num(rtt_hi)),
         ]),
-        Topology::ParkingLot {
+        &Topology::ParkingLot {
             c1,
             c2,
             link_delay,
@@ -178,7 +180,7 @@ pub fn spec_to_json(spec: &ScenarioSpec) -> Json {
             ("link_delay".into(), Json::Num(link_delay)),
             ("buffer_bdp".into(), Json::Num(buffer_bdp)),
         ]),
-        Topology::Chain {
+        &Topology::Chain {
             hops,
             capacity,
             link_delay,
@@ -189,6 +191,44 @@ pub fn spec_to_json(spec: &ScenarioSpec) -> Json {
             ("capacity".into(), Json::Num(capacity)),
             ("link_delay".into(), Json::Num(link_delay)),
             ("buffer_bdp".into(), Json::Num(buffer_bdp)),
+        ]),
+        Topology::Custom { links, routes } => Json::Obj(vec![
+            ("kind".into(), Json::str("custom")),
+            (
+                "links".into(),
+                Json::Arr(
+                    links
+                        .iter()
+                        .map(|l| {
+                            Json::Arr(vec![
+                                Json::Num(l.capacity),
+                                Json::Num(l.delay),
+                                Json::Num(l.buffer_bdp),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "routes".into(),
+                Json::Arr(
+                    routes
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                (
+                                    "links".into(),
+                                    Json::Arr(
+                                        r.links.iter().map(|&l| Json::Num(l as f64)).collect(),
+                                    ),
+                                ),
+                                ("fwd".into(), Json::Num(r.extra_fwd_delay)),
+                                ("bwd".into(), Json::Num(r.extra_bwd_delay)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ]),
     };
     let mut fields = vec![
@@ -212,6 +252,27 @@ pub fn spec_to_json(spec: &ScenarioSpec) -> Json {
                 spec.churn
                     .iter()
                     .map(|w| Json::Arr(vec![Json::Num(w.start), Json::Num(w.stop)]))
+                    .collect(),
+            ),
+        ));
+    }
+    // Multi-interval schedules, verbatim, under the same emit-only-when-
+    // present rule — plans without schedules keep the exact historical
+    // byte format.
+    if !spec.schedules.is_empty() {
+        fields.push((
+            "schedules".into(),
+            Json::Arr(
+                spec.schedules
+                    .iter()
+                    .map(|s| {
+                        Json::Arr(
+                            s.windows
+                                .iter()
+                                .map(|w| Json::Arr(vec![Json::Num(w.start), Json::Num(w.stop)]))
+                                .collect(),
+                        )
+                    })
                     .collect(),
             ),
         ));
@@ -248,6 +309,45 @@ pub fn spec_from_json(j: &Json) -> Result<ScenarioSpec, String> {
             link_delay: num(t, "link_delay")?,
             buffer_bdp: num(t, "buffer_bdp")?,
         },
+        Some("custom") => {
+            let links = t
+                .field("links")?
+                .as_arr()
+                .ok_or("custom links is not an array")?
+                .iter()
+                .map(|l| {
+                    let triple = l
+                        .as_arr()
+                        .filter(|a| a.len() == 3)
+                        .ok_or("bad custom link triple")?;
+                    Ok(CustomLink {
+                        capacity: triple[0].as_f64().ok_or("bad link capacity")?,
+                        delay: triple[1].as_f64().ok_or("bad link delay")?,
+                        buffer_bdp: triple[2].as_f64().ok_or("bad link buffer_bdp")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let routes = t
+                .field("routes")?
+                .as_arr()
+                .ok_or("custom routes is not an array")?
+                .iter()
+                .map(|r| {
+                    Ok(CustomRoute {
+                        links: r
+                            .field("links")?
+                            .as_arr()
+                            .ok_or("route links is not an array")?
+                            .iter()
+                            .map(|l| l.as_usize().ok_or("bad route link id".to_string()))
+                            .collect::<Result<Vec<_>, String>>()?,
+                        extra_fwd_delay: num(r, "fwd")?,
+                        extra_bwd_delay: num(r, "bwd")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Topology::Custom { links, routes }
+        }
         other => return Err(format!("unknown topology kind {other:?}")),
     };
     let ccas = j
@@ -283,6 +383,34 @@ pub fn spec_from_json(j: &Json) -> Result<ScenarioSpec, String> {
             })
             .collect::<Result<Vec<_>, String>>()?,
     };
+    // Optional multi-interval schedule block (absent in older plans).
+    let schedules = match j.get("schedules") {
+        None => Vec::new(),
+        Some(s) => s
+            .as_arr()
+            .ok_or("schedules is not an array")?
+            .iter()
+            .map(|sched| {
+                Ok(FlowSchedule {
+                    windows: sched
+                        .as_arr()
+                        .ok_or("schedule is not an array")?
+                        .iter()
+                        .map(|w| {
+                            let pair = w
+                                .as_arr()
+                                .filter(|a| a.len() == 2)
+                                .ok_or("bad schedule window pair")?;
+                            Ok(FlowWindow {
+                                start: pair[0].as_f64().ok_or("bad window start")?,
+                                stop: pair[1].as_f64().ok_or("bad window stop")?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
     Ok(ScenarioSpec {
         topology,
         ccas,
@@ -294,6 +422,7 @@ pub fn spec_from_json(j: &Json) -> Result<ScenarioSpec, String> {
         duration: num(j, "duration")?,
         warmup: num(j, "warmup")?,
         churn,
+        schedules,
     })
 }
 

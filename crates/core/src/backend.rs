@@ -62,8 +62,13 @@ impl SimBackend for FluidBackend {
         spec.validate().expect("invalid scenario spec");
         let net = network_for_spec(spec);
         let agents = agents_for_spec(spec, &net, &self.cfg);
-        let mut sim = Simulator::with_activity(net, self.cfg.clone(), agents, &spec.churn)
-            .expect("validated spec must build");
+        let mut sim = if spec.has_schedule() {
+            let schedules: Vec<_> = (0..spec.n_flows()).map(|i| spec.windows_of(i)).collect();
+            Simulator::with_flow_schedules(net, self.cfg.clone(), agents, &schedules)
+        } else {
+            Simulator::with_activity(net, self.cfg.clone(), agents, &spec.churn)
+        }
+        .expect("validated spec must build");
         let metrics = sim.run(spec.duration).metrics;
         outcome_from_metrics(spec, &metrics)
     }
@@ -74,8 +79,8 @@ impl SimBackend for FluidBackend {
 /// integrator (`bbr-fluidbatch`) build from, which is what makes their
 /// results bit-identical by construction rather than by accident.
 pub fn network_for_spec(spec: &ScenarioSpec) -> Network {
-    match spec.topology {
-        Topology::Dumbbell {
+    match &spec.topology {
+        &Topology::Dumbbell {
             n,
             capacity,
             bottleneck_delay,
@@ -87,6 +92,7 @@ pub fn network_for_spec(spec: &ScenarioSpec) -> Network {
             .network(),
         Topology::ParkingLot { .. } => parking_lot_network(spec),
         Topology::Chain { .. } => chain_network(spec),
+        Topology::Custom { .. } => custom_network(spec),
     }
 }
 
@@ -124,12 +130,12 @@ pub fn hint_for_flow(net: &Network, i: usize) -> ScenarioHint {
 /// both links, flow 1 only the first, flow 2 only the second; reverse
 /// paths are pure delay completing symmetric RTTs.
 fn parking_lot_network(spec: &ScenarioSpec) -> Network {
-    let Topology::ParkingLot {
+    let &Topology::ParkingLot {
         c1,
         c2,
         link_delay,
         buffer_bdp,
-    } = spec.topology
+    } = &spec.topology
     else {
         unreachable!("parking_lot_network called on a non-parking-lot spec");
     };
@@ -173,12 +179,12 @@ fn parking_lot_network(spec: &ScenarioSpec) -> Network {
 /// stay out of the picture and what remains is pure multi-bottleneck
 /// interaction.
 fn chain_network(spec: &ScenarioSpec) -> Network {
-    let Topology::Chain {
+    let &Topology::Chain {
         hops,
         capacity,
         link_delay,
         buffer_bdp,
-    } = spec.topology
+    } = &spec.topology
     else {
         unreachable!("chain_network called on a non-chain spec");
     };
@@ -210,6 +216,37 @@ fn chain_network(spec: &ScenarioSpec) -> Network {
         });
     }
     Network { links, paths }
+}
+
+/// The explicit-layout network of [`Topology::Custom`]: each spec link
+/// becomes one [`LinkSpec`] (buffer sized from *its own* BDP,
+/// `buffer_bdp · capacity · delay` Mbit), each route one [`PathSpec`]
+/// with the route's extra forward/backward delays verbatim. Validation
+/// has already guaranteed in-range, duplicate-free routes and that every
+/// link carries traffic.
+fn custom_network(spec: &ScenarioSpec) -> Network {
+    let Topology::Custom { links, routes } = &spec.topology else {
+        unreachable!("custom_network called on a non-custom spec");
+    };
+    Network {
+        links: links
+            .iter()
+            .map(|l| LinkSpec {
+                capacity: l.capacity,
+                buffer: l.buffer_bdp * l.capacity * l.delay,
+                prop_delay: l.delay,
+                qdisc: spec.qdisc,
+            })
+            .collect(),
+        paths: routes
+            .iter()
+            .map(|r| PathSpec {
+                links: r.links.iter().map(|&id| LinkId(id)).collect(),
+                extra_fwd_delay: r.extra_fwd_delay,
+                extra_bwd_delay: r.extra_bwd_delay,
+            })
+            .collect(),
+    }
 }
 
 /// Reshape fluid [`AggregateMetrics`] into the backend-agnostic

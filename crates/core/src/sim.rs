@@ -57,6 +57,52 @@ pub fn activity_steps(w: &FlowWindow, dt: f64) -> (u64, u64) {
     (start, stop)
 }
 
+/// A flow's full multi-interval activity schedule as integration-step
+/// bounds — the generalization of a single [`activity_steps`] pair. The
+/// first window is stored unboxed so the single-window case (all specs
+/// before multi-interval schedules existed) pays exactly the historical
+/// two-comparison gate; extra windows live in `rest`. An empty window
+/// list becomes the never-active `(0, 0)` pair. Shared by the scalar
+/// [`Simulator`] and the batched integrators (`bbr-fluidbatch`), which
+/// keeps them bit-identical under any schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivitySchedule {
+    first: (u64, u64),
+    rest: Vec<(u64, u64)>,
+}
+
+impl ActivitySchedule {
+    /// Decompose a window list (ordered, non-overlapping; see
+    /// `bbr_scenario::FlowSchedule`) into step bounds at step size `dt`.
+    pub fn from_windows(windows: &[FlowWindow], dt: f64) -> Self {
+        match windows {
+            [] => Self {
+                first: (0, 0),
+                rest: Vec::new(),
+            },
+            [first, rest @ ..] => Self {
+                first: activity_steps(first, dt),
+                rest: rest.iter().map(|w| activity_steps(w, dt)).collect(),
+            },
+        }
+    }
+
+    /// The always-active schedule (the churn-free default).
+    pub fn always() -> Self {
+        Self {
+            first: (0, u64::MAX),
+            rest: Vec::new(),
+        }
+    }
+
+    /// Whether the flow is active at integration step `step`.
+    #[inline]
+    pub fn contains(&self, step: u64) -> bool {
+        (self.first.0 <= step && step < self.first.1)
+            || (!self.rest.is_empty() && self.rest.iter().any(|&(a, b)| a <= step && step < b))
+    }
+}
+
 /// The fluid-model simulator.
 pub struct Simulator {
     net: Network,
@@ -77,10 +123,11 @@ pub struct Simulator {
     fwd: Vec<Vec<f64>>,
     bwd: Vec<Vec<f64>>,
     bneck_pos: Vec<usize>,
-    /// Per-agent activity window as (start_step, stop_step); the flow
-    /// sends (and its CCA model steps) only within it. `(0, u64::MAX)`
-    /// — the churn-free default — takes the exact historical code path.
-    activity: Vec<(u64, u64)>,
+    /// Per-agent activity schedule in integration steps; the flow sends
+    /// (and its CCA model steps) only inside one of its windows. The
+    /// always-active schedule — the churn-free default — takes the exact
+    /// historical code path.
+    activity: Vec<ActivitySchedule>,
     metrics: MetricsAccumulator,
     trace: Option<Trace>,
     trace_stride: usize,
@@ -117,6 +164,24 @@ impl Simulator {
         agents: Vec<Box<dyn FluidCca>>,
         windows: &[FlowWindow],
     ) -> Result<Self, String> {
+        let n = agents.len();
+        let schedules: Vec<Vec<FlowWindow>> = (0..n)
+            .map(|i| vec![windows.get(i).copied().unwrap_or(FlowWindow::ALWAYS)])
+            .collect();
+        Self::with_flow_schedules(net, cfg, agents, &schedules)
+    }
+
+    /// Build a simulator with per-flow multi-interval activity schedules
+    /// (see `bbr_scenario::FlowSchedule`): flow `i` is active inside the
+    /// windows of `schedules[i]` (an empty list = never active; missing
+    /// entries = always active). Single-window schedules behave exactly
+    /// like [`Simulator::with_activity`], bit for bit.
+    pub fn with_flow_schedules(
+        net: Network,
+        cfg: ModelConfig,
+        agents: Vec<Box<dyn FluidCca>>,
+        schedules: &[Vec<FlowWindow>],
+    ) -> Result<Self, String> {
         net.validate()?;
         cfg.validate()?;
         if agents.len() != net.n_agents() {
@@ -150,10 +215,10 @@ impl Simulator {
         let bneck_pos: Vec<usize> = (0..n).map(|i| net.bottleneck_pos(i)).collect();
         let observed_link = observed_link(&net);
 
-        let activity: Vec<(u64, u64)> = (0..n)
-            .map(|i| {
-                let w = windows.get(i).copied().unwrap_or(FlowWindow::ALWAYS);
-                activity_steps(&w, cfg.dt)
+        let activity: Vec<ActivitySchedule> = (0..n)
+            .map(|i| match schedules.get(i) {
+                Some(windows) => ActivitySchedule::from_windows(windows, cfg.dt),
+                None => ActivitySchedule::always(),
             })
             .collect();
 
@@ -164,7 +229,7 @@ impl Simulator {
             .iter()
             .enumerate()
             .map(|(i, a)| {
-                if activity[i].0 == 0 {
+                if activity[i].contains(0) {
                     a.rate(prop_rtt[i], &cfg)
                 } else {
                     0.0
@@ -297,12 +362,11 @@ impl Simulator {
         }
     }
 
-    /// Whether agent `i` is inside its activity window at the current
-    /// integration step.
+    /// Whether agent `i` is inside one of its activity windows at the
+    /// current integration step.
     #[inline]
     fn is_active(&self, i: usize) -> bool {
-        let (start, stop) = self.activity[i];
-        start <= self.step_count && self.step_count < stop
+        self.activity[i].contains(self.step_count)
     }
 
     /// One integration step of the coupled system.

@@ -14,6 +14,9 @@
 //! figures bench-sweep [--out FILE] [--reps N] [--threads N]
 //! figures simd-check
 //! figures drift [--fast] [--threads N] [--out FILE] [--trace]
+//! figures universe [--cells N] [--seed N] [--threads N]
+//!                  [--backend fluid|fluid-batch|fluid-simd|packet|both]
+//!                  [--out DIR]
 //! figures trace [--topology dumbbell|parking|chain] [--cca MIX]
 //!               [--flows N] [--buffer BDP] [--qdisc droptail|red]
 //!               [--duration S] [--warmup S] [--seed N]
@@ -120,6 +123,7 @@ fn main() {
         "--duration",
         "--warmup",
         "--seed",
+        "--cells",
     ]
     .iter()
     .filter_map(|flag| args.iter().position(|a| a == *flag).map(|i| i + 1))
@@ -162,6 +166,10 @@ fn main() {
     }
     if ids.first().map(String::as_str) == Some("drift") {
         run_drift_cmd(&args, effort);
+        return;
+    }
+    if ids.first().map(String::as_str) == Some("universe") {
+        run_universe_cmd(&args, effort);
         return;
     }
     if ids.iter().any(|i| i == "list") {
@@ -493,6 +501,72 @@ fn run_drift_cmd(args: &[String], effort: Effort) {
         std::fs::write(&trace_out, audit.to_json().to_compact_string())
             .expect("cannot write trace-diff JSON");
         eprintln!("wrote {}", trace_out.display());
+    }
+}
+
+/// The `universe` subcommand: the generated-scenario divergence sweep.
+///
+/// Generates the `--cells`-cell scenario universe seeded by `--seed`
+/// (star / tree / fat-tree / random-mesh `Topology::Custom` cells with
+/// steady, multi-interval on/off, and Poisson flow schedules), runs it
+/// on the selected backend(s), prints the divergence summary, and
+/// writes `universe.json` (`universe-report/v1`) plus `universe.csv` to
+/// `--out` (default `results/`). Both artifacts are byte-stable across
+/// same-seed invocations. With a fluid + packet comparison (the default
+/// `--backend both`), exits non-zero if any cell lands outside the
+/// universe tolerance gates.
+fn run_universe_cmd(args: &[String], effort: Effort) {
+    let cells: usize = match flag_value(args, "--cells").map(str::parse) {
+        None => 256,
+        Some(Ok(n)) if n > 0 => n,
+        _ => {
+            eprintln!("invalid --cells value (expected a positive number)");
+            std::process::exit(2);
+        }
+    };
+    let seed: u64 = match flag_value(args, "--seed").map(str::parse) {
+        None => 1889,
+        Some(Ok(s)) => s,
+        Some(Err(_)) => {
+            eprintln!("invalid --seed value (expected a number)");
+            std::process::exit(2);
+        }
+    };
+    let backend = match flag_value(args, "--backend") {
+        Some("fluid") => Backend::Fluid,
+        Some("fluid-batch") => Backend::FluidBatch,
+        Some("fluid-simd") => Backend::FluidSimd,
+        Some("packet") => Backend::Packet,
+        Some("both") | None => Backend::Both,
+        Some(other) => {
+            eprintln!(
+                "unknown backend: {other} (expected fluid|fluid-batch|fluid-simd|packet|both)"
+            );
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "universe sweep: {cells} generated cells (seed {seed:#x}) on {} thread(s)...",
+        rayon::current_num_threads()
+    );
+    let report = bbr_experiments::universe::run_universe(seed, cells, effort, backend);
+    print!("{}", report.table());
+    let dir = PathBuf::from(flag_value(args, "--out").unwrap_or("results"));
+    std::fs::create_dir_all(&dir).expect("cannot create output directory");
+    let json_path = dir.join("universe.json");
+    std::fs::write(&json_path, report.to_json().to_compact_string())
+        .expect("cannot write universe report JSON");
+    let csv_path = dir.join("universe.csv");
+    std::fs::write(&csv_path, report.csv()).expect("cannot write universe CSV");
+    eprintln!("wrote {} and {}", json_path.display(), csv_path.display());
+    let violations = report.violations();
+    if !violations.is_empty() {
+        eprintln!(
+            "universe sweep: {} of {} compared cells outside the tolerance gates",
+            violations.len(),
+            report.compared()
+        );
+        std::process::exit(1);
     }
 }
 

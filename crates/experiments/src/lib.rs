@@ -19,6 +19,7 @@ pub mod scenarios;
 pub mod sweep;
 pub mod table;
 pub mod tracefmt;
+pub mod universe;
 pub mod watch;
 
 /// Speed preset for a generator.

@@ -39,7 +39,9 @@ use bbr_campaign::{BackendSel, CampaignPlan, CellKey, PlannedCell, ResultStore};
 use bbr_fluid_core::backend::FluidBackend;
 use bbr_fluidbatch::{BatchedFluidBackend, SimdFluidBackend};
 use bbr_packetsim::backend::PacketBackend;
-use bbr_scenario::{run_seed, FlowWindow, QdiscKind, RunOutcome, ScenarioSpec, SimBackend};
+use bbr_scenario::{
+    run_seed, FlowWindow, QdiscKind, RunOutcome, ScenarioSpec, SimBackend, Topology,
+};
 use rayon::prelude::*;
 
 use crate::aggregate::{model_config, CellMetrics};
@@ -92,6 +94,12 @@ pub enum TopologyKind {
     /// runs chains as general multi-link paths). Collapses the
     /// flow-count and RTT axes like the parking lot.
     Chain,
+    /// Explicit [`Topology::Custom`] specs supplied through
+    /// [`ScenarioGrid::with_custom`] (hand-written or machine-generated
+    /// by `bbr_scenario::universe`). Custom cells iterate the supplied
+    /// topologies instead of the flow-count / buffer / RTT axes — all
+    /// three are fixed per topology by its links and routes.
+    Custom,
 }
 
 impl TopologyKind {
@@ -101,6 +109,7 @@ impl TopologyKind {
             TopologyKind::Dumbbell => "dumbbell",
             TopologyKind::ParkingLot => "parklot",
             TopologyKind::Chain => "chain",
+            TopologyKind::Custom => "custom",
         }
     }
 }
@@ -183,6 +192,10 @@ pub struct ScenarioPoint {
     pub qdisc: QdiscKind,
     /// Flow-churn pattern applied to the cell's activity windows.
     pub churn: ChurnPattern,
+    /// Index into the grid's custom-topology axis
+    /// ([`ScenarioGrid::with_custom`]); 0 and unused for the built-in
+    /// topology families.
+    pub custom: usize,
 }
 
 /// Builder for a scenario grid. Defaults mirror the §4.3 campaign
@@ -210,6 +223,9 @@ pub struct ScenarioGrid {
     parking_c2_ratio: f64,
     /// Hop count of chain cells (≥ 3).
     chain_hops: usize,
+    /// The [`TopologyKind::Custom`] axis: explicit topologies swept when
+    /// `topologies` contains `Custom`.
+    custom_topologies: Vec<Topology>,
 }
 
 impl Default for ScenarioGrid {
@@ -233,6 +249,7 @@ impl Default for ScenarioGrid {
             churn: vec![ChurnPattern::None],
             parking_c2_ratio: 0.8,
             chain_hops: 3,
+            custom_topologies: Vec::new(),
         }
     }
 }
@@ -333,6 +350,19 @@ impl ScenarioGrid {
         self
     }
 
+    /// Add explicit [`Topology::Custom`] cells next to the
+    /// already-configured topologies. Each supplied topology becomes one
+    /// value of the custom axis; the flow-count, buffer, and RTT axes do
+    /// not apply to custom cells (links and routes fix all three).
+    /// Non-`Custom` variants are rejected at plan time.
+    pub fn with_custom(mut self, topologies: Vec<Topology>) -> Self {
+        self.custom_topologies = topologies;
+        if !self.topologies.contains(&TopologyKind::Custom) {
+            self.topologies.push(TopologyKind::Custom);
+        }
+        self
+    }
+
     pub fn combos(mut self, combos: Vec<Combo>) -> Self {
         self.combos = combos;
         self
@@ -377,8 +407,9 @@ impl ScenarioGrid {
     }
 
     /// Number of grid points. Dumbbell cells span every axis; parking-lot
-    /// cells collapse the flow-count and RTT axes (fixed by the
-    /// topology).
+    /// and chain cells collapse the flow-count and RTT axes (fixed by the
+    /// topology); custom cells additionally collapse the buffer axis and
+    /// instead iterate the supplied custom topologies.
     pub fn len(&self) -> usize {
         let per_qdisc_combo_buffer =
             self.combos.len() * self.buffers_bdp.len() * self.qdiscs.len() * self.churn.len();
@@ -389,6 +420,12 @@ impl ScenarioGrid {
                     per_qdisc_combo_buffer * self.flow_counts.len() * self.rtt_ranges.len()
                 }
                 TopologyKind::ParkingLot | TopologyKind::Chain => per_qdisc_combo_buffer,
+                TopologyKind::Custom => {
+                    self.custom_topologies.len()
+                        * self.combos.len()
+                        * self.qdiscs.len()
+                        * self.churn.len()
+                }
             })
             .sum()
     }
@@ -400,18 +437,52 @@ impl ScenarioGrid {
     /// The cartesian expansion, in the fixed deterministic order
     /// topology → combo → flows → buffer → RTT range → qdisc → churn
     /// (innermost last). Parking-lot and chain cells iterate only
-    /// topology → combo → buffer → qdisc → churn.
+    /// topology → combo → buffer → qdisc → churn; custom cells iterate
+    /// custom-topology → combo → qdisc → churn.
     pub fn points(&self) -> Vec<ScenarioPoint> {
         let mut pts = Vec::with_capacity(self.len());
         let mut index = 0;
         let chain_flows = [self.chain_hops + 1];
         for &topology in &self.topologies {
+            if topology == TopologyKind::Custom {
+                for (custom, topo) in self.custom_topologies.iter().enumerate() {
+                    let buffer_bdp = match topo {
+                        Topology::Custom { links, .. } => {
+                            links.first().map(|l| l.buffer_bdp).unwrap_or(0.0)
+                        }
+                        other => panic!(
+                            "invalid grid cell: custom axis value {custom} is {other:?}, \
+                             not Topology::Custom"
+                        ),
+                    };
+                    for combo in &self.combos {
+                        for &qdisc in &self.qdiscs {
+                            for &churn in &self.churn {
+                                pts.push(ScenarioPoint {
+                                    index,
+                                    topology,
+                                    combo: *combo,
+                                    n: topo.n_flows(),
+                                    buffer_bdp,
+                                    rtt: (0.0, 0.0),
+                                    qdisc,
+                                    churn,
+                                    custom,
+                                });
+                                index += 1;
+                            }
+                        }
+                    }
+                }
+                continue;
+            }
             let (flow_counts, rtt_ranges): (&[usize], &[(f64, f64)]) = match topology {
                 TopologyKind::Dumbbell => (&self.flow_counts, &self.rtt_ranges),
                 // Fixed flow counts and delays: a single placeholder cell
                 // on the collapsed axes.
                 TopologyKind::ParkingLot => (&[3], &[(0.0, 0.0)]),
                 TopologyKind::Chain => (&chain_flows, &[(0.0, 0.0)]),
+                TopologyKind::Custom => unreachable!("handled above"),
             };
             for combo in &self.combos {
                 for &n in flow_counts {
@@ -428,6 +499,7 @@ impl ScenarioGrid {
                                         rtt,
                                         qdisc,
                                         churn,
+                                        custom: 0,
                                     });
                                     index += 1;
                                 }
@@ -466,6 +538,13 @@ impl ScenarioGrid {
                 self.bottleneck_delay,
                 pt.buffer_bdp,
             ),
+            TopologyKind::Custom => match self.custom_topologies.get(pt.custom).cloned() {
+                Some(Topology::Custom { links, routes }) => ScenarioSpec::custom(links, routes),
+                other => panic!(
+                    "invalid grid cell {pt:?}: custom axis value is {other:?}, \
+                     not Topology::Custom"
+                ),
+            },
         };
         let spec = spec
             .ccas(pt.combo.kinds.to_vec())
@@ -860,8 +939,11 @@ pub struct CacheStats {
 }
 
 /// splitmix64 finalizer over (seed, salt): decorrelates neighbouring
-/// cells while staying a pure function of the inputs.
-fn mix_seed(seed: u64, salt: u64) -> u64 {
+/// cells while staying a pure function of the inputs. Also the per-cell
+/// seed derivation of universe sweeps (`crate::universe`), so a
+/// generated spec that also appears in a grid gets the same seed for
+/// the same base seed.
+pub fn mix_seed(seed: u64, salt: u64) -> u64 {
     let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -937,7 +1019,9 @@ impl SweepReport {
                     TopologyKind::Dumbbell => {
                         format!("{:.0}-{:.0}", p.rtt.0 * 1e3, p.rtt.1 * 1e3)
                     }
-                    TopologyKind::ParkingLot | TopologyKind::Chain => "-".to_string(),
+                    TopologyKind::ParkingLot | TopologyKind::Chain | TopologyKind::Custom => {
+                        "-".to_string()
+                    }
                 };
                 let mut row = vec![
                     p.topology.label().to_string(),
@@ -1188,6 +1272,53 @@ mod tests {
         // The churn column renders in both table and CSV.
         assert!(r.csv().contains("early"));
         assert!(r.table().contains("early"));
+    }
+
+    #[test]
+    fn custom_axis_iterates_supplied_topologies() {
+        let topos: Vec<Topology> = bbr_scenario::universe::generate_universe(11, 2)
+            .into_iter()
+            .map(|c| c.spec.topology)
+            .collect();
+        let n_flows: Vec<usize> = topos.iter().map(|t| t.n_flows()).collect();
+        let grid = tiny_grid()
+            .topologies(Vec::new())
+            .with_custom(topos)
+            .backend(Backend::Fluid);
+        // 2 custom topologies × 2 combos × 1 qdisc × 1 churn; the
+        // flow-count, buffer, and RTT axes are collapsed.
+        assert_eq!(grid.len(), 4);
+        let pts = grid.points();
+        assert_eq!(pts.len(), 4);
+        let mut hashes = std::collections::HashSet::new();
+        for pt in &pts {
+            assert_eq!(pt.topology, TopologyKind::Custom);
+            assert_eq!(pt.n, n_flows[pt.custom]);
+            assert_eq!(pt.rtt, (0.0, 0.0));
+            let spec = grid.spec_for(pt);
+            assert!(matches!(spec.topology, Topology::Custom { .. }));
+            assert!(hashes.insert(spec.stable_hash()), "duplicate cell {pt:?}");
+        }
+        let r = grid.run();
+        assert_eq!(r.len(), 4);
+        assert!(r.csv().lines().skip(1).all(|l| l.starts_with("custom,")));
+        assert!(r.cells.iter().all(|c| r.metrics(c, "fluid").is_some()));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid grid cell")]
+    fn non_custom_axis_values_fail_at_plan_time() {
+        let grid = tiny_grid()
+            .topologies(Vec::new())
+            .with_custom(vec![Topology::Dumbbell {
+                n: 2,
+                capacity: 50.0,
+                bottleneck_delay: 0.010,
+                buffer_bdp: 1.0,
+                rtt_lo: 0.030,
+                rtt_hi: 0.040,
+            }]);
+        let _ = grid.tasks();
     }
 
     #[test]

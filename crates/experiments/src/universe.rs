@@ -1,0 +1,564 @@
+//! Universe sweep: run a generated scenario universe
+//! (`bbr_scenario::universe`) cross-backend and reduce every cell to a
+//! drift-style divergence record.
+//!
+//! Where the drift audit (`crate::drift`) compares the fluid and packet
+//! engines over a *pinned, hand-picked* grid, the universe sweep
+//! compares them over a *machine-generated* one: seeded star / tree /
+//! fat-tree / random-mesh topologies with varied per-hop RTT and
+//! bandwidth, and flow schedules from steady to multi-interval on/off
+//! to Poisson arrival/departure processes. Every cell is judged against
+//! universe tolerance gates ([`UNIVERSE_UTIL_TOLERANCE_PP`],
+//! [`UNIVERSE_JAIN_TOLERANCE`], [`UNIVERSE_LOSS_NORM_PP`]), so the
+//! report answers one question at scale: *does the fluid abstraction
+//! hold across topology space, or only on the three families the paper
+//! picked?*
+//!
+//! The universe gates share the drift audit's utilization tolerance but
+//! widen the Jain and loss gates: the generated corpus deliberately
+//! includes multi-hop contention and flow churn, where packet-level
+//! restart transients (STARTUP loss bursts, BBR flow-join standoff) and
+//! multi-flow fairness tails are known fluid blind spots. Calibrated on
+//! the 1024-cell seed-1889 reference universe (observed maxima: 19.5 pp
+//! utilization, 0.39 Jain, 8.5 pp loss), leaving ≥ 20 % headroom on
+//! every axis.
+//!
+//! Determinism: the report (and its CSV rendering) is a pure function
+//! of `(seed, cells, effort, backend)` — generated specs are
+//! deterministic, per-cell seeds derive from the spec contents via
+//! [`crate::sweep::mix_seed`], and both engines are deterministic given
+//! a seed — so two same-seed invocations emit byte-identical CSVs (a CI
+//! gate).
+
+use std::time::Instant;
+
+use bbr_campaign::json::Json;
+use bbr_fluidbatch::{BatchedFluidBackend, SimdFluidBackend};
+use bbr_packetsim::backend::PacketBackend;
+use bbr_scenario::universe::{generate_universe, GeneratedScenario};
+use bbr_scenario::{ScenarioSpec, SimBackend, Topology};
+use rayon::prelude::*;
+
+use crate::aggregate::{model_config, CellMetrics};
+use crate::sweep::{mix_seed, Backend};
+use crate::table;
+use crate::Effort;
+
+/// Utilization gate (percentage points) — same as the drift audit's
+/// [`crate::drift::UTIL_TOLERANCE_PP`].
+pub const UNIVERSE_UTIL_TOLERANCE_PP: f64 = 25.0;
+/// Jain-index gate. Wider than the drift audit's steady-dumbbell gate
+/// (0.35): ~1 % of generated cells land in a BBRv2 multi-flow fairness
+/// tail (flow-join standoff after churn, RTT-heterogeneous shares) the
+/// fluid model resolves to near-perfect fairness.
+pub const UNIVERSE_JAIN_TOLERANCE: f64 = 0.5;
+/// Loss gate (percentage points). Wider than the drift audit's 5 pp:
+/// every packet-level flow (re)start is a STARTUP burst into a small
+/// buffer, and Poisson cells restart flows several times per window.
+pub const UNIVERSE_LOSS_NORM_PP: f64 = 12.0;
+
+/// Fluid-vs-packet deltas of one compared cell, judged against the
+/// universe tolerance gates.
+#[derive(Debug, Clone, Copy)]
+pub struct UniverseDelta {
+    /// packet − fluid utilization gap (percentage points).
+    pub util_pp: f64,
+    /// packet − fluid Jain-index gap.
+    pub jain: f64,
+    /// packet − fluid loss gap (percentage points).
+    pub loss_pp: f64,
+    /// Tolerance-normalized divergence (same normalizers as the drift
+    /// audit, so scores are comparable across the two reports).
+    pub score: f64,
+    /// Whether every delta is within its tolerance gate.
+    pub within_gates: bool,
+}
+
+/// One swept universe cell: generation coordinates, per-backend
+/// headline metrics, and (when both engines ran) the divergence.
+#[derive(Debug, Clone)]
+pub struct UniverseCell {
+    /// Position in the universe (0-based; same as the generator's).
+    pub index: usize,
+    /// Topology-family label (`star` / `tree` / `fattree` / `mesh`).
+    pub family: &'static str,
+    /// Schedule-shape label (`steady` / `windows` / `poisson`).
+    pub schedule: &'static str,
+    /// Flow count of the generated spec.
+    pub flows: usize,
+    /// Link count of the generated topology.
+    pub links: usize,
+    /// `ScenarioSpec::stable_hash` of the cell.
+    pub spec_hash: u64,
+    /// Seed both engines received.
+    pub seed: u64,
+    /// (utilization %, Jain, loss %) under the fluid model, when it ran.
+    pub fluid: Option<(f64, f64, f64)>,
+    /// (utilization %, Jain, loss %) under the packet simulator, when it
+    /// ran.
+    pub packet: Option<(f64, f64, f64)>,
+    /// The divergence, when both engines ran.
+    pub delta: Option<UniverseDelta>,
+}
+
+/// The universe sweep result: every cell in generation order plus a
+/// worst-first ranking of the compared cells.
+#[derive(Debug, Clone)]
+pub struct UniverseReport {
+    /// Universe seed the cells were generated from.
+    pub universe_seed: u64,
+    /// Effort preset the engines ran under.
+    pub effort: Effort,
+    /// Backend column names, in `(fluid, packet)` order where present.
+    pub backends: Vec<&'static str>,
+    /// Wall-clock seconds of the sweep (reporting only — never rendered
+    /// into the CSV or JSON, which must stay byte-stable across runs).
+    pub wall_seconds: f64,
+    /// Every cell, in generation order.
+    pub cells: Vec<UniverseCell>,
+    /// Indices of compared cells, sorted by descending score.
+    pub ranking: Vec<usize>,
+}
+
+/// Evaluate one backend column over all cells: batch-capable backends
+/// integrate their supported cells in lockstep, the rest fan out per
+/// cell across the cores.
+fn eval_column(
+    backend: &dyn SimBackend,
+    tasks: &[(ScenarioSpec, u64)],
+) -> Vec<Option<CellMetrics>> {
+    match backend.as_batch() {
+        Some(batch) => {
+            let supported: Vec<usize> = (0..tasks.len())
+                .filter(|&i| backend.supports(&tasks[i].0))
+                .collect();
+            let jobs: Vec<(&ScenarioSpec, u64)> = supported
+                .iter()
+                .map(|&i| (&tasks[i].0, tasks[i].1))
+                .collect();
+            let outs = batch.run_batch(&jobs);
+            let mut col = vec![None; tasks.len()];
+            for (&i, out) in supported.iter().zip(&outs) {
+                col[i] = Some(CellMetrics::from(out));
+            }
+            col
+        }
+        None => tasks
+            .par_iter()
+            .map(|(spec, seed)| {
+                backend
+                    .supports(spec)
+                    .then(|| CellMetrics::from(&backend.run(spec, *seed)))
+            })
+            .collect(),
+    }
+}
+
+/// Generate the `cells`-cell universe seeded by `seed` and sweep it on
+/// the selected backend(s). `Backend::Both` produces the full
+/// divergence report; single-backend selections fill only that column
+/// (no deltas). The fluid selections all report under the `"fluid"`
+/// column via the batched engine (byte-identical to the scalar one by
+/// contract), except `Backend::FluidSimd`, which runs the packed engine
+/// under its tolerance-bound `"fluid-simd"` name.
+pub fn run_universe(seed: u64, cells: usize, effort: Effort, backend: Backend) -> UniverseReport {
+    let t0 = Instant::now();
+    let universe = generate_universe(seed, cells);
+    let tasks: Vec<(ScenarioSpec, u64)> = universe
+        .iter()
+        .map(|c| {
+            let cell_seed = mix_seed(seed, c.spec.stable_hash());
+            (c.spec.clone(), cell_seed)
+        })
+        .collect();
+    let fluid_backend: Option<Box<dyn SimBackend>> = match backend {
+        Backend::Fluid | Backend::FluidBatch | Backend::Both => {
+            Some(Box::new(BatchedFluidBackend::new(model_config(effort))))
+        }
+        Backend::FluidSimd => Some(Box::new(SimdFluidBackend::new(model_config(effort)))),
+        Backend::Packet => None,
+    };
+    let packet_backend: Option<Box<dyn SimBackend>> = match backend {
+        Backend::Packet | Backend::Both => Some(Box::new(PacketBackend::new(1))),
+        _ => None,
+    };
+    let fluid_col = fluid_backend.as_deref().map(|b| eval_column(b, &tasks));
+    let packet_col = packet_backend.as_deref().map(|b| eval_column(b, &tasks));
+    let mut backends = Vec::new();
+    if let Some(b) = &fluid_backend {
+        backends.push(b.name());
+    }
+    if let Some(b) = &packet_backend {
+        backends.push(b.name());
+    }
+    let cells: Vec<UniverseCell> = universe
+        .iter()
+        .zip(&tasks)
+        .enumerate()
+        .map(|(i, (g, (spec, cell_seed)))| {
+            reduce_cell(i, g, spec, *cell_seed, &fluid_col, &packet_col)
+        })
+        .collect();
+    let mut ranking: Vec<usize> = (0..cells.len())
+        .filter(|&i| cells[i].delta.is_some())
+        .collect();
+    ranking.sort_by(|&a, &b| {
+        let score = |i: usize| cells[i].delta.map(|d| d.score).unwrap_or(0.0);
+        score(b)
+            .partial_cmp(&score(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    UniverseReport {
+        universe_seed: seed,
+        effort,
+        backends,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        cells,
+        ranking,
+    }
+}
+
+fn reduce_cell(
+    index: usize,
+    generated: &GeneratedScenario,
+    spec: &ScenarioSpec,
+    seed: u64,
+    fluid_col: &Option<Vec<Option<CellMetrics>>>,
+    packet_col: &Option<Vec<Option<CellMetrics>>>,
+) -> UniverseCell {
+    let triple = |m: &CellMetrics| (m.utilization_percent, m.jain, m.loss_percent);
+    let fluid = fluid_col
+        .as_ref()
+        .and_then(|c| c[index].as_ref().map(triple));
+    let packet = packet_col
+        .as_ref()
+        .and_then(|c| c[index].as_ref().map(triple));
+    let delta = match (fluid, packet) {
+        (Some(f), Some(p)) => {
+            let util_pp = p.0 - f.0;
+            let jain = p.1 - f.1;
+            let loss_pp = p.2 - f.2;
+            Some(UniverseDelta {
+                util_pp,
+                jain,
+                loss_pp,
+                score: util_pp.abs() / UNIVERSE_UTIL_TOLERANCE_PP
+                    + jain.abs() / UNIVERSE_JAIN_TOLERANCE
+                    + loss_pp.abs() / UNIVERSE_LOSS_NORM_PP,
+                within_gates: util_pp.abs() <= UNIVERSE_UTIL_TOLERANCE_PP
+                    && jain.abs() <= UNIVERSE_JAIN_TOLERANCE
+                    && loss_pp.abs() <= UNIVERSE_LOSS_NORM_PP,
+            })
+        }
+        _ => None,
+    };
+    let links = match &spec.topology {
+        Topology::Custom { links, .. } => links.len(),
+        _ => 0,
+    };
+    UniverseCell {
+        index,
+        family: generated.family.label(),
+        schedule: generated.schedule.label(),
+        flows: spec.n_flows(),
+        links,
+        spec_hash: spec.stable_hash(),
+        seed,
+        fluid,
+        packet,
+        delta,
+    }
+}
+
+impl UniverseReport {
+    /// Compared cells (both engines ran).
+    pub fn compared(&self) -> usize {
+        self.cells.iter().filter(|c| c.delta.is_some()).count()
+    }
+
+    /// Compared cells outside at least one tolerance gate.
+    pub fn violations(&self) -> Vec<&UniverseCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.delta.is_some_and(|d| !d.within_gates))
+            .collect()
+    }
+
+    /// Mean absolute utilization gap over compared cells (pp).
+    pub fn mean_abs_util_gap_pp(&self) -> f64 {
+        let gaps: Vec<f64> = self
+            .cells
+            .iter()
+            .filter_map(|c| c.delta.map(|d| d.util_pp.abs()))
+            .collect();
+        if gaps.is_empty() {
+            0.0
+        } else {
+            gaps.iter().sum::<f64>() / gaps.len() as f64
+        }
+    }
+
+    /// The worst `k` compared cells by score, worst first.
+    pub fn worst(&self, k: usize) -> Vec<&UniverseCell> {
+        self.ranking
+            .iter()
+            .take(k)
+            .map(|&i| &self.cells[i])
+            .collect()
+    }
+
+    /// Machine-readable form (schema `universe-report/v1`). Fully
+    /// deterministic: wall-clock time is deliberately excluded.
+    pub fn to_json(&self) -> Json {
+        let metric_obj = |(util, jain, loss): (f64, f64, f64)| {
+            Json::Obj(vec![
+                ("utilization_percent".into(), Json::Num(util)),
+                ("jain".into(), Json::Num(jain)),
+                ("loss_percent".into(), Json::Num(loss)),
+            ])
+        };
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let mut fields = vec![
+                    ("index".into(), Json::Num(c.index as f64)),
+                    ("family".into(), Json::str(c.family)),
+                    ("schedule".into(), Json::str(c.schedule)),
+                    ("flows".into(), Json::Num(c.flows as f64)),
+                    ("links".into(), Json::Num(c.links as f64)),
+                    ("spec".into(), Json::hex(c.spec_hash)),
+                    ("seed".into(), Json::hex(c.seed)),
+                ];
+                if let Some(f) = c.fluid {
+                    fields.push(("fluid".into(), metric_obj(f)));
+                }
+                if let Some(p) = c.packet {
+                    fields.push(("packet".into(), metric_obj(p)));
+                }
+                if let Some(d) = c.delta {
+                    fields.push((
+                        "delta".into(),
+                        Json::Obj(vec![
+                            ("utilization_pp".into(), Json::Num(d.util_pp)),
+                            ("jain".into(), Json::Num(d.jain)),
+                            ("loss_pp".into(), Json::Num(d.loss_pp)),
+                            ("score".into(), Json::Num(d.score)),
+                            // 1/0 — the deterministic writer has no
+                            // boolean type.
+                            (
+                                "within_gates".into(),
+                                Json::Num(if d.within_gates { 1.0 } else { 0.0 }),
+                            ),
+                        ]),
+                    ));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        let ranking: Vec<Json> = self.ranking.iter().map(|&i| Json::Num(i as f64)).collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::str("universe-report/v1")),
+            ("universe_seed".into(), Json::hex(self.universe_seed)),
+            ("effort".into(), Json::str(self.effort.tag())),
+            (
+                "backends".into(),
+                Json::Arr(self.backends.iter().map(|b| Json::str(*b)).collect()),
+            ),
+            (
+                "gates".into(),
+                Json::Obj(vec![
+                    (
+                        "utilization_pp".into(),
+                        Json::Num(UNIVERSE_UTIL_TOLERANCE_PP),
+                    ),
+                    ("jain".into(), Json::Num(UNIVERSE_JAIN_TOLERANCE)),
+                    ("loss_pp".into(), Json::Num(UNIVERSE_LOSS_NORM_PP)),
+                ]),
+            ),
+            (
+                "summary".into(),
+                Json::Obj(vec![
+                    ("cells".into(), Json::Num(self.cells.len() as f64)),
+                    ("compared".into(), Json::Num(self.compared() as f64)),
+                    (
+                        "violations".into(),
+                        Json::Num(self.violations().len() as f64),
+                    ),
+                    (
+                        "mean_abs_utilization_gap_pp".into(),
+                        Json::Num(self.mean_abs_util_gap_pp()),
+                    ),
+                ]),
+            ),
+            ("cells".into(), Json::Arr(cells)),
+            ("worst_cells".into(), Json::Arr(ranking)),
+        ])
+    }
+
+    fn header(&self) -> Vec<String> {
+        let mut h: Vec<String> = [
+            "index", "family", "schedule", "flows", "links", "spec", "seed",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        for b in &self.backends {
+            for metric in ["util%", "jain", "loss%"] {
+                h.push(format!("{metric}[{b}]"));
+            }
+        }
+        h.extend(
+            ["d_util_pp", "d_jain", "d_loss_pp", "score", "within"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        h
+    }
+
+    fn rows(&self) -> Vec<Vec<String>> {
+        self.cells
+            .iter()
+            .map(|c| {
+                let mut row = vec![
+                    c.index.to_string(),
+                    c.family.to_string(),
+                    c.schedule.to_string(),
+                    c.flows.to_string(),
+                    c.links.to_string(),
+                    format!("{:016x}", c.spec_hash),
+                    format!("{:016x}", c.seed),
+                ];
+                for b in &self.backends {
+                    let m = if *b == "packet" { c.packet } else { c.fluid };
+                    match m {
+                        Some((util, jain, loss)) => {
+                            row.push(table::f1(util));
+                            row.push(table::f3(jain));
+                            row.push(table::f3(loss));
+                        }
+                        None => row.extend(["-", "-", "-"].map(String::from)),
+                    }
+                }
+                match c.delta {
+                    Some(d) => {
+                        row.push(format!("{:+.1}", d.util_pp));
+                        row.push(format!("{:+.3}", d.jain));
+                        row.push(format!("{:+.2}", d.loss_pp));
+                        row.push(table::f3(d.score));
+                        row.push(if d.within_gates { "yes" } else { "NO" }.to_string());
+                    }
+                    None => row.extend(["-", "-", "-", "-", "-"].map(String::from)),
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// CSV rendering (the byte-stability gate compares this).
+    pub fn csv(&self) -> String {
+        table::to_csv(&self.header(), &self.rows())
+    }
+
+    /// Human-readable summary: headline numbers, gate verdict, worst
+    /// cells.
+    pub fn table(&self) -> String {
+        let mut out = format!(
+            "Universe sweep: {} generated cells (seed {:#x}) × {{{}}} — {:.2} s wall\n",
+            self.cells.len(),
+            self.universe_seed,
+            self.backends.join(", "),
+            self.wall_seconds,
+        );
+        if self.compared() > 0 {
+            let violations = self.violations();
+            out.push_str(&format!(
+                "compared {} cells: mean |Δutil| = {:.2} pp, {} outside tolerance gates \
+                 (|Δutil| ≤ {} pp, |Δjain| ≤ {}, |Δloss| ≤ {} pp)\n",
+                self.compared(),
+                self.mean_abs_util_gap_pp(),
+                violations.len(),
+                UNIVERSE_UTIL_TOLERANCE_PP,
+                UNIVERSE_JAIN_TOLERANCE,
+                UNIVERSE_LOSS_NORM_PP,
+            ));
+            out.push_str("worst cells (score = tolerance-normalized divergence):\n");
+            for c in self.worst(5) {
+                let d = c.delta.expect("ranking holds compared cells only");
+                out.push_str(&format!(
+                    "  #{:<5} {:>7}/{:<7} {} flows, {} links: Δutil {:+.1} pp, \
+                     Δjain {:+.3}, Δloss {:+.2} pp (score {:.2}{})\n",
+                    c.index,
+                    c.family,
+                    c.schedule,
+                    c.flows,
+                    c.links,
+                    d.util_pp,
+                    d.jain,
+                    d.loss_pp,
+                    d.score,
+                    if d.within_gates {
+                        ""
+                    } else {
+                        ", OUTSIDE GATES"
+                    },
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universe_sweep_is_deterministic_and_serializes() {
+        let a = run_universe(0x5eed, 12, Effort::Fast, Backend::Both);
+        let b = run_universe(0x5eed, 12, Effort::Fast, Backend::Both);
+        assert_eq!(a.cells.len(), 12);
+        assert_eq!(a.backends, vec!["fluid", "packet"]);
+        assert_eq!(a.compared(), 12, "both engines must run every cell");
+        assert_eq!(a.csv(), b.csv(), "same seed must give byte-identical CSV");
+        assert_eq!(
+            a.to_json().to_compact_string(),
+            b.to_json().to_compact_string()
+        );
+        let parsed = Json::parse(&a.to_json().to_compact_string()).unwrap();
+        assert_eq!(
+            parsed.field("schema").unwrap().as_str(),
+            Some("universe-report/v1")
+        );
+        let cells = parsed.field("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells.len(), 12);
+        // Ranking is worst-first over compared cells.
+        for w in a.ranking.windows(2) {
+            let score = |i: usize| a.cells[i].delta.unwrap().score;
+            assert!(score(w[0]) >= score(w[1]));
+        }
+        // Every generated cell of this small smoke universe is within
+        // the tolerance gates (the CI sweep enforces this at 64 cells,
+        // the acceptance run at 1000+).
+        assert!(
+            a.violations().is_empty(),
+            "cells outside gates: {:?}",
+            a.violations()
+        );
+    }
+
+    #[test]
+    fn single_backend_sweeps_skip_deltas() {
+        let r = run_universe(7, 6, Effort::Fast, Backend::Fluid);
+        assert_eq!(r.backends, vec!["fluid"]);
+        assert_eq!(r.compared(), 0);
+        assert!(r.ranking.is_empty());
+        assert!(r
+            .cells
+            .iter()
+            .all(|c| c.fluid.is_some() && c.packet.is_none()));
+        // CSV renders "-" columns instead of omitting them.
+        let csv = r.csv();
+        assert!(csv.lines().nth(1).unwrap().ends_with("-,-,-,-,-"));
+    }
+}

@@ -83,10 +83,14 @@ impl Axis {
     pub fn value_of(&self, spec: &ScenarioSpec) -> String {
         match self {
             Axis::Buffer => {
-                let b = match spec.topology {
-                    Topology::Dumbbell { buffer_bdp, .. } => buffer_bdp,
-                    Topology::ParkingLot { buffer_bdp, .. } => buffer_bdp,
-                    Topology::Chain { buffer_bdp, .. } => buffer_bdp,
+                let b = match &spec.topology {
+                    &Topology::Dumbbell { buffer_bdp, .. } => buffer_bdp,
+                    &Topology::ParkingLot { buffer_bdp, .. } => buffer_bdp,
+                    &Topology::Chain { buffer_bdp, .. } => buffer_bdp,
+                    // Per-link buffer depths: bin by the first link's.
+                    Topology::Custom { links, .. } => {
+                        links.first().map(|l| l.buffer_bdp).unwrap_or(0.0)
+                    }
                 };
                 format!("{b}bdp")
             }

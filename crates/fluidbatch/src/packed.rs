@@ -55,7 +55,7 @@ use bbr_fluid_core::config::{ModelConfig, ResetMode};
 use bbr_fluid_core::history::History;
 use bbr_fluid_core::lanes::{cbrt4, exp2_4, pow4, pulse4, sigmoid4, F64x4, M64x4, LANES};
 use bbr_fluid_core::metrics::{jain_fairness, AggregateMetrics};
-use bbr_fluid_core::sim::{activity_steps, jitter_interval, observed_link};
+use bbr_fluid_core::sim::{jitter_interval, observed_link, ActivitySchedule};
 use bbr_fluid_core::topology::{LinkId, QdiscKind};
 use bbr_scenario::{BatchSimBackend, RunOutcome, ScenarioSpec, SimBackend, Topology};
 use rayon::prelude::*;
@@ -78,6 +78,11 @@ pub fn struct_key(spec: &ScenarioSpec) -> u64 {
         Topology::Dumbbell { buffer_bdp, .. }
         | Topology::ParkingLot { buffer_bdp, .. }
         | Topology::Chain { buffer_bdp, .. } => *buffer_bdp = 1.0,
+        Topology::Custom { links, .. } => {
+            for l in links {
+                l.buffer_bdp = 1.0;
+            }
+        }
     }
     s.stable_hash()
 }
@@ -680,8 +685,7 @@ struct PackedFlow {
     prop_rtt: f64,
     x_off: u32,
     tau_off: u32,
-    start_step: u64,
-    stop_step: u64,
+    activity: ActivitySchedule,
     path: std::ops::Range<usize>,
 }
 
@@ -888,8 +892,8 @@ impl PackSim {
         let max_rtt = prop_rtt.iter().cloned().fold(0.0, f64::max);
         let cap = History::capacity_for(max_rtt, dt);
         let region = 2 * cap;
-        let activity: Vec<(u64, u64)> = (0..n)
-            .map(|i| activity_steps(&member(0).window_of(i), dt))
+        let activity: Vec<ActivitySchedule> = (0..n)
+            .map(|i| ActivitySchedule::from_windows(&member(0).windows_of(i), dt))
             .collect();
 
         // Initial rates are per-lane: BBRv2's buffer-dependent w_hi can
@@ -897,7 +901,7 @@ impl PackSim {
         let x0: Vec<F64x4> = (0..n)
             .map(|i| {
                 F64x4(std::array::from_fn(|j| {
-                    if activity[i].0 == 0 {
+                    if activity[i].contains(0) {
                         agents[j][i].rate(prop_rtt[i], &cfg)
                     } else {
                         0.0
@@ -982,8 +986,7 @@ impl PackSim {
                 prop_rtt: d_p,
                 x_off: x_offs[i] as u32,
                 tau_off: tau_offs[i] as u32,
-                start_step: activity[i].0,
-                stop_step: activity[i].1,
+                activity: activity[i].clone(),
                 path: start..lk_loss.len(),
             });
             let lane_refs: [&AnyCca; LANES] = std::array::from_fn(|j| &agents[j][i]);
@@ -1086,7 +1089,7 @@ impl PackSim {
         // windows are structural, so the churn mask stays scalar).
         for i in 0..n {
             let fb = &flows[i];
-            x[i] = if fb.start_step <= step_now && step_now < fb.stop_step {
+            x[i] = if fb.activity.contains(step_now) {
                 ccas[i].rate4(tau[i], cfg)
             } else {
                 F64x4::zero()
@@ -1099,7 +1102,7 @@ impl PackSim {
         // 6. Assemble delayed feedback and step the agents.
         for i in 0..n {
             let fb = &flows[i];
-            if !(fb.start_step <= step_now && step_now < fb.stop_step) {
+            if !fb.activity.contains(step_now) {
                 continue;
             }
             let tau_fb = read4(&fb.tau_fb, arena, cur_idx);

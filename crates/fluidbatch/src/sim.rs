@@ -40,7 +40,7 @@ use bbr_fluid_core::config::ModelConfig;
 use bbr_fluid_core::history::History;
 use bbr_fluid_core::metrics::{AggregateMetrics, MetricsAccumulator};
 use bbr_fluid_core::queue::{loss_probability, service_rate, step_queue};
-use bbr_fluid_core::sim::{activity_steps, jitter_interval, observed_link};
+use bbr_fluid_core::sim::{jitter_interval, observed_link, ActivitySchedule};
 use bbr_fluid_core::topology::{LinkId, LinkSpec};
 use bbr_scenario::ScenarioSpec;
 
@@ -134,14 +134,13 @@ struct FlowFeedback {
     /// Arena offsets of this flow's x and τ histories (for the pushes).
     x_off: u32,
     tau_off: u32,
-    /// Activity window as step bounds (flow churn): the flow sends and
-    /// its agent steps only while `start_step <= step < stop_step`.
-    /// `(0, u64::MAX)` — the churn-free default — is the historical
-    /// always-active path. Resolved by the same `activity_steps`
-    /// decomposition as the scalar `Simulator`, which is part of the
-    /// bit-identity contract.
-    start_step: u64,
-    stop_step: u64,
+    /// Activity schedule as step bounds (flow churn): the flow sends and
+    /// its agent steps only while some window contains the current step.
+    /// The always-active single window — the churn-free default — is the
+    /// historical two-comparison path. Resolved by the same
+    /// `ActivitySchedule::from_windows` decomposition as the scalar
+    /// `Simulator`, which is part of the bit-identity contract.
+    activity: ActivitySchedule,
 }
 
 /// Per-lane bookkeeping: where the lane's flows/links live in the flat
@@ -301,10 +300,10 @@ impl BatchedFluidSim {
         // amortized copy under one sample per push.
         let region = 2 * cap;
 
-        // Per-flow activity windows, resolved exactly as the scalar
-        // `Simulator::with_activity` resolves them.
-        let activity: Vec<(u64, u64)> = (0..n)
-            .map(|i| activity_steps(&spec.window_of(i), dt))
+        // Per-flow activity schedules, resolved exactly as the scalar
+        // `Simulator::with_flow_schedules` resolves them.
+        let activity: Vec<ActivitySchedule> = (0..n)
+            .map(|i| ActivitySchedule::from_windows(&spec.windows_of(i), dt))
             .collect();
 
         // Initial conditions, exactly as `Simulator::with_activity`:
@@ -315,7 +314,7 @@ impl BatchedFluidSim {
             .iter()
             .enumerate()
             .map(|(i, a)| {
-                if activity[i].0 == 0 {
+                if activity[i].contains(0) {
                     a.rate(prop_rtt[i], &cfg)
                 } else {
                     0.0
@@ -388,8 +387,7 @@ impl BatchedFluidSim {
                 prop_rtt: d_p,
                 x_off: x_offs[i] as u32,
                 tau_off: tau_offs[i] as u32,
-                start_step: activity[i].0,
-                stop_step: activity[i].1,
+                activity: activity[i].clone(),
             });
             let start = self.lk_loss.len();
             for (pos, link_id) in net.paths[i].links.iter().enumerate() {
@@ -467,7 +465,7 @@ impl BatchedFluidSim {
             // outside a flow's activity window).
             for i in fr.clone() {
                 let fb = &self.feedback[i];
-                self.x[i] = if fb.start_step <= step && step < fb.stop_step {
+                self.x[i] = if fb.activity.contains(step) {
                     self.agents[i].rate(self.tau[i], &self.cfg)
                 } else {
                     0.0
@@ -534,7 +532,7 @@ impl BatchedFluidSim {
             // stepper).
             for i in fr.clone() {
                 let fb = &self.feedback[i];
-                if !(fb.start_step <= step && step < fb.stop_step) {
+                if !fb.activity.contains(step) {
                     continue;
                 }
                 let tau_fb = fb.tau_fb.read(&self.arena, cur);

@@ -86,8 +86,8 @@ impl PacketBackend {
 /// the historical hand-wired runners); chains are genuine multi-link
 /// paths mirroring the fluid model's chain network hop for hop.
 pub fn path_network_for_spec(spec: &ScenarioSpec) -> PathNetwork {
-    match spec.topology {
-        Topology::Dumbbell {
+    match &spec.topology {
+        &Topology::Dumbbell {
             n,
             capacity,
             bottleneck_delay,
@@ -98,7 +98,7 @@ pub fn path_network_for_spec(spec: &ScenarioSpec) -> PathNetwork {
             .rtt_range(rtt_lo, rtt_hi)
             .ccas(spec.ccas.clone())
             .path_network(),
-        Topology::ParkingLot {
+        &Topology::ParkingLot {
             c1,
             c2,
             link_delay,
@@ -112,12 +112,60 @@ pub fn path_network_for_spec(spec: &ScenarioSpec) -> PathNetwork {
             ccas: [spec.cca_of(0), spec.cca_of(1), spec.cca_of(2)],
         }
         .path_network(),
-        Topology::Chain {
+        &Topology::Chain {
             hops,
             capacity,
             link_delay,
             buffer_bdp,
         } => chain_path_network(spec, hops, capacity, link_delay, buffer_bdp),
+        Topology::Custom { .. } => custom_path_network(spec),
+    }
+}
+
+/// A [`Topology::Custom`] layout as a path network, mirroring the fluid
+/// model's `custom_network` link for link: each spec link becomes one
+/// engine link (rate in bytes/s, buffer sized from *its own* BDP), each
+/// route one flow whose access/return delays are the route's extras
+/// verbatim. Starts are staggered (i · 5 ms) like every other family,
+/// and the headline link is the minimum-capacity link under the same
+/// first-minimum tie-break as the fluid model's `observed_link`.
+fn custom_path_network(spec: &ScenarioSpec) -> PathNetwork {
+    let Topology::Custom { links, routes } = &spec.topology else {
+        unreachable!("custom_path_network called on a non-custom spec");
+    };
+    let headline = links
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.capacity.partial_cmp(&b.capacity).unwrap())
+        .map(|(id, _)| id)
+        .unwrap_or(0);
+    PathNetwork {
+        links: links
+            .iter()
+            .map(|l| {
+                let rate = l.capacity * 1e6 / 8.0; // bytes/s
+                PathLinkSpec {
+                    rate,
+                    prop_delay: l.delay,
+                    buffer: l.buffer_bdp * rate * l.delay,
+                    qdisc: spec.qdisc,
+                }
+            })
+            .collect(),
+        flows: routes
+            .iter()
+            .enumerate()
+            .map(|(i, r)| PathFlowSpec {
+                links: r.links.iter().map(|&id| id as u32).collect(),
+                access_delay: r.extra_fwd_delay,
+                bwd_delay: r.extra_bwd_delay,
+                cca: spec.cca_of(i),
+                start: i as f64 * 0.005,
+                stop: f64::INFINITY,
+                gaps: Vec::new(),
+            })
+            .collect(),
+        headline,
     }
 }
 
@@ -152,6 +200,7 @@ fn chain_path_network(
         cca: spec.cca_of(0),
         start: 0.0,
         stop: f64::INFINITY,
+        gaps: Vec::new(),
     }];
     for j in 0..hops {
         flows.push(PathFlowSpec {
@@ -161,6 +210,7 @@ fn chain_path_network(
             cca: spec.cca_of(j + 1),
             start: (j + 1) as f64 * 0.005,
             stop: f64::INFINITY,
+            gaps: Vec::new(),
         });
     }
     PathNetwork {
@@ -187,19 +237,42 @@ fn chain_path_network(
 /// shorter than the flow's nominal `i·5 ms` offset stays non-empty
 /// (engine start strictly before engine stop, as `PathNetwork`
 /// validation requires).
+///
+/// Multi-interval schedules lower to the same start/stop envelope plus
+/// engine-level gaps for the off-periods between consecutive windows;
+/// single-window schedules produce no gaps and thus remain bit-identical
+/// to the historical lowering.
 fn apply_churn(net: &mut PathNetwork, spec: &ScenarioSpec) {
     for (i, flow) in net.flows.iter_mut().enumerate() {
-        let w = spec.window_of(i);
-        if w.is_always() {
+        let windows = spec.windows_of(i);
+        if let [w] = windows.as_slice() {
+            if w.is_always() {
+                continue;
+            }
+        }
+        let (Some(first), Some(last)) = (windows.first(), windows.last()) else {
+            // A schedule with no windows at all (e.g. a Poisson draw that
+            // never activates): park the start past the engine horizon so
+            // the flow exists but never transmits. `stop` stays infinite
+            // to satisfy `stop > start`.
+            flow.start = spec.warmup + spec.duration + 1.0;
+            flow.stop = f64::INFINITY;
+            flow.gaps.clear();
             continue;
+        };
+        // `first.stop - first.start` is +inf for open-ended windows,
+        // giving the plain i·5 ms stagger; spec validation guarantees it
+        // positive.
+        let stagger = (i as f64 * 0.005).min(0.1 * (first.stop - first.start));
+        flow.start = spec.warmup + first.start + stagger;
+        if last.stop.is_finite() {
+            flow.stop = spec.warmup + last.stop;
         }
-        // `w.stop - w.start` is +inf for open-ended windows, giving the
-        // plain i·5 ms stagger; spec validation guarantees it positive.
-        let stagger = (i as f64 * 0.005).min(0.1 * (w.stop - w.start));
-        flow.start = spec.warmup + w.start + stagger;
-        if w.stop.is_finite() {
-            flow.stop = spec.warmup + w.stop;
-        }
+        // Off-periods between consecutive windows become engine gaps.
+        flow.gaps = windows
+            .windows(2)
+            .map(|p| (spec.warmup + p[0].stop, spec.warmup + p[1].start))
+            .collect();
     }
 }
 

@@ -208,6 +208,7 @@ impl DumbbellSpec {
                     cca: self.kind_of(i),
                     start: i as f64 * 0.005,
                     stop: f64::INFINITY,
+                    gaps: Vec::new(),
                 })
                 .collect(),
             headline: 0,

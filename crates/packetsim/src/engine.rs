@@ -122,6 +122,11 @@ pub struct Flow {
     /// retransmissions (s; `f64::INFINITY` = runs to the end).
     /// In-flight packets still drain and their ACKs are still counted.
     pub stop: f64,
+    /// Silent intervals `[off, on)` between `start` and `stop`: no new
+    /// data is emitted while `now` is inside a gap (paced retransmissions
+    /// of already-lost packets resume at the gap's end). Must be sorted
+    /// and non-overlapping.
+    pub gaps: Vec<(f64, f64)>,
     cca: Box<dyn PacketCca>,
     mss: f64,
     // Sender state.
@@ -169,6 +174,7 @@ impl Flow {
             bwd_delay,
             start,
             stop: f64::INFINITY,
+            gaps: Vec::new(),
             cca,
             mss,
             next_seq: 0,
@@ -200,6 +206,12 @@ impl Flow {
     /// Builder-style stop time (see [`Flow::stop`]).
     pub fn stop_at(mut self, stop: f64) -> Self {
         self.stop = stop;
+        self
+    }
+
+    /// Builder-style silent intervals (see [`Flow::gaps`]).
+    pub fn with_gaps(mut self, gaps: Vec<(f64, f64)>) -> Self {
+        self.gaps = gaps;
         self
     }
 
@@ -322,6 +334,20 @@ impl Engine {
     fn try_send(&mut self, f: usize) {
         if self.now >= self.flows[f].stop {
             return; // the flow's activity window is over: full silence
+        }
+        // Inside a silent gap of a multi-interval schedule: hold new data
+        // and wake up when the next on-window opens.
+        let now = self.now;
+        if let Some(&(_, on)) = self.flows[f]
+            .gaps
+            .iter()
+            .find(|&&(off, on)| now >= off && now < on)
+        {
+            if on < self.flows[f].wake_at {
+                self.flows[f].wake_at = on;
+                self.events.push(on, Ev::Wake { flow: f as u32 });
+            }
+            return;
         }
         loop {
             // Drop stale retransmission entries (acked in the meantime or

@@ -88,6 +88,7 @@ impl ParkingLotSpec {
                     cca: self.ccas[i],
                     start: i as f64 * 0.005,
                     stop: f64::INFINITY,
+                    gaps: Vec::new(),
                 })
                 .collect(),
             headline: self.bottleneck(),

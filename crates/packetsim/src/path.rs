@@ -53,6 +53,10 @@ pub struct PathFlowSpec {
     /// Engine time at which the flow stops sending new data and
     /// retransmissions (s; `f64::INFINITY` = runs to the end).
     pub stop: f64,
+    /// Silent intervals `[off, on)` within `[start, stop)` for
+    /// multi-interval on/off schedules (sorted, non-overlapping; empty
+    /// for the classic single-window flow).
+    pub gaps: Vec<(f64, f64)>,
 }
 
 /// A complete packet-level scenario as data: queued links, per-flow
@@ -105,6 +109,18 @@ impl PathNetwork {
                     f.stop, f.start
                 ));
             }
+            let mut prev_on = f.start;
+            for &(off, on) in &f.gaps {
+                if !(off.is_finite() && on.is_finite() && on > off) {
+                    return Err(format!("flow {i} has a degenerate gap [{off}, {on})"));
+                }
+                if off < prev_on {
+                    return Err(format!(
+                        "flow {i} gap [{off}, {on}) overlaps the previous on-interval"
+                    ));
+                }
+                prev_on = on;
+            }
         }
         Ok(())
     }
@@ -138,6 +154,7 @@ pub fn run_path(net: &PathNetwork, cfg: &SimConfig) -> PacketSimReport {
                 cfg.mss,
             )
             .stop_at(f.stop)
+            .with_gaps(f.gaps.clone())
         })
         .collect();
     let mut engine = Engine::new(cfg.clone(), links, flows, net.headline);
@@ -166,6 +183,7 @@ mod tests {
                 cca: CcaKind::Reno,
                 start: 0.0,
                 stop,
+                gaps: Vec::new(),
             }],
             headline: 0,
         }
@@ -244,6 +262,7 @@ mod tests {
             cca: CcaKind::Cubic,
             start: 0.0,
             stop: f64::INFINITY,
+            gaps: Vec::new(),
         }];
         for j in 0..hops {
             flows.push(PathFlowSpec {
@@ -253,6 +272,7 @@ mod tests {
                 cca: CcaKind::Cubic,
                 start: (j + 1) as f64 * 0.005,
                 stop: f64::INFINITY,
+                gaps: Vec::new(),
             });
         }
         let net = PathNetwork {

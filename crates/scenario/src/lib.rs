@@ -46,6 +46,8 @@
 
 #![warn(missing_docs)]
 
+pub mod universe;
+
 /// Which congestion-control algorithm a flow runs (shared by the fluid
 /// model and the packet simulator; the per-backend state machines are
 /// built from this tag by `bbr_fluid_core::cca::build` and
@@ -141,10 +143,63 @@ impl QdiscKind {
     }
 }
 
+/// One link of a [`Topology::Custom`] layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomLink {
+    /// Capacity (Mbit/s).
+    pub capacity: f64,
+    /// One-way propagation delay (s), counted once per traversal.
+    pub delay: f64,
+    /// Buffer in multiples of *this link's own* BDP
+    /// (`capacity · delay`) — unlike the built-in families, which size
+    /// every buffer from the first/bottleneck link's BDP.
+    pub buffer_bdp: f64,
+}
+
+impl CustomLink {
+    /// A link with the given capacity (Mbit/s), one-way delay (s), and
+    /// buffer (multiples of this link's BDP).
+    pub fn new(capacity: f64, delay: f64, buffer_bdp: f64) -> Self {
+        Self {
+            capacity,
+            delay,
+            buffer_bdp,
+        }
+    }
+}
+
+/// The path of one flow through a [`Topology::Custom`] layout. Each
+/// route is one flow; flow `i` runs route `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomRoute {
+    /// Indices into the topology's link table, in traversal order. Must
+    /// be non-empty and free of duplicates (a flow crosses each link at
+    /// most once).
+    pub links: Vec<usize>,
+    /// Extra one-way delay on the data path before the first link (s) —
+    /// the access-link delay of the built-in families.
+    pub extra_fwd_delay: f64,
+    /// Extra one-way delay on the ACK return path (s).
+    pub extra_bwd_delay: f64,
+}
+
+impl CustomRoute {
+    /// A route over `links` (in order) with the given extra forward and
+    /// backward delays (s).
+    pub fn new(links: Vec<usize>, extra_fwd_delay: f64, extra_bwd_delay: f64) -> Self {
+        Self {
+            links,
+            extra_fwd_delay,
+            extra_bwd_delay,
+        }
+    }
+}
+
 /// The link layout of a scenario. All rates in Mbit/s, delays in
 /// seconds; buffers in multiples of the bottleneck link's BDP
-/// (`capacity · delay`, the paper's §4.1.3 convention).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// (`capacity · delay`, the paper's §4.1.3 convention) for the built-in
+/// families, and of each link's own BDP for [`Topology::Custom`].
+#[derive(Debug, Clone, PartialEq)]
 pub enum Topology {
     /// `n` senders with heterogeneous RTTs share one bottleneck (the
     /// paper's Fig. 3). Total propagation RTTs are spread evenly over
@@ -193,6 +248,18 @@ pub enum Topology {
         /// Buffer per hop, in multiples of one hop's BDP.
         buffer_bdp: f64,
     },
+    /// An explicit link table plus one route per flow — the escape hatch
+    /// beyond the three built-in families (stars, trees, fat-trees,
+    /// meshes, and anything the scenario-universe generator emits).
+    /// Validated at plan time ([`ScenarioSpec::validate`]): every route
+    /// must reference existing links, and every link must be crossed by
+    /// at least one route.
+    Custom {
+        /// The link table.
+        links: Vec<CustomLink>,
+        /// One route per flow; `routes.len()` is the flow count.
+        routes: Vec<CustomRoute>,
+    },
 }
 
 impl Topology {
@@ -202,17 +269,19 @@ impl Topology {
             Topology::Dumbbell { n, .. } => *n,
             Topology::ParkingLot { .. } => 3,
             Topology::Chain { hops, .. } => hops + 1,
+            Topology::Custom { routes, .. } => routes.len(),
         }
     }
 
     /// The topology family name without its parameters (`"Dumbbell"`,
-    /// `"ParkingLot"`, `"Chain"`) — what error messages about
-    /// unsupported scenario families should name.
+    /// `"ParkingLot"`, `"Chain"`, `"Custom"`) — what error messages
+    /// about unsupported scenario families should name.
     pub fn kind_name(&self) -> &'static str {
         match self {
             Topology::Dumbbell { .. } => "Dumbbell",
             Topology::ParkingLot { .. } => "ParkingLot",
             Topology::Chain { .. } => "Chain",
+            Topology::Custom { .. } => "Custom",
         }
     }
 }
@@ -273,6 +342,103 @@ impl Default for FlowWindow {
     }
 }
 
+/// Multi-interval activity schedule of one flow — churn beyond a single
+/// `[start, stop)` window.
+///
+/// The flow sends during each window in turn (windows must be ordered
+/// and non-overlapping: each window's `start` is at least the previous
+/// window's `stop`). An *empty* schedule means the flow never activates
+/// at all — the degenerate limit of an arrival process that produces no
+/// arrivals. The default schedule is the single [`FlowWindow::ALWAYS`]
+/// window and defers to the spec's single-window [`ScenarioSpec::churn`]
+/// entry for that flow, so padding [`ScenarioSpec::schedules`] changes
+/// nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSchedule {
+    /// The activity windows, ordered and non-overlapping.
+    pub windows: Vec<FlowWindow>,
+}
+
+impl FlowSchedule {
+    /// A schedule from explicit windows (validated by
+    /// [`ScenarioSpec::validate`], not here).
+    pub fn new(windows: Vec<FlowWindow>) -> Self {
+        Self { windows }
+    }
+
+    /// The schedule of a flow that never activates.
+    pub fn never() -> Self {
+        Self {
+            windows: Vec::new(),
+        }
+    }
+
+    /// Whether this is the default "defer to the single-window churn
+    /// entry" schedule (exactly one [`FlowWindow::ALWAYS`] window).
+    pub fn is_default(&self) -> bool {
+        self.windows.len() == 1 && self.windows[0].is_always()
+    }
+
+    /// A deterministic Poisson on/off process: alternating silent and
+    /// active periods with exponentially distributed lengths of mean
+    /// `mean_off` and `mean_on` seconds, sampled from `seed` until the
+    /// first silent period that begins at or after `horizon`. The
+    /// process starts silent, so a flow may activate late — or (for
+    /// short horizons) never, in which case the schedule is empty.
+    /// Identical `(seed, mean_off, mean_on, horizon)` always produce the
+    /// identical schedule, on every platform.
+    pub fn poisson(seed: u64, mean_off: f64, mean_on: f64, horizon: f64) -> Self {
+        assert!(
+            mean_off > 0.0 && mean_on > 0.0 && horizon > 0.0,
+            "poisson schedule needs positive means and horizon"
+        );
+        let mut state = seed;
+        // Exponential via inversion; floored well away from zero so
+        // every sampled window passes `stop > start` validation and
+        // consecutive windows never collapse into an overlap.
+        let mut sample = |mean: f64| -> f64 {
+            let u = rng::unit_f64(rng::splitmix64(&mut state));
+            (-mean * (1.0 - u).ln()).max(1e-3)
+        };
+        let mut windows = Vec::new();
+        let mut t = sample(mean_off);
+        while t < horizon {
+            let stop = t + sample(mean_on);
+            windows.push(FlowWindow::new(t, stop));
+            t = stop + sample(mean_off);
+        }
+        Self { windows }
+    }
+}
+
+impl Default for FlowSchedule {
+    fn default() -> Self {
+        Self {
+            windows: vec![FlowWindow::ALWAYS],
+        }
+    }
+}
+
+/// Small deterministic PRNG helpers shared by [`FlowSchedule::poisson`]
+/// and the scenario-universe generator ([`universe`]). Self-contained so
+/// generated universes are bit-reproducible across platforms.
+pub(crate) mod rng {
+    /// One step of the splitmix64 sequence.
+    pub fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Map a raw 64-bit draw to the unit interval `[0, 1)` using the
+    /// top 53 bits (exactly representable in an `f64`).
+    pub fn unit_f64(x: u64) -> f64 {
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
 /// One-way access delay of every parking-lot flow (s). Part of the
 /// topology definition — both backends must simulate identical
 /// propagation RTTs — so it lives here rather than per backend.
@@ -307,6 +473,12 @@ pub struct ScenarioSpec {
     /// such specs hash ([`ScenarioSpec::stable_hash`]) and simulate
     /// exactly as they did before churn existed.
     pub churn: Vec<FlowWindow>,
+    /// Per-flow multi-interval schedules, indexed by flow. A non-default
+    /// entry *overrides* the flow's single [`ScenarioSpec::churn`]
+    /// window; default or missing entries defer to it. Empty (the
+    /// default) means single-window churn semantics, and such specs hash
+    /// and simulate exactly as they did before schedules existed.
+    pub schedules: Vec<FlowSchedule>,
 }
 
 impl ScenarioSpec {
@@ -329,6 +501,7 @@ impl ScenarioSpec {
             duration: 5.0,
             warmup: 1.0,
             churn: Vec::new(),
+            schedules: Vec::new(),
         }
     }
 
@@ -347,6 +520,7 @@ impl ScenarioSpec {
             duration: 5.0,
             warmup: 1.0,
             churn: Vec::new(),
+            schedules: Vec::new(),
         }
     }
 
@@ -365,6 +539,23 @@ impl ScenarioSpec {
             duration: 5.0,
             warmup: 1.0,
             churn: Vec::new(),
+            schedules: Vec::new(),
+        }
+    }
+
+    /// A custom layout from an explicit link table and one route per
+    /// flow (see [`Topology::Custom`]). Defaults match the built-in
+    /// family builders: Reno, DropTail, 5 s measurement window after a
+    /// 1 s warm-up, no churn.
+    pub fn custom(links: Vec<CustomLink>, routes: Vec<CustomRoute>) -> Self {
+        Self {
+            topology: Topology::Custom { links, routes },
+            ccas: vec![CcaKind::Reno],
+            qdisc: QdiscKind::DropTail,
+            duration: 5.0,
+            warmup: 1.0,
+            churn: Vec::new(),
+            schedules: Vec::new(),
         }
     }
 
@@ -435,6 +626,46 @@ impl ScenarioSpec {
         self.churn.iter().any(|w| !w.is_always())
     }
 
+    /// Set all per-flow multi-interval schedules at once (see
+    /// [`FlowSchedule`]). The vector may be shorter than the flow count;
+    /// missing or default entries defer to the flow's single-window
+    /// [`ScenarioSpec::churn`] entry.
+    pub fn schedules(mut self, schedules: Vec<FlowSchedule>) -> Self {
+        self.schedules = schedules;
+        self
+    }
+
+    /// Give flow `flow` a multi-interval schedule, padding other flows
+    /// with the default (defer-to-churn) schedule.
+    pub fn flow_schedule(mut self, flow: usize, schedule: FlowSchedule) -> Self {
+        if self.schedules.len() <= flow {
+            self.schedules.resize(flow + 1, FlowSchedule::default());
+        }
+        self.schedules[flow] = schedule;
+        self
+    }
+
+    /// Whether any flow has a non-default multi-interval schedule.
+    /// Schedule-free specs take the exact single-window code paths in
+    /// every backend (and keep their pre-schedule
+    /// [`ScenarioSpec::stable_hash`]).
+    pub fn has_schedule(&self) -> bool {
+        self.schedules.iter().any(|s| !s.is_default())
+    }
+
+    /// The full activity schedule of flow `i` as a window list: the
+    /// flow's [`FlowSchedule`] when it has a non-default one, otherwise
+    /// its single [`ScenarioSpec::window_of`] window. An empty list
+    /// means the flow never activates. This is the one accessor every
+    /// backend lowers churn from, so single-window and multi-interval
+    /// specs cannot drift apart.
+    pub fn windows_of(&self, i: usize) -> Vec<FlowWindow> {
+        match self.schedules.get(i) {
+            Some(s) if !s.is_default() => s.windows.clone(),
+            _ => vec![self.window_of(i)],
+        }
+    }
+
     /// Number of flows.
     pub fn n_flows(&self) -> usize {
         self.topology.n_flows()
@@ -480,8 +711,45 @@ impl ScenarioSpec {
                 ));
             }
         }
-        match self.topology {
-            Topology::Dumbbell {
+        if self.schedules.len() > self.n_flows() {
+            return Err(format!(
+                "{} flow schedules given for {} flows",
+                self.schedules.len(),
+                self.n_flows()
+            ));
+        }
+        for (i, s) in self.schedules.iter().enumerate() {
+            let mut prev_stop = 0.0_f64;
+            for (k, w) in s.windows.iter().enumerate() {
+                if !(w.start.is_finite() && w.start >= 0.0) {
+                    return Err(format!(
+                        "flow {i} schedule window {k}: start_time {} must be finite and \
+                         non-negative",
+                        w.start
+                    ));
+                }
+                // `partial_cmp` rather than `>` so a NaN stop is
+                // rejected here too, not waved through by a false `>`.
+                if w.stop.partial_cmp(&w.start) != Some(std::cmp::Ordering::Greater) {
+                    return Err(format!(
+                        "flow {i} schedule window {k}: stop_time {} must be greater than \
+                         start_time {}",
+                        w.stop, w.start
+                    ));
+                }
+                if w.start < prev_stop {
+                    return Err(format!(
+                        "flow {i} schedule window {k}: starts at {} before the previous \
+                         window stops at {prev_stop} (windows must be ordered and \
+                         non-overlapping)",
+                        w.start
+                    ));
+                }
+                prev_stop = w.stop;
+            }
+        }
+        match &self.topology {
+            &Topology::Dumbbell {
                 n,
                 capacity,
                 bottleneck_delay,
@@ -499,7 +767,7 @@ impl ScenarioSpec {
                     return Err("dumbbell RTT range must satisfy 0 < lo <= hi".into());
                 }
             }
-            Topology::ParkingLot {
+            &Topology::ParkingLot {
                 c1,
                 c2,
                 link_delay,
@@ -509,7 +777,7 @@ impl ScenarioSpec {
                     return Err("parking-lot parameters must be positive".into());
                 }
             }
-            Topology::Chain {
+            &Topology::Chain {
                 hops,
                 capacity,
                 link_delay,
@@ -525,6 +793,58 @@ impl ScenarioSpec {
                     return Err("chain parameters must be positive".into());
                 }
             }
+            Topology::Custom { links, routes } => {
+                if links.is_empty() {
+                    return Err("custom topology needs at least one link".into());
+                }
+                if routes.is_empty() {
+                    return Err("custom topology needs at least one route".into());
+                }
+                for (i, l) in links.iter().enumerate() {
+                    let positive = |v: f64| v.is_finite() && v > 0.0;
+                    if !(positive(l.capacity) && positive(l.delay) && positive(l.buffer_bdp)) {
+                        return Err(format!(
+                            "custom link {i}: capacity, delay, and buffer_bdp must be \
+                             positive and finite"
+                        ));
+                    }
+                }
+                let mut used = vec![false; links.len()];
+                for (i, r) in routes.iter().enumerate() {
+                    if r.links.is_empty() {
+                        return Err(format!("custom route {i} crosses no links"));
+                    }
+                    let mut seen = vec![false; links.len()];
+                    for &id in &r.links {
+                        if id >= links.len() {
+                            return Err(format!(
+                                "custom route {i} references link {id}, but the topology \
+                                 has only {} links",
+                                links.len()
+                            ));
+                        }
+                        if seen[id] {
+                            return Err(format!(
+                                "custom route {i} crosses link {id} more than once"
+                            ));
+                        }
+                        seen[id] = true;
+                        used[id] = true;
+                    }
+                    let extra_ok = |v: f64| v.is_finite() && v >= 0.0;
+                    if !(extra_ok(r.extra_fwd_delay) && extra_ok(r.extra_bwd_delay)) {
+                        return Err(format!(
+                            "custom route {i}: extra delays must be finite and non-negative"
+                        ));
+                    }
+                }
+                if let Some(id) = used.iter().position(|u| !u) {
+                    return Err(format!(
+                        "custom link {id} is not crossed by any route; drop it or route \
+                         a flow over it"
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -534,7 +854,7 @@ impl ScenarioSpec {
     /// header line of flight-recorder traces and in walkthrough output;
     /// purely descriptive (never parsed back, never hashed).
     pub fn describe(&self) -> String {
-        let topo = match self.topology {
+        let topo = match &self.topology {
             Topology::Dumbbell {
                 n,
                 capacity,
@@ -550,6 +870,9 @@ impl ScenarioSpec {
                 buffer_bdp,
                 ..
             } => format!("chain hops={hops} C={capacity}Mbps buf={buffer_bdp}BDP"),
+            Topology::Custom { links, routes } => {
+                format!("custom links={} flows={}", links.len(), routes.len())
+            }
         };
         let ccas: Vec<&str> = self.ccas.iter().map(|c| c.name()).collect();
         format!("{topo} {} {}", self.qdisc.name(), ccas.join("+"))
@@ -561,8 +884,8 @@ impl ScenarioSpec {
     /// unchanged cells.
     pub fn stable_hash(&self) -> u64 {
         let mut h = Fnv::new();
-        match self.topology {
-            Topology::Dumbbell {
+        match &self.topology {
+            &Topology::Dumbbell {
                 n,
                 capacity,
                 bottleneck_delay,
@@ -578,7 +901,7 @@ impl ScenarioSpec {
                 h.f64(rtt_lo);
                 h.f64(rtt_hi);
             }
-            Topology::ParkingLot {
+            &Topology::ParkingLot {
                 c1,
                 c2,
                 link_delay,
@@ -590,7 +913,7 @@ impl ScenarioSpec {
                 h.f64(link_delay);
                 h.f64(buffer_bdp);
             }
-            Topology::Chain {
+            &Topology::Chain {
                 hops,
                 capacity,
                 link_delay,
@@ -601,6 +924,27 @@ impl ScenarioSpec {
                 h.f64(capacity);
                 h.f64(link_delay);
                 h.f64(buffer_bdp);
+            }
+            // New family word: specs of the built-in families (everything
+            // that existed before Custom) hash exactly as they always
+            // did, so recorded seeds and store keys stay valid.
+            Topology::Custom { links, routes } => {
+                h.word(0x04);
+                h.word(links.len() as u64);
+                for l in links {
+                    h.f64(l.capacity);
+                    h.f64(l.delay);
+                    h.f64(l.buffer_bdp);
+                }
+                h.word(routes.len() as u64);
+                for r in routes {
+                    h.word(r.links.len() as u64);
+                    for &id in &r.links {
+                        h.word(id as u64);
+                    }
+                    h.f64(r.extra_fwd_delay);
+                    h.f64(r.extra_bwd_delay);
+                }
             }
         }
         for cca in &self.ccas {
@@ -632,6 +976,23 @@ impl ScenarioSpec {
                 let w = self.window_of(i);
                 h.f64(w.start);
                 h.f64(w.stop);
+            }
+        }
+        // Same additivity rule for multi-interval schedules: the 0x31
+        // block exists only when some flow has a non-default schedule,
+        // so churn-free and single-window specs keep their pre-schedule
+        // hashes byte for byte. Windows are hashed in canonical per-flow
+        // form (via `windows_of`), so padding with default schedules
+        // does not move the hash.
+        if self.has_schedule() {
+            h.word(0x31);
+            for i in 0..self.n_flows() {
+                let windows = self.windows_of(i);
+                h.word(windows.len() as u64);
+                for w in &windows {
+                    h.f64(w.start);
+                    h.f64(w.stop);
+                }
             }
         }
         h.finish()
@@ -1229,6 +1590,27 @@ mod tests {
         let chain = ScenarioSpec::chain(3, 100.0, 0.010, 1.0);
         match b.try_run(&chain, 0) {
             Err(RunError::Unsupported { backend, .. }) => assert_eq!(backend, "stub"),
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+        // A rejected `Topology::Custom` spec names its family in the
+        // reason, so a sweep over a mixed universe reports *which*
+        // topology the backend refused rather than a generic shrug.
+        let custom = ScenarioSpec::custom(
+            vec![CustomLink {
+                capacity: 10.0,
+                delay: 0.005,
+                buffer_bdp: 2.0,
+            }],
+            vec![CustomRoute::new(vec![0], 0.001, 0.001)],
+        );
+        match b.try_run(&custom, 0) {
+            Err(RunError::Unsupported { backend, reason }) => {
+                assert_eq!(backend, "stub");
+                assert!(
+                    reason.contains("Custom"),
+                    "reason must name the family: {reason}"
+                );
+            }
             other => panic!("expected Unsupported, got {other:?}"),
         }
         // Malformed spec: reported before `supports` is even consulted.

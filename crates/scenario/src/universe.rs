@@ -1,0 +1,436 @@
+//! Seeded scenario-universe generator: machine-built [`Topology::Custom`]
+//! scenarios for the fluid-vs-packet differential harness.
+//!
+//! The paper validates the fluid abstraction on three hand-picked
+//! topology families; this module turns that spot check into a
+//! systematic one by generating *universes* — batches of hundreds to
+//! thousands of scenarios spanning star, tree, fat-tree, and
+//! random-mesh layouts with varied per-hop bandwidth/RTT and flow
+//! schedules from steady to multi-interval on/off to Poisson
+//! arrival/departure processes. Every cell is a plain [`ScenarioSpec`],
+//! so the same spec runs unchanged on every [`SimBackend`](crate::SimBackend) and the
+//! cross-backend divergence of each cell is directly measurable.
+//!
+//! # Determinism rules
+//!
+//! A universe is a pure function of `(seed, cells)`:
+//!
+//! * every random draw comes from the crate's splitmix64 helper
+//!   ([`FlowSchedule::poisson`] uses the same one), seeded per cell from
+//!   the universe seed and the cell index — no global state, no
+//!   platform-dependent RNG;
+//! * floats are derived with the top-53-bit `unit_f64` mapping, so the
+//!   generated parameters (and therefore every
+//!   [`ScenarioSpec::stable_hash`], seed, and store key downstream) are
+//!   bit-identical across platforms and runs;
+//! * cells are independent: generating a prefix of a universe yields the
+//!   same scenarios as generating the whole thing, so universes can be
+//!   sharded without reshuffling.
+//!
+//! Parameters are deliberately benign — moderate rates, 2–4 BDP
+//! buffers, loss-tolerant CCA mixes, an always-on anchor flow across
+//! each universe's bottleneck — because a universe's job is to be a
+//! *property-test corpus* for fluid-vs-packet agreement: every cell is
+//! expected to land within the drift tolerance gates, and a cell that
+//! does not is a finding.
+
+use crate::{
+    rng::{splitmix64, unit_f64},
+    CcaKind, CustomLink, CustomRoute, FlowSchedule, FlowWindow, QdiscKind, ScenarioSpec, Topology,
+};
+
+/// Topology family of a generated scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UniverseFamily {
+    /// Per-flow access links feeding one shared hub bottleneck.
+    Star,
+    /// Two mid-tier links aggregating into one root bottleneck.
+    Tree,
+    /// Two parallel edge→aggregation→core planes with distinct core
+    /// capacities (the smaller core is the headline bottleneck).
+    FatTree,
+    /// 3–6 links with random capacities; flows route over random
+    /// consecutive runs, patched so every link carries traffic.
+    RandomMesh,
+}
+
+impl UniverseFamily {
+    /// Every family, in generation rotation order.
+    pub const ALL: [UniverseFamily; 4] = [
+        UniverseFamily::Star,
+        UniverseFamily::Tree,
+        UniverseFamily::FatTree,
+        UniverseFamily::RandomMesh,
+    ];
+
+    /// Stable display label (also the universe-report CSV value).
+    pub fn label(&self) -> &'static str {
+        match self {
+            UniverseFamily::Star => "star",
+            UniverseFamily::Tree => "tree",
+            UniverseFamily::FatTree => "fattree",
+            UniverseFamily::RandomMesh => "mesh",
+        }
+    }
+}
+
+/// Flow-schedule shape of a generated scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UniverseSchedule {
+    /// Every flow active for the whole window.
+    Steady,
+    /// Non-anchor flows run two on-windows split by a mid-run silence.
+    Windows,
+    /// Non-anchor flows follow a seeded Poisson on/off process.
+    Poisson,
+}
+
+impl UniverseSchedule {
+    /// Every schedule shape, in generation rotation order.
+    pub const ALL: [UniverseSchedule; 3] = [
+        UniverseSchedule::Steady,
+        UniverseSchedule::Windows,
+        UniverseSchedule::Poisson,
+    ];
+
+    /// Stable display label (also the universe-report CSV value).
+    pub fn label(&self) -> &'static str {
+        match self {
+            UniverseSchedule::Steady => "steady",
+            UniverseSchedule::Windows => "windows",
+            UniverseSchedule::Poisson => "poisson",
+        }
+    }
+}
+
+/// One cell of a generated universe.
+#[derive(Debug, Clone)]
+pub struct GeneratedScenario {
+    /// Position in the universe (0-based).
+    pub index: usize,
+    /// Topology family the cell was drawn from.
+    pub family: UniverseFamily,
+    /// Flow-schedule shape the cell was drawn with.
+    pub schedule: UniverseSchedule,
+    /// The runnable, validated spec.
+    pub spec: ScenarioSpec,
+}
+
+/// Measurement window of every generated cell (s).
+pub const UNIVERSE_DURATION: f64 = 4.0;
+/// Warm-up of every generated cell (s).
+pub const UNIVERSE_WARMUP: f64 = 1.0;
+
+/// CCA mixes the generator rotates through (assigned round-robin across
+/// flows by [`ScenarioSpec::ccas`]). BBRv2-centric on purpose, like the
+/// drift audit's pinned grid: rate-based CCAs converge fast in the
+/// fluid model (loss-based ones ramp additively and would spend most of
+/// a short window in the transient), tolerate the small absolute
+/// buffers a few-Mbit/s generated link implies, and — unlike BBRv1,
+/// whose multi-flow overshoot loss and unfairness the fluid abstraction
+/// knowingly misses — stay inside the drift gates, so cross-backend
+/// gaps measure the *topology lowering*, not CCA pathologies both
+/// engines already characterize elsewhere.
+const CCA_MIXES: [&[CcaKind]; 3] = [
+    &[CcaKind::BbrV2],
+    &[CcaKind::BbrV2Deploy],
+    &[CcaKind::BbrV2, CcaKind::BbrV2Deploy],
+];
+
+/// Uniform draw from `[lo, hi)`.
+fn draw(state: &mut u64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * unit_f64(splitmix64(state))
+}
+
+/// Uniform integer draw from `lo..=hi`.
+fn draw_int(state: &mut u64, lo: usize, hi: usize) -> usize {
+    lo + (splitmix64(state) % (hi - lo + 1) as u64) as usize
+}
+
+/// Minimum per-link buffer in bytes (45 × 1500 B packets). The packet
+/// engine degrades sharply once a hop's buffer drops below ~15 packets:
+/// a solo BBRv2 flow stalls around 70 % utilization and sub-BDP buffers
+/// trigger timeout storms — quantization regimes the fluid model cannot
+/// represent at all. Every drawn link's `buffer_bdp` is clamped so the
+/// lowered byte buffer stays above this floor on both substrates.
+const MIN_BUFFER_BYTES: f64 = 67_500.0;
+
+/// A generated link: capacity `lo..hi` Mbit/s, delay 2–6 ms, and 2–4
+/// BDP of buffer clamped to [`MIN_BUFFER_BYTES`]. The ranges keep every
+/// cell in the regime where both engines are well-behaved: buffers of
+/// ≥ 30 packets per hop and total RTTs of 10–30 ms (so the rate-based
+/// CCAs converge within a fraction of the 4 s measurement window).
+fn draw_link(state: &mut u64, lo: f64, hi: f64) -> CustomLink {
+    let capacity = draw(state, lo, hi);
+    let delay = draw(state, 0.002, 0.006);
+    let min_bdp = MIN_BUFFER_BYTES * 8.0 / (capacity * 1e6 * delay);
+    CustomLink {
+        capacity,
+        delay,
+        buffer_bdp: draw(state, 2.0, 4.0).max(min_bdp),
+    }
+}
+
+/// Small per-route extra propagation delay (1–4 ms each way).
+fn draw_extras(state: &mut u64) -> (f64, f64) {
+    (draw(state, 0.001, 0.004), draw(state, 0.001, 0.004))
+}
+
+fn star(state: &mut u64) -> Topology {
+    let n = draw_int(state, 2, 4);
+    // Hub first so it is the headline bottleneck by construction:
+    // every access link is at least 2.5× the hub capacity.
+    let hub = draw_link(state, 8.0, 16.0);
+    let hub_cap = hub.capacity;
+    let mut links = vec![hub];
+    let mut routes = Vec::with_capacity(n);
+    for i in 0..n {
+        links.push(draw_link(state, 2.5 * hub_cap, 4.0 * hub_cap));
+        let (fwd, bwd) = draw_extras(state);
+        routes.push(CustomRoute::new(vec![i + 1, 0], fwd, bwd));
+    }
+    Topology::Custom { links, routes }
+}
+
+fn tree(state: &mut u64) -> Topology {
+    let n = draw_int(state, 2, 4);
+    let root = draw_link(state, 8.0, 16.0);
+    let root_cap = root.capacity;
+    let mut links = vec![root];
+    for _ in 0..2 {
+        links.push(draw_link(state, 1.8 * root_cap, 3.0 * root_cap));
+    }
+    let routes = (0..n)
+        .map(|i| {
+            let (fwd, bwd) = draw_extras(state);
+            CustomRoute::new(vec![1 + i % 2, 0], fwd, bwd)
+        })
+        .collect();
+    Topology::Custom { links, routes }
+}
+
+fn fat_tree(state: &mut u64) -> Topology {
+    // Two edge→agg→core planes; plane 0's core is strictly the
+    // smallest link, so the headline bottleneck is unambiguous and the
+    // anchor flow (flow 0, always on) crosses it.
+    let core0 = draw_link(state, 8.0, 14.0);
+    let c0 = core0.capacity;
+    let mut links = vec![core0, draw_link(state, 1.2 * c0, 1.8 * c0)];
+    for plane in 0..2 {
+        let core_cap = links[plane].capacity;
+        links.push(draw_link(state, 1.8 * core_cap, 2.6 * core_cap)); // agg
+        links.push(draw_link(state, 2.6 * core_cap, 3.4 * core_cap)); // edge
+    }
+    let n = draw_int(state, 2, 4);
+    let routes = (0..n)
+        .map(|i| {
+            let plane = i % 2;
+            let (fwd, bwd) = draw_extras(state);
+            CustomRoute::new(vec![3 + 2 * plane, 2 + 2 * plane, plane], fwd, bwd)
+        })
+        .collect();
+    Topology::Custom { links, routes }
+}
+
+fn random_mesh(state: &mut u64) -> Topology {
+    let k = draw_int(state, 3, 6);
+    let mut links: Vec<CustomLink> = (0..k).map(|_| draw_link(state, 8.0, 20.0)).collect();
+    let bneck = (0..k)
+        .min_by(|&a, &b| links[a].capacity.partial_cmp(&links[b].capacity).unwrap())
+        .unwrap();
+    let n = draw_int(state, 2, 4);
+    // Every flow gets exactly one *contended* "home" hop (its intended
+    // bottleneck) and optionally one transit hop. Transit hops are drawn
+    // from links nobody calls home and are later widened so they never
+    // become a secondary bottleneck: multi-bottleneck rate allocation is
+    // exactly where the fluid max-min abstraction and packet-level BBR
+    // dynamics genuinely diverge, so the generator keeps out of it.
+    // Anchor: flow 0's home is the minimum-capacity link, so the
+    // headline link is never carried by churned traffic alone.
+    let homes: Vec<usize> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                bneck
+            } else {
+                draw_int(state, 0, k - 1)
+            }
+        })
+        .collect();
+    let mut routes: Vec<CustomRoute> = homes
+        .iter()
+        .map(|&home| {
+            let mut ids = vec![home];
+            if draw_int(state, 0, 1) == 1 {
+                let transit = draw_int(state, 0, k - 1);
+                if transit != home && !homes.contains(&transit) {
+                    ids.push(transit);
+                }
+            }
+            let (fwd, bwd) = draw_extras(state);
+            CustomRoute::new(ids, fwd, bwd)
+        })
+        .collect();
+    // Coverage patch: every link must carry at least one route
+    // (spec-validation requirement — an unused link would be dead
+    // capacity the two backends could disagree about for free). Unused
+    // links join some route as transit, so the widening pass below
+    // covers them too.
+    for l in 0..k {
+        if !routes.iter().any(|r| r.links.contains(&l)) {
+            let r = &mut routes[l % n];
+            if !r.links.contains(&l) {
+                r.links.push(l);
+            }
+        }
+    }
+    // Widening pass: a transit link must comfortably carry every flow
+    // crossing it even when each runs at its full home-link rate. Homes
+    // are never transit hops (guaranteed above), so this only raises
+    // non-home links and the drawn bottleneck stays the global minimum.
+    for l in 0..k {
+        if homes.contains(&l) {
+            continue;
+        }
+        let demand: f64 = routes
+            .iter()
+            .zip(&homes)
+            .filter(|(r, _)| r.links.contains(&l))
+            .map(|(_, &h)| links[h].capacity)
+            .sum();
+        links[l].capacity = links[l].capacity.max(2.0 * demand);
+    }
+    Topology::Custom { links, routes }
+}
+
+/// Attach the cell's flow schedule. Flow 0 is always the steady anchor,
+/// and churn is applied to exactly one drawn non-anchor flow: every
+/// packet-level flow (re)start is a STARTUP transient the fluid model
+/// resolves instantly, so churning one flow per cell isolates one
+/// transient at a time and keeps the cross-backend delta a measure of
+/// the topology lowering rather than of stacked restart bursts.
+fn schedule_spec(
+    state: &mut u64,
+    spec: ScenarioSpec,
+    shape: UniverseSchedule,
+    n: usize,
+) -> ScenarioSpec {
+    match shape {
+        UniverseSchedule::Steady => spec,
+        UniverseSchedule::Windows => {
+            let i = draw_int(state, 1, n - 1);
+            let off_at = draw(state, 0.35, 0.5) * UNIVERSE_DURATION;
+            let on_at = off_at + draw(state, 0.1, 0.2) * UNIVERSE_DURATION;
+            spec.flow_schedule(
+                i,
+                FlowSchedule::new(vec![
+                    FlowWindow::new(0.0, off_at),
+                    FlowWindow::starting_at(on_at),
+                ]),
+            )
+        }
+        UniverseSchedule::Poisson => {
+            let i = draw_int(state, 1, n - 1);
+            let flow_seed = splitmix64(state);
+            spec.flow_schedule(
+                i,
+                FlowSchedule::poisson(
+                    flow_seed,
+                    0.1 * UNIVERSE_DURATION,
+                    1.5 * UNIVERSE_DURATION,
+                    UNIVERSE_DURATION,
+                ),
+            )
+        }
+    }
+}
+
+/// Generate one cell of the universe seeded by `seed`. Pure function of
+/// `(seed, index)` — see the module docs' determinism rules.
+pub fn generate_scenario(seed: u64, index: usize) -> GeneratedScenario {
+    // Per-cell stream: one splitmix64 state derived from the universe
+    // seed and the cell index, decorrelated by one warm-up round.
+    let mut state = seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    splitmix64(&mut state);
+    let family = UniverseFamily::ALL[index % UniverseFamily::ALL.len()];
+    let schedule =
+        UniverseSchedule::ALL[(index / UniverseFamily::ALL.len()) % UniverseSchedule::ALL.len()];
+    let topology = match family {
+        UniverseFamily::Star => star(&mut state),
+        UniverseFamily::Tree => tree(&mut state),
+        UniverseFamily::FatTree => fat_tree(&mut state),
+        UniverseFamily::RandomMesh => random_mesh(&mut state),
+    };
+    let n = topology.n_flows();
+    let Topology::Custom { links, routes } = topology else {
+        unreachable!("every family builds Topology::Custom")
+    };
+    let mix = CCA_MIXES[draw_int(&mut state, 0, CCA_MIXES.len() - 1)];
+    let spec = ScenarioSpec::custom(links, routes)
+        .ccas(mix.to_vec())
+        .qdisc(QdiscKind::DropTail)
+        .duration(UNIVERSE_DURATION)
+        .warmup(UNIVERSE_WARMUP);
+    let spec = schedule_spec(&mut state, spec, schedule, n);
+    spec.validate()
+        .unwrap_or_else(|e| panic!("generated cell {index} (seed {seed:#x}) is invalid: {e}"));
+    GeneratedScenario {
+        index,
+        family,
+        schedule,
+        spec,
+    }
+}
+
+/// Generate a whole universe: `cells` scenarios seeded by `seed`, in
+/// index order.
+pub fn generate_universe(seed: u64, cells: usize) -> Vec<GeneratedScenario> {
+    (0..cells).map(|i| generate_scenario(seed, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universes_are_deterministic_and_valid() {
+        let a = generate_universe(0xca11_ab1e, 48);
+        let b = generate_universe(0xca11_ab1e, 48);
+        assert_eq!(a.len(), 48);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec, y.spec, "cell {} differs across runs", x.index);
+            assert_eq!(
+                x.spec.stable_hash(),
+                y.spec.stable_hash(),
+                "cell {} hash differs",
+                x.index
+            );
+            x.spec.validate().unwrap();
+        }
+        // A different seed is a different universe.
+        let c = generate_universe(0xdead_beef, 48);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.spec != y.spec));
+    }
+
+    #[test]
+    fn prefixes_are_stable_and_families_rotate() {
+        let long = generate_universe(7, 24);
+        let short = generate_universe(7, 8);
+        for (x, y) in short.iter().zip(&long) {
+            assert_eq!(x.spec, y.spec, "prefix cell {} reshuffled", x.index);
+        }
+        for (i, cell) in long.iter().enumerate() {
+            assert_eq!(cell.family, UniverseFamily::ALL[i % 4]);
+            assert!(matches!(cell.spec.topology, Topology::Custom { .. }));
+            // The anchor flow never churns: universes must never go
+            // fully idle on the headline link.
+            assert!(cell.spec.windows_of(0) == vec![FlowWindow::ALWAYS]);
+        }
+        // All three schedule shapes appear in a 24-cell universe.
+        for shape in UniverseSchedule::ALL {
+            assert!(
+                long.iter().any(|c| c.schedule == shape),
+                "missing {shape:?}"
+            );
+        }
+    }
+}

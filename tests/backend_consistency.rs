@@ -7,7 +7,7 @@ use bbr_repro::experiments::scenarios::{COMBOS, DEPLOY_COMBOS};
 use bbr_repro::experiments::sweep::{ScenarioGrid, TopologyKind};
 use bbr_repro::fluid::prelude::*;
 use bbr_repro::packetsim::backend::PacketBackend;
-use bbr_repro::scenario::{CcaKind, QdiscKind};
+use bbr_repro::scenario::{CcaKind, CustomLink, CustomRoute, QdiscKind};
 use proptest::prelude::*;
 
 fn backends() -> Vec<Box<dyn SimBackend>> {
@@ -262,8 +262,88 @@ fn cell_seeds_are_independent_of_grid_position() {
     }
 }
 
+/// Strategy emitting arbitrary *valid* `Topology::Custom` scenarios:
+/// 2–4 flows over a shared hub bottleneck, each flow optionally behind
+/// a private access link, with randomized capacities, per-hop delays,
+/// buffers, and per-route extra delays. Parameters follow the universe
+/// generator's regime rules (bottleneck-first link table, access links
+/// ≥ 2.5× the hub, ≥ 45-packet buffers, a rate-based CCA), because that
+/// is the regime in which the fluid abstraction makes a quantitative
+/// claim — the property under test is that *every* such spec validates
+/// and lands inside the tolerance gates on both engines.
+struct ArbitraryCustomSpec;
+
+impl Strategy for ArbitraryCustomSpec {
+    type Value = ScenarioSpec;
+
+    fn generate(&self, rng: &mut TestRng) -> ScenarioSpec {
+        let draw = |lo: f64, hi: f64, rng: &mut TestRng| lo + (hi - lo) * rng.next_f64();
+        let buffered = |cap: f64, delay: f64, bdp: f64| CustomLink {
+            capacity: cap,
+            delay,
+            // Same floor as the universe generator: 45 packets, so the
+            // packet engine stays out of its sub-packet-buffer regime.
+            buffer_bdp: bdp.max(67_500.0 * 8.0 / (cap * 1e6 * delay)),
+        };
+        let n = 2 + (rng.next_u64() % 3) as usize;
+        let hub_cap = draw(8.0, 16.0, rng);
+        let hub = buffered(hub_cap, draw(0.002, 0.006, rng), draw(2.0, 4.0, rng));
+        let mut links = vec![hub];
+        let mut routes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let direct = rng.next_u64() & 1 == 0;
+            let extras = (draw(0.001, 0.004, rng), draw(0.001, 0.004, rng));
+            if direct {
+                routes.push(CustomRoute::new(vec![0], extras.0, extras.1));
+            } else {
+                links.push(buffered(
+                    draw(2.5 * hub_cap, 4.0 * hub_cap, rng),
+                    draw(0.002, 0.006, rng),
+                    draw(2.0, 4.0, rng),
+                ));
+                routes.push(CustomRoute::new(
+                    vec![links.len() - 1, 0],
+                    extras.0,
+                    extras.1,
+                ));
+            }
+        }
+        ScenarioSpec::custom(links, routes)
+            .ccas(vec![CcaKind::BbrV2])
+            .duration(4.0)
+            .warmup(1.0)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Arbitrary valid custom topologies must agree across the fluid and
+    // packet engines within the universe tolerance gates
+    // (`bbr_experiments::universe`): the differential-harness claim as a
+    // property rather than a pinned grid.
+    #[test]
+    fn arbitrary_custom_specs_agree_across_backends(spec in ArbitraryCustomSpec) {
+        prop_assert!(spec.validate().is_ok(), "strategy emitted invalid spec {spec:?}");
+        let fluid = FluidBackend::coarse().run(&spec, 23);
+        let packet = PacketBackend::new(1).run(&spec, 23);
+        for o in [&fluid, &packet] {
+            prop_assert_eq!(o.flows.len(), spec.n_flows());
+            prop_assert!(o.utilization_percent > 50.0,
+                "{} idle on {}: {:.1} %", o.backend, spec.describe(), o.utilization_percent);
+        }
+        let util_gap = (fluid.utilization_percent - packet.utilization_percent).abs();
+        prop_assert!(util_gap < 25.0,
+            "utilization gap {util_gap:.1} pp (fluid {:.1} vs packet {:.1})",
+            fluid.utilization_percent, packet.utilization_percent);
+        let jain_gap = (fluid.jain - packet.jain).abs();
+        prop_assert!(jain_gap < 0.5,
+            "Jain gap {jain_gap:.3} (fluid {:.3} vs packet {:.3})", fluid.jain, packet.jain);
+        let loss_gap = (fluid.loss_percent - packet.loss_percent).abs();
+        prop_assert!(loss_gap < 12.0,
+            "loss gap {loss_gap:.2} pp (fluid {:.2} vs packet {:.2})",
+            fluid.loss_percent, packet.loss_percent);
+    }
 
     // Any spec the grid can emit must run on both backends without
     // panicking and produce sane metrics (tiny windows keep this cheap).

@@ -11,7 +11,10 @@ use bbr_repro::experiments::sweep::{Backend, ScenarioGrid, TopologyKind};
 use bbr_repro::experiments::Effort;
 use bbr_repro::fluid::backend::FluidBackend;
 use bbr_repro::packetsim::backend::PacketBackend;
-use bbr_repro::scenario::{run_seed, CcaKind, QdiscKind, ScenarioSpec, SimBackend};
+use bbr_repro::scenario::{
+    run_seed, CcaKind, CustomLink, CustomRoute, FlowSchedule, FlowWindow, QdiscKind, ScenarioSpec,
+    SimBackend,
+};
 
 fn temp_store(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("bbr-campaign-it-{tag}-{}", std::process::id()));
@@ -90,6 +93,74 @@ fn stable_hash_pins_guard_cache_keys() {
             .ccas(vec![CcaKind::Cubic])
             .stable_hash(),
         0x1c52e2a383db6b83
+    );
+    // `Topology::Custom` hashes through its own additive tag word, so
+    // custom cells get store keys without disturbing any built-in one.
+    assert_eq!(
+        ScenarioSpec::custom(
+            vec![
+                CustomLink {
+                    capacity: 12.0,
+                    delay: 0.004,
+                    buffer_bdp: 3.0,
+                },
+                CustomLink {
+                    capacity: 40.0,
+                    delay: 0.002,
+                    buffer_bdp: 2.0,
+                },
+            ],
+            vec![
+                CustomRoute::new(vec![0], 0.002, 0.001),
+                CustomRoute::new(vec![1, 0], 0.003, 0.002),
+            ],
+        )
+        .ccas(vec![CcaKind::BbrV2])
+        .stable_hash(),
+        0xdb3e9502615f0995
+    );
+    // Multi-interval schedules extend the same schedule block the
+    // single-window form uses; this pin guards the window-list encoding.
+    assert_eq!(
+        ScenarioSpec::dumbbell(2, 30.0, 0.010, 2.0)
+            .ccas(vec![CcaKind::BbrV2])
+            .flow_schedule(
+                1,
+                FlowSchedule::new(vec![
+                    FlowWindow::new(0.0, 1.0),
+                    FlowWindow::new(1.5, 2.5),
+                    FlowWindow::starting_at(3.0),
+                ]),
+            )
+            .stable_hash(),
+        0xc58d31823ea6b335
+    );
+}
+
+#[test]
+fn custom_and_multi_interval_hashing_is_additive() {
+    // The `Topology::Custom` tag word and the multi-interval schedule
+    // encoding are *additive* stable-hash extensions: churn-free specs
+    // and pre-existing single-window churn specs must keep the exact
+    // hashes they had before those variants existed, or every recorded
+    // store key / pinned seed silently moves. These two constants were
+    // captured before the Custom/multi-interval change landed.
+    assert_eq!(
+        ScenarioSpec::dumbbell(10, 100.0, 0.010, 2.0)
+            .ccas(vec![CcaKind::BbrV1, CcaKind::Reno])
+            .qdisc(QdiscKind::Red)
+            .flow_window(1, 0.25, 3.75)
+            .stable_hash(),
+        0xac7ffbd72ce58c4f,
+        "single-window churn hash moved"
+    );
+    assert_eq!(
+        ScenarioSpec::chain(3, 100.0, 0.010, 1.0)
+            .ccas(vec![CcaKind::Cubic])
+            .flow_window(2, 1.0, f64::INFINITY)
+            .stable_hash(),
+        0xafca0f17c14253ca,
+        "late-start churn hash moved"
     );
 }
 
